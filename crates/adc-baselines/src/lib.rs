@@ -1,0 +1,44 @@
+//! # adc-baselines
+//!
+//! Baseline distributed-caching schemes for comparison against ADC:
+//!
+//! * [`CarpProxy`] — the paper's baseline: CARP-style highest-random-
+//!   weight hash routing ([`Hrw`]) with per-proxy LRU caches, replies
+//!   returned directly to the client.
+//! * [`ConsistentRing`] — consistent hashing with virtual nodes, usable
+//!   with the same [`HashingProxy`] agent.
+//! * [`HierarchyProxy`] — a Harvest-style caching tree in which every
+//!   node stores all passing objects (the paper's other contrast class).
+//! * [`SoapProxy`] — the ADC authors' earlier per-category design
+//!   (§II.2), for lineage comparisons.
+//! * [`BoundedLru`] — the plain LRU object cache they all use.
+//!
+//! All agents implement [`adc_core::CacheAgent`] and can be driven by the
+//! simulator or the TCP runtime interchangeably with ADC proxies.
+//!
+//! # Examples
+//!
+//! ```
+//! use adc_baselines::{CarpProxy, Hrw, OwnerMap};
+//! use adc_core::{CacheAgent, ObjectId, ProxyId};
+//!
+//! let proxy = CarpProxy::new(ProxyId::new(0), 5, 10_000);
+//! // Every proxy agrees on who owns each object, with no communication.
+//! let owner = proxy.owner_map().owner(ObjectId::new(123));
+//! assert!(owner.raw() < 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hashing_proxy;
+mod hierarchy;
+mod lru_cache;
+mod owner;
+mod soap;
+
+pub use hashing_proxy::{CarpProxy, HashingProxy};
+pub use hierarchy::HierarchyProxy;
+pub use lru_cache::BoundedLru;
+pub use owner::{ConsistentRing, Hrw, OwnerMap};
+pub use soap::SoapProxy;

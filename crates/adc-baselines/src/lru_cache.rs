@@ -1,0 +1,158 @@
+//! A bounded LRU object cache, as used by the hashing proxies ("the
+//! second proxy will store the received data replacing existing
+//! information based on the LRU algorithm").
+
+use adc_core::tables::LruList;
+use adc_core::ObjectId;
+
+/// Bounded LRU set of object IDs.
+///
+/// # Examples
+///
+/// ```
+/// use adc_baselines::BoundedLru;
+/// use adc_core::ObjectId;
+///
+/// let mut cache = BoundedLru::new(2);
+/// cache.insert(ObjectId::new(1));
+/// cache.insert(ObjectId::new(2));
+/// let evicted = cache.insert(ObjectId::new(3));
+/// assert_eq!(evicted, Some(ObjectId::new(1)));
+/// assert!(cache.contains(ObjectId::new(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedLru {
+    list: LruList<ObjectId, ()>,
+    capacity: usize,
+}
+
+impl BoundedLru {
+    /// Creates a cache bounded to `capacity` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BoundedLru {
+            list: LruList::with_capacity(capacity.min(1 << 20)),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Returns `true` if `object` is cached (does not touch LRU order).
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.list.contains(&object)
+    }
+
+    /// Marks `object` as most recently used; returns `true` if present.
+    pub fn touch(&mut self, object: ObjectId) -> bool {
+        self.list.get_refresh(&object).is_some()
+    }
+
+    /// Inserts `object` as most recently used, returning the evicted
+    /// object if the cache was full. Re-inserting an existing object just
+    /// refreshes it.
+    pub fn insert(&mut self, object: ObjectId) -> Option<ObjectId> {
+        if self.list.contains(&object) {
+            self.list.get_refresh(&object);
+            return None;
+        }
+        self.list.push_front(object, ());
+        if self.list.len() > self.capacity {
+            self.list.pop_back().map(|(k, ())| k)
+        } else {
+            None
+        }
+    }
+
+    /// Removes `object`; returns `true` if it was present.
+    pub fn remove(&mut self, object: ObjectId) -> bool {
+        self.list.remove(&object).is_some()
+    }
+
+    /// Iterates cached objects, most recently used first.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.list.iter().map(|(&k, ())| k)
+    }
+
+    /// Removes every cached object.
+    pub fn clear(&mut self) {
+        self.list.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut c = BoundedLru::new(3);
+        for i in 1..=3 {
+            assert_eq!(c.insert(ObjectId::new(i)), None);
+        }
+        // Touch 1 so 2 becomes the eviction victim.
+        assert!(c.touch(ObjectId::new(1)));
+        assert_eq!(c.insert(ObjectId::new(4)), Some(ObjectId::new(2)));
+        assert!(c.contains(ObjectId::new(1)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut c = BoundedLru::new(2);
+        c.insert(ObjectId::new(1));
+        c.insert(ObjectId::new(2));
+        assert_eq!(c.insert(ObjectId::new(1)), None);
+        assert_eq!(c.len(), 2);
+        // 2 is now LRU.
+        assert_eq!(c.insert(ObjectId::new(3)), Some(ObjectId::new(2)));
+    }
+
+    #[test]
+    fn touch_missing_returns_false() {
+        let mut c = BoundedLru::new(2);
+        assert!(!c.touch(ObjectId::new(9)));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = BoundedLru::new(1);
+        c.insert(ObjectId::new(1));
+        assert!(c.remove(ObjectId::new(1)));
+        assert!(!c.remove(ObjectId::new(1)));
+        assert_eq!(c.insert(ObjectId::new(2)), None);
+    }
+
+    #[test]
+    fn iter_most_recent_first() {
+        let mut c = BoundedLru::new(3);
+        for i in 1..=3 {
+            c.insert(ObjectId::new(i));
+        }
+        let order: Vec<u64> = c.iter().map(|o| o.raw()).collect();
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedLru::new(0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the ownership functions and the LRU cache.
+
+use adc_baselines::{BoundedLru, ConsistentRing, Hrw, OwnerMap};
+use adc_core::{ObjectId, ProxyId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// HRW assigns every object to a member of the proxy set,
+    /// deterministically.
+    #[test]
+    fn hrw_total_and_deterministic(n in 1u32..32, objects in prop::collection::vec(any::<u64>(), 1..100)) {
+        let hrw = Hrw::new((0..n).map(ProxyId::new));
+        for o in objects {
+            let owner = hrw.owner(ObjectId::new(o));
+            prop_assert!(owner.raw() < n);
+            prop_assert_eq!(owner, hrw.owner(ObjectId::new(o)));
+        }
+    }
+
+    /// Minimal disruption: removing the last proxy only remaps objects it
+    /// owned; all other assignments are unchanged.
+    #[test]
+    fn hrw_minimal_disruption(n in 2u32..16, objects in prop::collection::vec(any::<u64>(), 1..200)) {
+        let full = Hrw::new((0..n).map(ProxyId::new));
+        let reduced = Hrw::new((0..n - 1).map(ProxyId::new));
+        for o in objects {
+            let before = full.owner(ObjectId::new(o));
+            let after = reduced.owner(ObjectId::new(o));
+            if before.raw() != n - 1 {
+                prop_assert_eq!(before, after);
+            } else {
+                prop_assert!(after.raw() < n - 1);
+            }
+        }
+    }
+
+    /// Adding a proxy to HRW only steals objects for the new proxy.
+    #[test]
+    fn hrw_growth_only_steals(n in 1u32..16, objects in prop::collection::vec(any::<u64>(), 1..200)) {
+        let small = Hrw::new((0..n).map(ProxyId::new));
+        let grown = Hrw::new((0..=n).map(ProxyId::new));
+        for o in objects {
+            let before = small.owner(ObjectId::new(o));
+            let after = grown.owner(ObjectId::new(o));
+            prop_assert!(after == before || after == ProxyId::new(n));
+        }
+    }
+
+    /// The consistent ring is total and deterministic for any vnode
+    /// count.
+    #[test]
+    fn ring_total(n in 1u32..16, vnodes in 1usize..64, objects in prop::collection::vec(any::<u64>(), 1..100)) {
+        let ring = ConsistentRing::new((0..n).map(ProxyId::new), vnodes);
+        for o in objects {
+            let owner = ring.owner(ObjectId::new(o));
+            prop_assert!(owner.raw() < n);
+            prop_assert_eq!(owner, ring.owner(ObjectId::new(o)));
+        }
+    }
+
+    /// Ring growth moves objects only toward the new proxy (consistent
+    /// hashing's defining property).
+    #[test]
+    fn ring_growth_only_steals(n in 1u32..12, objects in prop::collection::vec(any::<u64>(), 1..150)) {
+        let vnodes = 32;
+        let small = ConsistentRing::new((0..n).map(ProxyId::new), vnodes);
+        let grown = ConsistentRing::new((0..=n).map(ProxyId::new), vnodes);
+        for o in objects {
+            let before = small.owner(ObjectId::new(o));
+            let after = grown.owner(ObjectId::new(o));
+            prop_assert!(
+                after == before || after == ProxyId::new(n),
+                "object {o} moved {before} -> {after} on growth"
+            );
+        }
+    }
+
+    /// The bounded LRU never exceeds capacity and `contains` matches a
+    /// naive model.
+    #[test]
+    fn bounded_lru_model(ops in prop::collection::vec((0u8..3, 0u64..20), 1..300), cap in 1usize..8) {
+        let mut lru = BoundedLru::new(cap);
+        let mut model: Vec<u64> = Vec::new(); // front = index 0 = MRU
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    let evicted = lru.insert(ObjectId::new(key));
+                    if let Some(pos) = model.iter().position(|&k| k == key) {
+                        model.remove(pos);
+                        model.insert(0, key);
+                        prop_assert!(evicted.is_none());
+                    } else {
+                        model.insert(0, key);
+                        if model.len() > cap {
+                            let victim = model.pop().unwrap();
+                            prop_assert_eq!(evicted, Some(ObjectId::new(victim)));
+                        } else {
+                            prop_assert!(evicted.is_none());
+                        }
+                    }
+                }
+                1 => {
+                    let touched = lru.touch(ObjectId::new(key));
+                    let in_model = model.iter().position(|&k| k == key);
+                    prop_assert_eq!(touched, in_model.is_some());
+                    if let Some(pos) = in_model {
+                        model.remove(pos);
+                        model.insert(0, key);
+                    }
+                }
+                _ => {
+                    let removed = lru.remove(ObjectId::new(key));
+                    let in_model = model.iter().position(|&k| k == key);
+                    prop_assert_eq!(removed, in_model.is_some());
+                    if let Some(pos) = in_model {
+                        model.remove(pos);
+                    }
+                }
+            }
+            prop_assert!(lru.len() <= cap);
+            prop_assert_eq!(lru.len(), model.len());
+            let order: Vec<u64> = lru.iter().map(|o| o.raw()).collect();
+            prop_assert_eq!(order, model.clone());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Agent event-processing throughput: ADC vs the CARP baseline.
+//!
+//! Drives full miss→origin→backward cycles through a single agent so the
+//! numbers include pending-table and mapping-table work.
+
+use adc_baselines::CarpProxy;
+use adc_core::{
+    Action, AdcConfig, AdcProxy, CacheAgent, ClientId, Message, ObjectId, ProxyId, Reply,
+    Request, RequestId,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn drive_cycle<A: CacheAgent>(agent: &mut A, rng: &mut StdRng, seq: u64, object: u64) {
+    let req = Request::new(
+        RequestId::new(ClientId::new(0), seq),
+        ObjectId::new(object),
+        ClientId::new(0),
+    );
+    let Action::Send { message, .. } = agent.on_request(req, rng);
+    if let Message::Request(forwarded) = message {
+        // Pretend the origin resolved it immediately.
+        let reply = Reply::from_origin(&forwarded, 1024);
+        let mut reply = reply;
+        // Unwind any pending hops (loops can stack two).
+        while let Some(Action::Send { message, .. }) = agent.on_reply(reply) {
+            match message {
+                Message::Reply(r) => reply = r,
+                Message::Request(_) => break,
+            }
+            if agent.is_cached(ObjectId::new(object)) {
+                break;
+            }
+        }
+    }
+    black_box(agent.cached_objects());
+}
+
+fn bench_adc_agent(c: &mut Criterion) {
+    let config = AdcConfig::builder()
+        .single_capacity(10_000)
+        .multiple_capacity(10_000)
+        .cache_capacity(5_000)
+        .max_hops(8)
+        .build();
+    let zipf = adc_workload::Zipf::new(20_000, 0.8);
+    c.bench_function("adc_agent_cycle", |b| {
+        let mut agent = AdcProxy::new(ProxyId::new(0), 1, config.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut zipf_rng = StdRng::seed_from_u64(2);
+        let mut seq = 0u64;
+        b.iter(|| {
+            let object = zipf.sample(&mut zipf_rng) as u64;
+            drive_cycle(&mut agent, &mut rng, seq, object);
+            seq += 1;
+        });
+    });
+}
+
+fn bench_carp_agent(c: &mut Criterion) {
+    let zipf = adc_workload::Zipf::new(20_000, 0.8);
+    c.bench_function("carp_agent_cycle", |b| {
+        let mut agent = CarpProxy::new(ProxyId::new(0), 1, 5_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut zipf_rng = StdRng::seed_from_u64(2);
+        let mut seq = 0u64;
+        b.iter(|| {
+            let object = zipf.sample(&mut zipf_rng) as u64;
+            drive_cycle(&mut agent, &mut rng, seq, object);
+            seq += 1;
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_adc_agent, bench_carp_agent
+}
+criterion_main!(benches);

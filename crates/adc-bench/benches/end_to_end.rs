@@ -1,0 +1,27 @@
+//! End-to-end simulation throughput: complete ADC and CARP clusters
+//! (5 proxies) digesting a 1/500-scale Polygraph workload. This is the
+//! Criterion-tracked version of the figure runs.
+
+use adc_bench::{Experiment, Scale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_adc_cluster(c: &mut Criterion) {
+    let experiment = Experiment::at_scale(Scale::Custom(0.002));
+    c.bench_function("end_to_end_adc_8k_requests", |b| {
+        b.iter(|| black_box(experiment.run_adc().completed));
+    });
+}
+
+fn bench_carp_cluster(c: &mut Criterion) {
+    let experiment = Experiment::at_scale(Scale::Custom(0.002));
+    c.bench_function("end_to_end_carp_8k_requests", |b| {
+        b.iter(|| black_box(experiment.run_carp().completed));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_adc_cluster, bench_carp_cluster
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Wire-protocol throughput: encode/decode of the TCP runtime's frames.
+
+use adc_core::{ClientId, NodeId, ObjectId, ProxyId, Reply, Request, RequestId, ServedFrom};
+use adc_net::protocol::{decode, encode, Frame};
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn request_frame() -> Frame {
+    Frame::Request(Request {
+        id: RequestId::new(ClientId::new(7), 123_456),
+        object: ObjectId::new(0xfeed_beef),
+        client: ClientId::new(7),
+        sender: NodeId::Proxy(ProxyId::new(3)),
+        hops: 4,
+    })
+}
+
+fn reply_frame(body_len: usize) -> Frame {
+    Frame::Reply(
+        Reply {
+            id: RequestId::new(ClientId::new(7), 123_456),
+            object: ObjectId::new(0xfeed_beef),
+            client: ClientId::new(7),
+            resolver: Some(ProxyId::new(1)),
+            cached_by: Some(ProxyId::new(1)),
+            served_from: ServedFrom::Cache(ProxyId::new(1)),
+            size: body_len as u32,
+        },
+        Bytes::from(vec![0xAB; body_len]),
+    )
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    c.bench_function("encode_request", |b| {
+        let frame = request_frame();
+        b.iter(|| black_box(encode(&frame)));
+    });
+    c.bench_function("decode_request", |b| {
+        let encoded = encode(&request_frame());
+        b.iter(|| black_box(decode(encoded.clone()).unwrap()));
+    });
+    let mut group = c.benchmark_group("reply_round_trip");
+    for &body in &[0usize, 1_024, 64 * 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(body), &body, |b, &body| {
+            let frame = reply_frame(body);
+            b.iter(|| {
+                let encoded = encode(&frame);
+                black_box(decode(encoded).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_encode_decode
+}
+criterion_main!(benches);

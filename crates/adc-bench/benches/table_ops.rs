@@ -1,0 +1,81 @@
+//! Micro-benchmarks for the mapping-table data structures — the
+//! operations Figure 15 of the paper identifies as the time sinks
+//! ("insertion and deletion at the ordered multiple-table", "the
+//! element-wise search within the [single-table] list").
+
+use adc_core::tables::{MappingTables, OrderedTable, SingleTable};
+use adc_core::{AgingMode, Location, ObjectId, TableEntry};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_single_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_table");
+    for &size in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_top", size), &size, |b, &size| {
+            let mut table = SingleTable::new(size);
+            let mut i = 0u64;
+            b.iter(|| {
+                table.push_top(TableEntry::new(ObjectId::new(i), Location::This, i));
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ordered_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordered_table");
+    for &size in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("insert_remove", size),
+            &size,
+            |b, &size| {
+                let mut table = OrderedTable::new(size);
+                for i in 0..size as u64 {
+                    let mut e = TableEntry::new(ObjectId::new(i), Location::This, i);
+                    e.average = i * 7 % 1000;
+                    e.hits = 2;
+                    table.insert(e);
+                }
+                let mut i = 0u64;
+                b.iter(|| {
+                    let id = ObjectId::new(i % size as u64);
+                    if let Some(mut e) = table.remove(id) {
+                        e.average = (e.average + 13) % 1000;
+                        table.insert(e);
+                    }
+                    i += 1;
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_update_entry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_entry");
+    for &size in &[1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("zipf_stream", size),
+            &size,
+            |b, &size| {
+                let mut tables = MappingTables::new(size, size, size / 2, AgingMode::AgedWorst);
+                let zipf = adc_workload::Zipf::new(size * 2, 0.8);
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+                let mut now = 0u64;
+                b.iter(|| {
+                    now += 1;
+                    let obj = ObjectId::new(zipf.sample(&mut rng) as u64);
+                    black_box(tables.update_entry(obj, Location::This, now));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_single_table, bench_ordered_table, bench_update_entry
+}
+criterion_main!(benches);

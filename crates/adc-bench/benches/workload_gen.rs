@@ -1,0 +1,35 @@
+//! Workload-generation throughput: the Polygraph-like stream and the
+//! Zipf sampler must be much faster than the simulator that consumes
+//! them.
+
+use adc_workload::{PolygraphConfig, Zipf};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_polygraph(c: &mut Criterion) {
+    c.bench_function("polygraph_generate_10k", |b| {
+        let config = PolygraphConfig::scaled(0.01);
+        b.iter(|| {
+            let total: u64 = config.build().take(10_000).map(|r| r.object.raw()).sum();
+            black_box(total)
+        });
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    for &n in &[1_000usize, 100_000] {
+        c.bench_function(&format!("zipf_sample_n{n}"), |b| {
+            let zipf = Zipf::new(n, 0.8);
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(zipf.sample(&mut rng)));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_polygraph, bench_zipf
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation A4: **proxy churn** — the paper's unexplored "changes of the
+//! infrastructure" parameter.
+//!
+//! Restarts proxies mid-run (they forget tables and caches) and measures
+//! how each scheme's hit rate degrades and recovers. CARP's mapping is
+//! intrinsic (the hash function), so it only refills caches; ADC must
+//! also re-learn its mapping tables through random search.
+
+use adc_bench::output::{apply_args, print_run_summary};
+use adc_bench::{BenchArgs, Experiment};
+use adc_metrics::csv;
+use adc_sim::{ChurnEvent, Simulation};
+use adc_core::ProxyId;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let experiment = apply_args(Experiment::at_scale(args.scale), &args);
+    let total = experiment.workload.total_requests();
+
+    // Restart two of five proxies mid-way through request phase I and
+    // one more at the start of phase II.
+    let churn = vec![
+        ChurnEvent {
+            after_completed: total * 4 / 10,
+            proxy: ProxyId::new(0),
+        },
+        ChurnEvent {
+            after_completed: total * 45 / 100,
+            proxy: ProxyId::new(1),
+        },
+        ChurnEvent {
+            after_completed: total * 65 / 100,
+            proxy: ProxyId::new(2),
+        },
+    ];
+
+    let mut sim_config = experiment.sim.clone();
+    sim_config.churn = churn.clone();
+
+    eprintln!("ablation A4: ADC under churn...");
+    let adc = Simulation::new(experiment.adc_agents(), sim_config.clone())
+        .run(experiment.workload.build());
+    eprintln!("CARP under churn...");
+    let carp = Simulation::new(experiment.carp_agents(), sim_config)
+        .run(experiment.workload.build());
+    eprintln!("ADC baseline without churn...");
+    let adc_clean = experiment.run_adc();
+
+    let path = args
+        .out
+        .join(format!("ablation_churn_{}.csv", args.scale.tag()));
+    let mut adc_series = adc.hit_series.clone();
+    adc_series.name = "adc_churn".into();
+    let mut carp_series = carp.hit_series.clone();
+    carp_series.name = "hashing_churn".into();
+    let mut clean_series = adc_clean.hit_series.clone();
+    clean_series.name = "adc_clean".into();
+    csv::write_series_file(&path, "requests", &[&adc_series, &carp_series, &clean_series])
+        .expect("write ablation CSV");
+
+    println!("Ablation A4 — proxy churn ({} restarts)", churn.len());
+    print_run_summary("ADC with churn", &adc);
+    print_run_summary("Hashing (CARP) with churn", &carp);
+    print_run_summary("ADC without churn", &adc_clean);
+    println!(
+        "hit-rate cost of churn: adc={:+.4} hashing-vs-clean-adc={:+.4}",
+        adc.hit_rate() - adc_clean.hit_rate(),
+        carp.hit_rate() - adc_clean.hit_rate(),
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Ablation A3: **hop-limit sensitivity**.
+//!
+//! The paper lists the maximum number of forwardings as a configurable
+//! parameter but leaves its study to future work. This binary sweeps the
+//! limit and reports the hit-rate / hops trade-off: a tight limit cuts
+//! search cost but aborts searches to the origin early.
+
+use adc_bench::output::apply_args;
+use adc_bench::{BenchArgs, Experiment};
+use adc_metrics::csv;
+
+const LIMITS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let experiment = apply_args(Experiment::at_scale(args.scale), &args);
+
+    let mut rows = Vec::new();
+    println!("Ablation A3 — max-hops sensitivity (5 proxies)");
+    println!(
+        "{:>9} {:>10} {:>12} {:>10} {:>14}",
+        "max_hops", "hit_rate", "phase2_hit", "mean_hops", "origin_maxhops"
+    );
+    for limit in LIMITS {
+        eprintln!("running ADC with max_hops={limit}...");
+        let mut adc = experiment.adc.clone();
+        adc.max_hops = limit;
+        let report = experiment.run_adc_with(adc);
+        let aborted = report.cluster_stats().origin_max_hops;
+        println!(
+            "{limit:>9} {:>10.4} {:>12.4} {:>10.3} {aborted:>14}",
+            report.hit_rate(),
+            report.phases[2].hit_rate(),
+            report.mean_hops()
+        );
+        rows.push(vec![
+            limit.to_string(),
+            format!("{}", report.hit_rate()),
+            format!("{}", report.phases[2].hit_rate()),
+            format!("{}", report.mean_hops()),
+            aborted.to_string(),
+        ]);
+    }
+
+    let path = args
+        .out
+        .join(format!("ablation_max_hops_{}.csv", args.scale.tag()));
+    csv::write_file(
+        &path,
+        &[
+            "max_hops",
+            "hit_rate",
+            "phase2_hit_rate",
+            "mean_hops",
+            "aborted_searches",
+        ],
+        rows,
+    )
+    .expect("write ablation CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! Ablation A6: **number of proxies** — a declared parameter of the
+//! paper's testbed ("we are able to run any number of proxy agents")
+//! that its evaluation never sweeps.
+//!
+//! Scales the cluster from 2 to 10 proxies while keeping the *aggregate*
+//! cache budget fixed (so the experiment isolates coordination cost from
+//! raw capacity): more proxies = more places a random search can fail,
+//! but also more parallel entry points.
+
+use adc_bench::output::apply_args;
+use adc_bench::{BenchArgs, Experiment};
+use adc_baselines::CarpProxy;
+use adc_core::{AdcProxy, ProxyId};
+use adc_metrics::csv;
+use adc_sim::Simulation;
+
+const CLUSTER_SIZES: [u32; 5] = [2, 3, 5, 8, 10];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let base = apply_args(Experiment::at_scale(args.scale), &args);
+    // The paper's aggregate budget: 5 proxies × the per-proxy default.
+    let aggregate_cache = base.adc.cache_capacity * 5;
+    let aggregate_single = base.adc.single_capacity * 5;
+    let aggregate_multiple = base.adc.multiple_capacity * 5;
+
+    println!("Ablation A6 — cluster size (aggregate table budget held fixed)");
+    println!(
+        "{:>8} | {:>9} {:>11} {:>7} | {:>9} {:>11} {:>7}",
+        "proxies", "adc_hit", "adc_p2", "hops", "carp_hit", "carp_p2", "hops"
+    );
+    let mut rows = Vec::new();
+    for n in CLUSTER_SIZES {
+        let adc_config = adc_core::AdcConfig::builder()
+            .single_capacity((aggregate_single / n as usize).max(16))
+            .multiple_capacity((aggregate_multiple / n as usize).max(16))
+            .cache_capacity((aggregate_cache / n as usize).max(16))
+            .max_hops(base.adc.max_hops)
+            .build();
+        let adc_agents: Vec<AdcProxy> = (0..n)
+            .map(|i| AdcProxy::new(ProxyId::new(i), n, adc_config.clone()))
+            .collect();
+        eprintln!("running ADC with {n} proxies...");
+        let adc = Simulation::new(adc_agents, base.sim.clone()).run(base.workload.build());
+
+        let carp_agents: Vec<CarpProxy> = (0..n)
+            .map(|i| CarpProxy::new(ProxyId::new(i), n, (aggregate_cache / n as usize).max(16)))
+            .collect();
+        eprintln!("running CARP with {n} proxies...");
+        let carp = Simulation::new(carp_agents, base.sim.clone()).run(base.workload.build());
+
+        println!(
+            "{n:>8} | {:>9.4} {:>11.4} {:>7.3} | {:>9.4} {:>11.4} {:>7.3}",
+            adc.hit_rate(),
+            adc.phases[2].hit_rate(),
+            adc.mean_hops(),
+            carp.hit_rate(),
+            carp.phases[2].hit_rate(),
+            carp.mean_hops()
+        );
+        rows.push(vec![
+            n.to_string(),
+            format!("{}", adc.hit_rate()),
+            format!("{}", adc.phases[2].hit_rate()),
+            format!("{}", adc.mean_hops()),
+            format!("{}", carp.hit_rate()),
+            format!("{}", carp.phases[2].hit_rate()),
+            format!("{}", carp.mean_hops()),
+        ]);
+    }
+
+    let path = args
+        .out
+        .join(format!("ablation_proxies_{}.csv", args.scale.tag()));
+    csv::write_file(
+        &path,
+        &[
+            "proxies",
+            "adc_hit_rate",
+            "adc_phase2",
+            "adc_hops",
+            "carp_hit_rate",
+            "carp_phase2",
+            "carp_hops",
+        ],
+        rows,
+    )
+    .expect("write ablation CSV");
+    println!("wrote {}", path.display());
+}

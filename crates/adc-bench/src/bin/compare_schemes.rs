@@ -1,0 +1,134 @@
+//! Cross-scheme comparison: every distributed-caching design in this
+//! repository over the same workload and cache budget.
+//!
+//! ADC (bounded and unlimited), SOAP (the per-category predecessor),
+//! CARP/HRW hash routing, consistent-hash routing, a hierarchical caching
+//! tree, and ADC's cache-everything LRU ablation — one row each.
+
+use adc_bench::output::apply_args;
+use adc_bench::{BenchArgs, Experiment};
+use adc_baselines::{ConsistentRing, HashingProxy, HierarchyProxy, SoapProxy};
+use adc_core::{CachePolicy, ProxyId, UnlimitedAdcProxy};
+use adc_metrics::csv;
+use adc_sim::{SimReport, Simulation};
+
+struct Row {
+    name: &'static str,
+    report: SimReport,
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let experiment = apply_args(Experiment::at_scale(args.scale), &args);
+    let n = experiment.proxies;
+    let cache = experiment.adc.cache_capacity;
+    let mut rows = Vec::new();
+
+    eprintln!("running ADC...");
+    rows.push(Row {
+        name: "adc",
+        report: experiment.run_adc(),
+    });
+
+    eprintln!("running ADC (LRU-everything ablation)...");
+    let mut lru_cfg = experiment.adc.clone();
+    lru_cfg.policy = CachePolicy::LruAll;
+    rows.push(Row {
+        name: "adc_lru",
+        report: experiment.run_adc_with(lru_cfg),
+    });
+
+    eprintln!("running ADC (unlimited mapping)...");
+    let agents: Vec<UnlimitedAdcProxy> = (0..n)
+        .map(|i| UnlimitedAdcProxy::new(ProxyId::new(i), n, cache, experiment.adc.max_hops))
+        .collect();
+    rows.push(Row {
+        name: "adc_unlimited",
+        report: Simulation::new(agents, experiment.sim.clone())
+            .run(experiment.workload.build()),
+    });
+
+    eprintln!("running SOAP (per-category predecessor)...");
+    let soap_agents: Vec<SoapProxy> = (0..n)
+        .map(|i| SoapProxy::new(ProxyId::new(i), n, 1_024, cache, experiment.adc.max_hops))
+        .collect();
+    rows.push(Row {
+        name: "soap",
+        report: Simulation::new(soap_agents, experiment.sim.clone())
+            .run(experiment.workload.build()),
+    });
+
+    eprintln!("running CARP (HRW hashing)...");
+    rows.push(Row {
+        name: "carp",
+        report: experiment.run_carp(),
+    });
+
+    eprintln!("running consistent-hash ring...");
+    let ring_agents: Vec<HashingProxy<ConsistentRing>> = (0..n)
+        .map(|i| {
+            HashingProxy::with_owner_map(
+                ProxyId::new(i),
+                ConsistentRing::new((0..n).map(ProxyId::new), 128),
+                cache,
+            )
+        })
+        .collect();
+    rows.push(Row {
+        name: "consistent",
+        report: Simulation::new(ring_agents, experiment.sim.clone())
+            .run(experiment.workload.build()),
+    });
+
+    eprintln!("running hierarchical tree...");
+    let tree = HierarchyProxy::binary_tree(n, cache);
+    rows.push(Row {
+        name: "hierarchy",
+        report: Simulation::new(tree, experiment.sim.clone())
+            .run(experiment.workload.build()),
+    });
+
+    println!(
+        "\n{:<14} {:>9} {:>11} {:>9} {:>12} {:>10}",
+        "scheme", "hit_rate", "phase2_hit", "hops", "origin_gets", "messages"
+    );
+    let mut csv_rows = Vec::new();
+    for row in &rows {
+        let r = &row.report;
+        let origin = r.cluster_stats().origin_forwards();
+        println!(
+            "{:<14} {:>9.4} {:>11.4} {:>9.3} {:>12} {:>10}",
+            row.name,
+            r.hit_rate(),
+            r.phases[2].hit_rate(),
+            r.mean_hops(),
+            origin,
+            r.messages_delivered
+        );
+        csv_rows.push(vec![
+            row.name.to_string(),
+            format!("{}", r.hit_rate()),
+            format!("{}", r.phases[2].hit_rate()),
+            format!("{}", r.mean_hops()),
+            origin.to_string(),
+            r.messages_delivered.to_string(),
+        ]);
+    }
+    let path = args
+        .out
+        .join(format!("compare_schemes_{}.csv", args.scale.tag()));
+    csv::write_file(
+        &path,
+        &[
+            "scheme",
+            "hit_rate",
+            "phase2_hit_rate",
+            "mean_hops",
+            "origin_fetches",
+            "messages",
+        ],
+        csv_rows,
+    )
+    .expect("write comparison CSV");
+    println!("\nwrote {}", path.display());
+}

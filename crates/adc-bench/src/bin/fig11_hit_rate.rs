@@ -1,0 +1,49 @@
+//! Regenerates **Figure 11: Hit Rate — ADC vs. Hashing**.
+//!
+//! Runs the paper's headline comparison: 5 ADC proxies vs 5 CARP-style
+//! hashing proxies over the three-phase Polygraph-like workload, plotting
+//! the hit rate as a moving average over the last 5000 requests.
+//!
+//! Expected shape (paper): a fill phase with near-zero hit rate, a
+//! learning phase where ADC "drags after" hashing, then ADC catching up
+//! and slightly outperforming the hashing scheme in the replayed phase.
+
+use adc_bench::output::{apply_args, named, print_run_summary, print_series_table};
+use adc_bench::{BenchArgs, Experiment};
+use adc_metrics::csv;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let experiment = apply_args(Experiment::at_scale(args.scale), &args);
+    eprintln!(
+        "figure 11: {} requests, 5 proxies, tables {}k/{}k/{}k — running ADC...",
+        experiment.workload.total_requests(),
+        experiment.adc.single_capacity / 1000,
+        experiment.adc.multiple_capacity / 1000,
+        experiment.adc.cache_capacity / 1000,
+    );
+    let adc = experiment.run_adc();
+    eprintln!("running CARP hashing baseline...");
+    let carp = experiment.run_carp();
+
+    let adc_series = named(&adc.hit_series, "adc");
+    let carp_series = named(&carp.hit_series, "hashing");
+    let path = args
+        .out
+        .join(format!("fig11_hit_rate_{}.csv", args.scale.tag()));
+    csv::write_series_file(&path, "requests", &[&adc_series, &carp_series])
+        .expect("write figure CSV");
+
+    println!("Figure 11 — hit rate (moving average over last {} requests)", experiment.sim.hit_window);
+    print_series_table("requests", &[&adc_series, &carp_series], 40);
+    println!();
+    print_run_summary("ADC", &adc);
+    print_run_summary("Hashing (CARP)", &carp);
+    println!(
+        "steady-state (phase II): adc={:.4} hashing={:.4} (adc - hashing = {:+.4})",
+        adc.phases[2].hit_rate(),
+        carp.phases[2].hit_rate(),
+        adc.phases[2].hit_rate() - carp.phases[2].hit_rate()
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Figure 12: Hops — ADC vs. Hashing**.
+//!
+//! Plots the moving average of hops needed to resolve a request (a hop =
+//! any message transfer between client, proxies and origin, both
+//! directions).
+//!
+//! Expected shape (paper): ADC needs about two more hops on average than
+//! the hashing scheme (around 7 vs around 5), the price of its flexible
+//! search.
+
+use adc_bench::output::{apply_args, named, print_run_summary, print_series_table};
+use adc_bench::{BenchArgs, Experiment};
+use adc_metrics::csv;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let experiment = apply_args(Experiment::at_scale(args.scale), &args);
+    eprintln!(
+        "figure 12: {} requests, 5 proxies — running ADC...",
+        experiment.workload.total_requests()
+    );
+    let adc = experiment.run_adc();
+    eprintln!("running CARP hashing baseline...");
+    let carp = experiment.run_carp();
+
+    let adc_series = named(&adc.hops_series, "adc");
+    let carp_series = named(&carp.hops_series, "hashing");
+    let path = args.out.join(format!("fig12_hops_{}.csv", args.scale.tag()));
+    csv::write_series_file(&path, "requests", &[&adc_series, &carp_series])
+        .expect("write figure CSV");
+
+    println!("Figure 12 — hops (moving average over last {} requests)", experiment.sim.hit_window);
+    print_series_table("requests", &[&adc_series, &carp_series], 40);
+    println!();
+    print_run_summary("ADC", &adc);
+    print_run_summary("Hashing (CARP)", &carp);
+    println!(
+        "mean hops: adc={:.3} hashing={:.3} (adc - hashing = {:+.3})",
+        adc.mean_hops(),
+        carp.mean_hops(),
+        adc.mean_hops() - carp.mean_hops()
+    );
+    println!("wrote {}", path.display());
+}

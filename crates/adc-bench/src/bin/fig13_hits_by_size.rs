@@ -1,0 +1,56 @@
+//! Regenerates **Figure 13: Hit Rates by Table Size**.
+//!
+//! Varies each of the caching/multiple/single tables from 5k to 30k
+//! entries (others held at the 10k/20k/20k defaults) and plots the
+//! overall hit rate.
+//!
+//! Expected shape (paper): the caching-table size dominates — hit rate
+//! climbs with cache size and plateaus around the default; the
+//! single-table barely matters even at 5k; a multiple-table under 10k
+//! hurts, above 10k adds little.
+
+use adc_bench::sweep::{load_or_run_sweep, SweptTable, NOMINAL_SIZES};
+use adc_bench::BenchArgs;
+use adc_metrics::csv;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let points = load_or_run_sweep(&args.out, args.scale).expect("sweep");
+
+    let value = |table: SweptTable, nominal: usize| {
+        points
+            .iter()
+            .find(|p| p.table == table && p.nominal_size == nominal)
+            .map(|p| p.hit_rate)
+            .expect("complete sweep")
+    };
+
+    let path = args
+        .out
+        .join(format!("fig13_hits_by_size_{}.csv", args.scale.tag()));
+    let rows = NOMINAL_SIZES.iter().map(|&n| {
+        vec![
+            n.to_string(),
+            format!("{}", value(SweptTable::Caching, n)),
+            format!("{}", value(SweptTable::Multiple, n)),
+            format!("{}", value(SweptTable::Single, n)),
+        ]
+    });
+    csv::write_file(&path, &["size", "caching", "multiple", "single"], rows)
+        .expect("write figure CSV");
+
+    println!("Figure 13 — hit rate by table size (varied table; others at defaults)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "size", "caching", "multiple", "single"
+    );
+    for &n in &NOMINAL_SIZES {
+        println!(
+            "{n:>8} {:>10.4} {:>10.4} {:>10.4}",
+            value(SweptTable::Caching, n),
+            value(SweptTable::Multiple, n),
+            value(SweptTable::Single, n)
+        );
+    }
+    println!("wrote {}", path.display());
+}

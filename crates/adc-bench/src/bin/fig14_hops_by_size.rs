@@ -1,0 +1,54 @@
+//! Regenerates **Figure 14: Hops by Table Size**.
+//!
+//! Same sweep as Figure 13 but plotting the mean hops per request.
+//!
+//! Expected shape (paper): mild, mostly declining curves — the whole
+//! spread is only about a quarter hop against an average of ~7; the
+//! single-table shows the steepest decline (bigger single-table = more
+//! learned forwarding information retained).
+
+use adc_bench::sweep::{load_or_run_sweep, SweptTable, NOMINAL_SIZES};
+use adc_bench::BenchArgs;
+use adc_metrics::csv;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let points = load_or_run_sweep(&args.out, args.scale).expect("sweep");
+
+    let value = |table: SweptTable, nominal: usize| {
+        points
+            .iter()
+            .find(|p| p.table == table && p.nominal_size == nominal)
+            .map(|p| p.mean_hops)
+            .expect("complete sweep")
+    };
+
+    let path = args
+        .out
+        .join(format!("fig14_hops_by_size_{}.csv", args.scale.tag()));
+    let rows = NOMINAL_SIZES.iter().map(|&n| {
+        vec![
+            n.to_string(),
+            format!("{}", value(SweptTable::Caching, n)),
+            format!("{}", value(SweptTable::Multiple, n)),
+            format!("{}", value(SweptTable::Single, n)),
+        ]
+    });
+    csv::write_file(&path, &["size", "caching", "multiple", "single"], rows)
+        .expect("write figure CSV");
+
+    println!("Figure 14 — mean hops by table size (varied table; others at defaults)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "size", "caching", "multiple", "single"
+    );
+    for &n in &NOMINAL_SIZES {
+        println!(
+            "{n:>8} {:>10.4} {:>10.4} {:>10.4}",
+            value(SweptTable::Caching, n),
+            value(SweptTable::Multiple, n),
+            value(SweptTable::Single, n)
+        );
+    }
+    println!("wrote {}", path.display());
+}

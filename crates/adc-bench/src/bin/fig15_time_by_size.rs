@@ -1,0 +1,57 @@
+//! Regenerates **Figure 15: Processing Time by Table Size**.
+//!
+//! Same sweep as Figures 13/14 but plotting the wall-clock time each
+//! simulation took.
+//!
+//! Expected shape (paper): growing the single- and multiple-tables slows
+//! the run down (more table work per request), while the caching-table
+//! size has no significant impact. Absolute numbers are not comparable —
+//! the paper measured a Java multi-agent testbed on Pentium-III hosts —
+//! but the ordering of the three curves is the reproduced claim.
+
+use adc_bench::sweep::{load_or_run_sweep, SweptTable, NOMINAL_SIZES};
+use adc_bench::BenchArgs;
+use adc_metrics::csv;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let points = load_or_run_sweep(&args.out, args.scale).expect("sweep");
+
+    let value = |table: SweptTable, nominal: usize| {
+        points
+            .iter()
+            .find(|p| p.table == table && p.nominal_size == nominal)
+            .map(|p| p.wall_secs)
+            .expect("complete sweep")
+    };
+
+    let path = args
+        .out
+        .join(format!("fig15_time_by_size_{}.csv", args.scale.tag()));
+    let rows = NOMINAL_SIZES.iter().map(|&n| {
+        vec![
+            n.to_string(),
+            format!("{}", value(SweptTable::Caching, n)),
+            format!("{}", value(SweptTable::Multiple, n)),
+            format!("{}", value(SweptTable::Single, n)),
+        ]
+    });
+    csv::write_file(&path, &["size", "caching", "multiple", "single"], rows)
+        .expect("write figure CSV");
+
+    println!("Figure 15 — simulation wall time (s) by table size");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "size", "caching", "multiple", "single"
+    );
+    for &n in &NOMINAL_SIZES {
+        println!(
+            "{n:>8} {:>10.3} {:>10.3} {:>10.3}",
+            value(SweptTable::Caching, n),
+            value(SweptTable::Multiple, n),
+            value(SweptTable::Single, n)
+        );
+    }
+    println!("note: absolute seconds are this machine's; the paper's claim is the curve ordering");
+    println!("wrote {}", path.display());
+}

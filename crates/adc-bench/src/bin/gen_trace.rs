@@ -1,0 +1,44 @@
+//! Writes the Polygraph-like request stream to a CSV trace file, so the
+//! exact workload behind every figure can be archived, inspected or fed
+//! to an external system.
+//!
+//! ```text
+//! cargo run -p adc-bench --release --bin gen_trace -- --scale ci --out results
+//! ```
+
+use adc_bench::BenchArgs;
+use adc_workload::analysis::trace_stats;
+use adc_workload::trace::write_trace;
+use adc_workload::PolygraphConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let mut config = PolygraphConfig::scaled(args.scale.factor());
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let path = args
+        .out
+        .join(format!("polygraph_trace_{}.csv", args.scale.tag()));
+    eprintln!(
+        "writing {} requests to {} ...",
+        config.total_requests(),
+        path.display()
+    );
+    let file = std::fs::File::create(&path).expect("create trace file");
+    write_trace(file, config.build()).expect("write trace");
+
+    let stats = trace_stats(config.build());
+    println!("trace written: {}", path.display());
+    println!("  requests         : {}", stats.requests);
+    println!("  distinct objects : {}", stats.distinct_objects);
+    println!("  recurrence ratio : {:.4}", stats.recurrence_ratio);
+    println!(
+        "  est. Zipf alpha  : {}",
+        stats
+            .zipf_alpha
+            .map(|a| format!("{a:.3}"))
+            .unwrap_or_else(|| "n/a".into())
+    );
+}

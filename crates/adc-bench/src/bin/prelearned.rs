@@ -1,0 +1,69 @@
+//! The paper's named future-work experiment: "Further tests, with a
+//! repetition of the request pattern and a system with pre-learned
+//! information shall be shown in the future work."
+//!
+//! Runs the workload cold, snapshots every proxy's learned tables to
+//! disk, restores a warm cluster from those snapshots, and replays the
+//! workload. The warm system should skip the learning dip entirely.
+
+use adc_bench::output::{apply_args, print_run_summary};
+use adc_bench::{BenchArgs, Experiment};
+use adc_core::{AdcProxy, ProxySnapshot};
+use adc_metrics::csv;
+use adc_sim::Simulation;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let experiment = apply_args(Experiment::at_scale(args.scale), &args);
+
+    eprintln!("cold run (learning from scratch)...");
+    let sim = Simulation::new(experiment.adc_agents(), experiment.sim.clone());
+    let (cold, trained) = sim.run_with_agents(experiment.workload.build());
+
+    // Persist every proxy's learned state, then restore a warm cluster
+    // from the files — the full save/load path, not just object reuse.
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let mut warm_agents: Vec<AdcProxy> = Vec::new();
+    for agent in &trained {
+        let snapshot = ProxySnapshot::capture(agent);
+        let path = args.out.join(format!(
+            "snapshot_{}_proxy{}.txt",
+            args.scale.tag(),
+            snapshot.proxy.raw()
+        ));
+        let file = std::fs::File::create(&path).expect("create snapshot file");
+        snapshot.write_to(file).expect("write snapshot");
+        let back = ProxySnapshot::read_from(std::fs::File::open(&path).expect("open snapshot"))
+            .expect("read snapshot");
+        warm_agents.push(back.restore().expect("restore proxy"));
+    }
+
+    eprintln!("warm run (pre-learned tables, same request pattern)...");
+    let sim = Simulation::new(warm_agents, experiment.sim.clone());
+    let warm = sim.run(experiment.workload.build());
+
+    let path = args.out.join(format!("prelearned_{}.csv", args.scale.tag()));
+    let mut cold_series = cold.hit_series.clone();
+    cold_series.name = "cold".into();
+    let mut warm_series = warm.hit_series.clone();
+    warm_series.name = "prelearned".into();
+    csv::write_series_file(&path, "requests", &[&cold_series, &warm_series])
+        .expect("write CSV");
+
+    println!("Pre-learned system vs cold start (same request pattern)");
+    print_run_summary("cold start", &cold);
+    print_run_summary("pre-learned", &warm);
+    println!(
+        "fill-phase hit rate: cold={:.4} prelearned={:.4} — the warm system hits\n\
+         immediately on objects it already knows",
+        cold.phases[0].hit_rate(),
+        warm.phases[0].hit_rate()
+    );
+    println!(
+        "overall: cold={:.4} prelearned={:.4} ({:+.4})",
+        cold.hit_rate(),
+        warm.hit_rate(),
+        warm.hit_rate() - cold.hit_rate()
+    );
+    println!("wrote {}", path.display());
+}

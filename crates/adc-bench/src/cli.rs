@@ -1,0 +1,119 @@
+//! Minimal command-line parsing shared by the figure binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale ci|full|<factor>` — experiment scale (default `ci`);
+//! * `--out <dir>` — output directory for CSV files (default `results`);
+//! * `--seed <u64>` — workload/simulator seed override.
+
+use crate::scale::Scale;
+use std::path::PathBuf;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Output directory.
+    pub out: PathBuf,
+    /// Optional seed override.
+    pub seed: Option<u64>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: Scale::default(),
+            out: PathBuf::from("results"),
+            seed: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses an argument list (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or bad values.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = BenchArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut value_for = |flag: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--scale" => out.scale = value_for("--scale")?.parse()?,
+                "--out" => out.out = PathBuf::from(value_for("--out")?),
+                "--seed" => {
+                    out.seed = Some(
+                        value_for("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?,
+                    )
+                }
+                "--help" | "-h" => return Err(Self::usage()),
+                other => return Err(format!("unknown argument {other:?}\n{}", Self::usage())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process arguments, exiting with a message on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Usage text.
+    pub fn usage() -> String {
+        "usage: <figure-bin> [--scale ci|full|<factor>] [--out <dir>] [--seed <u64>]".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, BenchArgs::default());
+        assert_eq!(a.out, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&["--scale", "full", "--out", "/tmp/x", "--seed", "7"]).unwrap();
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert_eq!(a.seed, Some(7));
+    }
+
+    #[test]
+    fn custom_scale() {
+        let a = parse(&["--scale", "0.25"]).unwrap();
+        assert_eq!(a.scale, Scale::Custom(0.25));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "nope"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Console/CSV output helpers for the figure binaries.
+
+use crate::cli::BenchArgs;
+use crate::experiment::Experiment;
+use adc_metrics::Series;
+use adc_sim::SimReport;
+use adc_workload::Phase;
+
+/// Applies the CLI seed override to an experiment.
+pub fn apply_args(mut experiment: Experiment, args: &BenchArgs) -> Experiment {
+    if let Some(seed) = args.seed {
+        experiment.workload.seed = seed;
+        experiment.sim.seed = seed ^ 0x51D3;
+    }
+    experiment
+}
+
+/// Prints aligned series columns to stdout, thinned to at most
+/// `max_rows` evenly spaced rows so full-scale runs stay readable.
+pub fn print_series_table(x_label: &str, series: &[&Series], max_rows: usize) {
+    print!("{x_label:>12}");
+    for s in series {
+        print!(" {:>12}", s.name);
+    }
+    println!();
+    let longest = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    if longest == 0 {
+        println!("{:>12}", "(no data)");
+        return;
+    }
+    let step = longest.div_ceil(max_rows.max(1)).max(1);
+    for i in (0..longest).step_by(step) {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|&(x, _)| x))
+            .unwrap_or(i as f64);
+        print!("{x:>12.0}");
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => print!(" {y:>12.4}"),
+                None => print!(" {:>12}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Prints the standard per-run summary block.
+pub fn print_run_summary(name: &str, report: &SimReport) {
+    println!("--- {name} ---");
+    println!("  completed requests : {}", report.completed);
+    println!("  overall hit rate   : {:.4}", report.hit_rate());
+    for (phase, label) in [
+        (Phase::Fill, "fill phase hit rate"),
+        (Phase::RequestI, "phase I hit rate   "),
+        (Phase::RequestII, "phase II hit rate  "),
+    ] {
+        let p = report.phase(phase);
+        println!("  {label}: {:.4} ({} requests)", p.hit_rate(), p.requests);
+    }
+    println!("  mean hops          : {:.3}", report.mean_hops());
+    println!(
+        "  mean latency       : {:.2} ms",
+        report.latency_us.mean().unwrap_or(0.0) / 1000.0
+    );
+    println!("  messages delivered : {}", report.messages_delivered);
+    println!("  wall time          : {:.3?}", report.wall_time);
+    let stats = report.cluster_stats();
+    println!(
+        "  origin fetches     : {} (loops {}, max-hops {}, this-miss {})",
+        stats.origin_forwards(),
+        stats.origin_loops,
+        stats.origin_max_hops,
+        stats.origin_this_miss
+    );
+}
+
+/// Renames a series (builder-style convenience for figure output).
+pub fn named(series: &Series, name: &str) -> Series {
+    Series {
+        name: name.to_string(),
+        points: series.points.clone(),
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment scale selection.
+//!
+//! Every figure binary accepts `--scale ci` (default, a 1/10 model of the
+//! paper's 3.99 M-request workload), `--scale full` (paper scale) or
+//! `--scale <factor>`. Table capacities, workload sizes and measurement
+//! windows all scale together so the system stays in the same operating
+//! regime.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Experiment scale as a fraction of the paper's setup.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Scale {
+    /// 1/10 of the paper (≈ 400 k requests): minutes, not tens of
+    /// minutes.
+    #[default]
+    Ci,
+    /// The paper's full 3.99 M-request setup.
+    Full,
+    /// An arbitrary fraction in `(0, 1]`.
+    Custom(f64),
+}
+
+impl Scale {
+    /// The scaling factor in `(0, 1]`.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Ci => 0.1,
+            Scale::Full => 1.0,
+            Scale::Custom(f) => f,
+        }
+    }
+
+    /// Scales a paper-sized capacity, with a floor to stay meaningful.
+    pub fn size(self, base: usize) -> usize {
+        ((base as f64 * self.factor()) as usize).max(16)
+    }
+
+    /// Scales a measurement window (moving-average length, sampling
+    /// stride).
+    pub fn window(self, base: usize) -> usize {
+        ((base as f64 * self.factor()) as usize).max(100)
+    }
+
+    /// A short tag used in output file names, e.g. `ci`, `full`, `0.05`.
+    pub fn tag(self) -> String {
+        match self {
+            Scale::Ci => "ci".into(),
+            Scale::Full => "full".into(),
+            Scale::Custom(f) => format!("{f}"),
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (factor {})", self.tag(), self.factor())
+    }
+}
+
+impl FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ci" => Ok(Scale::Ci),
+            "full" => Ok(Scale::Full),
+            other => {
+                let f: f64 = other
+                    .parse()
+                    .map_err(|_| format!("bad scale {other:?}: expected ci, full or a factor"))?;
+                if f > 0.0 && f <= 1.0 {
+                    Ok(Scale::Custom(f))
+                } else {
+                    Err(format!("scale factor {f} outside (0, 1]"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors() {
+        assert_eq!(Scale::Ci.factor(), 0.1);
+        assert_eq!(Scale::Full.factor(), 1.0);
+        assert_eq!(Scale::Custom(0.25).factor(), 0.25);
+    }
+
+    #[test]
+    fn size_scales_with_floor() {
+        assert_eq!(Scale::Full.size(20_000), 20_000);
+        assert_eq!(Scale::Ci.size(20_000), 2_000);
+        assert_eq!(Scale::Custom(0.0001).size(20_000), 16);
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("ci".parse::<Scale>().unwrap(), Scale::Ci);
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Full);
+        assert_eq!("0.5".parse::<Scale>().unwrap(), Scale::Custom(0.5));
+        assert!("0".parse::<Scale>().is_err());
+        assert!("2".parse::<Scale>().is_err());
+        assert!("banana".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn tags_are_filename_safe() {
+        assert_eq!(Scale::Ci.tag(), "ci");
+        assert_eq!(Scale::Full.tag(), "full");
+        assert_eq!(Scale::Custom(0.5).tag(), "0.5");
+    }
+}

@@ -1,0 +1,279 @@
+//! The table-size parameter sweep behind Figures 13, 14 and 15.
+//!
+//! "Our experiments with different table sizes were focused on the size
+//! of 5k to 30k for the Caching, Multiple and Single-table. [...] The
+//! static settings for all simulations were 10k for the caching table and
+//! 20k for the single and multiple-table." One sweep produces the data
+//! for all three figures (hits, hops, processing time by table size), so
+//! the sweep result is cached on disk and shared between the figure
+//! binaries.
+
+use crate::experiment::Experiment;
+use crate::scale::Scale;
+use adc_core::AdcConfig;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Which of the three tables a sweep point varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweptTable {
+    /// Vary the caching table, keep single/multiple at their defaults.
+    Caching,
+    /// Vary the multiple-table.
+    Multiple,
+    /// Vary the single-table.
+    Single,
+}
+
+impl SweptTable {
+    /// All three tables, in the paper's plotting order.
+    pub const ALL: [SweptTable; 3] = [SweptTable::Caching, SweptTable::Multiple, SweptTable::Single];
+}
+
+impl fmt::Display for SweptTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SweptTable::Caching => "caching",
+            SweptTable::Multiple => "multiple",
+            SweptTable::Single => "single",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for SweptTable {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "caching" => Ok(SweptTable::Caching),
+            "multiple" => Ok(SweptTable::Multiple),
+            "single" => Ok(SweptTable::Single),
+            other => Err(format!("unknown table {other:?}")),
+        }
+    }
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The table being varied.
+    pub table: SweptTable,
+    /// The varied table's capacity, in *paper-scale* entries (i.e. the
+    /// nominal 5000..30000 axis, before scaling).
+    pub nominal_size: usize,
+    /// The actual capacity used after scaling.
+    pub actual_size: usize,
+    /// Overall hit rate of the run (Figure 13's y axis).
+    pub hit_rate: f64,
+    /// Mean hops per request (Figure 14's y axis).
+    pub mean_hops: f64,
+    /// Wall-clock seconds the simulation took (Figure 15's y axis).
+    pub wall_secs: f64,
+    /// Hit rate over the two request phases only (excludes the fill
+    /// phase's compulsory misses).
+    pub steady_hit_rate: f64,
+}
+
+/// The paper's sweep axis: 5k to 30k in steps of 5k.
+pub const NOMINAL_SIZES: [usize; 6] = [5_000, 10_000, 15_000, 20_000, 25_000, 30_000];
+
+/// Runs the full 3-table × 6-size sweep at the given scale.
+///
+/// This is 18 complete simulations; at `Scale::Full` expect tens of
+/// minutes, at `Scale::Ci` a couple of minutes in release mode.
+pub fn run_sweep(scale: Scale) -> Vec<SweepPoint> {
+    let base = Experiment::at_scale(scale);
+    let mut out = Vec::with_capacity(SweptTable::ALL.len() * NOMINAL_SIZES.len());
+    for table in SweptTable::ALL {
+        for nominal in NOMINAL_SIZES {
+            let actual = scale.size(nominal);
+            let adc = config_with(&base.adc, table, actual);
+            let report = base.run_adc_with(adc);
+            let steady = {
+                let p1 = report.phases[1];
+                let p2 = report.phases[2];
+                let reqs = p1.requests + p2.requests;
+                if reqs == 0 {
+                    0.0
+                } else {
+                    (p1.hits + p2.hits) as f64 / reqs as f64
+                }
+            };
+            out.push(SweepPoint {
+                table,
+                nominal_size: nominal,
+                actual_size: actual,
+                hit_rate: report.hit_rate(),
+                mean_hops: report.mean_hops(),
+                wall_secs: report.wall_time.as_secs_f64(),
+                steady_hit_rate: steady,
+            });
+        }
+    }
+    out
+}
+
+/// Derives an [`AdcConfig`] with one table capacity overridden.
+pub fn config_with(base: &AdcConfig, table: SweptTable, size: usize) -> AdcConfig {
+    let mut adc = base.clone();
+    match table {
+        SweptTable::Caching => adc.cache_capacity = size,
+        SweptTable::Multiple => adc.multiple_capacity = size,
+        SweptTable::Single => adc.single_capacity = size,
+    }
+    adc
+}
+
+/// Where the sweep cache for `scale` lives under `out_dir`.
+pub fn sweep_cache_path(out_dir: &Path, scale: Scale) -> PathBuf {
+    out_dir.join(format!("sweep_{}.csv", scale.tag()))
+}
+
+/// Loads the cached sweep for `scale` if present, otherwise runs it and
+/// caches the result. Figures 13–15 all call this, so the 18 simulations
+/// run once.
+///
+/// # Errors
+///
+/// Returns I/O or parse errors from the cache file; a missing cache is
+/// not an error (it triggers the run).
+pub fn load_or_run_sweep(out_dir: &Path, scale: Scale) -> std::io::Result<Vec<SweepPoint>> {
+    let path = sweep_cache_path(out_dir, scale);
+    if path.exists() {
+        let points = read_sweep(&path)?;
+        if !points.is_empty() {
+            eprintln!("using cached sweep {}", path.display());
+            return Ok(points);
+        }
+    }
+    eprintln!("running 18-point table-size sweep at scale {scale} ...");
+    let points = run_sweep(scale);
+    write_sweep(&path, &points)?;
+    Ok(points)
+}
+
+/// Writes sweep points as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_sweep(path: &Path, points: &[SweepPoint]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        f,
+        "table,nominal_size,actual_size,hit_rate,mean_hops,wall_secs,steady_hit_rate"
+    )?;
+    for p in points {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{}",
+            p.table, p.nominal_size, p.actual_size, p.hit_rate, p.mean_hops, p.wall_secs,
+            p.steady_hit_rate
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads sweep points written by [`write_sweep`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed content.
+pub fn read_sweep(path: &Path) -> std::io::Result<Vec<SweepPoint>> {
+    let f = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (i, line) in f.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let bad =
+            || std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad line: {line}"));
+        if fields.len() != 7 {
+            return Err(bad());
+        }
+        out.push(SweepPoint {
+            table: fields[0].parse().map_err(|_| bad())?,
+            nominal_size: fields[1].parse().map_err(|_| bad())?,
+            actual_size: fields[2].parse().map_err(|_| bad())?,
+            hit_rate: fields[3].parse().map_err(|_| bad())?,
+            mean_hops: fields[4].parse().map_err(|_| bad())?,
+            wall_secs: fields[5].parse().map_err(|_| bad())?,
+            steady_hit_rate: fields[6].parse().map_err(|_| bad())?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_with_overrides_one_table() {
+        let base = AdcConfig::default();
+        let c = config_with(&base, SweptTable::Caching, 7);
+        assert_eq!(c.cache_capacity, 7);
+        assert_eq!(c.single_capacity, base.single_capacity);
+        let c = config_with(&base, SweptTable::Single, 9);
+        assert_eq!(c.single_capacity, 9);
+        let c = config_with(&base, SweptTable::Multiple, 11);
+        assert_eq!(c.multiple_capacity, 11);
+    }
+
+    #[test]
+    fn sweep_csv_round_trip() {
+        let points = vec![
+            SweepPoint {
+                table: SweptTable::Caching,
+                nominal_size: 5_000,
+                actual_size: 500,
+                hit_rate: 0.62,
+                mean_hops: 6.9,
+                wall_secs: 1.25,
+                steady_hit_rate: 0.7,
+            },
+            SweepPoint {
+                table: SweptTable::Single,
+                nominal_size: 30_000,
+                actual_size: 3_000,
+                hit_rate: 0.66,
+                mean_hops: 6.5,
+                wall_secs: 1.5,
+                steady_hit_rate: 0.74,
+            },
+        ];
+        let dir = std::env::temp_dir().join("adc-sweep-test");
+        let path = dir.join("sweep.csv");
+        write_sweep(&path, &points).unwrap();
+        let back = read_sweep(&path).unwrap();
+        assert_eq!(back, points);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_parse_round_trip() {
+        for t in SweptTable::ALL {
+            assert_eq!(t.to_string().parse::<SweptTable>().unwrap(), t);
+        }
+        assert!("bogus".parse::<SweptTable>().is_err());
+    }
+
+    #[test]
+    fn tiny_sweep_runs() {
+        // Not the cached path — a direct micro-scale sweep.
+        let points = run_sweep(Scale::Custom(0.0005));
+        assert_eq!(points.len(), 18);
+        for p in &points {
+            assert!(p.hit_rate >= 0.0 && p.hit_rate <= 1.0);
+            assert!(p.mean_hops >= 2.0, "mean hops {}", p.mean_hops);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The sans-IO agent abstraction.
+//!
+//! A [`CacheAgent`] consumes messages and emits [`Action`]s; it never
+//! touches a socket, a clock or a global RNG. The discrete-event simulator
+//! (`adc-sim`) and the tokio TCP runtime (`adc-net`) both drive the same
+//! agents, so every algorithmic decision is testable in isolation and
+//! deterministic under a seeded RNG.
+
+use crate::ids::{NodeId, ObjectId, ProxyId};
+use crate::message::{Message, Reply, Request};
+use crate::stats::ProxyStats;
+use rand::RngCore;
+
+/// An instruction from an agent to its runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit `message` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message to deliver.
+        message: Message,
+    },
+}
+
+impl Action {
+    /// Convenience constructor for a send action.
+    pub fn send(to: impl Into<NodeId>, message: impl Into<Message>) -> Self {
+        Action::Send {
+            to: to.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// A change to the agent's object store that the runtime must mirror when
+/// it manages real object payloads (the TCP runtime does; the simulator
+/// tracks IDs only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// The object's data should now be stored locally.
+    Store(ObjectId),
+    /// The object's data should be evicted.
+    Evict(ObjectId),
+}
+
+/// A proxy-cache agent: ADC or one of the baselines.
+///
+/// Runtimes deliver every incoming message through [`CacheAgent::on_request`]
+/// or [`CacheAgent::on_reply`] and execute the returned actions. The RNG is
+/// injected so a run is a pure function of its seeds.
+pub trait CacheAgent {
+    /// This agent's proxy identity.
+    fn proxy_id(&self) -> ProxyId;
+
+    /// Handles an incoming request (the paper's `Receive_Request`).
+    /// Returns the single resulting transmission: a reply toward the
+    /// sender on a cache hit, or a forwarded request otherwise.
+    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore) -> Action;
+
+    /// Handles an incoming reply on the backwarding path (the paper's
+    /// `Receive_Reply`). Returns `None` if the reply does not match any
+    /// pending request (e.g. a duplicate under failure injection).
+    fn on_reply(&mut self, reply: Reply) -> Option<Action>;
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> &ProxyStats;
+
+    /// Drains cache store/evict events accumulated since the last call.
+    /// Runtimes that hold real payloads apply these to their byte store;
+    /// the simulator may ignore them.
+    fn drain_cache_events(&mut self) -> Vec<CacheEvent>;
+
+    /// Number of objects currently cached.
+    fn cached_objects(&self) -> usize;
+
+    /// Returns `true` if the object's data is currently cached.
+    fn is_cached(&self, object: ObjectId) -> bool;
+
+    /// Forgets all learned state — tables, cached objects, pending
+    /// backwarding information — as if the proxy had just restarted.
+    /// Counters are preserved (they measure work done, not state held).
+    ///
+    /// Used by the simulator's churn injection to study how each scheme
+    /// recovers from a proxy restart (the paper's unexplored "changes of
+    /// the infrastructure" parameter).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, RequestId};
+
+    #[test]
+    fn action_send_constructor() {
+        let req = Request::new(
+            RequestId::new(ClientId::new(0), 1),
+            ObjectId::new(5),
+            ClientId::new(0),
+        );
+        let a = Action::send(ProxyId::new(2), req);
+        match a {
+            Action::Send { to, message } => {
+                assert_eq!(to, NodeId::Proxy(ProxyId::new(2)));
+                assert_eq!(message.object(), ObjectId::new(5));
+            }
+        }
+    }
+}

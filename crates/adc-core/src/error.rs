@@ -1,0 +1,54 @@
+//! Error types for the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid [`AdcConfig`](crate::AdcConfig) parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `single_capacity` was zero.
+    ZeroSingleCapacity,
+    /// `multiple_capacity` was zero.
+    ZeroMultipleCapacity,
+    /// `cache_capacity` was zero.
+    ZeroCacheCapacity,
+    /// `max_hops` was zero.
+    ZeroMaxHops,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            ConfigError::ZeroSingleCapacity => "single_capacity",
+            ConfigError::ZeroMultipleCapacity => "multiple_capacity",
+            ConfigError::ZeroCacheCapacity => "cache_capacity",
+            ConfigError::ZeroMaxHops => "max_hops",
+        };
+        write!(f, "{what} must be positive")
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        assert_eq!(
+            ConfigError::ZeroSingleCapacity.to_string(),
+            "single_capacity must be positive"
+        );
+        assert_eq!(
+            ConfigError::ZeroMaxHops.to_string(),
+            "max_hops must be positive"
+        );
+    }
+
+    #[test]
+    fn is_an_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

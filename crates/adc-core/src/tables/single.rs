@@ -1,0 +1,186 @@
+//! The paper's single-table (§III.3.1, Figure 1).
+//!
+//! "Each unknown object will receive a new entry on the top of the table,
+//! displacing the oldest entry at the bottom of the table — the well-known
+//! LRU algorithm." Entries that receive a second hit graduate to the
+//! multiple-table; entries pushed out at the bottom are forgotten.
+
+use crate::entry::TableEntry;
+use crate::ids::ObjectId;
+use crate::tables::lru::LruList;
+
+/// Bounded LRU table of first-seen objects.
+///
+/// # Examples
+///
+/// ```
+/// use adc_core::tables::SingleTable;
+/// use adc_core::{Location, ObjectId, TableEntry};
+///
+/// let mut t = SingleTable::new(2);
+/// t.push_top(TableEntry::new(ObjectId::new(1), Location::This, 0));
+/// t.push_top(TableEntry::new(ObjectId::new(2), Location::This, 1));
+/// // Table full: inserting a third entry drops the oldest (object 1).
+/// let dropped = t.push_top(TableEntry::new(ObjectId::new(3), Location::This, 2));
+/// assert_eq!(dropped.unwrap().object, ObjectId::new(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SingleTable {
+    capacity: usize,
+    list: LruList<ObjectId, TableEntry>,
+}
+
+impl SingleTable {
+    /// Creates an empty single-table bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "single-table capacity must be positive");
+        SingleTable {
+            capacity,
+            list: LruList::with_capacity(capacity.min(1 << 20)),
+        }
+    }
+
+    /// The configured maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Returns `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Returns `true` when the table is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Returns `true` if `object` has an entry.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.list.contains(&object)
+    }
+
+    /// Borrows the entry for `object` without touching LRU order.
+    pub fn get(&self, object: ObjectId) -> Option<&TableEntry> {
+        self.list.peek(&object)
+    }
+
+    /// Removes and returns the entry for `object` (the paper's
+    /// `RemoveEntry`).
+    pub fn remove(&mut self, object: ObjectId) -> Option<TableEntry> {
+        self.list.remove(&object)
+    }
+
+    /// Places `entry` on top of the table (the paper's `InsertOnTop`),
+    /// dropping and returning the bottom entry if the table was full.
+    pub fn push_top(&mut self, entry: TableEntry) -> Option<TableEntry> {
+        debug_assert!(
+            !self.list.contains(&entry.object),
+            "push_top of an object already present; remove it first"
+        );
+        let dropped = if self.is_full() {
+            self.pop_bottom()
+        } else {
+            None
+        };
+        self.list.push_front(entry.object, entry);
+        dropped
+    }
+
+    /// Removes and returns the oldest entry (the paper's
+    /// `RemoveLastElement`).
+    pub fn pop_bottom(&mut self) -> Option<TableEntry> {
+        self.list.pop_back().map(|(_, e)| e)
+    }
+
+    /// Iterates entries newest-to-oldest.
+    pub fn iter(&self) -> impl Iterator<Item = &TableEntry> {
+        self.list.iter().map(|(_, e)| e)
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.list.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Location;
+
+    fn entry(id: u64, now: u64) -> TableEntry {
+        TableEntry::new(ObjectId::new(id), Location::This, now)
+    }
+
+    #[test]
+    fn lru_displacement_at_capacity() {
+        let mut t = SingleTable::new(3);
+        assert!(t.push_top(entry(1, 0)).is_none());
+        assert!(t.push_top(entry(2, 1)).is_none());
+        assert!(t.push_top(entry(3, 2)).is_none());
+        assert!(t.is_full());
+        let dropped = t.push_top(entry(4, 3)).expect("bottom drops");
+        assert_eq!(dropped.object, ObjectId::new(1));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn removal_makes_room() {
+        let mut t = SingleTable::new(2);
+        t.push_top(entry(1, 0));
+        t.push_top(entry(2, 1));
+        let e = t.remove(ObjectId::new(1)).unwrap();
+        assert_eq!(e.object, ObjectId::new(1));
+        assert!(t.push_top(entry(3, 2)).is_none());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iter_is_newest_first() {
+        let mut t = SingleTable::new(5);
+        for i in 0..5 {
+            t.push_top(entry(i, i));
+        }
+        let order: Vec<u64> = t.iter().map(|e| e.object.raw()).collect();
+        assert_eq!(order, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn reinserted_demotion_goes_on_top() {
+        // When the multiple-table displaces an entry back into the
+        // single-table it goes on top, like any other insertion.
+        let mut t = SingleTable::new(2);
+        t.push_top(entry(1, 0));
+        t.push_top(entry(2, 1));
+        t.push_top(entry(3, 2)); // drops 1
+        let order: Vec<u64> = t.iter().map(|e| e.object.raw()).collect();
+        assert_eq!(order, vec![3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SingleTable::new(0);
+    }
+
+    #[test]
+    fn get_does_not_reorder() {
+        let mut t = SingleTable::new(2);
+        t.push_top(entry(1, 0));
+        t.push_top(entry(2, 1));
+        assert_eq!(t.get(ObjectId::new(1)).unwrap().object, ObjectId::new(1));
+        // Object 1 is still oldest.
+        let dropped = t.push_top(entry(3, 2)).unwrap();
+        assert_eq!(dropped.object, ObjectId::new(1));
+    }
+}

@@ -1,0 +1,356 @@
+//! The paper's *predecessor* algorithm: Unlimited Adaptive Distributed
+//! Caching (§II.3, reference [11]).
+//!
+//! "In our next step we tried to overcome the drawbacks of SOAP ... by a
+//! direct mapping of each object onto exactly one location. ... the
+//! mapping table that stores the URL mappings needed to be very large to
+//! be able to store an entry for every experienced object-ID and we
+//! accepted this drawback by letting the table grow indefinitely."
+//!
+//! [`UnlimitedAdcProxy`] keeps one unbounded mapping table (instead of
+//! the bounded single/multiple tables) plus the same selective caching
+//! table. It is the natural upper-bound comparison for the bounded
+//! three-table design this repository reproduces: the paper's
+//! contribution is showing the bounded tables reach the same performance
+//! with fixed memory.
+
+use crate::agent::{Action, CacheAgent, CacheEvent};
+use crate::entry::{TableEntry, Tick};
+use crate::ids::{Location, NodeId, ObjectId, ProxyId, RequestId};
+use crate::message::{Reply, Request};
+use crate::proxy::DEFAULT_OBJECT_SIZE;
+use crate::stats::ProxyStats;
+use crate::tables::OrderedTable;
+use rand::Rng;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// An ADC proxy with an unbounded mapping table (the paper's earlier
+/// design, for comparison).
+///
+/// # Examples
+///
+/// ```
+/// use adc_core::{CacheAgent, ProxyId, UnlimitedAdcProxy};
+///
+/// let proxy = UnlimitedAdcProxy::new(ProxyId::new(0), 5, 10_000, 16);
+/// assert_eq!(proxy.proxy_id(), ProxyId::new(0));
+/// assert_eq!(proxy.mapping_entries(), 0); // grows without bound from here
+/// ```
+#[derive(Debug)]
+pub struct UnlimitedAdcProxy {
+    id: ProxyId,
+    peers: Vec<ProxyId>,
+    max_hops: u32,
+    /// The unbounded object → entry map.
+    mapping: HashMap<ObjectId, TableEntry>,
+    /// Bounded selective caching table, same as the bounded design.
+    cached: OrderedTable,
+    pending: HashMap<RequestId, Vec<NodeId>>,
+    local_time: Tick,
+    stats: ProxyStats,
+    cache_events: Vec<CacheEvent>,
+}
+
+impl UnlimitedAdcProxy {
+    /// Creates a proxy in a dense deployment of `num_proxies`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_proxies` or `cache_capacity` or `max_hops` is zero,
+    /// or `id` is out of range.
+    pub fn new(id: ProxyId, num_proxies: u32, cache_capacity: usize, max_hops: u32) -> Self {
+        assert!(num_proxies > 0, "need at least one proxy");
+        assert!(id.raw() < num_proxies, "proxy id out of range");
+        assert!(max_hops > 0, "max_hops must be positive");
+        UnlimitedAdcProxy {
+            id,
+            peers: (0..num_proxies).map(ProxyId::new).collect(),
+            max_hops,
+            mapping: HashMap::new(),
+            cached: OrderedTable::new(cache_capacity),
+            pending: HashMap::new(),
+            local_time: 0,
+            stats: ProxyStats::default(),
+            cache_events: Vec::new(),
+        }
+    }
+
+    /// Current number of mapping entries — the unbounded memory cost the
+    /// bounded three-table design exists to avoid.
+    pub fn mapping_entries(&self) -> usize {
+        self.mapping.len() + self.cached.len()
+    }
+
+    /// The proxy's local request-count clock.
+    pub fn local_time(&self) -> Tick {
+        self.local_time
+    }
+
+    /// Number of requests awaiting replies.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn update_entry(&mut self, object: ObjectId, location: Location) {
+        let now = self.local_time;
+        // Cached entries refresh in place.
+        if let Some(mut entry) = self.cached.remove(object) {
+            if entry.last != now {
+                entry.calc_average(now);
+            }
+            entry.location = location;
+            self.cached.insert(entry);
+            return;
+        }
+        match self.mapping.get_mut(&object) {
+            Some(entry) => {
+                if entry.last != now {
+                    entry.calc_average(now);
+                }
+                entry.location = location;
+                // Selective admission straight from the unbounded map.
+                if entry.has_average() && self.cached.admits(entry.average, now, true) {
+                    let entry = self
+                        .mapping
+                        .remove(&object)
+                        .expect("entry was just borrowed");
+                    if self.cached.is_full() {
+                        let worst = self
+                            .cached
+                            .pop_worst()
+                            .expect("full caching table has a worst entry");
+                        self.stats.cache_evictions += 1;
+                        self.cache_events.push(CacheEvent::Evict(worst.object));
+                        self.mapping.insert(worst.object, worst);
+                    }
+                    self.stats.cache_insertions += 1;
+                    self.cache_events.push(CacheEvent::Store(object));
+                    self.cached.insert(entry);
+                }
+            }
+            None => {
+                // Unbounded growth: every new object gets an entry,
+                // forever.
+                self.mapping
+                    .insert(object, TableEntry::new(object, location, now));
+            }
+        }
+    }
+
+    fn lookup_location(&self, object: ObjectId) -> Option<Location> {
+        self.cached
+            .get(object)
+            .map(|e| e.location)
+            .or_else(|| self.mapping.get(&object).map(|e| e.location))
+    }
+}
+
+impl CacheAgent for UnlimitedAdcProxy {
+    fn proxy_id(&self) -> ProxyId {
+        self.id
+    }
+
+    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore) -> Action {
+        self.local_time += 1;
+        self.stats.requests_received += 1;
+        let object = request.object;
+
+        if self.cached.contains(object) {
+            self.stats.local_hits += 1;
+            self.update_entry(object, Location::This);
+            let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
+            return Action::send(request.sender, reply);
+        }
+
+        let loop_detected = self.pending.contains_key(&request.id);
+        self.pending
+            .entry(request.id)
+            .or_default()
+            .push(request.sender);
+
+        let mut forwarded = request;
+        forwarded.sender = NodeId::Proxy(self.id);
+        forwarded.hops += 1;
+
+        let to = if loop_detected {
+            self.stats.origin_loops += 1;
+            NodeId::Origin
+        } else if request.hops >= self.max_hops {
+            self.stats.origin_max_hops += 1;
+            NodeId::Origin
+        } else {
+            match self.lookup_location(object) {
+                Some(Location::Remote(p)) => {
+                    self.stats.forwards_learned += 1;
+                    NodeId::Proxy(p)
+                }
+                Some(Location::This) => {
+                    self.stats.origin_this_miss += 1;
+                    NodeId::Origin
+                }
+                None => {
+                    self.stats.forwards_random += 1;
+                    let i = rng.gen_range(0..self.peers.len());
+                    NodeId::Proxy(self.peers[i])
+                }
+            }
+        };
+        Action::send(to, forwarded)
+    }
+
+    fn on_reply(&mut self, reply: Reply) -> Option<Action> {
+        let prev_hop = {
+            let stack = match self.pending.get_mut(&reply.id) {
+                Some(s) => s,
+                None => {
+                    self.stats.replies_orphaned += 1;
+                    return None;
+                }
+            };
+            let hop = stack.pop().expect("pending stacks are never empty");
+            if stack.is_empty() {
+                self.pending.remove(&reply.id);
+            }
+            hop
+        };
+        self.stats.replies_processed += 1;
+
+        let mut reply = reply;
+        if reply.resolver.is_none() {
+            reply.resolver = Some(self.id);
+        }
+        let resolver = reply.resolver.expect("resolver was just set");
+        self.update_entry(reply.object, Location::from_proxy(resolver, self.id));
+
+        if self.cached.contains(reply.object) && reply.cached_by.is_none() {
+            reply.resolver = Some(self.id);
+            reply.cached_by = Some(self.id);
+        }
+        Some(Action::send(prev_hop, reply))
+    }
+
+    fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+
+    fn drain_cache_events(&mut self) -> Vec<CacheEvent> {
+        std::mem::take(&mut self.cache_events)
+    }
+
+    fn cached_objects(&self) -> usize {
+        self.cached.len()
+    }
+
+    fn is_cached(&self, object: ObjectId) -> bool {
+        self.cached.contains(object)
+    }
+
+    fn reset(&mut self) {
+        self.mapping.clear();
+        self.cached.clear();
+        self.pending.clear();
+        self.cache_events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+    use crate::message::Message;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn req(seq: u64, object: u64) -> Request {
+        Request::new(
+            RequestId::new(ClientId::new(0), seq),
+            ObjectId::new(object),
+            ClientId::new(0),
+        )
+    }
+
+    fn resolve(p: &mut UnlimitedAdcProxy, rng: &mut StdRng, seq: u64, object: u64) {
+        let mut inbox = vec![Message::Request(req(seq, object))];
+        while let Some(message) = inbox.pop() {
+            let action = match message {
+                Message::Request(r) => Some(p.on_request(r, rng)),
+                Message::Reply(r) => p.on_reply(r),
+            };
+            if let Some(Action::Send { to, message }) = action {
+                match to {
+                    NodeId::Proxy(_) => inbox.push(message),
+                    NodeId::Origin => {
+                        if let Message::Request(f) = message {
+                            inbox.push(Message::Reply(Reply::from_origin(&f, 64)));
+                        }
+                    }
+                    NodeId::Client(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_grows_without_bound() {
+        let mut p = UnlimitedAdcProxy::new(ProxyId::new(0), 1, 4, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..100 {
+            resolve(&mut p, &mut rng, i, i);
+        }
+        // Every distinct object keeps an entry — no single-table bound.
+        assert_eq!(p.mapping_entries(), 100);
+        assert!(p.cached_objects() <= 4);
+    }
+
+    #[test]
+    fn repeated_objects_get_cached() {
+        let mut p = UnlimitedAdcProxy::new(ProxyId::new(0), 1, 4, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for seq in 0..4 {
+            resolve(&mut p, &mut rng, seq, 42);
+        }
+        assert!(p.is_cached(ObjectId::new(42)));
+        // A later request is a local hit.
+        let hits_before = p.stats().local_hits;
+        let Action::Send { to, .. } = p.on_request(req(9, 42), &mut rng);
+        assert_eq!(to, NodeId::Client(ClientId::new(0)));
+        assert_eq!(p.stats().local_hits, hits_before + 1);
+        assert_eq!(p.pending_requests(), 0);
+    }
+
+    #[test]
+    fn cache_displacement_returns_entry_to_mapping() {
+        let mut p = UnlimitedAdcProxy::new(ProxyId::new(0), 1, 1, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Object 1 cached (slow), object 2 much hotter displaces it.
+        for seq in [0, 10, 20] {
+            resolve(&mut p, &mut rng, seq, 1);
+        }
+        assert!(p.is_cached(ObjectId::new(1)));
+        for seq in [21, 22, 23, 24] {
+            resolve(&mut p, &mut rng, seq, 2);
+        }
+        assert!(p.is_cached(ObjectId::new(2)));
+        assert!(!p.is_cached(ObjectId::new(1)));
+        // Object 1's entry (and learned location) survives in the map.
+        assert!(p.lookup_location(ObjectId::new(1)).is_some());
+        assert_eq!(p.stats().cache_evictions, 1);
+    }
+
+    #[test]
+    fn hits_single_entry_invariant() {
+        // No object is ever both cached and in the mapping.
+        let mut p = UnlimitedAdcProxy::new(ProxyId::new(0), 1, 2, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for seq in 0..200u64 {
+            resolve(&mut p, &mut rng, seq, seq % 7);
+        }
+        for o in 0..7u64 {
+            let in_cache = p.cached.contains(ObjectId::new(o));
+            let in_map = p.mapping.contains_key(&ObjectId::new(o));
+            assert!(!(in_cache && in_map), "object {o} in both structures");
+            assert!(in_cache || in_map, "object {o} lost entirely");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-proxy agreement scenarios, driven by a miniature in-test
+//! message bus (no simulator crate involved): the backwarding protocol's
+//! fine-grained promises, checked hop by hop.
+
+use adc_core::{
+    Action, AdcConfig, AdcProxy, CacheAgent, ClientId, Location, Message, NodeId, ObjectId,
+    ProxyId, Reply, Request, RequestId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// A deterministic synchronous message bus over a set of ADC proxies.
+struct MiniBus {
+    proxies: Vec<AdcProxy>,
+    rng: StdRng,
+    /// Replies that reached clients, in order.
+    delivered: Vec<Reply>,
+    /// Every delivery performed, as (from, to) pairs.
+    log: Vec<(NodeId, NodeId)>,
+}
+
+impl MiniBus {
+    fn new(n: u32, config: AdcConfig) -> Self {
+        MiniBus {
+            proxies: (0..n)
+                .map(|i| AdcProxy::new(ProxyId::new(i), n, config.clone()))
+                .collect(),
+            rng: StdRng::seed_from_u64(0xBEEF),
+            delivered: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Injects a client request at `via` and runs the system to
+    /// quiescence. Returns the reply the client received.
+    fn resolve(&mut self, seq: u64, object: ObjectId, via: ProxyId) -> Reply {
+        let client = ClientId::new(0);
+        let request = Request::new(RequestId::new(client, seq), object, client);
+        let mut queue: VecDeque<(NodeId, NodeId, Message)> = VecDeque::new();
+        queue.push_back((
+            NodeId::Client(client),
+            NodeId::Proxy(via),
+            Message::Request(request),
+        ));
+        let mut result = None;
+        while let Some((from, to, message)) = queue.pop_front() {
+            self.log.push((from, to));
+            match to {
+                NodeId::Proxy(p) => {
+                    let agent = &mut self.proxies[p.raw() as usize];
+                    let action = match message {
+                        Message::Request(r) => Some(agent.on_request(r, &mut self.rng)),
+                        Message::Reply(r) => agent.on_reply(r),
+                    };
+                    if let Some(Action::Send { to: dest, message }) = action {
+                        queue.push_back((to, dest, message));
+                    }
+                }
+                NodeId::Origin => {
+                    if let Message::Request(r) = message {
+                        let reply = Reply::from_origin(&r, 64);
+                        queue.push_back((NodeId::Origin, r.sender, Message::Reply(reply)));
+                    }
+                }
+                NodeId::Client(_) => {
+                    if let Message::Reply(r) = message {
+                        self.delivered.push(r);
+                        result = Some(r);
+                    }
+                }
+            }
+        }
+        result.expect("every request resolves")
+    }
+
+    fn proxy(&self, i: u32) -> &AdcProxy {
+        &self.proxies[i.raw_index()]
+    }
+}
+
+trait RawIndex {
+    fn raw_index(&self) -> usize;
+}
+
+impl RawIndex for u32 {
+    fn raw_index(&self) -> usize {
+        *self as usize
+    }
+}
+
+fn config() -> AdcConfig {
+    AdcConfig::builder()
+        .single_capacity(32)
+        .multiple_capacity(32)
+        .cache_capacity(16)
+        .max_hops(8)
+        .build()
+}
+
+#[test]
+fn every_path_proxy_learns_the_resolver() {
+    let mut bus = MiniBus::new(4, config());
+    let object = ObjectId::new(7);
+    // Resolve once through each entry proxy so everyone participates.
+    for (seq, via) in (0..4u32).enumerate() {
+        bus.resolve(seq as u64, object, ProxyId::new(via));
+    }
+    // Every proxy that has an entry points to a consistent location; at
+    // least 3 of 4 proxies have one.
+    let mut mapped = 0;
+    for i in 0..4u32 {
+        if let Some(entry) = bus.proxy(i).tables().lookup(object) {
+            mapped += 1;
+            let target = entry.location.resolve(ProxyId::new(i));
+            assert!(target.raw() < 4);
+        }
+    }
+    assert!(mapped >= 3, "only {mapped} proxies learned the object");
+}
+
+#[test]
+fn repeated_resolution_converges_to_two_hop_hits() {
+    let mut bus = MiniBus::new(3, config());
+    let object = ObjectId::new(42);
+    // Warm up.
+    for seq in 0..10 {
+        bus.resolve(seq, object, ProxyId::new((seq % 3) as u32));
+    }
+    // Now a request through any proxy must be served by a proxy cache.
+    let reply = bus.resolve(100, object, ProxyId::new(0));
+    assert!(reply.served_from.is_hit(), "warm object missed: {reply:?}");
+    let reply = bus.resolve(101, object, ProxyId::new(2));
+    assert!(reply.served_from.is_hit());
+}
+
+#[test]
+fn resolver_field_survives_the_whole_backward_path() {
+    let mut bus = MiniBus::new(4, config());
+    let object = ObjectId::new(9);
+    // First resolution establishes a resolver.
+    let first = bus.resolve(0, object, ProxyId::new(1));
+    let resolver = first.resolver.expect("resolver always set on delivery");
+    assert!(resolver.raw() < 4);
+    // The entry at the entry proxy names that resolver (or itself, if it
+    // claimed the cache role later).
+    let entry = bus
+        .proxy(1)
+        .tables()
+        .lookup(object)
+        .expect("entry proxy learned the object");
+    let target = entry.location.resolve(ProxyId::new(1));
+    assert_eq!(target, resolver);
+}
+
+#[test]
+fn no_pending_state_leaks_after_quiescence() {
+    let mut bus = MiniBus::new(4, config());
+    for seq in 0..200 {
+        let object = ObjectId::new(seq % 13);
+        bus.resolve(seq, object, ProxyId::new((seq % 4) as u32));
+    }
+    for i in 0..4u32 {
+        assert_eq!(
+            bus.proxy(i).pending_requests(),
+            0,
+            "proxy {i} leaked pending entries"
+        );
+        bus.proxy(i).tables().assert_invariants();
+    }
+}
+
+#[test]
+fn hits_never_regress_to_origin_once_cached_everywhere() {
+    let mut bus = MiniBus::new(2, config());
+    let object = ObjectId::new(3);
+    for seq in 0..12 {
+        bus.resolve(seq, object, ProxyId::new((seq % 2) as u32));
+    }
+    // Cached at least somewhere.
+    let cached_anywhere = (0..2u32).any(|i| bus.proxy(i).is_cached(object));
+    assert!(cached_anywhere);
+    // The next 10 requests are all hits.
+    for seq in 100..110 {
+        let reply = bus.resolve(seq, object, ProxyId::new((seq % 2) as u32));
+        assert!(reply.served_from.is_hit(), "request {seq} missed");
+    }
+}
+
+#[test]
+fn cold_objects_do_not_replicate() {
+    let mut bus = MiniBus::new(4, config());
+    // 40 objects, each requested once: nothing qualifies for caching.
+    for seq in 0..40 {
+        bus.resolve(seq, ObjectId::new(1000 + seq), ProxyId::new((seq % 4) as u32));
+    }
+    let total_cached: usize = (0..4u32).map(|i| bus.proxy(i).cached_objects()).sum();
+    assert_eq!(
+        total_cached, 0,
+        "one-timers must not enter selective caches"
+    );
+}
+
+#[test]
+fn this_entries_are_self_consistent() {
+    let mut bus = MiniBus::new(3, config());
+    for seq in 0..120 {
+        let object = ObjectId::new(seq % 10);
+        bus.resolve(seq, object, ProxyId::new((seq % 3) as u32));
+    }
+    // Any entry with location THIS at proxy i either has the object
+    // cached at i, or i legitimately forwards its requests to the origin
+    // (the paper's design); either way the location must round-trip.
+    for i in 0..3u32 {
+        let me = ProxyId::new(i);
+        let tables = bus.proxy(i).tables();
+        for o in 0..10u64 {
+            if let Some(e) = tables.lookup(ObjectId::new(o)) {
+                if e.location == Location::This {
+                    assert_eq!(e.location.resolve(me), me);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn request_and_reply_counts_balance() {
+    let mut bus = MiniBus::new(3, config());
+    for seq in 0..100 {
+        bus.resolve(seq, ObjectId::new(seq % 7), ProxyId::new(0));
+    }
+    assert_eq!(bus.delivered.len(), 100);
+    // Every client-bound delivery is a reply; requests and replies
+    // balance per proxy (replies processed == requests forwarded).
+    for i in 0..3u32 {
+        let stats = bus.proxy(i).stats();
+        assert_eq!(
+            stats.replies_processed,
+            stats.forwards(),
+            "proxy {i}: forwards must be answered exactly once"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests driving whole agents (bounded and unlimited ADC)
+//! through arbitrary request sequences with an in-test message bus.
+
+use adc_core::{
+    Action, AdcConfig, AdcProxy, CacheAgent, CachePolicy, ClientId, Message, NodeId, ObjectId,
+    ProxyId, Reply, Request, RequestId, UnlimitedAdcProxy,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drives one request through a set of agents until the client gets its
+/// reply; returns the number of deliveries performed.
+fn resolve_on_bus<A: CacheAgent>(
+    agents: &mut [A],
+    rng: &mut StdRng,
+    seq: u64,
+    object: u64,
+    via: usize,
+) -> u32 {
+    let client = ClientId::new(0);
+    let request = Request::new(RequestId::new(client, seq), ObjectId::new(object), client);
+    let mut queue = vec![(NodeId::Proxy(ProxyId::new(via as u32)), Message::Request(request))];
+    let mut deliveries = 0;
+    while let Some((to, message)) = queue.pop() {
+        deliveries += 1;
+        assert!(
+            deliveries < 10_000,
+            "resolution did not terminate for object {object}"
+        );
+        match to {
+            NodeId::Proxy(p) => {
+                let agent = &mut agents[p.raw() as usize];
+                let action = match message {
+                    Message::Request(r) => Some(agent.on_request(r, rng)),
+                    Message::Reply(r) => agent.on_reply(r),
+                };
+                if let Some(Action::Send { to, message }) = action {
+                    queue.push((to, message));
+                }
+            }
+            NodeId::Origin => {
+                if let Message::Request(r) = message {
+                    queue.push((r.sender, Message::Reply(Reply::from_origin(&r, 32))));
+                }
+            }
+            NodeId::Client(_) => return deliveries,
+        }
+    }
+    panic!("request never returned to the client");
+}
+
+fn adc_agents(n: u32, single: usize, multiple: usize, cache: usize, policy: CachePolicy) -> Vec<AdcProxy> {
+    let config = AdcConfig::builder()
+        .single_capacity(single)
+        .multiple_capacity(multiple)
+        .cache_capacity(cache)
+        .max_hops(8)
+        .policy(policy)
+        .build();
+    (0..n)
+        .map(|i| AdcProxy::new(ProxyId::new(i), n, config.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request terminates at the client, for any request mix, any
+    /// cluster size, any capacities, both caching policies.
+    #[test]
+    fn adc_always_terminates(
+        objects in prop::collection::vec((0u64..30, 0usize..4), 1..150),
+        single in 1usize..16,
+        multiple in 1usize..16,
+        cache in 1usize..8,
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { CachePolicy::LruAll } else { CachePolicy::Selective };
+        let mut agents = adc_agents(4, single, multiple, cache, policy);
+        let mut rng = StdRng::seed_from_u64(7);
+        for (seq, (object, via)) in objects.into_iter().enumerate() {
+            resolve_on_bus(&mut agents, &mut rng, seq as u64, object, via);
+        }
+        for a in &agents {
+            prop_assert_eq!(a.pending_requests(), 0);
+            a.tables().assert_invariants();
+            prop_assert!(a.cached_objects() <= cache);
+        }
+    }
+
+    /// The unlimited design also terminates and never loses entries: an
+    /// object is mapped forever once seen.
+    #[test]
+    fn unlimited_never_forgets(
+        objects in prop::collection::vec((0u64..40, 0usize..3), 1..150),
+        cache in 1usize..8,
+    ) {
+        let mut agents: Vec<UnlimitedAdcProxy> = (0..3)
+            .map(|i| UnlimitedAdcProxy::new(ProxyId::new(i), 3, cache, 8))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = std::collections::HashSet::new();
+        for (seq, (object, via)) in objects.into_iter().enumerate() {
+            resolve_on_bus(&mut agents, &mut rng, seq as u64, object, via);
+            seen.insert(object);
+        }
+        // Every proxy that participated in a resolution keeps an entry;
+        // at minimum, the union of all proxies' maps covers every object.
+        for &object in &seen {
+            let known = agents.iter().any(|a| {
+                a.is_cached(ObjectId::new(object)) || a.mapping_entries() > 0
+            });
+            prop_assert!(known);
+        }
+        let total: usize = agents.iter().map(|a| a.mapping_entries()).sum();
+        prop_assert!(total >= seen.len(), "maps lost objects: {total} < {}", seen.len());
+    }
+
+    /// Interleaved concurrent flows (two outstanding requests at once)
+    /// never corrupt pending state: we alternate deliveries between two
+    /// in-flight resolutions.
+    #[test]
+    fn interleaved_flows_are_safe(objects in prop::collection::vec(0u64..20, 2..60)) {
+        let mut agents = adc_agents(3, 16, 16, 8, CachePolicy::Selective);
+        let mut rng = StdRng::seed_from_u64(3);
+        let client = ClientId::new(0);
+        // Pump pairs of requests through, breadth-first so their
+        // deliveries interleave.
+        let mut seq = 0u64;
+        for pair in objects.chunks(2) {
+            let mut queue: std::collections::VecDeque<(NodeId, Message)> =
+                std::collections::VecDeque::new();
+            for &object in pair {
+                let request =
+                    Request::new(RequestId::new(client, seq), ObjectId::new(object), client);
+                queue.push_back((NodeId::Proxy(ProxyId::new(0)), Message::Request(request)));
+                seq += 1;
+            }
+            let mut delivered = 0;
+            let mut steps = 0;
+            while let Some((to, message)) = queue.pop_front() {
+                steps += 1;
+                prop_assert!(steps < 10_000, "interleaved flows did not terminate");
+                match to {
+                    NodeId::Proxy(p) => {
+                        let agent = &mut agents[p.raw() as usize];
+                        let action = match message {
+                            Message::Request(r) => Some(agent.on_request(r, &mut rng)),
+                            Message::Reply(r) => agent.on_reply(r),
+                        };
+                        if let Some(Action::Send { to, message }) = action {
+                            queue.push_back((to, message));
+                        }
+                    }
+                    NodeId::Origin => {
+                        if let Message::Request(r) = message {
+                            queue.push_back((r.sender, Message::Reply(Reply::from_origin(&r, 32))));
+                        }
+                    }
+                    NodeId::Client(_) => delivered += 1,
+                }
+            }
+            prop_assert_eq!(delivered, pair.len());
+        }
+        for a in &agents {
+            prop_assert_eq!(a.pending_requests(), 0);
+            a.tables().assert_invariants();
+        }
+    }
+}

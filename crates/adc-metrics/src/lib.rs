@@ -1,0 +1,41 @@
+//! # adc-metrics
+//!
+//! Measurement utilities shared by the ADC simulator, benchmarks and
+//! examples: the 5000-request [`MovingAverage`] from the paper's figures,
+//! sampled [`Series`] for plotting, streaming [`Summary`] statistics,
+//! [`Histogram`]s, and tiny CSV export helpers (see [`csv`]).
+//!
+//! # Examples
+//!
+//! Track a hit-rate curve the way Figure 11 of the paper does:
+//!
+//! ```
+//! use adc_metrics::{MovingAverage, Sampler};
+//!
+//! let mut window = MovingAverage::new(5000);
+//! let mut curve = Sampler::new("adc", 5000);
+//! for i in 0..20_000u64 {
+//!     let hit = i % 3 == 0;
+//!     window.push_bool(hit);
+//!     if let Some(rate) = window.value() {
+//!         curve.observe(i as f64, rate);
+//!     }
+//! }
+//! assert_eq!(curve.series().len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csv;
+mod histogram;
+mod moving;
+mod quantile;
+mod series;
+mod summary;
+
+pub use histogram::Histogram;
+pub use moving::MovingAverage;
+pub use quantile::P2Quantile;
+pub use series::{Sampler, Series};
+pub use summary::Summary;

@@ -1,0 +1,173 @@
+//! Sliding-window moving averages.
+//!
+//! The paper's hit-rate figures plot "the average hit rate as a moving
+//! average over the last 5000 requests"; [`MovingAverage`] implements
+//! exactly that in O(1) per observation.
+
+/// Arithmetic mean over the last `window` observations.
+///
+/// # Examples
+///
+/// ```
+/// use adc_metrics::MovingAverage;
+///
+/// let mut ma = MovingAverage::new(3);
+/// ma.push(1.0);
+/// ma.push(2.0);
+/// ma.push(3.0);
+/// assert_eq!(ma.value(), Some(2.0));
+/// ma.push(10.0); // evicts 1.0
+/// assert_eq!(ma.value(), Some(5.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    buf: Vec<f64>,
+    window: usize,
+    next: usize,
+    filled: bool,
+    sum: f64,
+    observations: u64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the last `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MovingAverage {
+            buf: Vec::with_capacity(window),
+            window,
+            next: 0,
+            filled: false,
+            sum: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Total observations pushed so far (not capped by the window).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Number of observations currently inside the window.
+    pub fn len(&self) -> usize {
+        if self.filled {
+            self.window
+        } else {
+            self.buf.len()
+        }
+    }
+
+    /// Returns `true` when no observations have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` once the window is fully populated.
+    pub fn is_full(&self) -> bool {
+        self.filled
+    }
+
+    /// Adds an observation, evicting the oldest once the window is full.
+    pub fn push(&mut self, value: f64) {
+        self.observations += 1;
+        if self.filled {
+            self.sum += value - self.buf[self.next];
+            self.buf[self.next] = value;
+            self.next = (self.next + 1) % self.window;
+        } else {
+            self.buf.push(value);
+            self.sum += value;
+            if self.buf.len() == self.window {
+                self.filled = true;
+                self.next = 0;
+            }
+        }
+        // Periodically recompute the sum to stop floating-point drift from
+        // accumulating over millions of observations.
+        if self.observations.is_multiple_of((16 * self.window as u64).max(1 << 20)) {
+            self.sum = self.buf.iter().sum();
+        }
+    }
+
+    /// Convenience for hit/miss style observations.
+    pub fn push_bool(&mut self, hit: bool) {
+        self.push(if hit { 1.0 } else { 0.0 });
+    }
+
+    /// Current mean over the window, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_value() {
+        let ma = MovingAverage::new(4);
+        assert_eq!(ma.value(), None);
+        assert!(ma.is_empty());
+        assert!(!ma.is_full());
+    }
+
+    #[test]
+    fn partial_window_averages_what_it_has() {
+        let mut ma = MovingAverage::new(4);
+        ma.push(2.0);
+        ma.push(4.0);
+        assert_eq!(ma.value(), Some(3.0));
+        assert_eq!(ma.len(), 2);
+    }
+
+    #[test]
+    fn full_window_slides() {
+        let mut ma = MovingAverage::new(2);
+        ma.push(1.0);
+        ma.push(3.0);
+        assert!(ma.is_full());
+        ma.push(5.0);
+        assert_eq!(ma.value(), Some(4.0));
+        assert_eq!(ma.len(), 2);
+        assert_eq!(ma.observations(), 3);
+    }
+
+    #[test]
+    fn bool_observations_give_a_rate() {
+        let mut ma = MovingAverage::new(4);
+        for hit in [true, true, false, false] {
+            ma.push_bool(hit);
+        }
+        assert_eq!(ma.value(), Some(0.5));
+    }
+
+    #[test]
+    fn long_stream_stays_accurate() {
+        let mut ma = MovingAverage::new(1000);
+        for i in 0..2_100_000u64 {
+            ma.push((i % 2) as f64);
+        }
+        let v = ma.value().unwrap();
+        assert!((v - 0.5).abs() < 1e-9, "drifted: {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = MovingAverage::new(0);
+    }
+}

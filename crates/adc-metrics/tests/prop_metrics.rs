@@ -1,0 +1,84 @@
+//! Property-based tests of the metrics primitives against naive models.
+
+use adc_metrics::{Histogram, MovingAverage, Series, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The O(1) moving average equals the naive windowed mean at every
+    /// step.
+    #[test]
+    fn moving_average_matches_naive(values in prop::collection::vec(-1e6f64..1e6, 1..200), window in 1usize..20) {
+        let mut ma = MovingAverage::new(window);
+        for (i, &v) in values.iter().enumerate() {
+            ma.push(v);
+            let start = (i + 1).saturating_sub(window);
+            let slice = &values[start..=i];
+            let naive = slice.iter().sum::<f64>() / slice.len() as f64;
+            let got = ma.value().unwrap();
+            prop_assert!((got - naive).abs() < 1e-6_f64.max(naive.abs() * 1e-9),
+                "step {i}: got {got}, naive {naive}");
+        }
+    }
+
+    /// Summary mean/min/max/variance match naive computations.
+    #[test]
+    fn summary_matches_naive(values in prop::collection::vec(-1e5f64..1e5, 2..200)) {
+        let s: Summary = values.iter().copied().collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean().unwrap() - mean).abs() < 1e-6_f64.max(mean.abs() * 1e-9));
+        prop_assert!((s.variance().unwrap() - var).abs() < 1e-3_f64.max(var.abs() * 1e-6));
+        prop_assert_eq!(s.min().unwrap(), values.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max().unwrap(), values.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging any split of a stream equals summarizing the whole stream.
+    #[test]
+    fn summary_merge_associative(values in prop::collection::vec(-1e5f64..1e5, 2..150), split in 0usize..150) {
+        let split = split.min(values.len());
+        let whole: Summary = values.iter().copied().collect();
+        let mut left: Summary = values[..split].iter().copied().collect();
+        let right: Summary = values[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+        prop_assert!((left.variance().unwrap() - whole.variance().unwrap()).abs()
+            < 1e-3_f64.max(whole.variance().unwrap().abs() * 1e-6));
+    }
+
+    /// Histogram counts are conserved and quantiles are monotone.
+    #[test]
+    fn histogram_conservation(values in prop::collection::vec(0f64..100.0, 1..200)) {
+        let mut h = Histogram::new(10, 5.0);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let bucket_total: u64 = (0..10).map(|i| h.bucket_count(i)).sum::<u64>() + h.overflow();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    /// Series tail means interpolate between last point and full mean.
+    #[test]
+    fn series_tail_mean_bounds(ys in prop::collection::vec(0f64..100.0, 1..100)) {
+        let mut s = Series::new("t");
+        for (i, &y) in ys.iter().enumerate() {
+            s.push(i as f64, y);
+        }
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for tail in [0.1, 0.5, 1.0] {
+            let m = s.tail_mean_y(tail).unwrap();
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! A TCP client that issues requests to the proxy cluster and awaits the
+//! matching replies.
+
+use crate::book::AddressBook;
+use crate::protocol::Frame;
+use crate::transport::{read_frame, Pool};
+use adc_core::{ClientId, ObjectId, ProxyId, Reply, Request, RequestId};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::TcpListener;
+use tokio::sync::oneshot;
+use tokio::task::JoinHandle;
+
+/// Outstanding requests awaiting replies.
+type PendingReplies = Arc<Mutex<HashMap<RequestId, oneshot::Sender<(Reply, Bytes)>>>>;
+
+/// A client endpoint: registers itself in the address book, sends
+/// requests, and matches replies by request ID.
+#[derive(Debug)]
+pub struct NetClient {
+    id: ClientId,
+    book: Arc<AddressBook>,
+    pool: Pool,
+    seq: AtomicU64,
+    pending: PendingReplies,
+    handle: JoinHandle<()>,
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        self.handle.abort();
+    }
+}
+
+impl NetClient {
+    /// Binds a listener, registers this client in `book`, and starts the
+    /// reply dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub async fn start(id: ClientId, book: Arc<AddressBook>) -> io::Result<NetClient> {
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        book.register_client(id, listener.local_addr()?);
+        let pending: PendingReplies = Arc::new(Mutex::new(HashMap::new()));
+        let pending_for_task = Arc::clone(&pending);
+        let handle = tokio::spawn(async move {
+            loop {
+                let Ok((mut stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let pending = Arc::clone(&pending_for_task);
+                tokio::spawn(async move {
+                    while let Ok(Some(frame)) = read_frame(&mut stream).await {
+                        if let Frame::Reply(reply, body) = frame {
+                            if let Some(tx) = pending.lock().remove(&reply.id) {
+                                tx.send((reply, body)).ok();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        Ok(NetClient {
+            id,
+            book,
+            pool: Pool::new(),
+            seq: AtomicU64::new(0),
+            pending,
+            handle,
+        })
+    }
+
+    /// This client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Requests `object` via proxy `via` and awaits the reply with the
+    /// object body.
+    ///
+    /// # Errors
+    ///
+    /// Returns `NotFound` for an unknown proxy, `BrokenPipe` when the
+    /// reply channel is dropped, or any underlying socket error.
+    pub async fn request(&self, object: ObjectId, via: ProxyId) -> io::Result<(Reply, Bytes)> {
+        let addr = self.book.proxy_addr(via).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no such proxy {via}"))
+        })?;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let id = RequestId::new(self.id, seq);
+        let (tx, rx) = oneshot::channel();
+        self.pending.lock().insert(id, tx);
+        let request = Request::new(id, object, self.id);
+        self.pool.send(addr, Frame::Request(request)).await?;
+        rx.await.map_err(|_| {
+            io::Error::new(io::ErrorKind::BrokenPipe, "reply channel dropped")
+        })
+    }
+
+    /// Like [`NetClient::request`] but gives up after `timeout`,
+    /// cleaning up the pending slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns `TimedOut` when no reply arrives in time, otherwise the
+    /// same errors as [`NetClient::request`].
+    pub async fn request_timeout(
+        &self,
+        object: ObjectId,
+        via: ProxyId,
+        timeout: Duration,
+    ) -> io::Result<(Reply, Bytes)> {
+        let addr = self.book.proxy_addr(via).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no such proxy {via}"))
+        })?;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let id = RequestId::new(self.id, seq);
+        let (tx, rx) = oneshot::channel();
+        self.pending.lock().insert(id, tx);
+        let request = Request::new(id, object, self.id);
+        if let Err(e) = self.pool.send(addr, Frame::Request(request)).await {
+            self.pending.lock().remove(&id);
+            return Err(e);
+        }
+        match tokio::time::timeout(timeout, rx).await {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(_)) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "reply channel dropped",
+            )),
+            Err(_) => {
+                self.pending.lock().remove(&id);
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no reply for {object} within {timeout:?}"),
+                ))
+            }
+        }
+    }
+
+    /// Number of requests still awaiting replies.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().len()
+    }
+}

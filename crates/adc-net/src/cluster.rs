@@ -1,0 +1,119 @@
+//! One-call assembly of a full ADC (or baseline) deployment on
+//! localhost: origin server, N proxy nodes, and clients on demand.
+
+use crate::book::AddressBook;
+use crate::client::NetClient;
+use crate::node::{OriginNode, ProxyNode};
+use adc_baselines::CarpProxy;
+use adc_core::{AdcConfig, AdcProxy, CacheAgent, ClientId, ProxyId, ProxyStats};
+use std::io;
+use std::sync::Arc;
+use tokio::net::TcpListener;
+
+/// A running localhost cluster.
+///
+/// Dropping the cluster aborts all node tasks.
+#[derive(Debug)]
+pub struct Cluster<A> {
+    /// Shared node address book.
+    pub book: Arc<AddressBook>,
+    /// The proxy nodes, indexed by proxy ID.
+    pub proxies: Vec<ProxyNode<A>>,
+    _origin: OriginNode,
+}
+
+impl<A: CacheAgent + Send + 'static> Cluster<A> {
+    /// Spawns an origin server and one proxy node per agent, all on
+    /// ephemeral localhost ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty.
+    pub async fn spawn_with_agents(agents: Vec<A>) -> io::Result<Cluster<A>> {
+        assert!(!agents.is_empty(), "need at least one proxy agent");
+        let origin_listener = TcpListener::bind("127.0.0.1:0").await?;
+        let origin_addr = origin_listener.local_addr()?;
+        let mut proxy_listeners = Vec::with_capacity(agents.len());
+        let mut proxy_addrs = Vec::with_capacity(agents.len());
+        for _ in &agents {
+            let l = TcpListener::bind("127.0.0.1:0").await?;
+            proxy_addrs.push(l.local_addr()?);
+            proxy_listeners.push(l);
+        }
+        let book = Arc::new(AddressBook::new(proxy_addrs, origin_addr));
+        let origin = OriginNode::spawn(origin_listener, Arc::clone(&book));
+        let proxies = agents
+            .into_iter()
+            .zip(proxy_listeners)
+            .enumerate()
+            .map(|(i, (agent, listener))| {
+                ProxyNode::spawn(agent, listener, Arc::clone(&book), 0xADC0 + i as u64)
+            })
+            .collect();
+        Ok(Cluster {
+            book,
+            proxies,
+            _origin: origin,
+        })
+    }
+
+    /// Starts a client attached to this cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub async fn client(&self, id: ClientId) -> io::Result<NetClient> {
+        NetClient::start(id, Arc::clone(&self.book)).await
+    }
+
+    /// Number of proxies.
+    pub fn num_proxies(&self) -> u32 {
+        self.proxies.len() as u32
+    }
+
+    /// Snapshot of one proxy's counters.
+    pub fn proxy_stats(&self, p: ProxyId) -> ProxyStats {
+        *self.proxies[p.raw() as usize].agent.lock().stats()
+    }
+
+    /// Cluster-wide counters.
+    pub fn cluster_stats(&self) -> ProxyStats {
+        let mut total = ProxyStats::default();
+        for node in &self.proxies {
+            total.merge(node.agent.lock().stats());
+        }
+        total
+    }
+}
+
+impl Cluster<CarpProxy> {
+    /// Spawns `n` CARP hashing proxies with per-proxy LRU caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub async fn spawn_carp(n: u32, cache_capacity: usize) -> io::Result<Cluster<CarpProxy>> {
+        let agents = (0..n)
+            .map(|i| CarpProxy::new(ProxyId::new(i), n, cache_capacity))
+            .collect();
+        Self::spawn_with_agents(agents).await
+    }
+}
+
+impl Cluster<AdcProxy> {
+    /// Spawns `n` ADC proxies with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub async fn spawn_adc(n: u32, config: AdcConfig) -> io::Result<Cluster<AdcProxy>> {
+        let agents = (0..n)
+            .map(|i| AdcProxy::new(ProxyId::new(i), n, config.clone()))
+            .collect();
+        Self::spawn_with_agents(agents).await
+    }
+}

@@ -1,0 +1,45 @@
+//! # adc-net
+//!
+//! A tokio TCP runtime for the ADC system — the paper's future-work item
+//! of "the creation of a real proxy system".
+//!
+//! The same sans-IO agents that run under the deterministic simulator
+//! ([`adc_core::AdcProxy`], the baselines in `adc-baselines`) are wrapped
+//! in socket plumbing here: a length-prefixed binary [`protocol`], a lazy
+//! outbound connection [`transport::Pool`], proxy/origin nodes and a
+//! request/reply [`NetClient`]. Object bodies are real bytes, generated
+//! deterministically by the origin so end-to-end integrity is checkable.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use adc_core::{AdcConfig, ClientId, ObjectId, ProxyId};
+//! use adc_net::Cluster;
+//!
+//! # async fn demo() -> std::io::Result<()> {
+//! let cluster = Cluster::spawn_adc(5, AdcConfig::default()).await?;
+//! let client = cluster.client(ClientId::new(0)).await?;
+//! let (reply, body) = client
+//!     .request(ObjectId::from_url("http://example.com/"), ProxyId::new(2))
+//!     .await?;
+//! assert_eq!(reply.size as usize, body.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod book;
+mod client;
+mod cluster;
+mod driver;
+mod node;
+pub mod protocol;
+pub mod transport;
+
+pub use book::AddressBook;
+pub use client::NetClient;
+pub use cluster::Cluster;
+pub use driver::{drive_workload, DriveReport};
+pub use node::{origin_body, OriginNode, ProxyNode};

@@ -1,0 +1,238 @@
+//! The proxy and origin server nodes.
+
+use crate::book::AddressBook;
+use crate::protocol::Frame;
+use crate::transport::{read_frame, Pool};
+use adc_core::{Action, CacheAgent, CacheEvent, Message, ObjectId, Reply};
+use adc_workload::SizeModel;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tokio::net::TcpListener;
+use tokio::task::JoinHandle;
+
+/// A running proxy node: the sans-IO agent plus its socket plumbing.
+#[derive(Debug)]
+pub struct ProxyNode<A> {
+    /// The agent, shared for post-run inspection.
+    pub agent: Arc<Mutex<A>>,
+    /// The byte store backing the agent's cache decisions.
+    pub store: Arc<Mutex<HashMap<ObjectId, Bytes>>>,
+    handle: JoinHandle<()>,
+}
+
+impl<A> Drop for ProxyNode<A> {
+    fn drop(&mut self) {
+        self.handle.abort();
+    }
+}
+
+impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
+    /// Spawns a proxy node serving `listener`, forwarding through `book`.
+    pub fn spawn(agent: A, listener: TcpListener, book: Arc<AddressBook>, seed: u64) -> Self {
+        let agent = Arc::new(Mutex::new(agent));
+        let store: Arc<Mutex<HashMap<ObjectId, Bytes>>> = Arc::new(Mutex::new(HashMap::new()));
+        let pool = Arc::new(Pool::new());
+        let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
+
+        let agent_for_task = Arc::clone(&agent);
+        let store_for_task = Arc::clone(&store);
+        let handle = tokio::spawn(async move {
+            loop {
+                let Ok((mut stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let agent = Arc::clone(&agent_for_task);
+                let store = Arc::clone(&store_for_task);
+                let book = Arc::clone(&book);
+                let pool = Arc::clone(&pool);
+                let rng = Arc::clone(&rng);
+                tokio::spawn(async move {
+                    while let Ok(Some(frame)) = read_frame(&mut stream).await {
+                        let outgoing = handle_frame(&agent, &store, &rng, frame);
+                        for (action, body) in outgoing {
+                            let Action::Send { to, message } = action;
+                            let Some(addr) = book.addr_of(to) else {
+                                continue;
+                            };
+                            let frame = match message {
+                                Message::Request(r) => Frame::Request(r),
+                                Message::Reply(r) => Frame::Reply(r, body),
+                            };
+                            if pool.send(addr, frame).await.is_err() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        ProxyNode {
+            agent,
+            store,
+            handle,
+        }
+    }
+
+    /// Number of objects whose bytes are currently stored.
+    pub fn stored_objects(&self) -> usize {
+        self.store.lock().len()
+    }
+}
+
+/// Feeds one frame through the agent and returns the transmissions plus
+/// the object body to attach to outgoing replies.
+fn handle_frame<A: CacheAgent>(
+    agent: &Mutex<A>,
+    store: &Mutex<HashMap<ObjectId, Bytes>>,
+    rng: &Mutex<StdRng>,
+    frame: Frame,
+) -> Vec<(Action, Bytes)> {
+    let mut agent = agent.lock();
+    match frame {
+        Frame::Request(request) => {
+            let object = request.object;
+            let mut action = {
+                let mut rng = rng.lock();
+                agent.on_request(request, &mut *rng)
+            };
+            apply_cache_events(&mut *agent, store, None);
+            // A local hit replies with data from the byte store; the
+            // agent only knows a nominal size, so fix it up to the real
+            // body length.
+            let body = match &mut action {
+                Action::Send {
+                    message: Message::Reply(reply),
+                    ..
+                } => {
+                    let body = store.lock().get(&object).cloned().unwrap_or_default();
+                    reply.size = body.len() as u32;
+                    body
+                }
+                _ => Bytes::new(),
+            };
+            vec![(action, body)]
+        }
+        Frame::Reply(reply, body) => {
+            let object = reply.object;
+            let action = agent.on_reply(reply);
+            // The passing body is the bytes the store keeps if the agent
+            // decided to cache.
+            apply_cache_events(&mut *agent, store, Some((object, body.clone())));
+            action.into_iter().map(|a| (a, body.clone())).collect()
+        }
+    }
+}
+
+fn apply_cache_events<A: CacheAgent>(
+    agent: &mut A,
+    store: &Mutex<HashMap<ObjectId, Bytes>>,
+    passing: Option<(ObjectId, Bytes)>,
+) {
+    let events = agent.drain_cache_events();
+    if events.is_empty() {
+        return;
+    }
+    let mut store = store.lock();
+    for event in events {
+        match event {
+            CacheEvent::Store(obj) => {
+                let body = match &passing {
+                    Some((passing_obj, bytes)) if *passing_obj == obj => bytes.clone(),
+                    // Promotion of an object whose bytes did not travel
+                    // with this frame (e.g. re-ordered events): store a
+                    // placeholder; it is refreshed the next time the
+                    // object passes.
+                    _ => Bytes::new(),
+                };
+                store.insert(obj, body);
+            }
+            CacheEvent::Evict(obj) => {
+                store.remove(&obj);
+            }
+        }
+    }
+}
+
+/// A running origin server: resolves every request with deterministic
+/// pseudo-content sized by the workload's [`SizeModel`].
+#[derive(Debug)]
+pub struct OriginNode {
+    handle: JoinHandle<()>,
+}
+
+impl Drop for OriginNode {
+    fn drop(&mut self) {
+        self.handle.abort();
+    }
+}
+
+impl OriginNode {
+    /// Spawns the origin server on `listener`.
+    pub fn spawn(listener: TcpListener, book: Arc<AddressBook>) -> Self {
+        let pool = Arc::new(Pool::new());
+        let size_model = SizeModel::default();
+        let handle = tokio::spawn(async move {
+            loop {
+                let Ok((mut stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let book = Arc::clone(&book);
+                let pool = Arc::clone(&pool);
+                tokio::spawn(async move {
+                    while let Ok(Some(frame)) = read_frame(&mut stream).await {
+                        let Frame::Request(request) = frame else {
+                            continue;
+                        };
+                        let body = origin_body(request.object, &size_model);
+                        let reply = Reply::from_origin(&request, body.len() as u32);
+                        let Some(addr) = book.addr_of(request.sender) else {
+                            continue;
+                        };
+                        if pool.send(addr, Frame::Reply(reply, body)).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        OriginNode { handle }
+    }
+}
+
+/// Deterministic pseudo-content for an object: size from the size model,
+/// bytes derived from the object ID so integrity can be checked
+/// end-to-end.
+pub fn origin_body(object: ObjectId, size_model: &SizeModel) -> Bytes {
+    let size = size_model.size_of(object) as usize;
+    let mut out = Vec::with_capacity(size);
+    let mut state = object.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    while out.len() < size {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let chunk = state.to_le_bytes();
+        let n = (size - out.len()).min(8);
+        out.extend_from_slice(&chunk[..n]);
+    }
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_body_is_deterministic_and_sized() {
+        let model = SizeModel::default();
+        let a = origin_body(ObjectId::new(7), &model);
+        let b = origin_body(ObjectId::new(7), &model);
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u32, model.size_of(ObjectId::new(7)));
+        let c = origin_body(ObjectId::new(8), &model);
+        assert_ne!(a, c);
+    }
+}

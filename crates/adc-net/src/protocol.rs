@@ -1,0 +1,313 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Each frame is `u32` big-endian payload length followed by the payload.
+//! Payloads carry either a [`Request`] or a [`Reply`] plus, for replies,
+//! the object body bytes. Encoding is fixed-width big-endian throughout —
+//! no self-describing format, no versioning games, just the two message
+//! types the ADC system exchanges.
+
+use adc_core::{ClientId, NodeId, ObjectId, ProxyId, Reply, Request, RequestId, ServedFrom};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Maximum accepted frame payload (object bodies are ≤ 1 MiB in the
+/// default size model; this leaves generous headroom).
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+const TAG_REQUEST: u8 = 1;
+const TAG_REPLY: u8 = 2;
+
+const NODE_CLIENT: u8 = 0;
+const NODE_PROXY: u8 = 1;
+const NODE_ORIGIN: u8 = 2;
+
+/// A decoded frame: a message plus (for replies) the object body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A request on its way toward a resolver.
+    Request(Request),
+    /// A reply with the object body attached.
+    Reply(Reply, Bytes),
+}
+
+impl Frame {
+    /// The destination-independent request ID.
+    pub fn request_id(&self) -> RequestId {
+        match self {
+            Frame::Request(r) => r.id,
+            Frame::Reply(r, _) => r.id,
+        }
+    }
+}
+
+/// A protocol decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload ended before the message was complete.
+    Truncated,
+    /// An unknown message or node tag.
+    BadTag(u8),
+    /// Frame length exceeded [`MAX_FRAME`].
+    Oversized(usize),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "truncated frame"),
+            ProtocolError::BadTag(t) => write!(f, "unknown tag {t}"),
+            ProtocolError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn put_node(buf: &mut BytesMut, node: NodeId) {
+    match node {
+        NodeId::Client(c) => {
+            buf.put_u8(NODE_CLIENT);
+            buf.put_u32(c.raw());
+        }
+        NodeId::Proxy(p) => {
+            buf.put_u8(NODE_PROXY);
+            buf.put_u32(p.raw());
+        }
+        NodeId::Origin => {
+            buf.put_u8(NODE_ORIGIN);
+            buf.put_u32(0);
+        }
+    }
+}
+
+fn get_node(buf: &mut Bytes) -> Result<NodeId, ProtocolError> {
+    if buf.remaining() < 5 {
+        return Err(ProtocolError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let raw = buf.get_u32();
+    match tag {
+        NODE_CLIENT => Ok(NodeId::Client(ClientId::new(raw))),
+        NODE_PROXY => Ok(NodeId::Proxy(ProxyId::new(raw))),
+        NODE_ORIGIN => Ok(NodeId::Origin),
+        other => Err(ProtocolError::BadTag(other)),
+    }
+}
+
+fn put_opt_proxy(buf: &mut BytesMut, p: Option<ProxyId>) {
+    buf.put_u32(p.map(|p| p.raw()).unwrap_or(u32::MAX));
+}
+
+fn get_opt_proxy(buf: &mut Bytes) -> Result<Option<ProxyId>, ProtocolError> {
+    if buf.remaining() < 4 {
+        return Err(ProtocolError::Truncated);
+    }
+    let raw = buf.get_u32();
+    Ok((raw != u32::MAX).then_some(ProxyId::new(raw)))
+}
+
+/// Encodes a frame payload (without the length prefix).
+pub fn encode(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match frame {
+        Frame::Request(r) => {
+            buf.put_u8(TAG_REQUEST);
+            buf.put_u32(r.id.client.raw());
+            buf.put_u64(r.id.seq);
+            buf.put_u64(r.object.raw());
+            buf.put_u32(r.client.raw());
+            put_node(&mut buf, r.sender);
+            buf.put_u32(r.hops);
+        }
+        Frame::Reply(r, body) => {
+            buf.put_u8(TAG_REPLY);
+            buf.put_u32(r.id.client.raw());
+            buf.put_u64(r.id.seq);
+            buf.put_u64(r.object.raw());
+            buf.put_u32(r.client.raw());
+            put_opt_proxy(&mut buf, r.resolver);
+            put_opt_proxy(&mut buf, r.cached_by);
+            match r.served_from {
+                ServedFrom::Origin => {
+                    buf.put_u8(0);
+                    buf.put_u32(0);
+                }
+                ServedFrom::Cache(p) => {
+                    buf.put_u8(1);
+                    buf.put_u32(p.raw());
+                }
+            }
+            buf.put_u32(r.size);
+            buf.put_u32(body.len() as u32);
+            buf.put_slice(body);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a frame payload produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] on truncated or malformed input.
+pub fn decode(mut buf: Bytes) -> Result<Frame, ProtocolError> {
+    if buf.remaining() < 1 {
+        return Err(ProtocolError::Truncated);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_REQUEST => {
+            if buf.remaining() < 4 + 8 + 8 + 4 {
+                return Err(ProtocolError::Truncated);
+            }
+            let id_client = ClientId::new(buf.get_u32());
+            let seq = buf.get_u64();
+            let object = ObjectId::new(buf.get_u64());
+            let client = ClientId::new(buf.get_u32());
+            let sender = get_node(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(ProtocolError::Truncated);
+            }
+            let hops = buf.get_u32();
+            Ok(Frame::Request(Request {
+                id: RequestId::new(id_client, seq),
+                object,
+                client,
+                sender,
+                hops,
+            }))
+        }
+        TAG_REPLY => {
+            if buf.remaining() < 4 + 8 + 8 + 4 {
+                return Err(ProtocolError::Truncated);
+            }
+            let id_client = ClientId::new(buf.get_u32());
+            let seq = buf.get_u64();
+            let object = ObjectId::new(buf.get_u64());
+            let client = ClientId::new(buf.get_u32());
+            let resolver = get_opt_proxy(&mut buf)?;
+            let cached_by = get_opt_proxy(&mut buf)?;
+            if buf.remaining() < 5 {
+                return Err(ProtocolError::Truncated);
+            }
+            let served_tag = buf.get_u8();
+            let served_raw = buf.get_u32();
+            let served_from = match served_tag {
+                0 => ServedFrom::Origin,
+                1 => ServedFrom::Cache(ProxyId::new(served_raw)),
+                other => return Err(ProtocolError::BadTag(other)),
+            };
+            if buf.remaining() < 8 {
+                return Err(ProtocolError::Truncated);
+            }
+            let size = buf.get_u32();
+            let body_len = buf.get_u32() as usize;
+            if body_len > MAX_FRAME || buf.remaining() < body_len {
+                return Err(ProtocolError::Truncated);
+            }
+            let body = buf.split_to(body_len);
+            Ok(Frame::Reply(
+                Reply {
+                    id: RequestId::new(id_client, seq),
+                    object,
+                    client,
+                    resolver,
+                    cached_by,
+                    served_from,
+                    size,
+                },
+                body,
+            ))
+        }
+        other => Err(ProtocolError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> Request {
+        Request {
+            id: RequestId::new(ClientId::new(3), 99),
+            object: ObjectId::new(0xdead_beef),
+            client: ClientId::new(3),
+            sender: NodeId::Proxy(ProxyId::new(2)),
+            hops: 5,
+        }
+    }
+
+    fn reply() -> Reply {
+        Reply {
+            id: RequestId::new(ClientId::new(3), 99),
+            object: ObjectId::new(0xdead_beef),
+            client: ClientId::new(3),
+            resolver: Some(ProxyId::new(1)),
+            cached_by: None,
+            served_from: ServedFrom::Cache(ProxyId::new(1)),
+            size: 4,
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let f = Frame::Request(request());
+        assert_eq!(decode(encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn reply_round_trip_with_body() {
+        let f = Frame::Reply(reply(), Bytes::from_static(b"data"));
+        assert_eq!(decode(encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn reply_round_trip_from_origin() {
+        let mut r = reply();
+        r.resolver = None;
+        r.cached_by = None;
+        r.served_from = ServedFrom::Origin;
+        let f = Frame::Reply(r, Bytes::new());
+        assert_eq!(decode(encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn all_sender_kinds_round_trip() {
+        for sender in [
+            NodeId::Client(ClientId::new(7)),
+            NodeId::Proxy(ProxyId::new(8)),
+            NodeId::Origin,
+        ] {
+            let mut r = request();
+            r.sender = sender;
+            let f = Frame::Request(r);
+            assert_eq!(decode(encode(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let full = encode(&Frame::Reply(reply(), Bytes::from_static(b"data")));
+        for cut in 0..full.len() {
+            let partial = full.slice(0..cut);
+            assert!(
+                decode(partial).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let buf = Bytes::from_static(&[42, 0, 0, 0]);
+        assert_eq!(decode(buf), Err(ProtocolError::BadTag(42)));
+    }
+
+    #[test]
+    fn frame_request_id_accessor() {
+        let f = Frame::Request(request());
+        assert_eq!(f.request_id(), RequestId::new(ClientId::new(3), 99));
+        let f = Frame::Reply(reply(), Bytes::new());
+        assert_eq!(f.request_id(), RequestId::new(ClientId::new(3), 99));
+    }
+}

@@ -1,0 +1,193 @@
+//! Framed TCP transport: length-prefixed frames and a lazy connection
+//! pool.
+
+use crate::protocol::{decode, encode, Frame, MAX_FRAME};
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+use tokio::net::TcpStream;
+use tokio::sync::{mpsc, Mutex};
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub async fn write_frame<W: AsyncWrite + Unpin>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let payload = encode(frame);
+    w.write_u32(payload.len() as u32).await?;
+    w.write_all(&payload).await?;
+    w.flush().await
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for oversized or malformed frames, otherwise
+/// propagates I/O errors.
+pub async fn read_frame<R: AsyncRead + Unpin>(r: &mut R) -> io::Result<Option<Frame>> {
+    let len = match r.read_u32().await {
+        Ok(len) => len as usize,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).await?;
+    decode(buf.into()).map(Some).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    })
+}
+
+/// A lazy pool of outbound connections: one writer task per destination,
+/// created on first use, recreated on failure.
+#[derive(Debug, Default)]
+pub struct Pool {
+    senders: Mutex<HashMap<SocketAddr, mpsc::Sender<Frame>>>,
+}
+
+impl Pool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Pool::default()
+    }
+
+    /// Sends `frame` to `addr`, connecting if necessary. One reconnect is
+    /// attempted when a pooled connection has gone away.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error when (re)connecting fails.
+    pub async fn send(&self, addr: SocketAddr, frame: Frame) -> io::Result<()> {
+        let mut frame = frame;
+        for attempt in 0..2 {
+            let sender = self.sender_for(addr, attempt > 0).await?;
+            match sender.send(frame).await {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    // Writer task died (connection closed); retry fresh.
+                    frame = back.0;
+                }
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            format!("connection to {addr} keeps failing"),
+        ))
+    }
+
+    async fn sender_for(
+        &self,
+        addr: SocketAddr,
+        force_new: bool,
+    ) -> io::Result<mpsc::Sender<Frame>> {
+        let mut senders = self.senders.lock().await;
+        if !force_new {
+            if let Some(s) = senders.get(&addr) {
+                if !s.is_closed() {
+                    return Ok(s.clone());
+                }
+            }
+        }
+        let stream = TcpStream::connect(addr).await?;
+        let (tx, mut rx) = mpsc::channel::<Frame>(256);
+        tokio::spawn(async move {
+            let mut stream = stream;
+            while let Some(frame) = rx.recv().await {
+                if write_frame(&mut stream, &frame).await.is_err() {
+                    break;
+                }
+            }
+        });
+        senders.insert(addr, tx.clone());
+        Ok(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_core::{ClientId, ObjectId, Request, RequestId};
+    use tokio::net::TcpListener;
+
+    fn frame(seq: u64) -> Frame {
+        Frame::Request(Request::new(
+            RequestId::new(ClientId::new(1), seq),
+            ObjectId::new(42),
+            ClientId::new(1),
+        ))
+    }
+
+    #[tokio::test]
+    async fn frame_round_trip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(async move {
+            let (mut stream, _) = listener.accept().await.unwrap();
+            let mut got = Vec::new();
+            while let Some(f) = read_frame(&mut stream).await.unwrap() {
+                got.push(f);
+            }
+            got
+        });
+        let mut client = TcpStream::connect(addr).await.unwrap();
+        write_frame(&mut client, &frame(1)).await.unwrap();
+        write_frame(&mut client, &frame(2)).await.unwrap();
+        drop(client);
+        let got = server.await.unwrap();
+        assert_eq!(got, vec![frame(1), frame(2)]);
+    }
+
+    #[tokio::test]
+    async fn pool_reuses_and_reconnects() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (count_tx, mut count_rx) = mpsc::channel::<Frame>(64);
+        tokio::spawn(async move {
+            loop {
+                let (mut stream, _) = listener.accept().await.unwrap();
+                let tx = count_tx.clone();
+                tokio::spawn(async move {
+                    while let Ok(Some(f)) = read_frame(&mut stream).await {
+                        tx.send(f).await.ok();
+                    }
+                });
+            }
+        });
+        let pool = Pool::new();
+        pool.send(addr, frame(1)).await.unwrap();
+        pool.send(addr, frame(2)).await.unwrap();
+        assert_eq!(count_rx.recv().await.unwrap(), frame(1));
+        assert_eq!(count_rx.recv().await.unwrap(), frame(2));
+    }
+
+    #[tokio::test]
+    async fn pool_errors_on_unreachable() {
+        let pool = Pool::new();
+        // Port 1 on localhost is almost certainly closed.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(pool.send(addr, frame(1)).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn oversized_frame_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(async move {
+            let (mut stream, _) = listener.accept().await.unwrap();
+            read_frame(&mut stream).await
+        });
+        let mut client = TcpStream::connect(addr).await.unwrap();
+        client.write_u32(u32::MAX).await.unwrap();
+        client.flush().await.unwrap();
+        let result = server.await.unwrap();
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end tests of the TCP runtime: real sockets, real bytes.
+
+use adc_core::{AdcConfig, CacheAgent, ClientId, ObjectId, ProxyId, ServedFrom};
+use adc_net::{origin_body, Cluster};
+use adc_workload::SizeModel;
+
+fn small_config() -> AdcConfig {
+    AdcConfig::builder()
+        .single_capacity(64)
+        .multiple_capacity(64)
+        .cache_capacity(32)
+        .max_hops(8)
+        .build()
+}
+
+#[tokio::test]
+async fn request_resolves_with_correct_body() {
+    let cluster = Cluster::spawn_adc(3, small_config()).await.unwrap();
+    let client = cluster.client(ClientId::new(0)).await.unwrap();
+    let object = ObjectId::new(1234);
+    let (reply, body) = client.request(object, ProxyId::new(0)).await.unwrap();
+    assert_eq!(reply.object, object);
+    assert_eq!(reply.size as usize, body.len());
+    // Body is the origin's deterministic content.
+    assert_eq!(body, origin_body(object, &SizeModel::default()));
+    assert_eq!(client.in_flight(), 0);
+}
+
+#[tokio::test]
+async fn repeated_requests_become_cache_hits() {
+    let cluster = Cluster::spawn_adc(3, small_config()).await.unwrap();
+    let client = cluster.client(ClientId::new(1)).await.unwrap();
+    let object = ObjectId::new(777);
+    let mut served = Vec::new();
+    for _ in 0..8 {
+        let (reply, body) = client.request(object, ProxyId::new(1)).await.unwrap();
+        assert!(!body.is_empty());
+        served.push(reply.served_from);
+    }
+    // After learning, some requests must be served from a proxy cache
+    // with the same body the origin produced.
+    assert!(
+        served.iter().any(|s| s.is_hit()),
+        "no cache hits after 8 requests: {served:?}"
+    );
+    // And the cached copy is byte-identical.
+    let (reply, body) = client.request(object, ProxyId::new(1)).await.unwrap();
+    assert!(reply.served_from.is_hit());
+    assert_eq!(body, origin_body(object, &SizeModel::default()));
+}
+
+#[tokio::test]
+async fn different_entry_proxies_converge_on_one_location() {
+    let cluster = Cluster::spawn_adc(4, small_config()).await.unwrap();
+    let client = cluster.client(ClientId::new(2)).await.unwrap();
+    let object = ObjectId::new(31337);
+    // Hammer the object through every entry proxy.
+    for round in 0..6 {
+        for p in 0..4 {
+            let _ = client
+                .request(object, ProxyId::new((p + round) % 4))
+                .await
+                .unwrap();
+        }
+    }
+    // All proxies now hold a mapping for the object; the ones that do not
+    // cache it agree on a location that does.
+    let mut cached_at = Vec::new();
+    for node in &cluster.proxies {
+        if node.agent.lock().is_cached(object) {
+            cached_at.push(node.agent.lock().proxy_id());
+        }
+    }
+    assert!(
+        !cached_at.is_empty(),
+        "object should be cached somewhere after 24 requests"
+    );
+    let (reply, _) = client.request(object, ProxyId::new(0)).await.unwrap();
+    assert!(matches!(reply.served_from, ServedFrom::Cache(_)));
+}
+
+#[tokio::test]
+async fn concurrent_clients_all_get_answers() {
+    let cluster = Cluster::spawn_adc(3, small_config()).await.unwrap();
+    let mut tasks = Vec::new();
+    let cluster = std::sync::Arc::new(cluster);
+    for c in 0..8u32 {
+        let cluster = std::sync::Arc::clone(&cluster);
+        tasks.push(tokio::spawn(async move {
+            let client = cluster.client(ClientId::new(c)).await.unwrap();
+            for i in 0..20u64 {
+                let object = ObjectId::new(i % 5); // shared hot objects
+                let via = ProxyId::new((i % 3) as u32);
+                let (reply, body) = client.request(object, via).await.unwrap();
+                assert_eq!(reply.object, object);
+                assert_eq!(reply.size as usize, body.len());
+            }
+        }));
+    }
+    for t in tasks {
+        t.await.unwrap();
+    }
+    let stats = cluster.cluster_stats();
+    assert!(stats.requests_received >= 160);
+    assert!(stats.local_hits > 0, "hot objects should produce hits");
+}
+
+#[tokio::test]
+async fn stats_and_store_sizes_are_exposed() {
+    let cluster = Cluster::spawn_adc(2, small_config()).await.unwrap();
+    let client = cluster.client(ClientId::new(9)).await.unwrap();
+    for i in 0..10u64 {
+        client.request(ObjectId::new(i), ProxyId::new(0)).await.unwrap();
+    }
+    assert_eq!(cluster.num_proxies(), 2);
+    let p0 = cluster.proxy_stats(ProxyId::new(0));
+    assert!(p0.requests_received >= 10);
+    let stored: usize = cluster.proxies.iter().map(|p| p.stored_objects()).sum();
+    let cached: usize = cluster
+        .proxies
+        .iter()
+        .map(|p| p.agent.lock().cached_objects())
+        .sum();
+    // The byte store mirrors the agents' cache decisions.
+    assert_eq!(stored, cached);
+}
+
+#[tokio::test]
+async fn carp_cluster_over_tcp_routes_to_owner() {
+    let cluster = adc_net::Cluster::spawn_carp(3, 32).await.unwrap();
+    let client = cluster.client(ClientId::new(5)).await.unwrap();
+    let object = ObjectId::new(4242);
+    // First request: origin miss; afterwards: hits at the hash owner no
+    // matter which proxy the client enters through.
+    let (first, _) = client.request(object, ProxyId::new(0)).await.unwrap();
+    assert!(!first.served_from.is_hit());
+    for entry in 0..3u32 {
+        let (reply, body) = client.request(object, ProxyId::new(entry)).await.unwrap();
+        assert!(reply.served_from.is_hit(), "entry {entry} missed");
+        assert_eq!(reply.size as usize, body.len());
+    }
+    // Exactly one proxy holds the object (hash routing never replicates).
+    let holders = cluster
+        .proxies
+        .iter()
+        .filter(|p| p.agent.lock().is_cached(object))
+        .count();
+    assert_eq!(holders, 1);
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the wire protocol: arbitrary messages
+//! round-trip, arbitrary junk never panics the decoder.
+
+use adc_core::{ClientId, NodeId, ObjectId, ProxyId, Reply, Request, RequestId, ServedFrom};
+use adc_net::protocol::{decode, encode, Frame};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    prop_oneof![
+        any::<u32>().prop_map(|c| NodeId::Client(ClientId::new(c))),
+        any::<u32>().prop_map(|p| NodeId::Proxy(ProxyId::new(p))),
+        Just(NodeId::Origin),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        arb_node(),
+        any::<u32>(),
+    )
+        .prop_map(|(idc, seq, object, client, sender, hops)| Request {
+            id: RequestId::new(ClientId::new(idc), seq),
+            object: ObjectId::new(object),
+            client: ClientId::new(client),
+            sender,
+            hops,
+        })
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        prop::option::of(0u32..u32::MAX - 1),
+        prop::option::of(0u32..u32::MAX - 1),
+        prop::option::of(any::<u32>()),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(idc, seq, object, client, resolver, cached_by, served, size)| Reply {
+                id: RequestId::new(ClientId::new(idc), seq),
+                object: ObjectId::new(object),
+                client: ClientId::new(client),
+                resolver: resolver.map(ProxyId::new),
+                cached_by: cached_by.map(ProxyId::new),
+                served_from: match served {
+                    None => ServedFrom::Origin,
+                    Some(p) => ServedFrom::Cache(ProxyId::new(p)),
+                },
+                size,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip(request in arb_request()) {
+        let frame = Frame::Request(request);
+        prop_assert_eq!(decode(encode(&frame)).unwrap(), frame);
+    }
+
+    #[test]
+    fn replies_round_trip(reply in arb_reply(), body in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let frame = Frame::Reply(reply, Bytes::from(body));
+        prop_assert_eq!(decode(encode(&frame)).unwrap(), frame);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it returns an error
+    /// or a valid frame.
+    #[test]
+    fn decoder_never_panics(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(Bytes::from(junk));
+    }
+
+    /// Truncating a valid encoding anywhere yields an error, never a
+    /// silently wrong frame.
+    #[test]
+    fn truncation_always_errors(reply in arb_reply(), cut_fraction in 0.0f64..1.0) {
+        let full = encode(&Frame::Reply(reply, Bytes::from_static(b"abcdef")));
+        let cut = ((full.len() as f64) * cut_fraction) as usize;
+        if cut < full.len() {
+            prop_assert!(decode(full.slice(..cut)).is_err());
+        }
+    }
+}

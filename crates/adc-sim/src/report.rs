@@ -1,0 +1,196 @@
+//! Results of a simulation run.
+
+use crate::tracelog::TraceLog;
+use adc_core::ProxyStats;
+use adc_metrics::{Series, Summary};
+use adc_workload::Phase;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Hit/request counts for one workload phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Completed requests in this phase.
+    pub requests: u64,
+    /// Proxy-cache hits in this phase.
+    pub hits: u64,
+}
+
+impl PhaseStats {
+    /// Hit rate within the phase (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Requests that completed (reply reached the client).
+    pub completed: u64,
+    /// Requests served from some proxy cache.
+    pub hits: u64,
+    /// Per-phase breakdown, indexed by [`Phase`] order
+    /// (fill, request I, request II).
+    pub phases: [PhaseStats; 3],
+    /// Hop counts per completed request.
+    pub hops: Summary,
+    /// End-to-end latency per completed request, in microseconds.
+    pub latency_us: Summary,
+    /// Streaming estimate of the median latency, microseconds.
+    pub latency_p50_us: f64,
+    /// Streaming estimate of the 99th-percentile latency, microseconds.
+    pub latency_p99_us: f64,
+    /// Moving-average hit rate sampled over the run (Figure 11 style).
+    pub hit_series: Series,
+    /// Moving-average hops sampled over the run (Figure 12 style).
+    pub hops_series: Series,
+    /// Final per-proxy counters.
+    pub per_proxy: Vec<ProxyStats>,
+    /// Objects cached per proxy at the end of the run.
+    pub final_cache_sizes: Vec<usize>,
+    /// Cache occupancy over time, one series per proxy (sampled on the
+    /// same schedule as the hit-rate series).
+    pub occupancy_series: Vec<Series>,
+    /// Total message deliveries (including duplicates).
+    pub messages_delivered: u64,
+    /// Fault-injected duplicate deliveries.
+    pub duplicates_injected: u64,
+    /// Replies that reached a client for an already-completed flow.
+    pub client_orphans: u64,
+    /// Scheduled proxy restarts that fired (churn injection).
+    pub proxies_reset: u64,
+    /// Object-body bytes fetched from the origin server (misses).
+    pub bytes_from_origin: u64,
+    /// Object-body bytes served out of proxy caches (hits).
+    pub bytes_from_caches: u64,
+    /// Message deliveries captured when tracing was enabled.
+    pub trace: Option<TraceLog>,
+    /// Wall-clock time the simulation took (Figure 15 style).
+    pub wall_time: Duration,
+}
+
+impl SimReport {
+    /// Overall hit rate across the whole run.
+    pub fn hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.completed as f64
+        }
+    }
+
+    /// Mean hops per completed request.
+    pub fn mean_hops(&self) -> f64 {
+        self.hops.mean().unwrap_or(0.0)
+    }
+
+    /// Per-phase stats accessor.
+    pub fn phase(&self, phase: Phase) -> &PhaseStats {
+        match phase {
+            Phase::Fill => &self.phases[0],
+            Phase::RequestI => &self.phases[1],
+            Phase::RequestII => &self.phases[2],
+        }
+    }
+
+    /// Fraction of served bytes that did not travel from the origin —
+    /// the bandwidth the proxy system saved.
+    pub fn byte_hit_rate(&self) -> f64 {
+        let total = self.bytes_from_origin + self.bytes_from_caches;
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_from_caches as f64 / total as f64
+        }
+    }
+
+    /// Cluster-wide proxy counters (all proxies merged).
+    pub fn cluster_stats(&self) -> ProxyStats {
+        let mut total = ProxyStats::default();
+        for p in &self.per_proxy {
+            total.merge(p);
+        }
+        total
+    }
+
+    /// A one-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "completed={} hit_rate={:.4} mean_hops={:.2} wall={:?}",
+            self.completed,
+            self.hit_rate(),
+            self.mean_hops(),
+            self.wall_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_hit_rate() {
+        let p = PhaseStats {
+            requests: 10,
+            hits: 7,
+        };
+        assert!((p.hit_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(PhaseStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = SimReport {
+            completed: 4,
+            hits: 2,
+            phases: [
+                PhaseStats {
+                    requests: 2,
+                    hits: 0,
+                },
+                PhaseStats {
+                    requests: 2,
+                    hits: 2,
+                },
+                PhaseStats::default(),
+            ],
+            hops: [2.0, 4.0].into_iter().collect(),
+            latency_us: Summary::new(),
+            latency_p50_us: 0.0,
+            latency_p99_us: 0.0,
+            hit_series: Series::new("hit"),
+            hops_series: Series::new("hops"),
+            per_proxy: vec![
+                ProxyStats {
+                    requests_received: 3,
+                    ..Default::default()
+                },
+                ProxyStats {
+                    requests_received: 1,
+                    ..Default::default()
+                },
+            ],
+            final_cache_sizes: vec![0, 0],
+            occupancy_series: Vec::new(),
+            messages_delivered: 12,
+            duplicates_injected: 0,
+            client_orphans: 0,
+            proxies_reset: 0,
+            bytes_from_origin: 0,
+            bytes_from_caches: 0,
+            trace: None,
+            wall_time: Duration::from_millis(1),
+        };
+        assert_eq!(report.hit_rate(), 0.5);
+        assert_eq!(report.mean_hops(), 3.0);
+        assert_eq!(report.phase(Phase::RequestI).hits, 2);
+        assert_eq!(report.cluster_stats().requests_received, 4);
+        assert!(report.summary_line().contains("hit_rate=0.5000"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Trace analysis: the statistics the paper (and the web-caching
+//! literature it cites) uses to characterize request streams.
+//!
+//! These run over any `IntoIterator<Item = RequestRecord>`, so they apply
+//! equally to generated workloads and traces read back from disk.
+
+use crate::trace::RequestRecord;
+use adc_core::ObjectId;
+use std::collections::HashMap;
+
+/// Aggregate statistics of a request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total requests.
+    pub requests: u64,
+    /// Distinct objects.
+    pub distinct_objects: u64,
+    /// Fraction of requests that repeat an earlier object — the upper
+    /// bound on any cache hierarchy's hit rate ("offered hit ratio").
+    pub recurrence_ratio: f64,
+    /// Requests to the single most popular object.
+    pub top_object_requests: u64,
+    /// Mean requests per distinct object.
+    pub mean_requests_per_object: f64,
+    /// Estimated Zipf exponent of the popularity distribution (see
+    /// [`zipf_alpha_estimate`]); `None` for degenerate streams.
+    pub zipf_alpha: Option<f64>,
+    /// Total bytes across all requests.
+    pub total_bytes: u64,
+}
+
+/// Computes [`TraceStats`] over a stream.
+pub fn trace_stats(records: impl IntoIterator<Item = RequestRecord>) -> TraceStats {
+    let mut counts: HashMap<ObjectId, u64> = HashMap::new();
+    let mut requests = 0u64;
+    let mut total_bytes = 0u64;
+    for r in records {
+        *counts.entry(r.object).or_default() += 1;
+        requests += 1;
+        total_bytes += u64::from(r.size);
+    }
+    let distinct = counts.len() as u64;
+    let repeats = requests.saturating_sub(distinct);
+    let top = counts.values().copied().max().unwrap_or(0);
+    let freqs: Vec<u64> = counts.into_values().collect();
+    TraceStats {
+        requests,
+        distinct_objects: distinct,
+        recurrence_ratio: if requests == 0 {
+            0.0
+        } else {
+            repeats as f64 / requests as f64
+        },
+        top_object_requests: top,
+        mean_requests_per_object: if distinct == 0 {
+            0.0
+        } else {
+            requests as f64 / distinct as f64
+        },
+        zipf_alpha: zipf_alpha_estimate(&freqs),
+        total_bytes,
+    }
+}
+
+/// Estimates the Zipf exponent by least-squares regression of
+/// `log(frequency)` on `log(rank)` over objects requested at least
+/// twice. Returns `None` when fewer than three such objects exist.
+///
+/// # Examples
+///
+/// ```
+/// use adc_workload::analysis::zipf_alpha_estimate;
+///
+/// // A perfect Zipf(1.0) profile: freq ∝ 1/rank.
+/// let freqs: Vec<u64> = (1..=100u64).map(|rank| 10_000 / rank).collect();
+/// let alpha = zipf_alpha_estimate(&freqs).unwrap();
+/// assert!((alpha - 1.0).abs() < 0.1, "estimated {alpha}");
+/// ```
+pub fn zipf_alpha_estimate(frequencies: &[u64]) -> Option<f64> {
+    let mut freqs: Vec<u64> = frequencies.iter().copied().filter(|&f| f >= 2).collect();
+    if freqs.len() < 3 {
+        return None;
+    }
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let points: Vec<(f64, f64)> = freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (((i + 1) as f64).ln(), (f as f64).ln()))
+        .collect();
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(-slope)
+}
+
+/// Per-object inter-request gap statistics: the quantity ADC's tables
+/// measure. Returns `(object, mean_gap)` for every object with at least
+/// two requests, where the gap is in stream positions.
+pub fn mean_inter_request_gaps(
+    records: impl IntoIterator<Item = RequestRecord>,
+) -> Vec<(ObjectId, f64)> {
+    let mut last_seen: HashMap<ObjectId, (u64, f64, u64)> = HashMap::new(); // (last, sum, gaps)
+    for (pos, r) in records.into_iter().enumerate() {
+        let pos = pos as u64;
+        match last_seen.get_mut(&r.object) {
+            Some((last, sum, gaps)) => {
+                *sum += (pos - *last) as f64;
+                *gaps += 1;
+                *last = pos;
+            }
+            None => {
+                last_seen.insert(r.object, (pos, 0.0, 0));
+            }
+        }
+    }
+    let mut out: Vec<(ObjectId, f64)> = last_seen
+        .into_iter()
+        .filter(|(_, (_, _, gaps))| *gaps > 0)
+        .map(|(o, (_, sum, gaps))| (o, sum / gaps as f64))
+        .collect();
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
+/// The popularity histogram: how many objects were requested exactly
+/// `k` times, as `(k, object_count)` sorted by `k`.
+pub fn popularity_histogram(
+    records: impl IntoIterator<Item = RequestRecord>,
+) -> Vec<(u64, u64)> {
+    let mut counts: HashMap<ObjectId, u64> = HashMap::new();
+    for r in records {
+        *counts.entry(r.object).or_default() += 1;
+    }
+    let mut hist: HashMap<u64, u64> = HashMap::new();
+    for c in counts.into_values() {
+        *hist.entry(c).or_default() += 1;
+    }
+    let mut out: Vec<(u64, u64)> = hist.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Phase;
+    use adc_core::ClientId;
+
+    fn stream(objects: &[u64]) -> Vec<RequestRecord> {
+        objects
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| RequestRecord {
+                seq: i as u64,
+                client: ClientId::new(0),
+                object: ObjectId::new(o),
+                size: 100,
+                phase: Phase::RequestI,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stats_on_simple_stream() {
+        let s = trace_stats(stream(&[1, 2, 1, 3, 1, 2]));
+        assert_eq!(s.requests, 6);
+        assert_eq!(s.distinct_objects, 3);
+        assert!((s.recurrence_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(s.top_object_requests, 3);
+        assert!((s.mean_requests_per_object - 2.0).abs() < 1e-12);
+        assert_eq!(s.total_bytes, 600);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = trace_stats(stream(&[]));
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.recurrence_ratio, 0.0);
+        assert_eq!(s.zipf_alpha, None);
+    }
+
+    #[test]
+    fn alpha_estimate_recovers_generated_alpha() {
+        // Generate a real Zipf stream and check the estimator lands near
+        // the generating exponent.
+        let workload: Vec<_> = crate::StationaryZipf::new(500, 0.9, 4, 3)
+            .take(100_000)
+            .collect();
+        let s = trace_stats(workload);
+        let alpha = s.zipf_alpha.expect("enough data");
+        assert!(
+            (alpha - 0.9).abs() < 0.15,
+            "estimated {alpha}, generated 0.9"
+        );
+    }
+
+    #[test]
+    fn gaps_identify_hot_objects() {
+        // Object 1 appears every 2 positions, object 2 every 4.
+        let s = stream(&[1, 2, 1, 9, 1, 2, 1, 8, 1]);
+        let gaps = mean_inter_request_gaps(s);
+        let gap_of = |o: u64| {
+            gaps.iter()
+                .find(|(obj, _)| obj.raw() == o)
+                .map(|&(_, g)| g)
+                .unwrap()
+        };
+        assert_eq!(gap_of(1), 2.0);
+        assert_eq!(gap_of(2), 4.0);
+        // Sorted ascending: hottest (smallest gap) first.
+        assert_eq!(gaps[0].0.raw(), 1);
+        // One-timers excluded.
+        assert!(gaps.iter().all(|(o, _)| o.raw() != 9));
+    }
+
+    #[test]
+    fn histogram_counts_objects_by_frequency() {
+        let h = popularity_histogram(stream(&[1, 1, 1, 2, 2, 3]));
+        assert_eq!(h, vec![(1, 1), (2, 1), (3, 1)]);
+        let h = popularity_histogram(stream(&[1, 2, 3, 4]));
+        assert_eq!(h, vec![(1, 4)]);
+    }
+
+    #[test]
+    fn alpha_none_for_degenerate() {
+        assert_eq!(zipf_alpha_estimate(&[1, 1, 1]), None);
+        assert_eq!(zipf_alpha_estimate(&[5, 5]), None);
+        // All-equal frequencies give slope 0 → alpha ≈ 0.
+        let alpha = zipf_alpha_estimate(&[5, 5, 5, 5]).unwrap();
+        assert!(alpha.abs() < 1e-9);
+    }
+}

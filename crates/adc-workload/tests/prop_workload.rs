@@ -1,0 +1,111 @@
+//! Property-based tests of the workload generators.
+
+use adc_workload::{Phase, PolygraphConfig, SizeModel, StationaryZipf, Zipf};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = PolygraphConfig> {
+    (
+        10u64..500,
+        10u64..500,
+        1usize..100,
+        0.0f64..1.0,
+        0.0f64..0.2,
+        0.0f64..1.5,
+        1u32..20,
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(fill, phase, hot, rec, fill_rec, alpha, clients, seed, replay)| PolygraphConfig {
+                fill_requests: fill,
+                phase_requests: phase,
+                hot_set: hot,
+                recurrence: rec,
+                fill_recurrence: fill_rec,
+                zipf_alpha: alpha,
+                clients,
+                seed,
+                exact_replay: replay,
+                size_model: SizeModel::default(),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The generator yields exactly `total_requests` records with
+    /// consecutive sequence numbers, correct phase tags and in-range
+    /// clients, for any configuration.
+    #[test]
+    fn polygraph_structure(config in arb_config()) {
+        let records: Vec<_> = config.build().collect();
+        prop_assert_eq!(records.len() as u64, config.total_requests());
+        for (i, r) in records.iter().enumerate() {
+            prop_assert_eq!(r.seq, i as u64);
+            prop_assert_eq!(r.phase, config.phase_of(r.seq));
+            prop_assert!(r.client.raw() < config.clients);
+            prop_assert!(r.size >= 1);
+        }
+    }
+
+    /// Exact replay: phase II's object sequence equals phase I's.
+    #[test]
+    fn polygraph_replay(config in arb_config()) {
+        let config = PolygraphConfig { exact_replay: true, ..config };
+        let records: Vec<_> = config.build().collect();
+        let f = config.fill_requests as usize;
+        let p = config.phase_requests as usize;
+        let phase1: Vec<_> = records[f..f + p].iter().map(|r| r.object).collect();
+        let phase2: Vec<_> = records[f + p..].iter().map(|r| r.object).collect();
+        prop_assert_eq!(phase1, phase2);
+    }
+
+    /// Determinism: the same config yields the same stream; a different
+    /// seed yields a different one (overwhelmingly likely for non-trivial
+    /// streams).
+    #[test]
+    fn polygraph_deterministic(config in arb_config()) {
+        let a: Vec<_> = config.build().collect();
+        let b: Vec<_> = config.build().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Zipf samples stay in range and rank popularity is monotone in the
+    /// PMF for any alpha.
+    #[test]
+    fn zipf_pmf_monotone(n in 2usize..200, alpha in 0.0f64..2.0) {
+        let z = Zipf::new(n, alpha);
+        let mut last = f64::INFINITY;
+        let mut total = 0.0;
+        for r in 0..n {
+            let p = z.pmf(r);
+            prop_assert!(p <= last + 1e-12);
+            prop_assert!(p >= 0.0);
+            last = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// StationaryZipf only emits objects inside the universe.
+    #[test]
+    fn stationary_zipf_in_universe(universe in 1usize..100, seed in any::<u64>()) {
+        for r in StationaryZipf::new(universe, 0.8, 3, seed).take(200) {
+            prop_assert!(r.object.raw() < universe as u64);
+            prop_assert_eq!(r.phase, Phase::RequestI);
+        }
+    }
+
+    /// Size model is deterministic and respects its clamps for arbitrary
+    /// object IDs.
+    #[test]
+    fn size_model_clamped(ids in prop::collection::vec(any::<u64>(), 1..100)) {
+        let m = SizeModel::default();
+        for id in ids {
+            let s = m.size_of(adc_core::ObjectId::new(id));
+            prop_assert!(s >= m.min_bytes && s <= m.max_bytes);
+            prop_assert_eq!(s, m.size_of(adc_core::ObjectId::new(id)));
+        }
+    }
+}

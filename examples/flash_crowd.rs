@@ -1,0 +1,80 @@
+//! Flash crowd: a suddenly popular object (breaking news) hits the proxy
+//! farm. This is exactly the bottleneck scenario that motivated ADC's
+//! selective caching (§II.2 of the paper: the earlier SOAP design "was
+//! not able to deal ideally with bottleneck situations").
+//!
+//! ADC replicates the hot object at *every* proxy — each proxy's own
+//! measurements admit it to the local cache — while hash routing pins it
+//! to a single owner that becomes the bottleneck.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example flash_crowd
+//! ```
+
+use adc::prelude::*;
+
+fn flash_workload() -> FlashCrowd {
+    // 60k background Zipf requests over 5k objects; between request 20k
+    // and 40k, 70% of traffic piles onto one object.
+    FlashCrowd::new(5_000, 0.8, 50, 42, 20_000, 40_000, 0.7)
+}
+
+fn main() {
+    let proxies = 5;
+    let total = 60_000usize;
+
+    // --- ADC ---
+    let config = AdcConfig::builder()
+        .single_capacity(2_000)
+        .multiple_capacity(2_000)
+        .cache_capacity(1_000)
+        .max_hops(16)
+        .build();
+    let workload = flash_workload();
+    let hot = workload.hot_object;
+    let agents = adc::adc_cluster(proxies, config);
+    let sim = Simulation::new(agents, SimConfig::fast());
+    let (adc_report, adc_agents) = sim.run_with_agents(workload.take(total));
+
+    // --- CARP ---
+    let workload = flash_workload();
+    let carp_agents = adc::carp_cluster(proxies, 1_000);
+    let sim = Simulation::new(carp_agents, SimConfig::fast());
+    let (carp_report, carp_agents) = sim.run_with_agents(workload.take(total));
+
+    println!("flash crowd: one object takes 70% of traffic for 20k requests\n");
+
+    let adc_copies = adc_agents.iter().filter(|a| a.is_cached(hot)).count();
+    let carp_copies = carp_agents.iter().filter(|a| a.is_cached(hot)).count();
+    println!("copies of the hot object after the run:");
+    println!("  ADC  : {adc_copies} of {proxies} proxies hold it");
+    println!("  CARP : {carp_copies} of {proxies} proxies hold it (the hash owner)");
+
+    // Load concentration: how unevenly were requests spread during the
+    // run? (CARP funnels every hot request to one owner.)
+    let spread = |per_proxy: &[ProxyStats]| {
+        let max = per_proxy.iter().map(|p| p.requests_received).max().unwrap_or(0);
+        let min = per_proxy.iter().map(|p| p.requests_received).min().unwrap_or(0);
+        (max, min)
+    };
+    let (adc_max, adc_min) = spread(&adc_report.per_proxy);
+    let (carp_max, carp_min) = spread(&carp_report.per_proxy);
+    println!("\nper-proxy request load (max / min):");
+    println!(
+        "  ADC  : {adc_max} / {adc_min} (imbalance {:.2}x)",
+        adc_max as f64 / adc_min.max(1) as f64
+    );
+    println!(
+        "  CARP : {carp_max} / {carp_min} (imbalance {:.2}x)",
+        carp_max as f64 / carp_min.max(1) as f64
+    );
+
+    println!("\nhit rates over the whole run:");
+    println!("  ADC  : {:.4}", adc_report.hit_rate());
+    println!("  CARP : {:.4}", carp_report.hit_rate());
+    println!("\nmean hops (ADC replicas answer at the first proxy, 2 hops):");
+    println!("  ADC  : {:.2}", adc_report.mean_hops());
+    println!("  CARP : {:.2}", carp_report.mean_hops());
+}

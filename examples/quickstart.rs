@@ -1,0 +1,78 @@
+//! Quickstart: simulate 5 cooperating ADC proxies against a scaled-down
+//! version of the paper's three-phase workload and print what happened.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adc::prelude::*;
+
+fn main() {
+    // 1/100 of the paper's experiment: ~40k requests, tables 200/200/100.
+    let scale = 0.01;
+    let workload = PolygraphConfig::scaled(scale);
+    let config = AdcConfig::builder()
+        .single_capacity(200)
+        .multiple_capacity(200)
+        .cache_capacity(100)
+        .max_hops(16)
+        .build();
+
+    println!(
+        "simulating {} requests over 5 ADC proxies (tables {}/{}/{})...",
+        workload.total_requests(),
+        config.single_capacity,
+        config.multiple_capacity,
+        config.cache_capacity
+    );
+
+    let agents = adc::adc_cluster(5, config);
+    let sim = Simulation::new(agents, SimConfig::default());
+    let report = sim.run(workload.build());
+
+    println!("\n=== results ===");
+    println!("completed requests : {}", report.completed);
+    println!("overall hit rate   : {:.4}", report.hit_rate());
+    println!(
+        "fill phase         : {:.4} (cold caches, compulsory misses)",
+        report.phase(Phase::Fill).hit_rate()
+    );
+    println!(
+        "request phase I    : {:.4} (the system is learning)",
+        report.phase(Phase::RequestI).hit_rate()
+    );
+    println!(
+        "request phase II   : {:.4} (locations agreed, caches warm)",
+        report.phase(Phase::RequestII).hit_rate()
+    );
+    println!("mean hops          : {:.2}", report.mean_hops());
+    println!(
+        "mean latency       : {:.1} ms",
+        report.latency_us.mean().unwrap_or(0.0) / 1000.0
+    );
+
+    let stats = report.cluster_stats();
+    println!("\n=== self-organization at work ===");
+    println!(
+        "requests forwarded via learned locations : {}",
+        stats.forwards_learned
+    );
+    println!(
+        "requests forwarded via random search     : {}",
+        stats.forwards_random
+    );
+    println!(
+        "searches ended by loop detection         : {}",
+        stats.origin_loops
+    );
+    println!(
+        "cache insertions / evictions             : {} / {}",
+        stats.cache_insertions, stats.cache_evictions
+    );
+    println!(
+        "final cache occupancy per proxy          : {:?}",
+        report.final_cache_sizes
+    );
+}

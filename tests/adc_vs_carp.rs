@@ -1,0 +1,141 @@
+//! Reduced-scale shape checks of the paper's headline comparison
+//! (Figures 11 and 12): the qualitative claims must hold at 1/100 scale.
+
+use adc::prelude::*;
+use adc::sim::Simulation;
+
+const SCALE: f64 = 0.01;
+
+fn workload() -> PolygraphConfig {
+    PolygraphConfig::scaled(SCALE)
+}
+
+fn adc_config() -> AdcConfig {
+    AdcConfig::builder()
+        .single_capacity(200)
+        .multiple_capacity(200)
+        .cache_capacity(100)
+        .max_hops(16)
+        .build()
+}
+
+fn run_adc() -> SimReport {
+    let sim = Simulation::new(adc::adc_cluster(5, adc_config()), SimConfig::fast());
+    sim.run(workload().build())
+}
+
+fn run_carp() -> SimReport {
+    let sim = Simulation::new(adc::carp_cluster(5, 100), SimConfig::fast());
+    sim.run(workload().build())
+}
+
+#[test]
+fn fill_phase_has_almost_no_hits() {
+    let adc = run_adc();
+    assert!(
+        adc.phase(Phase::Fill).hit_rate() < 0.05,
+        "fill phase hit rate {:.4}",
+        adc.phase(Phase::Fill).hit_rate()
+    );
+}
+
+#[test]
+fn adc_learns_phase_two_beats_phase_one() {
+    let adc = run_adc();
+    assert!(
+        adc.phase(Phase::RequestII).hit_rate() > adc.phase(Phase::RequestI).hit_rate(),
+        "no learning visible: I={:.4} II={:.4}",
+        adc.phase(Phase::RequestI).hit_rate(),
+        adc.phase(Phase::RequestII).hit_rate()
+    );
+}
+
+#[test]
+fn steady_state_hit_rates_land_in_the_paper_regime() {
+    // The paper's curves settle around 0.7 for both systems.
+    let adc = run_adc();
+    let carp = run_carp();
+    let adc_p2 = adc.phase(Phase::RequestII).hit_rate();
+    let carp_p2 = carp.phase(Phase::RequestII).hit_rate();
+    assert!(
+        (0.6..=0.8).contains(&adc_p2),
+        "ADC phase II hit rate {adc_p2:.4} outside the paper's regime"
+    );
+    assert!(
+        (0.6..=0.8).contains(&carp_p2),
+        "CARP phase II hit rate {carp_p2:.4} outside the paper's regime"
+    );
+}
+
+#[test]
+fn adc_matches_or_beats_hashing_after_learning() {
+    // "the ADC algorithm drags after the Hashing algorithm ... but is
+    // then after the learning phase is finished quite able to outperform
+    // the hashing algorithm by a minimal margin."
+    let adc = run_adc();
+    let carp = run_carp();
+    let adc_p2 = adc.phase(Phase::RequestII).hit_rate();
+    let carp_p2 = carp.phase(Phase::RequestII).hit_rate();
+    assert!(
+        adc_p2 >= carp_p2 - 0.01,
+        "ADC should be competitive in steady state: adc={adc_p2:.4} carp={carp_p2:.4}"
+    );
+}
+
+#[test]
+fn adc_lags_during_learning() {
+    let adc = run_adc();
+    let carp = run_carp();
+    // During request phase I (learning), hashing leads.
+    assert!(
+        adc.phase(Phase::RequestI).hit_rate() <= carp.phase(Phase::RequestI).hit_rate(),
+        "ADC should lag while learning: adc={:.4} carp={:.4}",
+        adc.phase(Phase::RequestI).hit_rate(),
+        carp.phase(Phase::RequestI).hit_rate()
+    );
+}
+
+#[test]
+fn adc_needs_more_hops_than_hashing() {
+    // Figure 12: "on average, the ADC algorithm needs two more hops than
+    // the hashing algorithm". Direction and rough magnitude must hold.
+    let adc = run_adc();
+    let carp = run_carp();
+    let gap = adc.mean_hops() - carp.mean_hops();
+    assert!(
+        (0.5..=3.0).contains(&gap),
+        "hop gap {gap:.2} (adc {:.2}, carp {:.2})",
+        adc.mean_hops(),
+        carp.mean_hops()
+    );
+}
+
+#[test]
+fn both_systems_complete_every_request() {
+    let total = workload().total_requests();
+    assert_eq!(run_adc().completed, total);
+    assert_eq!(run_carp().completed, total);
+}
+
+#[test]
+fn selective_caching_beats_lru_caching_in_adc() {
+    // §III.4: "our algorithm works better with the approach of selective
+    // caching and an ordered table than a table based on a typical LRU
+    // algorithm." (Ablation A1 at test scale.)
+    let selective = run_adc();
+    let mut lru_config = adc_config();
+    lru_config.policy = CachePolicy::LruAll;
+    let lru = {
+        let agents: Vec<AdcProxy> = (0..5)
+            .map(|i| AdcProxy::new(ProxyId::new(i), 5, lru_config.clone()))
+            .collect();
+        Simulation::new(agents, SimConfig::fast()).run(workload().build())
+    };
+    assert!(
+        selective.phase(Phase::RequestII).hit_rate()
+            >= lru.phase(Phase::RequestII).hit_rate() - 0.02,
+        "selective {:.4} should not trail LRU {:.4}",
+        selective.phase(Phase::RequestII).hit_rate(),
+        lru.phase(Phase::RequestII).hit_rate()
+    );
+}

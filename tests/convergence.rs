@@ -1,0 +1,149 @@
+//! Integration tests of ADC's self-organization claims: proxies converge
+//! on agreed object locations without a coordinator or broadcasts.
+
+use adc::prelude::*;
+use adc::sim::Simulation;
+
+fn small_config() -> AdcConfig {
+    AdcConfig::builder()
+        .single_capacity(512)
+        .multiple_capacity(512)
+        .cache_capacity(256)
+        .max_hops(16)
+        .build()
+}
+
+/// Runs a stationary Zipf workload and returns report + agents.
+fn run_zipf(
+    proxies: u32,
+    universe: usize,
+    requests: usize,
+) -> (SimReport, Vec<AdcProxy>) {
+    let agents = adc::adc_cluster(proxies, small_config());
+    let sim = Simulation::new(agents, SimConfig::fast());
+    sim.run_with_agents(StationaryZipf::new(universe, 0.9, 16, 7).take(requests))
+}
+
+#[test]
+fn hot_objects_get_agreed_locations() {
+    let (_, agents) = run_zipf(5, 500, 30_000);
+    // For each of the hottest objects, every proxy that has a mapping
+    // must point at a proxy that actually caches the object.
+    let mut dangling = 0;
+    let mut checked = 0;
+    for hot_rank in 0..20u64 {
+        let object = ObjectId::new(hot_rank);
+        for agent in &agents {
+            if let Some(entry) = agent.tables().lookup(object) {
+                checked += 1;
+                let target = entry.location.resolve(agent.proxy_id());
+                if !agents[target.raw() as usize].is_cached(object) {
+                    dangling += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= 50, "hot objects should be widely mapped");
+    // A small transient fraction of stale pointers is expected (entries
+    // updated before the latest displacement), but agreement must
+    // dominate.
+    assert!(
+        (dangling as f64) < 0.1 * checked as f64,
+        "{dangling}/{checked} mappings dangle"
+    );
+}
+
+#[test]
+fn hottest_objects_replicate_to_many_proxies() {
+    let (_, agents) = run_zipf(5, 500, 30_000);
+    // "our proxy objects maintain multiple copies of the frequently
+    // requested documents" — the top objects should be cached at more
+    // than one proxy.
+    let copies: Vec<usize> = (0..5u64)
+        .map(|rank| {
+            agents
+                .iter()
+                .filter(|a| a.is_cached(ObjectId::new(rank)))
+                .count()
+        })
+        .collect();
+    assert!(
+        copies.iter().any(|&c| c >= 2),
+        "hottest objects should be replicated: {copies:?}"
+    );
+}
+
+#[test]
+fn tail_objects_keep_few_copies() {
+    let (_, agents) = run_zipf(5, 500, 30_000);
+    // "...and reduce the number of copies in situations where only few
+    // requests for a particular object are experienced."
+    let tail_copies: usize = (400..500u64)
+        .map(|rank| {
+            agents
+                .iter()
+                .filter(|a| a.is_cached(ObjectId::new(rank)))
+                .count()
+        })
+        .sum();
+    let head_copies: usize = (0..100u64)
+        .map(|rank| {
+            agents
+                .iter()
+                .filter(|a| a.is_cached(ObjectId::new(rank)))
+                .count()
+        })
+        .sum();
+    assert!(
+        head_copies > 2 * tail_copies,
+        "head {head_copies} vs tail {tail_copies}"
+    );
+}
+
+#[test]
+fn mapping_table_invariants_hold_after_long_runs() {
+    let (_, agents) = run_zipf(4, 1_000, 20_000);
+    for agent in &agents {
+        agent.tables().assert_invariants();
+        // The cached table and the agent's notion of cached agree.
+        for entry in agent.tables().cached().iter() {
+            assert!(agent.is_cached(entry.object));
+        }
+        assert_eq!(agent.cached_objects(), agent.tables().cached().len());
+        // No pending requests leak in a completed sequential run.
+        assert_eq!(agent.pending_requests(), 0);
+    }
+}
+
+#[test]
+fn learning_reduces_random_search_over_time() {
+    let agents = adc::adc_cluster(5, small_config());
+    let sim = Simulation::new(agents, SimConfig::fast());
+    let (_, agents) = sim.run_with_agents(StationaryZipf::new(300, 0.9, 16, 3).take(20_000));
+    let stats: ProxyStats = agents.iter().fold(ProxyStats::default(), |mut acc, a| {
+        acc.merge(a.stats());
+        acc
+    });
+    // After warm-up the dominant mode must be either a local hit or a
+    // learned forward, not random search.
+    let informed = stats.local_hits + stats.forwards_learned + stats.origin_this_miss;
+    assert!(
+        informed > stats.forwards_random,
+        "system failed to learn: informed={informed} random={}",
+        stats.forwards_random
+    );
+}
+
+#[test]
+fn single_proxy_behaves_like_a_plain_selective_cache() {
+    let agents = adc::adc_cluster(1, small_config());
+    let sim = Simulation::new(agents, SimConfig::fast());
+    let report = sim.run(StationaryZipf::new(100, 1.0, 4, 9).take(5_000));
+    // Universe 100 fits in the 256-slot cache: near-perfect hits after
+    // warm-up.
+    assert!(
+        report.hit_rate() > 0.9,
+        "single proxy hit rate {:.3}",
+        report.hit_rate()
+    );
+}

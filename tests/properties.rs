@@ -1,0 +1,129 @@
+//! Cross-crate property-based tests: whatever the workload, the system's
+//! conservation laws and structural invariants must hold.
+
+use adc::prelude::*;
+use adc::sim::Simulation;
+use adc::workload::RequestRecord;
+use proptest::prelude::*;
+
+fn arb_records(max_len: usize, universe: u64, clients: u32) -> impl Strategy<Value = Vec<RequestRecord>> {
+    prop::collection::vec((0..universe, 0..clients), 1..max_len).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (object, client))| RequestRecord {
+                seq: i as u64,
+                client: ClientId::new(client),
+                object: ObjectId::new(object),
+                size: 64,
+                phase: Phase::RequestI,
+            })
+            .collect()
+    })
+}
+
+fn tiny_adc(n: u32, max_hops: u32) -> Vec<AdcProxy> {
+    let config = AdcConfig::builder()
+        .single_capacity(32)
+        .multiple_capacity(16)
+        .cache_capacity(8)
+        .max_hops(max_hops)
+        .build();
+    adc::adc_cluster(n, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every injected request completes exactly once, whatever the mix.
+    #[test]
+    fn adc_conserves_requests(records in arb_records(300, 40, 6), proxies in 1u32..6) {
+        let total = records.len() as u64;
+        let sim = Simulation::new(tiny_adc(proxies, 8), SimConfig::fast());
+        let report = sim.run(records);
+        prop_assert_eq!(report.completed, total);
+        prop_assert!(report.hits <= total);
+    }
+
+    /// Hop counts are bounded: at least 2 (client→proxy→client), at most
+    /// 2 * (max_hops + 3) for the longest loop-terminated search.
+    #[test]
+    fn adc_hop_bounds(records in arb_records(200, 30, 4), max_hops in 1u32..10) {
+        let sim = Simulation::new(tiny_adc(3, max_hops), SimConfig::fast());
+        let report = sim.run(records);
+        if let (Some(min), Some(max)) = (report.hops.min(), report.hops.max()) {
+            prop_assert!(min >= 2.0, "min hops {min}");
+            let bound = 2.0 * (max_hops as f64 + 3.0);
+            prop_assert!(max <= bound, "max hops {max} > bound {bound}");
+        }
+    }
+
+    /// The first request for any object can never be a hit, and hits only
+    /// happen for objects requested before.
+    #[test]
+    fn first_sighting_never_hits(records in arb_records(200, 60, 4)) {
+        let first_is_unique = records.iter().map(|r| r.object).collect::<Vec<_>>();
+        let sim = Simulation::new(tiny_adc(3, 8), SimConfig::fast());
+        let report = sim.run(records);
+        // Hits <= number of repeat requests.
+        let mut seen = std::collections::HashSet::new();
+        let repeats = first_is_unique.iter().filter(|o| !seen.insert(**o)).count() as u64;
+        prop_assert!(report.hits <= repeats, "hits {} > repeats {repeats}", report.hits);
+    }
+
+    /// Table invariants survive arbitrary workloads, and no pending
+    /// request leaks after a sequential run.
+    #[test]
+    fn invariants_after_arbitrary_runs(records in arb_records(300, 50, 5), proxies in 1u32..5) {
+        let sim = Simulation::new(tiny_adc(proxies, 6), SimConfig::fast());
+        let (_, agents) = sim.run_with_agents(records);
+        for agent in &agents {
+            agent.tables().assert_invariants();
+            prop_assert_eq!(agent.pending_requests(), 0);
+            prop_assert!(agent.cached_objects() <= 8);
+        }
+    }
+
+    /// CARP conserves requests and respects its tighter hop bound
+    /// (client→p1→owner→origin→owner→client = 5).
+    #[test]
+    fn carp_conserves_and_bounds(records in arb_records(300, 40, 6), proxies in 1u32..6) {
+        let total = records.len() as u64;
+        let sim = Simulation::new(adc::carp_cluster(proxies, 8), SimConfig::fast());
+        let report = sim.run(records);
+        prop_assert_eq!(report.completed, total);
+        if let Some(max) = report.hops.max() {
+            prop_assert!(max <= 5.0, "CARP max hops {max}");
+        }
+    }
+
+    /// Deterministic: the same records give byte-identical series.
+    #[test]
+    fn runs_are_reproducible(records in arb_records(150, 30, 4)) {
+        let run = |records: Vec<RequestRecord>| {
+            let sim = Simulation::new(tiny_adc(3, 8), SimConfig::fast());
+            sim.run(records)
+        };
+        let a = run(records.clone());
+        let b = run(records);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.hits, b.hits);
+        prop_assert_eq!(a.messages_delivered, b.messages_delivered);
+        prop_assert_eq!(a.hit_series, b.hit_series);
+    }
+
+    /// Message conservation: hops counted per flow sum to the number of
+    /// distinct-node deliveries.
+    #[test]
+    fn hops_sum_matches_deliveries(records in arb_records(200, 30, 4)) {
+        let sim = Simulation::new(tiny_adc(3, 8), SimConfig::fast());
+        let report = sim.run(records);
+        // Every delivery between distinct nodes is attributed to a flow;
+        // self-deliveries are free. So sum(hops) <= messages_delivered.
+        let hop_sum = report.hops.sum();
+        prop_assert!(hop_sum <= report.messages_delivered as f64);
+        // And the total message count cannot be less than 4x completed
+        // misses (per-request round trips) or 2x hits.
+        prop_assert!(report.messages_delivered as f64 >= 2.0 * report.completed as f64);
+    }
+}

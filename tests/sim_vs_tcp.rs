@@ -1,0 +1,59 @@
+//! Cross-runtime validation: the same ADC agents driven by the
+//! deterministic simulator and by the real TCP runtime must produce
+//! equivalent caching behaviour on the same workload.
+//!
+//! This is the reproduction of the paper's own sanity check: "a
+//! simulation running on a powerful one Gigabyte memory machine returns
+//! the same results as a run spread over a distributed set of machines".
+//! Exact equality is not expected (the two runtimes draw different
+//! random peers), but hit rates must agree closely.
+
+use adc::prelude::*;
+use adc::net::drive_workload;
+use adc::sim::Simulation;
+use adc::workload::RequestRecord;
+use std::time::Duration;
+
+fn config() -> AdcConfig {
+    AdcConfig::builder()
+        .single_capacity(256)
+        .multiple_capacity(256)
+        .cache_capacity(128)
+        .max_hops(8)
+        .build()
+}
+
+fn workload() -> Vec<RequestRecord> {
+    StationaryZipf::new(80, 0.9, 6, 42).take(1_200).collect()
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn simulator_and_tcp_runtime_agree_on_hit_rates() {
+    // Simulator run.
+    let agents = adc::adc_cluster(3, config());
+    let sim_report = Simulation::new(agents, SimConfig::fast()).run(workload());
+    let sim_hit = sim_report.hit_rate();
+
+    // Real TCP run over localhost with the same agent code.
+    let cluster = Cluster::spawn_adc(3, config()).await.expect("spawn cluster");
+    let tcp_report = drive_workload(&cluster, workload(), Duration::from_secs(10))
+        .await
+        .expect("drive workload");
+    assert_eq!(tcp_report.completed, 1_200);
+    assert_eq!(tcp_report.timeouts, 0);
+    let tcp_hit = tcp_report.hit_rate();
+
+    assert!(
+        (sim_hit - tcp_hit).abs() < 0.08,
+        "runtimes disagree: sim {sim_hit:.4} vs tcp {tcp_hit:.4}"
+    );
+    // Both runtimes learn: a Zipf(0.9) stream over 80 objects with 384
+    // aggregate cache slots must hit a lot.
+    assert!(sim_hit > 0.5, "sim hit rate {sim_hit:.4}");
+    assert!(tcp_hit > 0.5, "tcp hit rate {tcp_hit:.4}");
+
+    // The cluster's internal counters line up with the driver's view.
+    let stats = cluster.cluster_stats();
+    assert!(stats.requests_received >= 1_200);
+    assert!(stats.local_hits as f64 >= tcp_report.hits as f64 * 0.9);
+}
