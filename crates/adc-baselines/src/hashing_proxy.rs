@@ -49,7 +49,11 @@ impl CarpProxy {
     pub fn new(id: ProxyId, num_proxies: u32, cache_capacity: usize) -> Self {
         assert!(num_proxies > 0, "need at least one proxy");
         assert!(id.raw() < num_proxies, "proxy id out of range");
-        HashingProxy::with_owner_map(id, Hrw::new((0..num_proxies).map(ProxyId::new)), cache_capacity)
+        HashingProxy::with_owner_map(
+            id,
+            Hrw::new((0..num_proxies).map(ProxyId::new)),
+            cache_capacity,
+        )
     }
 }
 
@@ -234,8 +238,7 @@ mod tests {
         };
         assert_eq!(p.pending_requests(), 1);
 
-        let Action::Send { to, message } =
-            p.on_reply(Reply::from_origin(&forwarded, 10)).unwrap();
+        let Action::Send { to, message } = p.on_reply(Reply::from_origin(&forwarded, 10)).unwrap();
         assert_eq!(to, NodeId::Client(ClientId::new(1)));
         match message {
             Message::Reply(r) => {

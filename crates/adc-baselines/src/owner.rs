@@ -103,11 +103,8 @@ impl ConsistentRing {
                 // object hash (objects and vnode indexes are both small
                 // integers; identical inputs would pin every low-numbered
                 // object onto one proxy's vnodes).
-                let point = mix(
-                    (u64::from(p.raw()) + 1)
-                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                        ^ (v as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
-                );
+                let point = mix((u64::from(p.raw()) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ (v as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
                 ring.insert(point, p);
             }
         }
@@ -167,10 +164,7 @@ mod tests {
         }
         for (&p, &c) in &counts {
             let share = c as f64 / n as f64;
-            assert!(
-                (share - 0.2).abs() < 0.02,
-                "proxy {p} got share {share:.3}"
-            );
+            assert!((share - 0.2).abs() < 0.02, "proxy {p} got share {share:.3}");
         }
     }
 
@@ -233,7 +227,10 @@ mod tests {
             max < 70,
             "low object IDs concentrate on one proxy: {counts:?}"
         );
-        assert!(counts.iter().all(|&c| c > 0), "some proxy owns nothing: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "some proxy owns nothing: {counts:?}"
+        );
     }
 
     #[test]

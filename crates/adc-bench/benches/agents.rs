@@ -5,8 +5,8 @@
 
 use adc_baselines::CarpProxy;
 use adc_core::{
-    Action, AdcConfig, AdcProxy, CacheAgent, ClientId, Message, ObjectId, ProxyId, Reply,
-    Request, RequestId,
+    Action, AdcConfig, AdcProxy, CacheAgent, ClientId, Message, ObjectId, ProxyId, Reply, Request,
+    RequestId,
 };
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;

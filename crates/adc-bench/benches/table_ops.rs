@@ -54,21 +54,17 @@ fn bench_ordered_table(c: &mut Criterion) {
 fn bench_update_entry(c: &mut Criterion) {
     let mut group = c.benchmark_group("update_entry");
     for &size in &[1_000usize, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::new("zipf_stream", size),
-            &size,
-            |b, &size| {
-                let mut tables = MappingTables::new(size, size, size / 2, AgingMode::AgedWorst);
-                let zipf = adc_workload::Zipf::new(size * 2, 0.8);
-                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
-                let mut now = 0u64;
-                b.iter(|| {
-                    now += 1;
-                    let obj = ObjectId::new(zipf.sample(&mut rng) as u64);
-                    black_box(tables.update_entry(obj, Location::This, now));
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("zipf_stream", size), &size, |b, &size| {
+            let mut tables = MappingTables::new(size, size, size / 2, AgingMode::AgedWorst);
+            let zipf = adc_workload::Zipf::new(size * 2, 0.8);
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 1;
+                let obj = ObjectId::new(zipf.sample(&mut rng) as u64);
+                black_box(tables.update_entry(obj, Location::This, now));
+            });
+        });
     }
     group.finish();
 }

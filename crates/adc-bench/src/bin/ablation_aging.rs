@@ -43,7 +43,12 @@ fn main() {
 
     eprintln!("ablation A2 (shifting hot set): ADC with aging...");
     let factor = args.scale.factor();
-    let aged_shift = run_shifting(AgingMode::AgedWorst, factor, &experiment.adc, &experiment.sim);
+    let aged_shift = run_shifting(
+        AgingMode::AgedWorst,
+        factor,
+        &experiment.adc,
+        &experiment.sim,
+    );
     eprintln!("ADC without aging...");
     let frozen_shift = run_shifting(AgingMode::Off, factor, &experiment.adc, &experiment.sim);
 
@@ -61,7 +66,13 @@ fn main() {
     };
     csv::write_file(
         &path,
-        &["workload", "aging", "hit_rate", "phase2_hit_rate", "mean_hops"],
+        &[
+            "workload",
+            "aging",
+            "hit_rate",
+            "phase2_hit_rate",
+            "mean_hops",
+        ],
         vec![
             row("polygraph", "aged_worst", &aged),
             row("polygraph", "off", &frozen),

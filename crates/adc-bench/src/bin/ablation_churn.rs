@@ -8,9 +8,9 @@
 
 use adc_bench::output::{apply_args, print_run_summary};
 use adc_bench::{BenchArgs, Experiment};
+use adc_core::ProxyId;
 use adc_metrics::csv;
 use adc_sim::{ChurnEvent, Simulation};
-use adc_core::ProxyId;
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -41,8 +41,8 @@ fn main() {
     let adc = Simulation::new(experiment.adc_agents(), sim_config.clone())
         .run(experiment.workload.build());
     eprintln!("CARP under churn...");
-    let carp = Simulation::new(experiment.carp_agents(), sim_config)
-        .run(experiment.workload.build());
+    let carp =
+        Simulation::new(experiment.carp_agents(), sim_config).run(experiment.workload.build());
     eprintln!("ADC baseline without churn...");
     let adc_clean = experiment.run_adc();
 
@@ -55,8 +55,12 @@ fn main() {
     carp_series.name = "hashing_churn".into();
     let mut clean_series = adc_clean.hit_series.clone();
     clean_series.name = "adc_clean".into();
-    csv::write_series_file(&path, "requests", &[&adc_series, &carp_series, &clean_series])
-        .expect("write ablation CSV");
+    csv::write_series_file(
+        &path,
+        "requests",
+        &[&adc_series, &carp_series, &clean_series],
+    )
+    .expect("write ablation CSV");
 
     println!("Ablation A4 — proxy churn ({} restarts)", churn.len());
     print_run_summary("ADC with churn", &adc);

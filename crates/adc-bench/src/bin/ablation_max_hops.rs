@@ -3,17 +3,40 @@
 //! The paper lists the maximum number of forwardings as a configurable
 //! parameter but leaves its study to future work. This binary sweeps the
 //! limit and reports the hit-rate / hops trade-off: a tight limit cuts
-//! search cost but aborts searches to the origin early.
+//! search cost but aborts searches to the origin early. The six runs
+//! execute on the `--jobs` worker pool against one shared trace.
 
 use adc_bench::output::apply_args;
+use adc_bench::parallel::{run_jobs, ExperimentJob};
 use adc_bench::{BenchArgs, Experiment};
 use adc_metrics::csv;
+use adc_sim::SimReport;
 
 const LIMITS: [u32; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
     let args = BenchArgs::from_env();
     let experiment = apply_args(Experiment::at_scale(args.scale), &args);
+    let trace = experiment.trace();
+
+    let jobs: Vec<ExperimentJob<SimReport>> = LIMITS
+        .iter()
+        .map(|&limit| {
+            let (e, t) = (experiment.clone(), trace.clone());
+            ExperimentJob::new(format!("max_hops={limit}"), move || {
+                let mut adc = e.adc.clone();
+                adc.max_hops = limit;
+                e.run_adc_with_on(adc, &t)
+            })
+        })
+        .collect();
+    eprintln!(
+        "running {} hop-limit points on {} worker{}...",
+        jobs.len(),
+        args.jobs,
+        if args.jobs == 1 { "" } else { "s" }
+    );
+    let reports = run_jobs(jobs, args.jobs);
 
     let mut rows = Vec::new();
     println!("Ablation A3 — max-hops sensitivity (5 proxies)");
@@ -21,11 +44,7 @@ fn main() {
         "{:>9} {:>10} {:>12} {:>10} {:>14}",
         "max_hops", "hit_rate", "phase2_hit", "mean_hops", "origin_maxhops"
     );
-    for limit in LIMITS {
-        eprintln!("running ADC with max_hops={limit}...");
-        let mut adc = experiment.adc.clone();
-        adc.max_hops = limit;
-        let report = experiment.run_adc_with(adc);
+    for (&limit, report) in LIMITS.iter().zip(&reports) {
         let aborted = report.cluster_stats().origin_max_hops;
         println!(
             "{limit:>9} {:>10.4} {:>12.4} {:>10.3} {aborted:>14}",

@@ -5,14 +5,17 @@
 //! Scales the cluster from 2 to 10 proxies while keeping the *aggregate*
 //! cache budget fixed (so the experiment isolates coordination cost from
 //! raw capacity): more proxies = more places a random search can fail,
-//! but also more parallel entry points.
+//! but also more parallel entry points. The ten runs (ADC + CARP per
+//! cluster size) execute on the `--jobs` worker pool against one shared
+//! trace.
 
-use adc_bench::output::apply_args;
-use adc_bench::{BenchArgs, Experiment};
 use adc_baselines::CarpProxy;
+use adc_bench::output::apply_args;
+use adc_bench::parallel::{run_jobs, ExperimentJob};
+use adc_bench::{BenchArgs, Experiment};
 use adc_core::{AdcProxy, ProxyId};
 use adc_metrics::csv;
-use adc_sim::Simulation;
+use adc_sim::SimReport;
 
 const CLUSTER_SIZES: [u32; 5] = [2, 3, 5, 8, 10];
 
@@ -23,13 +26,9 @@ fn main() {
     let aggregate_cache = base.adc.cache_capacity * 5;
     let aggregate_single = base.adc.single_capacity * 5;
     let aggregate_multiple = base.adc.multiple_capacity * 5;
+    let trace = base.trace();
 
-    println!("Ablation A6 — cluster size (aggregate table budget held fixed)");
-    println!(
-        "{:>8} | {:>9} {:>11} {:>7} | {:>9} {:>11} {:>7}",
-        "proxies", "adc_hit", "adc_p2", "hops", "carp_hit", "carp_p2", "hops"
-    );
-    let mut rows = Vec::new();
+    let mut jobs: Vec<ExperimentJob<SimReport>> = Vec::new();
     for n in CLUSTER_SIZES {
         let adc_config = adc_core::AdcConfig::builder()
             .single_capacity((aggregate_single / n as usize).max(16))
@@ -37,18 +36,40 @@ fn main() {
             .cache_capacity((aggregate_cache / n as usize).max(16))
             .max_hops(base.adc.max_hops)
             .build();
-        let adc_agents: Vec<AdcProxy> = (0..n)
-            .map(|i| AdcProxy::new(ProxyId::new(i), n, adc_config.clone()))
-            .collect();
-        eprintln!("running ADC with {n} proxies...");
-        let adc = Simulation::new(adc_agents, base.sim.clone()).run(base.workload.build());
+        let (e, t) = (base.clone(), trace.clone());
+        jobs.push(ExperimentJob::new(format!("adc n={n}"), move || {
+            let agents: Vec<AdcProxy> = (0..n)
+                .map(|i| AdcProxy::new(ProxyId::new(i), n, adc_config.clone()))
+                .collect();
+            e.run_agents_on(agents, &t).0
+        }));
 
-        let carp_agents: Vec<CarpProxy> = (0..n)
-            .map(|i| CarpProxy::new(ProxyId::new(i), n, (aggregate_cache / n as usize).max(16)))
-            .collect();
-        eprintln!("running CARP with {n} proxies...");
-        let carp = Simulation::new(carp_agents, base.sim.clone()).run(base.workload.build());
+        let carp_cache = (aggregate_cache / n as usize).max(16);
+        let (e, t) = (base.clone(), trace.clone());
+        jobs.push(ExperimentJob::new(format!("carp n={n}"), move || {
+            let agents: Vec<CarpProxy> = (0..n)
+                .map(|i| CarpProxy::new(ProxyId::new(i), n, carp_cache))
+                .collect();
+            e.run_agents_on(agents, &t).0
+        }));
+    }
+    eprintln!(
+        "running {} cluster-size points on {} worker{}...",
+        jobs.len(),
+        args.jobs,
+        if args.jobs == 1 { "" } else { "s" }
+    );
+    let reports = run_jobs(jobs, args.jobs);
 
+    println!("Ablation A6 — cluster size (aggregate table budget held fixed)");
+    println!(
+        "{:>8} | {:>9} {:>11} {:>7} | {:>9} {:>11} {:>7}",
+        "proxies", "adc_hit", "adc_p2", "hops", "carp_hit", "carp_p2", "hops"
+    );
+    let mut rows = Vec::new();
+    for (i, &n) in CLUSTER_SIZES.iter().enumerate() {
+        let adc = &reports[2 * i];
+        let carp = &reports[2 * i + 1];
         println!(
             "{n:>8} | {:>9.4} {:>11.4} {:>7.3} | {:>9.4} {:>11.4} {:>7.3}",
             adc.hit_rate(),

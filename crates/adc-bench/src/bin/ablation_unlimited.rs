@@ -4,38 +4,57 @@
 //!
 //! Runs both designs over the headline workload and reports hit rate,
 //! hops and — the point of the bounded design — mapping-table memory.
+//! The two runs execute on the `--jobs` worker pool against one shared
+//! trace.
 
 use adc_bench::output::{apply_args, print_run_summary};
+use adc_bench::parallel::{run_jobs, ExperimentJob};
 use adc_bench::{BenchArgs, Experiment};
 use adc_core::{ProxyId, UnlimitedAdcProxy};
 use adc_metrics::csv;
-use adc_sim::Simulation;
+use adc_sim::SimReport;
 
 fn main() {
     let args = BenchArgs::from_env();
     let experiment = apply_args(Experiment::at_scale(args.scale), &args);
-
-    eprintln!("ablation A5: bounded three-table ADC...");
-    let bounded = experiment.run_adc();
+    let trace = experiment.trace();
     let bounded_entries = (experiment.adc.single_capacity
         + experiment.adc.multiple_capacity
         + experiment.adc.cache_capacity) as u64
         * u64::from(experiment.proxies);
 
-    eprintln!("unlimited-mapping ADC (the paper's earlier design)...");
-    let agents: Vec<UnlimitedAdcProxy> = (0..experiment.proxies)
-        .map(|i| {
-            UnlimitedAdcProxy::new(
-                ProxyId::new(i),
-                experiment.proxies,
-                experiment.adc.cache_capacity,
-                experiment.adc.max_hops,
-            )
-        })
-        .collect();
-    let sim = Simulation::new(agents, experiment.sim.clone());
-    let (unlimited, agents) = sim.run_with_agents(experiment.workload.build());
-    let unlimited_entries: u64 = agents.iter().map(|a| a.mapping_entries() as u64).sum();
+    eprintln!(
+        "ablation A5: bounded vs unlimited ADC on {} worker{}...",
+        args.jobs,
+        if args.jobs == 1 { "" } else { "s" }
+    );
+    let jobs: Vec<ExperimentJob<(SimReport, u64)>> = vec![
+        {
+            let (e, t) = (experiment.clone(), trace.clone());
+            ExperimentJob::new("bounded", move || (e.run_adc_on(&t), bounded_entries))
+        },
+        {
+            let (e, t) = (experiment.clone(), trace.clone());
+            ExperimentJob::new("unlimited", move || {
+                let agents: Vec<UnlimitedAdcProxy> = (0..e.proxies)
+                    .map(|i| {
+                        UnlimitedAdcProxy::new(
+                            ProxyId::new(i),
+                            e.proxies,
+                            e.adc.cache_capacity,
+                            e.adc.max_hops,
+                        )
+                    })
+                    .collect();
+                let (report, agents) = e.run_agents_on(agents, &t);
+                let entries: u64 = agents.iter().map(|a| a.mapping_entries() as u64).sum();
+                (report, entries)
+            })
+        },
+    ];
+    let mut results = run_jobs(jobs, args.jobs).into_iter();
+    let (bounded, bounded_entries) = results.next().expect("bounded run");
+    let (unlimited, unlimited_entries) = results.next().expect("unlimited run");
 
     let path = args
         .out

@@ -3,14 +3,18 @@
 //!
 //! ADC (bounded and unlimited), SOAP (the per-category predecessor),
 //! CARP/HRW hash routing, consistent-hash routing, a hierarchical caching
-//! tree, and ADC's cache-everything LRU ablation — one row each.
+//! tree, and ADC's cache-everything LRU ablation — one row each. The
+//! seven runs are independent, so they execute on the `--jobs` worker
+//! pool against one shared trace; row order is fixed regardless of which
+//! run finishes first.
 
-use adc_bench::output::apply_args;
-use adc_bench::{BenchArgs, Experiment};
 use adc_baselines::{ConsistentRing, HashingProxy, HierarchyProxy, SoapProxy};
+use adc_bench::output::apply_args;
+use adc_bench::parallel::{run_jobs, ExperimentJob};
+use adc_bench::{BenchArgs, Experiment};
 use adc_core::{CachePolicy, ProxyId, UnlimitedAdcProxy};
 use adc_metrics::csv;
-use adc_sim::{SimReport, Simulation};
+use adc_sim::SimReport;
 
 struct Row {
     name: &'static str,
@@ -22,71 +26,89 @@ fn main() {
     let experiment = apply_args(Experiment::at_scale(args.scale), &args);
     let n = experiment.proxies;
     let cache = experiment.adc.cache_capacity;
-    let mut rows = Vec::new();
+    let trace = experiment.trace();
 
-    eprintln!("running ADC...");
-    rows.push(Row {
-        name: "adc",
-        report: experiment.run_adc(),
-    });
+    let mut jobs: Vec<ExperimentJob<Row>> = Vec::new();
+    let mut push_job = |name: &'static str, run: Box<dyn FnOnce() -> SimReport + Send>| {
+        jobs.push(ExperimentJob::new(name, move || Row {
+            name,
+            report: run(),
+        }));
+    };
 
-    eprintln!("running ADC (LRU-everything ablation)...");
-    let mut lru_cfg = experiment.adc.clone();
-    lru_cfg.policy = CachePolicy::LruAll;
-    rows.push(Row {
-        name: "adc_lru",
-        report: experiment.run_adc_with(lru_cfg),
-    });
+    {
+        let (e, t) = (experiment.clone(), trace.clone());
+        push_job("adc", Box::new(move || e.run_adc_on(&t)));
+    }
+    {
+        let (e, t) = (experiment.clone(), trace.clone());
+        let mut lru_cfg = experiment.adc.clone();
+        lru_cfg.policy = CachePolicy::LruAll;
+        push_job("adc_lru", Box::new(move || e.run_adc_with_on(lru_cfg, &t)));
+    }
+    {
+        let (e, t) = (experiment.clone(), trace.clone());
+        let max_hops = experiment.adc.max_hops;
+        push_job(
+            "adc_unlimited",
+            Box::new(move || {
+                let agents: Vec<UnlimitedAdcProxy> = (0..n)
+                    .map(|i| UnlimitedAdcProxy::new(ProxyId::new(i), n, cache, max_hops))
+                    .collect();
+                e.run_agents_on(agents, &t).0
+            }),
+        );
+    }
+    {
+        let (e, t) = (experiment.clone(), trace.clone());
+        let max_hops = experiment.adc.max_hops;
+        push_job(
+            "soap",
+            Box::new(move || {
+                let agents: Vec<SoapProxy> = (0..n)
+                    .map(|i| SoapProxy::new(ProxyId::new(i), n, 1_024, cache, max_hops))
+                    .collect();
+                e.run_agents_on(agents, &t).0
+            }),
+        );
+    }
+    {
+        let (e, t) = (experiment.clone(), trace.clone());
+        push_job("carp", Box::new(move || e.run_carp_on(&t)));
+    }
+    {
+        let (e, t) = (experiment.clone(), trace.clone());
+        push_job(
+            "consistent",
+            Box::new(move || {
+                let agents: Vec<HashingProxy<ConsistentRing>> = (0..n)
+                    .map(|i| {
+                        HashingProxy::with_owner_map(
+                            ProxyId::new(i),
+                            ConsistentRing::new((0..n).map(ProxyId::new), 128),
+                            cache,
+                        )
+                    })
+                    .collect();
+                e.run_agents_on(agents, &t).0
+            }),
+        );
+    }
+    {
+        let (e, t) = (experiment, trace);
+        push_job(
+            "hierarchy",
+            Box::new(move || e.run_agents_on(HierarchyProxy::binary_tree(n, cache), &t).0),
+        );
+    }
 
-    eprintln!("running ADC (unlimited mapping)...");
-    let agents: Vec<UnlimitedAdcProxy> = (0..n)
-        .map(|i| UnlimitedAdcProxy::new(ProxyId::new(i), n, cache, experiment.adc.max_hops))
-        .collect();
-    rows.push(Row {
-        name: "adc_unlimited",
-        report: Simulation::new(agents, experiment.sim.clone())
-            .run(experiment.workload.build()),
-    });
-
-    eprintln!("running SOAP (per-category predecessor)...");
-    let soap_agents: Vec<SoapProxy> = (0..n)
-        .map(|i| SoapProxy::new(ProxyId::new(i), n, 1_024, cache, experiment.adc.max_hops))
-        .collect();
-    rows.push(Row {
-        name: "soap",
-        report: Simulation::new(soap_agents, experiment.sim.clone())
-            .run(experiment.workload.build()),
-    });
-
-    eprintln!("running CARP (HRW hashing)...");
-    rows.push(Row {
-        name: "carp",
-        report: experiment.run_carp(),
-    });
-
-    eprintln!("running consistent-hash ring...");
-    let ring_agents: Vec<HashingProxy<ConsistentRing>> = (0..n)
-        .map(|i| {
-            HashingProxy::with_owner_map(
-                ProxyId::new(i),
-                ConsistentRing::new((0..n).map(ProxyId::new), 128),
-                cache,
-            )
-        })
-        .collect();
-    rows.push(Row {
-        name: "consistent",
-        report: Simulation::new(ring_agents, experiment.sim.clone())
-            .run(experiment.workload.build()),
-    });
-
-    eprintln!("running hierarchical tree...");
-    let tree = HierarchyProxy::binary_tree(n, cache);
-    rows.push(Row {
-        name: "hierarchy",
-        report: Simulation::new(tree, experiment.sim.clone())
-            .run(experiment.workload.build()),
-    });
+    eprintln!(
+        "running {} schemes on {} worker{}...",
+        jobs.len(),
+        args.jobs,
+        if args.jobs == 1 { "" } else { "s" }
+    );
+    let rows = run_jobs(jobs, args.jobs);
 
     println!(
         "\n{:<14} {:>9} {:>11} {:>9} {:>12} {:>10}",

@@ -34,7 +34,10 @@ fn main() {
     csv::write_series_file(&path, "requests", &[&adc_series, &carp_series])
         .expect("write figure CSV");
 
-    println!("Figure 11 — hit rate (moving average over last {} requests)", experiment.sim.hit_window);
+    println!(
+        "Figure 11 — hit rate (moving average over last {} requests)",
+        experiment.sim.hit_window
+    );
     print_series_table("requests", &[&adc_series, &carp_series], 40);
     println!();
     print_run_summary("ADC", &adc);

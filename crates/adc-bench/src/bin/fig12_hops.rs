@@ -25,11 +25,16 @@ fn main() {
 
     let adc_series = named(&adc.hops_series, "adc");
     let carp_series = named(&carp.hops_series, "hashing");
-    let path = args.out.join(format!("fig12_hops_{}.csv", args.scale.tag()));
+    let path = args
+        .out
+        .join(format!("fig12_hops_{}.csv", args.scale.tag()));
     csv::write_series_file(&path, "requests", &[&adc_series, &carp_series])
         .expect("write figure CSV");
 
-    println!("Figure 12 — hops (moving average over last {} requests)", experiment.sim.hit_window);
+    println!(
+        "Figure 12 — hops (moving average over last {} requests)",
+        experiment.sim.hit_window
+    );
     print_series_table("requests", &[&adc_series, &carp_series], 40);
     println!();
     print_run_summary("ADC", &adc);

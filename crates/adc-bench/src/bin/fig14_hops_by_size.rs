@@ -7,13 +7,14 @@
 //! single-table shows the steepest decline (bigger single-table = more
 //! learned forwarding information retained).
 
-use adc_bench::sweep::{load_or_run_sweep, SweptTable, NOMINAL_SIZES};
+use adc_bench::sweep::{load_or_run_sweep_with, SweepOptions, SweptTable, NOMINAL_SIZES};
 use adc_bench::BenchArgs;
 use adc_metrics::csv;
 
 fn main() {
     let args = BenchArgs::from_env();
-    let points = load_or_run_sweep(&args.out, args.scale).expect("sweep");
+    let points =
+        load_or_run_sweep_with(&args.out, args.scale, SweepOptions::from(&args)).expect("sweep");
 
     let value = |table: SweptTable, nominal: usize| {
         points

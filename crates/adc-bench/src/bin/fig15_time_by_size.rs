@@ -1,27 +1,34 @@
 //! Regenerates **Figure 15: Processing Time by Table Size**.
 //!
-//! Same sweep as Figures 13/14 but plotting the wall-clock time each
-//! simulation took.
+//! Same sweep as Figures 13/14 but plotting the time each simulation
+//! took — both wall-clock seconds and the simulating thread's CPU
+//! seconds.
 //!
 //! Expected shape (paper): growing the single- and multiple-tables slows
 //! the run down (more table work per request), while the caching-table
 //! size has no significant impact. Absolute numbers are not comparable —
 //! the paper measured a Java multi-agent testbed on Pentium-III hosts —
 //! but the ordering of the three curves is the reproduced claim.
+//!
+//! Timing caveat: when the sweep ran with `--jobs > 1`, concurrent runs
+//! share cores and `wall_secs` inflates under contention. The `cpu_*`
+//! columns stay meaningful regardless; to get uncontended wall-clock
+//! numbers, pass `--serial-timing` (re-runs the points sequentially for
+//! timing only) or run the sweep with `--jobs 1`.
 
-use adc_bench::sweep::{load_or_run_sweep, SweptTable, NOMINAL_SIZES};
+use adc_bench::sweep::{load_or_run_sweep_with, SweepOptions, SweptTable, NOMINAL_SIZES};
 use adc_bench::BenchArgs;
 use adc_metrics::csv;
 
 fn main() {
     let args = BenchArgs::from_env();
-    let points = load_or_run_sweep(&args.out, args.scale).expect("sweep");
+    let options = SweepOptions::from(&args);
+    let points = load_or_run_sweep_with(&args.out, args.scale, options).expect("sweep");
 
-    let value = |table: SweptTable, nominal: usize| {
+    let point = |table: SweptTable, nominal: usize| {
         points
             .iter()
             .find(|p| p.table == table && p.nominal_size == nominal)
-            .map(|p| p.wall_secs)
             .expect("complete sweep")
     };
 
@@ -31,27 +38,53 @@ fn main() {
     let rows = NOMINAL_SIZES.iter().map(|&n| {
         vec![
             n.to_string(),
-            format!("{}", value(SweptTable::Caching, n)),
-            format!("{}", value(SweptTable::Multiple, n)),
-            format!("{}", value(SweptTable::Single, n)),
+            format!("{}", point(SweptTable::Caching, n).wall_secs),
+            format!("{}", point(SweptTable::Multiple, n).wall_secs),
+            format!("{}", point(SweptTable::Single, n).wall_secs),
+            format!("{}", point(SweptTable::Caching, n).cpu_secs),
+            format!("{}", point(SweptTable::Multiple, n).cpu_secs),
+            format!("{}", point(SweptTable::Single, n).cpu_secs),
         ]
     });
-    csv::write_file(&path, &["size", "caching", "multiple", "single"], rows)
-        .expect("write figure CSV");
+    csv::write_file(
+        &path,
+        &[
+            "size",
+            "caching",
+            "multiple",
+            "single",
+            "caching_cpu",
+            "multiple_cpu",
+            "single_cpu",
+        ],
+        rows,
+    )
+    .expect("write figure CSV");
 
-    println!("Figure 15 — simulation wall time (s) by table size");
+    println!("Figure 15 — simulation time (s) by table size (wall | cpu)");
     println!(
-        "{:>8} {:>10} {:>10} {:>10}",
-        "size", "caching", "multiple", "single"
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "size", "caching", "multiple", "single", "caching*", "multiple*", "single*"
     );
     for &n in &NOMINAL_SIZES {
         println!(
-            "{n:>8} {:>10.3} {:>10.3} {:>10.3}",
-            value(SweptTable::Caching, n),
-            value(SweptTable::Multiple, n),
-            value(SweptTable::Single, n)
+            "{n:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            point(SweptTable::Caching, n).wall_secs,
+            point(SweptTable::Multiple, n).wall_secs,
+            point(SweptTable::Single, n).wall_secs,
+            point(SweptTable::Caching, n).cpu_secs,
+            point(SweptTable::Multiple, n).cpu_secs,
+            point(SweptTable::Single, n).cpu_secs,
         );
     }
     println!("note: absolute seconds are this machine's; the paper's claim is the curve ordering");
+    println!("      (* = per-thread CPU seconds, robust to parallel execution)");
+    if options.jobs > 1 && !options.serial_timing {
+        println!(
+            "note: sweep ran with {} workers — wall_secs may be inflated by core sharing; \
+             re-run with --serial-timing or --jobs 1 for clean wall-clock numbers",
+            options.jobs
+        );
+    }
     println!("wrote {}", path.display());
 }

@@ -42,13 +42,14 @@ fn main() {
     let sim = Simulation::new(warm_agents, experiment.sim.clone());
     let warm = sim.run(experiment.workload.build());
 
-    let path = args.out.join(format!("prelearned_{}.csv", args.scale.tag()));
+    let path = args
+        .out
+        .join(format!("prelearned_{}.csv", args.scale.tag()));
     let mut cold_series = cold.hit_series.clone();
     cold_series.name = "cold".into();
     let mut warm_series = warm.hit_series.clone();
     warm_series.name = "prelearned".into();
-    csv::write_series_file(&path, "requests", &[&cold_series, &warm_series])
-        .expect("write CSV");
+    csv::write_series_file(&path, "requests", &[&cold_series, &warm_series]).expect("write CSV");
 
     println!("Pre-learned system vs cold start (same request pattern)");
     print_run_summary("cold start", &cold);

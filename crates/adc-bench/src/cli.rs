@@ -4,8 +4,14 @@
 //!
 //! * `--scale ci|full|<factor>` — experiment scale (default `ci`);
 //! * `--out <dir>` — output directory for CSV files (default `results`);
-//! * `--seed <u64>` — workload/simulator seed override.
+//! * `--seed <u64>` — workload/simulator seed override;
+//! * `--jobs <n>` — worker threads for independent runs (default: the
+//!   machine's available parallelism);
+//! * `--serial-timing` — after a parallel sweep, re-run the
+//!   timing-sensitive points sequentially so wall-clock numbers are not
+//!   inflated by core sharing (Figure 15).
 
+use crate::parallel::default_jobs;
 use crate::scale::Scale;
 use std::path::PathBuf;
 
@@ -18,6 +24,10 @@ pub struct BenchArgs {
     pub out: PathBuf,
     /// Optional seed override.
     pub seed: Option<u64>,
+    /// Worker threads for independent simulation runs.
+    pub jobs: usize,
+    /// Re-run timing-sensitive points serially after a parallel sweep.
+    pub serial_timing: bool,
 }
 
 impl Default for BenchArgs {
@@ -26,6 +36,8 @@ impl Default for BenchArgs {
             scale: Scale::default(),
             out: PathBuf::from("results"),
             seed: None,
+            jobs: default_jobs(),
+            serial_timing: false,
         }
     }
 }
@@ -54,6 +66,16 @@ impl BenchArgs {
                             .map_err(|e| format!("bad --seed: {e}"))?,
                     )
                 }
+                "--jobs" => {
+                    let jobs: usize = value_for("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("bad --jobs: {e}"))?;
+                    if jobs == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                    out.jobs = jobs;
+                }
+                "--serial-timing" => out.serial_timing = true,
                 "--help" | "-h" => return Err(Self::usage()),
                 other => return Err(format!("unknown argument {other:?}\n{}", Self::usage())),
             }
@@ -75,7 +97,9 @@ impl BenchArgs {
 
     /// Usage text.
     pub fn usage() -> String {
-        "usage: <figure-bin> [--scale ci|full|<factor>] [--out <dir>] [--seed <u64>]".to_string()
+        "usage: <figure-bin> [--scale ci|full|<factor>] [--out <dir>] [--seed <u64>] \
+         [--jobs <n>] [--serial-timing]"
+            .to_string()
     }
 }
 
@@ -92,14 +116,29 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a, BenchArgs::default());
         assert_eq!(a.out, PathBuf::from("results"));
+        assert!(a.jobs >= 1);
+        assert!(!a.serial_timing);
     }
 
     #[test]
     fn full_flags() {
-        let a = parse(&["--scale", "full", "--out", "/tmp/x", "--seed", "7"]).unwrap();
+        let a = parse(&[
+            "--scale",
+            "full",
+            "--out",
+            "/tmp/x",
+            "--seed",
+            "7",
+            "--jobs",
+            "3",
+            "--serial-timing",
+        ])
+        .unwrap();
         assert_eq!(a.scale, Scale::Full);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
         assert_eq!(a.seed, Some(7));
+        assert_eq!(a.jobs, 3);
+        assert!(a.serial_timing);
     }
 
     #[test]
@@ -109,10 +148,19 @@ mod tests {
     }
 
     #[test]
+    fn jobs_flag() {
+        assert_eq!(parse(&["--jobs", "1"]).unwrap().jobs, 1);
+        assert_eq!(parse(&["--jobs", "16"]).unwrap().jobs, 16);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--scale", "nope"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "two"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

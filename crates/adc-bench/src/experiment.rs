@@ -6,9 +6,9 @@
 
 use crate::scale::Scale;
 use adc_baselines::CarpProxy;
-use adc_core::{AdcConfig, AdcProxy, ProxyId};
+use adc_core::{AdcConfig, AdcProxy, CacheAgent, ProxyId};
 use adc_sim::{SimConfig, SimReport, Simulation};
-use adc_workload::PolygraphConfig;
+use adc_workload::{PolygraphConfig, SharedTrace};
 
 /// A fully specified experiment: cluster size, ADC parameters, workload
 /// and simulator settings.
@@ -62,6 +62,13 @@ impl Experiment {
             .collect()
     }
 
+    /// Materializes this experiment's workload once for sharing across
+    /// runs (`run_*_on` variants). The records are exactly what
+    /// `self.workload.build()` would regenerate.
+    pub fn trace(&self) -> SharedTrace {
+        self.workload.materialize()
+    }
+
     /// Runs the ADC system over the workload.
     pub fn run_adc(&self) -> SimReport {
         Simulation::new(self.adc_agents(), self.sim.clone()).run(self.workload.build())
@@ -79,6 +86,36 @@ impl Experiment {
             .map(|i| AdcProxy::new(ProxyId::new(i), self.proxies, adc.clone()))
             .collect();
         Simulation::new(agents, self.sim.clone()).run(self.workload.build())
+    }
+
+    /// [`run_adc`](Self::run_adc) over a pre-materialized trace.
+    pub fn run_adc_on(&self, trace: &SharedTrace) -> SimReport {
+        Simulation::new(self.adc_agents(), self.sim.clone()).run(trace.iter())
+    }
+
+    /// [`run_carp`](Self::run_carp) over a pre-materialized trace.
+    pub fn run_carp_on(&self, trace: &SharedTrace) -> SimReport {
+        Simulation::new(self.carp_agents(), self.sim.clone()).run(trace.iter())
+    }
+
+    /// [`run_adc_with`](Self::run_adc_with) over a pre-materialized
+    /// trace.
+    pub fn run_adc_with_on(&self, adc: AdcConfig, trace: &SharedTrace) -> SimReport {
+        let agents: Vec<AdcProxy> = (0..self.proxies)
+            .map(|i| AdcProxy::new(ProxyId::new(i), self.proxies, adc.clone()))
+            .collect();
+        Simulation::new(agents, self.sim.clone()).run(trace.iter())
+    }
+
+    /// Runs arbitrary agents under this experiment's simulator settings
+    /// over a pre-materialized trace, returning the report and the
+    /// agents for post-run inspection.
+    pub fn run_agents_on<A: CacheAgent>(
+        &self,
+        agents: Vec<A>,
+        trace: &SharedTrace,
+    ) -> (SimReport, Vec<A>) {
+        Simulation::new(agents, self.sim.clone()).run_with_agents(trace.iter())
     }
 }
 
@@ -107,5 +144,21 @@ mod tests {
         // phases.
         assert!(adc.hits > 0);
         assert!(carp.hits > 0);
+    }
+
+    #[test]
+    fn shared_trace_matches_regeneration() {
+        let e = Experiment::at_scale(Scale::Custom(0.001));
+        let trace = e.trace();
+        assert_eq!(trace.len() as u64, e.workload.total_requests());
+        let fresh = e.run_adc();
+        let shared = e.run_adc_on(&trace);
+        assert_eq!(shared.completed, fresh.completed);
+        assert_eq!(shared.hits, fresh.hits);
+        assert_eq!(shared.phases, fresh.phases);
+        assert_eq!(shared.messages_delivered, fresh.messages_delivered);
+        let (via_agents, agents) = e.run_agents_on(e.carp_agents(), &trace);
+        assert_eq!(agents.len(), e.proxies as usize);
+        assert_eq!(via_agents.completed, e.run_carp_on(&trace).completed);
     }
 }

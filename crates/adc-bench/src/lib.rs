@@ -27,10 +27,15 @@
 pub mod cli;
 pub mod experiment;
 pub mod output;
+pub mod parallel;
 pub mod scale;
 pub mod sweep;
 
 pub use cli::BenchArgs;
 pub use experiment::Experiment;
+pub use parallel::{default_jobs, run_jobs, ExperimentJob};
 pub use scale::Scale;
-pub use sweep::{load_or_run_sweep, run_sweep, SweepPoint, SweptTable, NOMINAL_SIZES};
+pub use sweep::{
+    load_or_run_sweep, load_or_run_sweep_with, run_sweep, run_sweep_with, SweepOptions, SweepPoint,
+    SweptTable, NOMINAL_SIZES,
+};

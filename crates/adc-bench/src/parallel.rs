@@ -1,0 +1,183 @@
+//! A small parallel executor for experiment runs.
+//!
+//! Every figure binary boils down to "run N independent simulations and
+//! collect their reports in a fixed order". [`run_jobs`] does exactly
+//! that: jobs are claimed from a shared queue by scoped worker threads
+//! and each result lands in the slot matching the job's position, so the
+//! output order — and therefore every downstream CSV — is identical no
+//! matter how the scheduler interleaves the workers. Determinism of the
+//! results themselves comes from the simulator: each run seeds its own
+//! RNGs from its config, so concurrency cannot perturb anything but
+//! timing.
+//!
+//! Timing is the one observable that *does* change under parallelism:
+//! wall-clock time inflates when runs share cores. Callers that chart
+//! time (Figure 15) should prefer [`SimReport::cpu_time`] or re-run the
+//! timing-sensitive points serially (`--serial-timing`).
+//!
+//! [`SimReport::cpu_time`]: adc_sim::SimReport::cpu_time
+
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of work: a label (for progress reporting) plus a closure
+/// producing the run's result.
+pub struct ExperimentJob<T> {
+    label: String,
+    run: Box<dyn FnOnce() -> T + Send + 'static>,
+}
+
+impl<T> ExperimentJob<T> {
+    /// Wraps a closure as a job.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'static) -> Self {
+        ExperimentJob {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The job's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<T> fmt::Debug for ExperimentJob<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExperimentJob")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` across up to `threads` worker threads and returns their
+/// results **in job order**, independent of scheduling.
+///
+/// With `threads <= 1` (or a single job) the jobs run serially on the
+/// calling thread — the fast path the determinism tests compare against.
+/// Worker panics propagate to the caller when the scope joins.
+///
+/// # Examples
+///
+/// ```
+/// use adc_bench::parallel::{run_jobs, ExperimentJob};
+///
+/// let jobs: Vec<ExperimentJob<u64>> = (0..8)
+///     .map(|i| ExperimentJob::new(format!("square {i}"), move || i * i))
+///     .collect();
+/// assert_eq!(run_jobs(jobs, 4), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_jobs<T: Send>(jobs: Vec<ExperimentJob<T>>, threads: usize) -> Vec<T> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|job| (job.run)()).collect();
+    }
+
+    let total = jobs.len();
+    let queue: Vec<Mutex<Option<ExperimentJob<T>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(total);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    return;
+                }
+                let job = queue[index]
+                    .lock()
+                    .expect("job queue poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                let result = (job.run)();
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .unwrap_or_else(|| panic!("job {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(n: u64) -> Vec<ExperimentJob<u64>> {
+        (0..n)
+            .map(|i| ExperimentJob::new(format!("sq{i}"), move || i * i))
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let expected: Vec<u64> = (0..32).map(|i| i * i).collect();
+        assert_eq!(run_jobs(squares(32), 1), expected);
+        assert_eq!(run_jobs(squares(32), 4), expected);
+        assert_eq!(run_jobs(squares(32), 64), expected);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(
+            run_jobs(Vec::<ExperimentJob<u64>>::new(), 4),
+            Vec::<u64>::new()
+        );
+        assert_eq!(run_jobs(squares(1), 4), vec![0]);
+    }
+
+    #[test]
+    fn results_keep_job_order_under_skewed_run_times() {
+        // Early jobs sleep longest; without pre-indexed slots the fast
+        // late jobs would finish (and be collected) first.
+        let jobs: Vec<ExperimentJob<usize>> = (0..8)
+            .map(|i| {
+                ExperimentJob::new(format!("job{i}"), move || {
+                    std::thread::sleep(std::time::Duration::from_millis((8 - i as u64) * 3));
+                    i
+                })
+            })
+            .collect();
+        assert_eq!(run_jobs(jobs, 4), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn labels_are_preserved() {
+        let job = ExperimentJob::new("table=5000", || 42u8);
+        assert_eq!(job.label(), "table=5000");
+        assert!(format!("{job:?}").contains("table=5000"));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let jobs = vec![
+            ExperimentJob::new("ok", || 1u8),
+            ExperimentJob::new("boom", || panic!("job failure")),
+        ];
+        let _ = run_jobs(jobs, 2);
+    }
+}

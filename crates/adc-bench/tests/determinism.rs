@@ -1,0 +1,177 @@
+//! Determinism regression tests for the parallel experiment harness.
+//!
+//! Three layers of protection:
+//!
+//! 1. a golden file pins a micro-scale sweep's CSV byte-for-byte
+//!    (timing columns zeroed — they are the one legitimately
+//!    non-deterministic output), so workload, simulator or RNG changes
+//!    cannot slip through unnoticed;
+//! 2. `--jobs 1` and `--jobs 4` must produce identical `SweepPoint`s
+//!    (excluding timing), the tentpole guarantee of the executor;
+//! 3. a property test round-trips arbitrary finite sweep points through
+//!    the CSV codec.
+//!
+//! Regenerate the golden file after an *intentional* behavior change:
+//!
+//! ```text
+//! ADC_BLESS_GOLDEN=1 cargo test -p adc-bench --test determinism
+//! ```
+
+use adc_bench::sweep::{
+    read_sweep, run_sweep_with, write_sweep, SweepOptions, SweepPoint, SweptTable,
+};
+use adc_bench::Scale;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// The micro scale used for the pinned sweep: 18 full simulations in
+/// roughly a second in debug mode.
+const GOLDEN_SCALE: Scale = Scale::Custom(0.0005);
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("sweep_micro.csv")
+}
+
+fn unique_temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adc-determinism-{tag}-{}", std::process::id()))
+}
+
+/// Zeroes the timing fields, the only ones that legitimately vary
+/// between runs of the same sweep.
+fn without_timing(mut p: SweepPoint) -> SweepPoint {
+    p.wall_secs = 0.0;
+    p.cpu_secs = 0.0;
+    p
+}
+
+#[test]
+fn golden_micro_sweep_is_pinned() {
+    let points: Vec<SweepPoint> = run_sweep_with(GOLDEN_SCALE, SweepOptions::serial())
+        .into_iter()
+        .map(without_timing)
+        .collect();
+
+    let golden = golden_path();
+    if std::env::var_os("ADC_BLESS_GOLDEN").is_some() {
+        write_sweep(&golden, &points).expect("bless golden file");
+        eprintln!("blessed {}", golden.display());
+        return;
+    }
+
+    let expected = read_sweep(&golden).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); regenerate with \
+             ADC_BLESS_GOLDEN=1 cargo test -p adc-bench --test determinism",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        points, expected,
+        "micro-sweep output diverged from the pinned golden file; if the \
+         change is intentional, bless a new golden (see module docs)"
+    );
+
+    // The CSV bytes are pinned too: re-encoding the points must
+    // reproduce the committed file exactly.
+    let dir = unique_temp_dir("golden");
+    let reencoded = dir.join("sweep_micro.csv");
+    write_sweep(&reencoded, &points).expect("write re-encoded sweep");
+    let ours = std::fs::read_to_string(&reencoded).expect("read re-encoded sweep");
+    let theirs = std::fs::read_to_string(&golden).expect("read golden");
+    assert_eq!(ours, theirs, "CSV encoding changed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_sweep_matches_serial() {
+    let serial = run_sweep_with(GOLDEN_SCALE, SweepOptions::serial());
+    let parallel = run_sweep_with(
+        GOLDEN_SCALE,
+        SweepOptions {
+            jobs: 4,
+            serial_timing: false,
+        },
+    );
+    assert_eq!(serial.len(), 18);
+    assert_eq!(parallel.len(), 18);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            without_timing(*s),
+            without_timing(*p),
+            "--jobs 4 diverged from --jobs 1 at {}@{}",
+            s.table,
+            s.nominal_size
+        );
+    }
+}
+
+#[test]
+fn serial_timing_repass_keeps_results() {
+    let plain = run_sweep_with(GOLDEN_SCALE, SweepOptions::serial());
+    let repassed = run_sweep_with(
+        GOLDEN_SCALE,
+        SweepOptions {
+            jobs: 4,
+            serial_timing: true,
+        },
+    );
+    for (a, b) in plain.iter().zip(&repassed) {
+        assert_eq!(without_timing(*a), without_timing(*b));
+    }
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e9..1.0e9,
+        0.0..1.0,
+        Just(0.0),
+        Just(-0.0),
+        Just(1.0e-300),
+    ]
+}
+
+fn arb_point() -> impl Strategy<Value = SweepPoint> {
+    (
+        prop_oneof![
+            Just(SweptTable::Caching),
+            Just(SweptTable::Multiple),
+            Just(SweptTable::Single),
+        ],
+        any::<u16>(),
+        any::<u16>(),
+        finite_f64(),
+        finite_f64(),
+        finite_f64(),
+        finite_f64(),
+        finite_f64(),
+    )
+        .prop_map(
+            |(table, nominal, actual, hit, hops, wall, cpu, steady)| SweepPoint {
+                table,
+                nominal_size: nominal as usize,
+                actual_size: actual as usize,
+                hit_rate: hit,
+                mean_hops: hops,
+                wall_secs: wall,
+                cpu_secs: cpu,
+                steady_hit_rate: steady,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_finite_points_round_trip(points in proptest::collection::vec(arb_point(), 0..20)) {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = unique_temp_dir(&format!("proptest-{n}"));
+        let path = dir.join("sweep.csv");
+        write_sweep(&path, &points).expect("write");
+        let back = read_sweep(&path).expect("read");
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(back, points);
+    }
+}

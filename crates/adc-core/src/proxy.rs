@@ -573,8 +573,8 @@ mod tests {
         assert!(p.is_cached(ObjectId::new(10)));
         // A reply already marked as cached elsewhere passes through p.
         let _ = p.on_request(req(7, 10), &mut r); // shouldn't happen for cached, but force pending
-        // Actually cached objects reply immediately; craft pending manually
-        // via a different object to exercise the claim rule instead.
+                                                  // Actually cached objects reply immediately; craft pending manually
+                                                  // via a different object to exercise the claim rule instead.
         let _ = p.on_request(req(8, 11), &mut r);
         let mut rep = Reply::from_origin(
             &{

@@ -204,7 +204,9 @@ impl ProxySnapshot {
         let proxy_line = next_line()?;
         let parts: Vec<&str> = proxy_line.split_whitespace().collect();
         if parts.len() != 4 || parts[0] != "proxy" || parts[2] != "of" {
-            return Err(SnapshotError::Parse(format!("bad proxy line: {proxy_line:?}")));
+            return Err(SnapshotError::Parse(format!(
+                "bad proxy line: {proxy_line:?}"
+            )));
         }
         let proxy = ProxyId::new(parse(parts[1])?);
         let num_proxies: u32 = parse(parts[3])?;
@@ -212,7 +214,9 @@ impl ProxySnapshot {
         let config_line = next_line()?;
         let parts: Vec<&str> = config_line.split_whitespace().collect();
         if parts.len() != 7 || parts[0] != "config" {
-            return Err(SnapshotError::Parse(format!("bad config line: {config_line:?}")));
+            return Err(SnapshotError::Parse(format!(
+                "bad config line: {config_line:?}"
+            )));
         }
         let config = AdcConfig {
             single_capacity: parse(parts[1])?,
@@ -234,7 +238,9 @@ impl ProxySnapshot {
         let clock_line = next_line()?;
         let parts: Vec<&str> = clock_line.split_whitespace().collect();
         if parts.len() != 2 || parts[0] != "clock" {
-            return Err(SnapshotError::Parse(format!("bad clock line: {clock_line:?}")));
+            return Err(SnapshotError::Parse(format!(
+                "bad clock line: {clock_line:?}"
+            )));
         }
         let local_time: Tick = parse(parts[1])?;
 
@@ -272,7 +278,9 @@ impl ProxySnapshot {
                 "multiple" => snapshot.multiple.push(entry),
                 "cached" => snapshot.cached.push(entry),
                 other => {
-                    return Err(SnapshotError::Parse(format!("unknown table tag: {other:?}")))
+                    return Err(SnapshotError::Parse(format!(
+                        "unknown table tag: {other:?}"
+                    )))
                 }
             }
         }
@@ -288,12 +296,12 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, SnapshotError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agent::Action;
     use crate::agent::CacheAgent;
     use crate::ids::ClientId;
-    use crate::message::{Message, Reply, Request};
-    use crate::ids::RequestId;
-    use crate::agent::Action;
     use crate::ids::NodeId;
+    use crate::ids::RequestId;
+    use crate::message::{Message, Reply, Request};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -390,10 +398,7 @@ mod tests {
         let proxy = trained_proxy();
         let mut snapshot = ProxySnapshot::capture(&proxy);
         snapshot.config.cache_capacity = 1; // smaller than captured cache
-        assert!(matches!(
-            snapshot.restore(),
-            Err(SnapshotError::Parse(_))
-        ));
+        assert!(matches!(snapshot.restore(), Err(SnapshotError::Parse(_))));
     }
 
     #[test]

@@ -91,7 +91,9 @@ impl<K: Eq + Hash + Clone, V> LruList<K, V> {
 
     /// Borrows the value for `key` without changing its position.
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.index.get(key).and_then(|&i| self.nodes[i].value.as_ref())
+        self.index
+            .get(key)
+            .and_then(|&i| self.nodes[i].value.as_ref())
     }
 
     /// Mutably borrows the value for `key` without changing its position.

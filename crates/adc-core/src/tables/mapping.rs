@@ -481,7 +481,11 @@ mod tests {
     #[test]
     fn lookup_priority_is_cached_then_multiple_then_single() {
         let mut t = tables(8, 8, 8);
-        t.update_entry(ObjectId::new(1), Location::Remote(crate::ProxyId::new(4)), 1);
+        t.update_entry(
+            ObjectId::new(1),
+            Location::Remote(crate::ProxyId::new(4)),
+            1,
+        );
         let e = t.lookup(ObjectId::new(1)).unwrap();
         assert_eq!(e.location, Location::Remote(crate::ProxyId::new(4)));
         assert!(t.lookup(ObjectId::new(99)).is_none());

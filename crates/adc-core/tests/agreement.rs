@@ -192,7 +192,11 @@ fn cold_objects_do_not_replicate() {
     let mut bus = MiniBus::new(4, config());
     // 40 objects, each requested once: nothing qualifies for caching.
     for seq in 0..40 {
-        bus.resolve(seq, ObjectId::new(1000 + seq), ProxyId::new((seq % 4) as u32));
+        bus.resolve(
+            seq,
+            ObjectId::new(1000 + seq),
+            ProxyId::new((seq % 4) as u32),
+        );
     }
     let total_cached: usize = (0..4u32).map(|i| bus.proxy(i).cached_objects()).sum();
     assert_eq!(

@@ -20,7 +20,10 @@ fn resolve_on_bus<A: CacheAgent>(
 ) -> u32 {
     let client = ClientId::new(0);
     let request = Request::new(RequestId::new(client, seq), ObjectId::new(object), client);
-    let mut queue = vec![(NodeId::Proxy(ProxyId::new(via as u32)), Message::Request(request))];
+    let mut queue = vec![(
+        NodeId::Proxy(ProxyId::new(via as u32)),
+        Message::Request(request),
+    )];
     let mut deliveries = 0;
     while let Some((to, message)) = queue.pop() {
         deliveries += 1;
@@ -50,7 +53,13 @@ fn resolve_on_bus<A: CacheAgent>(
     panic!("request never returned to the client");
 }
 
-fn adc_agents(n: u32, single: usize, multiple: usize, cache: usize, policy: CachePolicy) -> Vec<AdcProxy> {
+fn adc_agents(
+    n: u32,
+    single: usize,
+    multiple: usize,
+    cache: usize,
+    policy: CachePolicy,
+) -> Vec<AdcProxy> {
     let config = AdcConfig::builder()
         .single_capacity(single)
         .multiple_capacity(multiple)

@@ -15,11 +15,7 @@ struct Update {
 }
 
 fn arb_updates(max: usize, universe: u64) -> impl Strategy<Value = Vec<Update>> {
-    prop::collection::vec(
-        (0..universe, prop::option::of(0u32..4), 0u64..5),
-        1..max,
-    )
-    .prop_map(|v| {
+    prop::collection::vec((0..universe, prop::option::of(0u32..4), 0u64..5), 1..max).prop_map(|v| {
         v.into_iter()
             .map(|(object, location, advance)| Update {
                 object,

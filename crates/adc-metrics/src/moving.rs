@@ -93,7 +93,10 @@ impl MovingAverage {
         }
         // Periodically recompute the sum to stop floating-point drift from
         // accumulating over millions of observations.
-        if self.observations.is_multiple_of((16 * self.window as u64).max(1 << 20)) {
+        if self
+            .observations
+            .is_multiple_of((16 * self.window as u64).max(1 << 20))
+        {
             self.sum = self.buf.iter().sum();
         }
     }

@@ -66,8 +66,7 @@ impl P2Quantile {
             self.heights[self.count as usize] = value;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_unstable_by(|a, b| a.total_cmp(b));
+                self.heights.sort_unstable_by(|a, b| a.total_cmp(b));
             }
             return;
         }

@@ -67,7 +67,10 @@ mod tests {
     #[test]
     fn resolves_all_node_kinds() {
         let book = AddressBook::new(vec![addr(1000), addr(1001)], addr(2000));
-        assert_eq!(book.addr_of(NodeId::Proxy(ProxyId::new(1))), Some(addr(1001)));
+        assert_eq!(
+            book.addr_of(NodeId::Proxy(ProxyId::new(1))),
+            Some(addr(1001))
+        );
         assert_eq!(book.addr_of(NodeId::Origin), Some(addr(2000)));
         assert_eq!(book.addr_of(NodeId::Proxy(ProxyId::new(9))), None);
         assert_eq!(book.addr_of(NodeId::Client(ClientId::new(5))), None);

@@ -98,9 +98,8 @@ impl NetClient {
         self.pending.lock().insert(id, tx);
         let request = Request::new(id, object, self.id);
         self.pool.send(addr, Frame::Request(request)).await?;
-        rx.await.map_err(|_| {
-            io::Error::new(io::ErrorKind::BrokenPipe, "reply channel dropped")
-        })
+        rx.await
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "reply channel dropped"))
     }
 
     /// Like [`NetClient::request`] but gives up after `timeout`,

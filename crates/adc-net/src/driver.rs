@@ -98,8 +98,7 @@ mod tests {
             .max_hops(8)
             .build();
         let cluster = Cluster::spawn_adc(3, config).await.unwrap();
-        let workload: Vec<RequestRecord> =
-            StationaryZipf::new(30, 1.0, 6, 5).take(400).collect();
+        let workload: Vec<RequestRecord> = StationaryZipf::new(30, 1.0, 6, 5).take(400).collect();
         let report = drive_workload(&cluster, workload, Duration::from_secs(5))
             .await
             .unwrap();

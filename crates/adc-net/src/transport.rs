@@ -41,9 +41,9 @@ pub async fn read_frame<R: AsyncRead + Unpin>(r: &mut R) -> io::Result<Option<Fr
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf).await?;
-    decode(buf.into()).map(Some).map_err(|e| {
-        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
-    })
+    decode(buf.into())
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 /// A lazy pool of outbound connections: one writer task per destination,

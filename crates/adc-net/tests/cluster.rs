@@ -110,7 +110,10 @@ async fn stats_and_store_sizes_are_exposed() {
     let cluster = Cluster::spawn_adc(2, small_config()).await.unwrap();
     let client = cluster.client(ClientId::new(9)).await.unwrap();
     for i in 0..10u64 {
-        client.request(ObjectId::new(i), ProxyId::new(0)).await.unwrap();
+        client
+            .request(ObjectId::new(i), ProxyId::new(0))
+            .await
+            .unwrap();
     }
     assert_eq!(cluster.num_proxies(), 2);
     let p0 = cluster.proxy_stats(ProxyId::new(0));

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod cputime;
 mod network;
 mod report;
 mod runner;
@@ -41,6 +42,7 @@ mod time;
 mod tracelog;
 
 pub use config::{ChurnEvent, ClientAssignment, FaultPlan, InjectionMode, SimConfig};
+pub use cputime::thread_cpu_now;
 pub use network::LatencyModel;
 pub use report::{PhaseStats, SimReport};
 pub use runner::Simulation;

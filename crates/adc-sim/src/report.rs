@@ -72,6 +72,12 @@ pub struct SimReport {
     pub trace: Option<TraceLog>,
     /// Wall-clock time the simulation took (Figure 15 style).
     pub wall_time: Duration,
+    /// CPU time the simulating thread consumed. Unlike [`wall_time`],
+    /// this stays comparable when runs execute concurrently on worker
+    /// threads; zero on platforms without a per-thread CPU clock.
+    ///
+    /// [`wall_time`]: SimReport::wall_time
+    pub cpu_time: Duration,
 }
 
 impl SimReport {
@@ -186,6 +192,7 @@ mod tests {
             bytes_from_caches: 0,
             trace: None,
             wall_time: Duration::from_millis(1),
+            cpu_time: Duration::from_millis(1),
         };
         assert_eq!(report.hit_rate(), 0.5);
         assert_eq!(report.mean_hops(), 3.0);

@@ -1,10 +1,10 @@
 //! The discrete-event simulation loop.
 
 use crate::config::{ChurnEvent, ClientAssignment, InjectionMode, SimConfig};
-use crate::tracelog::{DeliveryRecord, TraceLog};
 use crate::report::{PhaseStats, SimReport};
 use crate::time::SimTime;
-use adc_core::{Action, CacheAgent, Message, NodeId, ProxyId, Reply, RequestId, Request};
+use crate::tracelog::{DeliveryRecord, TraceLog};
+use adc_core::{Action, CacheAgent, Message, NodeId, ProxyId, Reply, Request, RequestId};
 use adc_metrics::{MovingAverage, P2Quantile, Sampler, Summary};
 use adc_workload::{Phase, RequestRecord};
 use rand::rngs::StdRng;
@@ -113,6 +113,7 @@ impl<A: CacheAgent> Simulation<A> {
         workload: impl IntoIterator<Item = RequestRecord>,
     ) -> (SimReport, Vec<A>) {
         let wall_start = Instant::now();
+        let cpu_start = crate::cputime::thread_cpu_now();
         let n = self.agents.len() as u32;
         let mut workload = workload.into_iter();
         let mut agent_rng = StdRng::seed_from_u64(self.config.seed ^ 0xA6E7);
@@ -144,8 +145,8 @@ impl<A: CacheAgent> Simulation<A> {
         let mut client_orphans: u64 = 0;
         let mut bytes_from_origin: u64 = 0;
         let mut bytes_from_caches: u64 = 0;
-        let mut trace = (self.config.trace_capacity > 0)
-            .then(|| TraceLog::new(self.config.trace_capacity));
+        let mut trace =
+            (self.config.trace_capacity > 0).then(|| TraceLog::new(self.config.trace_capacity));
 
         let assignment = self.config.assignment;
         let base_latency = self.config.latency;
@@ -166,9 +167,9 @@ impl<A: CacheAgent> Simulation<A> {
         let mut proxies_reset: u64 = 0;
 
         let push = |queue: &mut BinaryHeap<Reverse<Event>>,
-                        event_seq: &mut u64,
-                        at: SimTime,
-                        kind: EventKind| {
+                    event_seq: &mut u64,
+                    at: SimTime,
+                    kind: EventKind| {
             queue.push(Reverse(Event {
                 at,
                 seq: *event_seq,
@@ -235,7 +236,12 @@ impl<A: CacheAgent> Simulation<A> {
                 EventKind::Inject => {
                     if inject(&mut queue, &mut event_seq, now, &mut flows, &mut assign_rng) {
                         if let InjectionMode::OpenLoop { interval } = injection {
-                            push(&mut queue, &mut event_seq, now + interval, EventKind::Inject);
+                            push(
+                                &mut queue,
+                                &mut event_seq,
+                                now + interval,
+                                EventKind::Inject,
+                            );
                         }
                     }
                 }
@@ -256,9 +262,7 @@ impl<A: CacheAgent> Simulation<A> {
                         if let Message::Reply(rep) = &message {
                             if from == NodeId::Origin {
                                 bytes_from_origin += u64::from(rep.size);
-                            } else if rep.served_from.is_hit()
-                                && matches!(to, NodeId::Client(_))
-                            {
+                            } else if rep.served_from.is_hit() && matches!(to, NodeId::Client(_)) {
                                 bytes_from_caches += u64::from(rep.size);
                             }
                         }
@@ -290,9 +294,7 @@ impl<A: CacheAgent> Simulation<A> {
                                 Message::Request(req) => {
                                     vec![agent.on_request(req, &mut agent_rng)]
                                 }
-                                Message::Reply(rep) => {
-                                    agent.on_reply(rep).into_iter().collect()
-                                }
+                                Message::Reply(rep) => agent.on_reply(rep).into_iter().collect(),
                             }
                         }
                         NodeId::Origin => match message {
@@ -331,8 +333,7 @@ impl<A: CacheAgent> Simulation<A> {
                                         phases[phase_idx].requests += 1;
                                         phases[phase_idx].hits += u64::from(hit);
                                         hops_summary.push(flow.hops as f64);
-                                        let latency_us =
-                                            (now - flow.start).as_micros() as f64;
+                                        let latency_us = (now - flow.start).as_micros() as f64;
                                         latency_summary.push(latency_us);
                                         latency_p50.push(latency_us);
                                         latency_p99.push(latency_us);
@@ -388,7 +389,10 @@ impl<A: CacheAgent> Simulation<A> {
                     };
 
                     for action in actions {
-                        let Action::Send { to: dest, mut message } = action;
+                        let Action::Send {
+                            to: dest,
+                            mut message,
+                        } = action;
                         // Agents only know a nominal object size; the
                         // workload's size lives in the flow state.
                         // Normalize replies so byte accounting and the
@@ -441,6 +445,7 @@ impl<A: CacheAgent> Simulation<A> {
             bytes_from_caches,
             trace,
             wall_time: wall_start.elapsed(),
+            cpu_time: crate::cputime::thread_cpu_now().saturating_sub(cpu_start),
         };
         (report, self.agents)
     }
@@ -460,11 +465,15 @@ mod tests {
     use adc_workload::{Phase, PolygraphConfig, StationaryZipf};
 
     fn adc_agents(n: u32, config: AdcConfig) -> Vec<AdcProxy> {
-        (0..n).map(|i| AdcProxy::new(ProxyId::new(i), n, config.clone())).collect()
+        (0..n)
+            .map(|i| AdcProxy::new(ProxyId::new(i), n, config.clone()))
+            .collect()
     }
 
     fn carp_agents(n: u32, cache: usize) -> Vec<CarpProxy> {
-        (0..n).map(|i| CarpProxy::new(ProxyId::new(i), n, cache)).collect()
+        (0..n)
+            .map(|i| CarpProxy::new(ProxyId::new(i), n, cache))
+            .collect()
     }
 
     /// A workload of hand-written records.
@@ -645,8 +654,7 @@ mod tests {
         assert_eq!(report.phase(Phase::Fill).hits, 0);
         // The replayed phase must hit more than the learning phase.
         assert!(
-            report.phase(Phase::RequestII).hit_rate()
-                > report.phase(Phase::RequestI).hit_rate()
+            report.phase(Phase::RequestII).hit_rate() > report.phase(Phase::RequestI).hit_rate()
         );
     }
 
@@ -758,9 +766,7 @@ mod trace_tests {
         let mut config = SimConfig::fast();
         config.trace_capacity = 100_000;
         let sim = Simulation::new(adc(4), config);
-        let records: Vec<RequestRecord> = StationaryZipf::new(60, 0.9, 6, 3)
-            .take(1_500)
-            .collect();
+        let records: Vec<RequestRecord> = StationaryZipf::new(60, 0.9, 6, 3).take(1_500).collect();
         let ids: Vec<RequestId> = records
             .iter()
             .map(|r| RequestId::new(r.client, r.seq))
@@ -832,10 +838,7 @@ mod occupancy_tests {
             assert!(ys.iter().all(|&y| y <= 16.0));
             assert!(ys.windows(2).all(|w| w[0] <= w[1] + 1e-9));
             // Final sample agrees with the final cache size.
-            assert_eq!(
-                *ys.last().unwrap() as usize,
-                report.final_cache_sizes[i]
-            );
+            assert_eq!(*ys.last().unwrap() as usize, report.final_cache_sizes[i]);
         }
     }
 }
@@ -874,13 +877,14 @@ mod matrix_tests {
     #[test]
     fn matrix_changes_latency_but_not_hits_or_hops() {
         let run = |matrix: Option<Vec<Vec<SimTime>>>| {
-            let mut config = SimConfig::default();
-            config.latency = LatencyModel::default();
-            config.hit_window = 500;
-            config.sample_every = 500;
-            config.proxy_latency_matrix = matrix;
-            Simulation::new(agents(4), config)
-                .run(StationaryZipf::new(50, 0.9, 8, 9).take(2_000))
+            let config = SimConfig {
+                latency: LatencyModel::default(),
+                hit_window: 500,
+                sample_every: 500,
+                proxy_latency_matrix: matrix,
+                ..SimConfig::default()
+            };
+            Simulation::new(agents(4), config).run(StationaryZipf::new(50, 0.9, 8, 9).take(2_000))
         };
         let uniform = run(None);
         let wan = run(Some(wan_matrix(

@@ -131,9 +131,7 @@ pub fn mean_inter_request_gaps(
 
 /// The popularity histogram: how many objects were requested exactly
 /// `k` times, as `(k, object_count)` sorted by `k`.
-pub fn popularity_histogram(
-    records: impl IntoIterator<Item = RequestRecord>,
-) -> Vec<(u64, u64)> {
+pub fn popularity_histogram(records: impl IntoIterator<Item = RequestRecord>) -> Vec<(u64, u64)> {
     let mut counts: HashMap<ObjectId, u64> = HashMap::new();
     for r in records {
         *counts.entry(r.object).or_default() += 1;

@@ -26,12 +26,14 @@
 
 pub mod analysis;
 mod polygraph;
+mod shared;
 mod sizes;
 mod synthetic;
 pub mod trace;
 mod zipf;
 
 pub use polygraph::{Polygraph, PolygraphConfig};
+pub use shared::{SharedTrace, SharedTraceIter};
 pub use sizes::SizeModel;
 pub use synthetic::{FlashCrowd, LruStackWorkload, ShiftingZipf, StationaryZipf, UniformWorkload};
 pub use trace::{Phase, RequestRecord, TraceParseError};

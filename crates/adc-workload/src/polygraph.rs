@@ -24,8 +24,8 @@
 
 use crate::sizes::SizeModel;
 use crate::trace::{Phase, RequestRecord};
-use adc_core::{ClientId, ObjectId};
 use crate::zipf::Zipf;
+use adc_core::{ClientId, ObjectId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -113,6 +113,12 @@ impl PolygraphConfig {
         self.fill_requests + 2 * self.phase_requests
     }
 
+    /// Generates the whole stream once into a [`crate::SharedTrace`] that
+    /// many simulation runs can iterate over without regenerating it.
+    pub fn materialize(&self) -> crate::SharedTrace {
+        self.build().collect()
+    }
+
     /// The phase a given global sequence number falls into.
     pub fn phase_of(&self, seq: u64) -> Phase {
         if seq < self.fill_requests {
@@ -131,7 +137,10 @@ impl PolygraphConfig {
     /// Panics if probabilities are outside `[0, 1]`, `clients` is zero or
     /// `hot_set` is zero.
     pub fn build(&self) -> Polygraph {
-        assert!((0.0..=1.0).contains(&self.recurrence), "recurrence in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.recurrence),
+            "recurrence in [0,1]"
+        );
         assert!(
             (0.0..=1.0).contains(&self.fill_recurrence),
             "fill_recurrence in [0,1]"
@@ -182,8 +191,8 @@ impl Polygraph {
     fn next_object(&mut self, phase: Phase) -> ObjectId {
         match phase {
             Phase::Fill => {
-                let repeat = self.next_id > 0
-                    && self.rng_fill.gen_bool(self.config.fill_recurrence);
+                let repeat =
+                    self.next_id > 0 && self.rng_fill.gen_bool(self.config.fill_recurrence);
                 if repeat {
                     ObjectId::new(self.rng_fill.gen_range(0..self.next_id))
                 } else {
@@ -287,7 +296,9 @@ mod tests {
         let cfg = tiny();
         let records: Vec<_> = cfg.build().collect();
         assert!(records[..1000].iter().all(|r| r.phase == Phase::Fill));
-        assert!(records[1000..3000].iter().all(|r| r.phase == Phase::RequestI));
+        assert!(records[1000..3000]
+            .iter()
+            .all(|r| r.phase == Phase::RequestI));
         assert!(records[3000..].iter().all(|r| r.phase == Phase::RequestII));
     }
 
@@ -381,8 +392,7 @@ mod tests {
     #[test]
     fn clients_span_the_configured_range() {
         let cfg = tiny();
-        let clients: std::collections::HashSet<u32> =
-            cfg.build().map(|r| r.client.raw()).collect();
+        let clients: std::collections::HashSet<u32> = cfg.build().map(|r| r.client.raw()).collect();
         assert_eq!(clients.len(), cfg.clients as usize);
         assert!(clients.iter().all(|&c| c < cfg.clients));
     }

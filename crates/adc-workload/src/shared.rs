@@ -1,0 +1,157 @@
+//! Immutable, cheaply cloneable materialized traces.
+//!
+//! Parameter sweeps run the *same* workload through many simulator
+//! configurations. Regenerating the request stream for every run wastes
+//! time and — worse — makes it easy to accidentally perturb the stream
+//! between runs. [`SharedTrace`] materializes a workload once into an
+//! `Arc<[RequestRecord]>` that every run iterates over by value: clones
+//! are O(1), the records are immutable, and all consumers observe the
+//! byte-identical request sequence regardless of which thread runs them.
+
+use crate::trace::RequestRecord;
+use std::sync::Arc;
+
+/// A materialized request trace, shared immutably between simulation runs.
+///
+/// Cloning is O(1) (an `Arc` bump); iteration yields [`RequestRecord`]s by
+/// value in trace order.
+///
+/// # Examples
+///
+/// ```
+/// use adc_workload::{PolygraphConfig, SharedTrace};
+///
+/// let config = PolygraphConfig::scaled(0.001);
+/// let trace: SharedTrace = config.build().collect();
+/// assert_eq!(trace.len() as u64, config.total_requests());
+/// // Two iterations over clones observe identical records.
+/// let a: Vec<_> = trace.clone().into_iter().collect();
+/// let b: Vec<_> = trace.iter().collect();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    records: Arc<[RequestRecord]>,
+}
+
+impl SharedTrace {
+    /// Wraps already-materialized records.
+    pub fn new(records: impl Into<Arc<[RequestRecord]>>) -> SharedTrace {
+        SharedTrace {
+            records: records.into(),
+        }
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The underlying records.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// An owning iterator over the records (by value, in order) that keeps
+    /// the shared storage alive — usable wherever a workload iterator is
+    /// expected.
+    pub fn iter(&self) -> SharedTraceIter {
+        SharedTraceIter {
+            records: Arc::clone(&self.records),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<RequestRecord>> for SharedTrace {
+    fn from(records: Vec<RequestRecord>) -> SharedTrace {
+        SharedTrace {
+            records: records.into(),
+        }
+    }
+}
+
+impl FromIterator<RequestRecord> for SharedTrace {
+    fn from_iter<I: IntoIterator<Item = RequestRecord>>(iter: I) -> SharedTrace {
+        SharedTrace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for SharedTrace {
+    type Item = RequestRecord;
+    type IntoIter = SharedTraceIter;
+
+    fn into_iter(self) -> SharedTraceIter {
+        SharedTraceIter {
+            records: self.records,
+            pos: 0,
+        }
+    }
+}
+
+impl IntoIterator for &SharedTrace {
+    type Item = RequestRecord;
+    type IntoIter = SharedTraceIter;
+
+    fn into_iter(self) -> SharedTraceIter {
+        self.iter()
+    }
+}
+
+/// Owning cursor over a [`SharedTrace`].
+#[derive(Debug, Clone)]
+pub struct SharedTraceIter {
+    records: Arc<[RequestRecord]>,
+    pos: usize,
+}
+
+impl Iterator for SharedTraceIter {
+    type Item = RequestRecord;
+
+    fn next(&mut self) -> Option<RequestRecord> {
+        let record = self.records.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(record)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.records.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SharedTraceIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolygraphConfig;
+
+    #[test]
+    fn materialization_matches_regeneration() {
+        let config = PolygraphConfig::scaled(0.0005);
+        let shared: SharedTrace = config.build().collect();
+        let regenerated: Vec<RequestRecord> = config.build().collect();
+        assert_eq!(shared.records(), regenerated.as_slice());
+        assert_eq!(shared.len() as u64, config.total_requests());
+    }
+
+    #[test]
+    fn clones_iterate_identically() {
+        let config = PolygraphConfig::scaled(0.0005);
+        let shared: SharedTrace = config.build().collect();
+        let a: Vec<_> = shared.clone().into_iter().collect();
+        let b: Vec<_> = shared.iter().collect();
+        let c: Vec<_> = (&shared).into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(shared.iter().len(), shared.len());
+    }
+}

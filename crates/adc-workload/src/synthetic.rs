@@ -206,10 +206,7 @@ mod tests {
         let fc = FlashCrowd::new(1000, 0.8, 4, 9, 100, 200, 0.9);
         let hot = fc.hot_object;
         let records: Vec<_> = fc.take(300).collect();
-        let in_burst = records[100..200]
-            .iter()
-            .filter(|r| r.object == hot)
-            .count();
+        let in_burst = records[100..200].iter().filter(|r| r.object == hot).count();
         let outside = records[..100]
             .iter()
             .chain(&records[200..])
@@ -263,13 +260,7 @@ impl ShiftingZipf {
     ///
     /// Panics if `window_size`, `clients` or `shift_every` is zero, or
     /// `alpha` is invalid.
-    pub fn new(
-        window_size: usize,
-        alpha: f64,
-        clients: u32,
-        seed: u64,
-        shift_every: u64,
-    ) -> Self {
+    pub fn new(window_size: usize, alpha: f64, clients: u32, seed: u64, shift_every: u64) -> Self {
         assert!(clients > 0, "need at least one client");
         assert!(shift_every > 0, "shift interval must be positive");
         ShiftingZipf {
@@ -447,8 +438,7 @@ mod lru_stack_tests {
         let records: Vec<_> = LruStackWorkload::new(200, 0.6, 0.8, 4, 3)
             .take(20_000)
             .collect();
-        let distinct: std::collections::HashSet<_> =
-            records.iter().map(|r| r.object).collect();
+        let distinct: std::collections::HashSet<_> = records.iter().map(|r| r.object).collect();
         let measured = 1.0 - distinct.len() as f64 / records.len() as f64;
         assert!(
             (measured - 0.6).abs() < 0.03,
@@ -481,8 +471,12 @@ mod lru_stack_tests {
 
     #[test]
     fn deterministic() {
-        let a: Vec<_> = LruStackWorkload::new(50, 0.5, 1.0, 2, 7).take(500).collect();
-        let b: Vec<_> = LruStackWorkload::new(50, 0.5, 1.0, 2, 7).take(500).collect();
+        let a: Vec<_> = LruStackWorkload::new(50, 0.5, 1.0, 2, 7)
+            .take(500)
+            .collect();
+        let b: Vec<_> = LruStackWorkload::new(50, 0.5, 1.0, 2, 7)
+            .take(500)
+            .collect();
         assert_eq!(a, b);
     }
 

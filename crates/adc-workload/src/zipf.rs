@@ -97,7 +97,9 @@ impl Zipf {
         let u: f64 = rng.gen_range(0.0..1.0);
         // partition_point returns the first index with cdf[i] >= u is not
         // directly expressible; we want the first i with cdf[i] > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 

@@ -41,8 +41,7 @@ fn main() {
     println!("hit-rate timeline (restarts of proxy 0 at 25k, proxy 1 at 30k):\n");
     println!("{:>10} {:>10}", "requests", "hit rate");
     for &(x, y) in &report.hit_series.points {
-        let marker = if (24_000.0..=26_000.0).contains(&x) || (29_000.0..=31_000.0).contains(&x)
-        {
+        let marker = if (24_000.0..=26_000.0).contains(&x) || (29_000.0..=31_000.0).contains(&x) {
             "  <- restart window"
         } else {
             ""

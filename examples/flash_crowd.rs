@@ -55,8 +55,16 @@ fn main() {
     // Load concentration: how unevenly were requests spread during the
     // run? (CARP funnels every hot request to one owner.)
     let spread = |per_proxy: &[ProxyStats]| {
-        let max = per_proxy.iter().map(|p| p.requests_received).max().unwrap_or(0);
-        let min = per_proxy.iter().map(|p| p.requests_received).min().unwrap_or(0);
+        let max = per_proxy
+            .iter()
+            .map(|p| p.requests_received)
+            .max()
+            .unwrap_or(0);
+        let min = per_proxy
+            .iter()
+            .map(|p| p.requests_received)
+            .min()
+            .unwrap_or(0);
         (max, min)
     };
     let (adc_max, adc_min) = spread(&adc_report.per_proxy);

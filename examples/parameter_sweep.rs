@@ -14,7 +14,12 @@
 use adc::prelude::*;
 use std::time::Instant;
 
-fn run(single: usize, multiple: usize, cache: usize, workload: &PolygraphConfig) -> (f64, f64, f64) {
+fn run(
+    single: usize,
+    multiple: usize,
+    cache: usize,
+    workload: &PolygraphConfig,
+) -> (f64, f64, f64) {
     let config = AdcConfig::builder()
         .single_capacity(single)
         .multiple_capacity(multiple)

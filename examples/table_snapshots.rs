@@ -42,7 +42,10 @@ fn resolve(proxy: &mut AdcProxy, rng: &mut StdRng, seq: u64, url: &str) {
 
 fn print_table<'a>(title: &str, rows: impl Iterator<Item = &'a TableEntry>) {
     println!("\n{title}");
-    println!("{:<14} {:>9} {:>6} {:>6} {:>5}", "OBJ-ID", "PROXY", "LAST", "AVG", "HITS");
+    println!(
+        "{:<14} {:>9} {:>6} {:>6} {:>5}",
+        "OBJ-ID", "PROXY", "LAST", "AVG", "HITS"
+    );
     for e in rows {
         println!(
             "{:<14} {:>9} {:>6} {:>6} {:>5}",

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = PolygraphConfig::scaled(0.005); // ~20k requests
     let path = std::env::temp_dir().join("adc_polygraph_trace.csv");
 
-    println!("generating {} requests and writing {}...", config.total_requests(), path.display());
+    println!(
+        "generating {} requests and writing {}...",
+        config.total_requests(),
+        path.display()
+    );
     let file = std::fs::File::create(&path)?;
     write_trace(file, config.build())?;
 
@@ -51,16 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the request phases must not be.
     for phase in [Phase::Fill, Phase::RequestI, Phase::RequestII] {
         let phase_stats = trace_stats(records.iter().copied().filter(|r| r.phase == phase));
-        println!(
-            "\n=== {phase:?}: {} requests ===",
-            phase_stats.requests
-        );
+        println!("\n=== {phase:?}: {} requests ===", phase_stats.requests);
         println!("  distinct objects : {}", phase_stats.distinct_objects);
         println!("  recurrence ratio : {:.4}", phase_stats.recurrence_ratio);
     }
 
     let hist = popularity_histogram(records.iter().copied());
-    let one_timers = hist.first().filter(|(k, _)| *k == 1).map(|&(_, n)| n).unwrap_or(0);
+    let one_timers = hist
+        .first()
+        .filter(|(k, _)| *k == 1)
+        .map(|&(_, n)| n)
+        .unwrap_or(0);
     println!("\npopularity histogram (how many objects were requested k times):");
     for &(k, n) in hist.iter().take(8) {
         println!("  k={k:<4} objects={n}");

@@ -50,18 +50,18 @@ pub mod prelude {
     };
     pub use adc_core::{
         Action, AdcConfig, AdcProxy, AgingMode, CacheAgent, CachePolicy, ClientId, Location,
-        Message, NodeId, ObjectId, ProxyId, ProxyStats, ProxySnapshot, Reply, Request, RequestId,
+        Message, NodeId, ObjectId, ProxyId, ProxySnapshot, ProxyStats, Reply, Request, RequestId,
         ServedFrom, TableEntry, UnlimitedAdcProxy,
     };
     pub use adc_metrics::{Histogram, MovingAverage, Sampler, Series, Summary};
     pub use adc_net::Cluster;
     pub use adc_sim::{
-        ChurnEvent, ClientAssignment, FaultPlan, InjectionMode, LatencyModel, SimConfig,
-        SimReport, SimTime, Simulation,
+        ChurnEvent, ClientAssignment, FaultPlan, InjectionMode, LatencyModel, SimConfig, SimReport,
+        SimTime, Simulation,
     };
     pub use adc_workload::{
-        FlashCrowd, Phase, PolygraphConfig, RequestRecord, ShiftingZipf, SizeModel,
-        StationaryZipf, UniformWorkload, Zipf,
+        FlashCrowd, Phase, PolygraphConfig, RequestRecord, ShiftingZipf, SizeModel, StationaryZipf,
+        UniformWorkload, Zipf,
     };
 }
 

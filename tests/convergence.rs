@@ -14,11 +14,7 @@ fn small_config() -> AdcConfig {
 }
 
 /// Runs a stationary Zipf workload and returns report + agents.
-fn run_zipf(
-    proxies: u32,
-    universe: usize,
-    requests: usize,
-) -> (SimReport, Vec<AdcProxy>) {
+fn run_zipf(proxies: u32, universe: usize, requests: usize) -> (SimReport, Vec<AdcProxy>) {
     let agents = adc::adc_cluster(proxies, small_config());
     let sim = Simulation::new(agents, SimConfig::fast());
     sim.run_with_agents(StationaryZipf::new(universe, 0.9, 16, 7).take(requests))

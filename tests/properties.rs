@@ -6,7 +6,11 @@ use adc::sim::Simulation;
 use adc::workload::RequestRecord;
 use proptest::prelude::*;
 
-fn arb_records(max_len: usize, universe: u64, clients: u32) -> impl Strategy<Value = Vec<RequestRecord>> {
+fn arb_records(
+    max_len: usize,
+    universe: u64,
+    clients: u32,
+) -> impl Strategy<Value = Vec<RequestRecord>> {
     prop::collection::vec((0..universe, 0..clients), 1..max_len).prop_map(|pairs| {
         pairs
             .into_iter()

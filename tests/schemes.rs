@@ -100,8 +100,8 @@ fn selective_adc_beats_the_predecessors_on_polygraph() {
         .cache_capacity(200)
         .max_hops(16)
         .build();
-    let adc = Simulation::new(adc::adc_cluster(5, adc_config), SimConfig::fast())
-        .run(workload.build());
+    let adc =
+        Simulation::new(adc::adc_cluster(5, adc_config), SimConfig::fast()).run(workload.build());
     let soap_agents: Vec<SoapProxy> = (0..5)
         .map(|i| SoapProxy::new(ProxyId::new(i), 5, 512, 200, 16))
         .collect();

@@ -8,8 +8,8 @@
 //! Exact equality is not expected (the two runtimes draw different
 //! random peers), but hit rates must agree closely.
 
-use adc::prelude::*;
 use adc::net::drive_workload;
+use adc::prelude::*;
 use adc::sim::Simulation;
 use adc::workload::RequestRecord;
 use std::time::Duration;
@@ -35,7 +35,9 @@ async fn simulator_and_tcp_runtime_agree_on_hit_rates() {
     let sim_hit = sim_report.hit_rate();
 
     // Real TCP run over localhost with the same agent code.
-    let cluster = Cluster::spawn_adc(3, config()).await.expect("spawn cluster");
+    let cluster = Cluster::spawn_adc(3, config())
+        .await
+        .expect("spawn cluster");
     let tcp_report = drive_workload(&cluster, workload(), Duration::from_secs(10))
         .await
         .expect("drive workload");

@@ -1,0 +1,64 @@
+//! Deterministic case RNG and the error type threaded out of
+//! `prop_assert!`.
+
+use std::fmt;
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// RNG handed to strategies. Seeded from the test function's name so each
+/// property explores a distinct but fully reproducible stream.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the test name, mixed into a fixed global seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash ^ 0x5EED_1234_ABCD_0000),
+        }
+    }
+
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.rng.fill_bytes(dest)
+    }
+}
+
+/// A failed property case, carrying the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,96 @@
+//! Offline vendored stand-in for the subset of `rand_distr` 0.4 this
+//! workspace uses: the [`Distribution`] trait and an exact inverse-CDF
+//! [`Zipf`] sampler returning 1-based ranks as `f64`, matching the upstream
+//! sampling contract (`Zipf::new(n, s)` samples ranks in `1..=n`).
+
+use rand::Rng;
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid Zipf parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` was zero.
+    NTooSmall,
+    /// The exponent was negative or non-finite.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => write!(f, "n must be at least 1"),
+            ZipfError::STooSmall => write!(f, "s must be finite and non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / k^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative distribution; `cdf[k]` = P(rank <= k + 1). Last entry is 1.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Zipf, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    /// Samples a rank in `1..=n`, returned as `f64` like upstream.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        (idx + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(Zipf::new(0, 1.0).unwrap_err(), ZipfError::NTooSmall);
+        assert_eq!(Zipf::new(5, -0.5).unwrap_err(), ZipfError::STooSmall);
+        assert_eq!(Zipf::new(5, f64::NAN).unwrap_err(), ZipfError::STooSmall);
+    }
+
+    #[test]
+    fn ranks_in_range_and_monotone() {
+        let z = Zipf::new(20, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 20];
+        for _ in 0..200_000 {
+            let r = z.sample(&mut rng);
+            assert!((1.0..=20.0).contains(&r));
+            counts[r as usize - 1] += 1;
+        }
+        // Rank 1 must dominate rank 20 by roughly 20^1.1.
+        assert!(counts[0] > counts[19] * 10);
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline vendored stand-in for the subset of `serde` this workspace uses:
+//! the `Serialize`/`Deserialize` derive macros (re-exported no-ops) and the
+//! marker traits of the same names. No code in the workspace takes a
+//! `T: Serialize` bound or drives a serializer, so marker traits suffice.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! Offline vendored no-op replacements for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain data types but
+//! never invokes a serde serializer (all persistence goes through hand-rolled
+//! CSV/trace formats), so empty derive expansions are sufficient to build
+//! offline. The `serde` attribute is still accepted for forward
+//! compatibility.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

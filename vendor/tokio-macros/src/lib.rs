@@ -1,0 +1,66 @@
+//! Offline vendored `#[tokio::main]` and `#[tokio::test]` attribute macros.
+//!
+//! Both rewrite `async fn f() { body }` into `fn f() {
+//! ::tokio::runtime::block_on(async move { body }) }`. Attribute arguments
+//! such as `flavor = "multi_thread"` are accepted and ignored — the vendored
+//! runtime always executes one task per OS thread.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+fn rewrite(item: TokenStream, is_test: bool) -> TokenStream {
+    let mut tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    let body = match tokens.pop() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected an async fn with a brace-delimited body, got {other:?}"),
+    };
+
+    let mut out = TokenStream::new();
+    if is_test {
+        out.extend("#[test]".parse::<TokenStream>().unwrap());
+    }
+
+    // Copy the signature, dropping the `async` keyword.
+    let mut dropped_async = false;
+    for t in tokens {
+        if !dropped_async {
+            if let TokenTree::Ident(ident) = &t {
+                if ident.to_string() == "async" {
+                    dropped_async = true;
+                    continue;
+                }
+            }
+        }
+        out.extend(std::iter::once(t));
+    }
+    assert!(
+        dropped_async,
+        "#[tokio::main]/#[tokio::test] require an async fn"
+    );
+
+    let mut call_args = TokenStream::new();
+    call_args.extend("async move".parse::<TokenStream>().unwrap());
+    call_args.extend(std::iter::once(TokenTree::Group(body)));
+
+    let mut new_body = "::tokio::runtime::block_on".parse::<TokenStream>().unwrap();
+    new_body.extend(std::iter::once(TokenTree::Group(Group::new(
+        Delimiter::Parenthesis,
+        call_args,
+    ))));
+
+    out.extend(std::iter::once(TokenTree::Group(Group::new(
+        Delimiter::Brace,
+        new_body,
+    ))));
+    out
+}
+
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}

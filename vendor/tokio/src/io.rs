@@ -1,0 +1,124 @@
+//! Async read/write traits with big-endian integer helpers.
+//!
+//! The base traits expose blocking primitives; the `*Ext` traits provide the
+//! `async fn` surface (`read_u32`, `read_exact`, `write_all`, ...) the
+//! workspace calls. Under the thread-per-task runtime these complete
+//! synchronously inside a single poll.
+
+use std::io;
+
+pub trait AsyncRead {
+    fn blocking_read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+}
+
+pub trait AsyncWrite {
+    fn blocking_write(&mut self, buf: &[u8]) -> io::Result<usize>;
+    fn blocking_flush(&mut self) -> io::Result<()>;
+}
+
+impl<T: AsyncRead + ?Sized> AsyncRead for &mut T {
+    fn blocking_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (**self).blocking_read(buf)
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWrite for &mut T {
+    fn blocking_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (**self).blocking_write(buf)
+    }
+
+    fn blocking_flush(&mut self) -> io::Result<()> {
+        (**self).blocking_flush()
+    }
+}
+
+impl AsyncRead for &[u8] {
+    fn blocking_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+}
+
+impl AsyncWrite for Vec<u8> {
+    fn blocking_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn blocking_flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl<T: AsRef<[u8]>> AsyncRead for io::Cursor<T> {
+    fn blocking_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+}
+
+pub trait AsyncReadExt: AsyncRead {
+    async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.blocking_read(&mut buf[filled..])? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "early eof while filling buffer",
+                    ))
+                }
+                n => filled += n,
+            }
+        }
+        Ok(())
+    }
+
+    async fn read_u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b).await?;
+        Ok(b[0])
+    }
+
+    async fn read_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b).await?;
+        Ok(u32::from_be_bytes(b))
+    }
+
+    async fn read_u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b).await?;
+        Ok(u64::from_be_bytes(b))
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+pub trait AsyncWriteExt: AsyncWrite {
+    async fn write_all(&mut self, mut buf: &[u8]) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.blocking_write(buf)? {
+                0 => return Err(io::Error::new(io::ErrorKind::WriteZero, "write zero")),
+                n => buf = &buf[n..],
+            }
+        }
+        Ok(())
+    }
+
+    async fn write_u8(&mut self, v: u8) -> io::Result<()> {
+        self.write_all(&[v]).await
+    }
+
+    async fn write_u32(&mut self, v: u32) -> io::Result<()> {
+        self.write_all(&v.to_be_bytes()).await
+    }
+
+    async fn write_u64(&mut self, v: u64) -> io::Result<()> {
+        self.write_all(&v.to_be_bytes()).await
+    }
+
+    async fn flush(&mut self) -> io::Result<()> {
+        self.blocking_flush()
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}

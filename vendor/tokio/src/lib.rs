@@ -1,0 +1,28 @@
+//! Offline vendored stand-in for the subset of `tokio` this workspace uses.
+//!
+//! The build container cannot fetch crates, so this crate provides a minimal
+//! thread-per-task async runtime with the same public surface the workspace
+//! consumes: `spawn`/`JoinHandle`, blocking-backed `net::{TcpListener,
+//! TcpStream}`, the `io` read/write extension traits, `sync::{Mutex, mpsc,
+//! oneshot}`, `time::{timeout, sleep}`, and the `#[tokio::main]` /
+//! `#[tokio::test]` attribute macros.
+//!
+//! Execution model: every spawned task gets its own OS thread and is driven
+//! by a park/unpark `block_on` loop, so blocking std I/O inside `poll` is
+//! safe and wakers are thread unparks. `JoinHandle::abort` is a no-op —
+//! detached accept-loop threads simply die with the process, which is
+//! acceptable for the test binaries and examples this backs.
+
+// The workspace only consumes these traits through its own code, so the
+// auto-trait caveat behind this lint does not apply.
+#![allow(async_fn_in_trait)]
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};

@@ -1,0 +1,66 @@
+//! TCP types backed by blocking std sockets. Safe under the vendored
+//! thread-per-task runtime: a blocked `accept`/`read` only parks its own
+//! task thread.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use crate::io::{AsyncRead, AsyncWrite};
+
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        Ok(TcpListener {
+            inner: std::net::TcpListener::bind(addr)?,
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, addr) = self.inner.accept()?;
+        stream.set_nodelay(true).ok();
+        Ok((TcpStream { inner: stream }, addr))
+    }
+}
+
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(TcpStream { inner: stream })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn blocking_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(&mut self.inner, buf)
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn blocking_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        io::Write::write(&mut self.inner, buf)
+    }
+
+    fn blocking_flush(&mut self) -> io::Result<()> {
+        io::Write::flush(&mut self.inner)
+    }
+}

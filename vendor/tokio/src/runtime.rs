@@ -1,0 +1,37 @@
+//! Park/unpark futures executor: one thread drives one future.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Returns a waker that unparks the current thread.
+pub(crate) fn current_thread_waker() -> Waker {
+    Waker::from(Arc::new(ThreadWaker(thread::current())))
+}
+
+/// Drives `fut` to completion on the calling thread, parking between polls.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    let waker = current_thread_waker();
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => thread::park(),
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Synchronization primitives: an async `Mutex` whose guard is `Send`
+//! (so it can be held across `.await`), bounded `mpsc`, and `oneshot`.
+//!
+//! Waiting is implemented with condvars — correct under the thread-per-task
+//! runtime, where every waiter owns its thread — while `oneshot::Receiver`
+//! is a real waker-registering future so it also composes with
+//! `time::timeout`.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::ops::{Deref, DerefMut};
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::task::{Context, Poll, Waker};
+
+/// Async mutex. Unlike `std::sync::MutexGuard`, the guard is `Send`, so it
+/// may be held across await points inside spawned tasks.
+pub struct Mutex<T: ?Sized> {
+    locked: StdMutex<bool>,
+    cv: Condvar,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send + ?Sized> Send for Mutex<T> {}
+unsafe impl<T: Send + ?Sized> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            locked: StdMutex::new(false),
+            cv: Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub async fn lock(&self) -> MutexGuard<'_, T> {
+        let mut locked = self.locked.lock().unwrap();
+        while *locked {
+            locked = self.cv.wait(locked).unwrap();
+        }
+        *locked = true;
+        MutexGuard { mutex: self }
+    }
+}
+
+impl<T: ?Sized> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mutex {{ .. }}")
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+unsafe impl<T: Send + ?Sized> Send for MutexGuard<'_, T> {}
+unsafe impl<T: Send + Sync + ?Sized> Sync for MutexGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut locked = self.mutex.locked.lock().unwrap();
+        *locked = false;
+        self.mutex.cv.notify_one();
+    }
+}
+
+pub mod mpsc {
+    use super::*;
+
+    struct Chan<T> {
+        state: StdMutex<ChanState<T>>,
+        recv_cv: Condvar,
+        send_cv: Condvar,
+        capacity: usize,
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    /// Creates a bounded channel.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "mpsc capacity must be positive");
+        let chan = Arc::new(Chan {
+            state: StdMutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if !state.receiver_alive {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.chan.capacity {
+                    state.queue.push_back(value);
+                    self.chan.recv_cv.notify_one();
+                    return Ok(());
+                }
+                state = self.chan.send_cv.wait(state).unwrap();
+            }
+        }
+
+        pub fn is_closed(&self) -> bool {
+            !self.chan.state.lock().unwrap().receiver_alive
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Sender {{ .. }}")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Receiver {{ .. }}")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.chan.recv_cv.notify_all();
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        pub async fn recv(&mut self) -> Option<T> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    self.chan.send_cv.notify_one();
+                    return Some(v);
+                }
+                if state.senders == 0 {
+                    return None;
+                }
+                state = self.chan.recv_cv.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.receiver_alive = false;
+            self.chan.send_cv.notify_all();
+        }
+    }
+}
+
+pub mod oneshot {
+    use super::*;
+
+    struct One<T> {
+        state: StdMutex<OneState<T>>,
+    }
+
+    struct OneState<T> {
+        value: Option<T>,
+        sender_alive: bool,
+        receiver_alive: bool,
+        waker: Option<Waker>,
+    }
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let one = Arc::new(One {
+            state: StdMutex::new(OneState {
+                value: None,
+                sender_alive: true,
+                receiver_alive: true,
+                waker: None,
+            }),
+        });
+        (
+            Sender {
+                one: Arc::clone(&one),
+            },
+            Receiver { one },
+        )
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError(pub(super) ());
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "oneshot sender dropped without sending")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    pub struct Sender<T> {
+        one: Arc<One<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Sender {{ .. }}")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Receiver {{ .. }}")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails with the value back if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut state = self.one.state.lock().unwrap();
+            if !state.receiver_alive {
+                return Err(value);
+            }
+            state.value = Some(value);
+            if let Some(w) = state.waker.take() {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.one.state.lock().unwrap();
+            state.sender_alive = false;
+            if let Some(w) = state.waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        one: Arc<One<T>>,
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut state = self.one.state.lock().unwrap();
+            if let Some(v) = state.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if !state.sender_alive {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            state.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.one.state.lock().unwrap().receiver_alive = false;
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Thread-per-task spawning with an awaitable, abortable `JoinHandle`.
+
+use std::fmt;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::thread;
+
+/// Error returned when a task panicked (or, upstream, was cancelled).
+pub struct JoinError {
+    panicked: bool,
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.panicked {
+            write!(f, "JoinError::Panic")
+        } else {
+            write!(f, "JoinError::Cancelled")
+        }
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.panicked {
+            write!(f, "task panicked")
+        } else {
+            write!(f, "task was cancelled")
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct Shared<T> {
+    state: Mutex<HandleState<T>>,
+}
+
+struct HandleState<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task. Awaiting it yields the task's output.
+///
+/// `abort` is a no-op: the vendored runtime cannot kill an OS thread, and
+/// every call site in this workspace aborts only detached accept/forward
+/// loops on drop, where leaking the thread until process exit is fine.
+pub struct JoinHandle<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinHandle {{ .. }}")
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn abort(&self) {}
+
+    pub fn is_finished(&self) -> bool {
+        self.shared.state.lock().unwrap().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.shared.state.lock().unwrap();
+        match state.result.take() {
+            Some(r) => Poll::Ready(r),
+            None => {
+                state.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Spawns `fut` on a dedicated OS thread and returns a handle to its output.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared = Arc::new(Shared {
+        state: Mutex::new(HandleState {
+            result: None,
+            waker: None,
+        }),
+    });
+    let worker_shared = Arc::clone(&shared);
+    thread::Builder::new()
+        .name("tokio-task".into())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| crate::runtime::block_on(fut)))
+                .map_err(|_| JoinError { panicked: true });
+            let mut state = worker_shared.state.lock().unwrap();
+            state.result = Some(result);
+            if let Some(w) = state.waker.take() {
+                w.wake();
+            }
+        })
+        .expect("failed to spawn task thread");
+    JoinHandle { shared }
+}

@@ -1,0 +1,64 @@
+//! Time utilities: `timeout` and `sleep`.
+//!
+//! `Timeout::poll` drives the inner future with the caller's waker and parks
+//! the current thread until either the inner future wakes it or the deadline
+//! passes. This is sound under the thread-per-task runtime because the waker
+//! handed to us *is* this thread's unpark handle, so a wake from another
+//! task interrupts `park_timeout` and we re-poll.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Error returned when a timeout expires before the inner future resolves.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+pub struct Timeout<F> {
+    future: F,
+    deadline: Instant,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Structural projection: `future` is never moved out of `this`.
+        let this = unsafe { self.get_unchecked_mut() };
+        let mut inner = unsafe { Pin::new_unchecked(&mut this.future) };
+        loop {
+            if let Poll::Ready(v) = inner.as_mut().poll(cx) {
+                return Poll::Ready(Ok(v));
+            }
+            let now = Instant::now();
+            if now >= this.deadline {
+                return Poll::Ready(Err(Elapsed(())));
+            }
+            thread::park_timeout(this.deadline - now);
+        }
+    }
+}
+
+/// Awaits `future` for at most `duration`.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        deadline: Instant::now() + duration,
+    }
+}
+
+/// Suspends the current task for `duration` (blocks its thread).
+pub async fn sleep(duration: Duration) {
+    thread::sleep(duration);
+}
