@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_aging-3050a05572dcedeb.d: crates/adc-bench/src/bin/ablation_aging.rs
+
+/root/repo/target/debug/deps/ablation_aging-3050a05572dcedeb: crates/adc-bench/src/bin/ablation_aging.rs
+
+crates/adc-bench/src/bin/ablation_aging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_aging-4c449d74466af90b.d: crates/adc-bench/src/bin/ablation_aging.rs
+
+/root/repo/target/debug/deps/ablation_aging-4c449d74466af90b: crates/adc-bench/src/bin/ablation_aging.rs
+
+crates/adc-bench/src/bin/ablation_aging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_aging-5ad258c017934b2a.d: crates/adc-bench/src/bin/ablation_aging.rs
+
+/root/repo/target/debug/deps/ablation_aging-5ad258c017934b2a: crates/adc-bench/src/bin/ablation_aging.rs
+
+crates/adc-bench/src/bin/ablation_aging.rs:

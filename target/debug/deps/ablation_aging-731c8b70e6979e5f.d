@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_aging-731c8b70e6979e5f.d: crates/adc-bench/src/bin/ablation_aging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_aging-731c8b70e6979e5f.rmeta: crates/adc-bench/src/bin/ablation_aging.rs Cargo.toml
+
+crates/adc-bench/src/bin/ablation_aging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

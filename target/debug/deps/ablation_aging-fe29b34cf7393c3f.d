@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_aging-fe29b34cf7393c3f.d: crates/adc-bench/src/bin/ablation_aging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_aging-fe29b34cf7393c3f.rmeta: crates/adc-bench/src/bin/ablation_aging.rs Cargo.toml
+
+crates/adc-bench/src/bin/ablation_aging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_churn-509f3c54d98cbc65.d: crates/adc-bench/src/bin/ablation_churn.rs
+
+/root/repo/target/debug/deps/ablation_churn-509f3c54d98cbc65: crates/adc-bench/src/bin/ablation_churn.rs
+
+crates/adc-bench/src/bin/ablation_churn.rs:

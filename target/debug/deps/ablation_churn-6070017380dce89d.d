@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_churn-6070017380dce89d.d: crates/adc-bench/src/bin/ablation_churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_churn-6070017380dce89d.rmeta: crates/adc-bench/src/bin/ablation_churn.rs Cargo.toml
+
+crates/adc-bench/src/bin/ablation_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_churn-852827c69825d838.d: crates/adc-bench/src/bin/ablation_churn.rs
+
+/root/repo/target/debug/deps/ablation_churn-852827c69825d838: crates/adc-bench/src/bin/ablation_churn.rs
+
+crates/adc-bench/src/bin/ablation_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_churn-d0730ad775d30536.d: crates/adc-bench/src/bin/ablation_churn.rs
+
+/root/repo/target/debug/deps/ablation_churn-d0730ad775d30536: crates/adc-bench/src/bin/ablation_churn.rs
+
+crates/adc-bench/src/bin/ablation_churn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_churn-f191773ede543a00.d: crates/adc-bench/src/bin/ablation_churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_churn-f191773ede543a00.rmeta: crates/adc-bench/src/bin/ablation_churn.rs Cargo.toml
+
+crates/adc-bench/src/bin/ablation_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

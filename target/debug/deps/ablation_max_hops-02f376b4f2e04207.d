@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_max_hops-02f376b4f2e04207.d: crates/adc-bench/src/bin/ablation_max_hops.rs
+
+/root/repo/target/debug/deps/ablation_max_hops-02f376b4f2e04207: crates/adc-bench/src/bin/ablation_max_hops.rs
+
+crates/adc-bench/src/bin/ablation_max_hops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_max_hops-252865b262de1c06.d: crates/adc-bench/src/bin/ablation_max_hops.rs
+
+/root/repo/target/debug/deps/ablation_max_hops-252865b262de1c06: crates/adc-bench/src/bin/ablation_max_hops.rs
+
+crates/adc-bench/src/bin/ablation_max_hops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_max_hops-e6d9bcf102a70c74.d: crates/adc-bench/src/bin/ablation_max_hops.rs
+
+/root/repo/target/debug/deps/ablation_max_hops-e6d9bcf102a70c74: crates/adc-bench/src/bin/ablation_max_hops.rs
+
+crates/adc-bench/src/bin/ablation_max_hops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-2e2b6cf0cf770b49.d: crates/adc-bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-2e2b6cf0cf770b49: crates/adc-bench/src/bin/ablation_policy.rs
+
+crates/adc-bench/src/bin/ablation_policy.rs:

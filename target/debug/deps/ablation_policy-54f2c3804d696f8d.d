@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_policy-54f2c3804d696f8d.d: crates/adc-bench/src/bin/ablation_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_policy-54f2c3804d696f8d.rmeta: crates/adc-bench/src/bin/ablation_policy.rs Cargo.toml
+
+crates/adc-bench/src/bin/ablation_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

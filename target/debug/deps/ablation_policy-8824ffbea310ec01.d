@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-8824ffbea310ec01.d: crates/adc-bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-8824ffbea310ec01: crates/adc-bench/src/bin/ablation_policy.rs
+
+crates/adc-bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-a6feb6c48d5fbac9.d: crates/adc-bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-a6feb6c48d5fbac9: crates/adc-bench/src/bin/ablation_policy.rs
+
+crates/adc-bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_proxies-0e177ad1a41cd851.d: crates/adc-bench/src/bin/ablation_proxies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_proxies-0e177ad1a41cd851.rmeta: crates/adc-bench/src/bin/ablation_proxies.rs Cargo.toml
+
+crates/adc-bench/src/bin/ablation_proxies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

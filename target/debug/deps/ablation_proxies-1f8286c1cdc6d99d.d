@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_proxies-1f8286c1cdc6d99d.d: crates/adc-bench/src/bin/ablation_proxies.rs
+
+/root/repo/target/debug/deps/ablation_proxies-1f8286c1cdc6d99d: crates/adc-bench/src/bin/ablation_proxies.rs
+
+crates/adc-bench/src/bin/ablation_proxies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_proxies-383dc2d94c8ec4cc.d: crates/adc-bench/src/bin/ablation_proxies.rs
+
+/root/repo/target/debug/deps/ablation_proxies-383dc2d94c8ec4cc: crates/adc-bench/src/bin/ablation_proxies.rs
+
+crates/adc-bench/src/bin/ablation_proxies.rs:

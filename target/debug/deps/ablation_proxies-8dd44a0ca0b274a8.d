@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_proxies-8dd44a0ca0b274a8.d: crates/adc-bench/src/bin/ablation_proxies.rs
+
+/root/repo/target/debug/deps/ablation_proxies-8dd44a0ca0b274a8: crates/adc-bench/src/bin/ablation_proxies.rs
+
+crates/adc-bench/src/bin/ablation_proxies.rs:

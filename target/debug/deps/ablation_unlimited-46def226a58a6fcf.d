@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_unlimited-46def226a58a6fcf.d: crates/adc-bench/src/bin/ablation_unlimited.rs
+
+/root/repo/target/debug/deps/ablation_unlimited-46def226a58a6fcf: crates/adc-bench/src/bin/ablation_unlimited.rs
+
+crates/adc-bench/src/bin/ablation_unlimited.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_unlimited-61c26d46bde77de8.d: crates/adc-bench/src/bin/ablation_unlimited.rs
+
+/root/repo/target/debug/deps/ablation_unlimited-61c26d46bde77de8: crates/adc-bench/src/bin/ablation_unlimited.rs
+
+crates/adc-bench/src/bin/ablation_unlimited.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_unlimited-6e9ed972cbfaceba.d: crates/adc-bench/src/bin/ablation_unlimited.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_unlimited-6e9ed972cbfaceba.rmeta: crates/adc-bench/src/bin/ablation_unlimited.rs Cargo.toml
+
+crates/adc-bench/src/bin/ablation_unlimited.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_unlimited-6ecec845144e8b84.d: crates/adc-bench/src/bin/ablation_unlimited.rs
+
+/root/repo/target/debug/deps/ablation_unlimited-6ecec845144e8b84: crates/adc-bench/src/bin/ablation_unlimited.rs
+
+crates/adc-bench/src/bin/ablation_unlimited.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/adc-29a1fcc87c43a069.d: src/lib.rs src/guide.rs
+
+/root/repo/target/debug/deps/adc-29a1fcc87c43a069: src/lib.rs src/guide.rs
+
+src/lib.rs:
+src/guide.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adc-5c150e46d1ed0db4.d: src/lib.rs src/guide.rs
+
+/root/repo/target/debug/deps/libadc-5c150e46d1ed0db4.rlib: src/lib.rs src/guide.rs
+
+/root/repo/target/debug/deps/libadc-5c150e46d1ed0db4.rmeta: src/lib.rs src/guide.rs
+
+src/lib.rs:
+src/guide.rs:

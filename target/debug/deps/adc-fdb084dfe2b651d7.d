@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adc-fdb084dfe2b651d7.d: src/lib.rs src/guide.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc-fdb084dfe2b651d7.rmeta: src/lib.rs src/guide.rs Cargo.toml
+
+src/lib.rs:
+src/guide.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adc_baselines-98442d0d7b684a9a.d: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs
+
+/root/repo/target/debug/deps/adc_baselines-98442d0d7b684a9a: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs
+
+crates/adc-baselines/src/lib.rs:
+crates/adc-baselines/src/hashing_proxy.rs:
+crates/adc-baselines/src/hierarchy.rs:
+crates/adc-baselines/src/lru_cache.rs:
+crates/adc-baselines/src/owner.rs:
+crates/adc-baselines/src/soap.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adc_baselines-a4166a1c1040fd02.d: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs
+
+/root/repo/target/debug/deps/libadc_baselines-a4166a1c1040fd02.rlib: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs
+
+/root/repo/target/debug/deps/libadc_baselines-a4166a1c1040fd02.rmeta: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs
+
+crates/adc-baselines/src/lib.rs:
+crates/adc-baselines/src/hashing_proxy.rs:
+crates/adc-baselines/src/hierarchy.rs:
+crates/adc-baselines/src/lru_cache.rs:
+crates/adc-baselines/src/owner.rs:
+crates/adc-baselines/src/soap.rs:

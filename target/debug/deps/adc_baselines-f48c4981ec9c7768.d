@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adc_baselines-f48c4981ec9c7768.d: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc_baselines-f48c4981ec9c7768.rmeta: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs Cargo.toml
+
+crates/adc-baselines/src/lib.rs:
+crates/adc-baselines/src/hashing_proxy.rs:
+crates/adc-baselines/src/hierarchy.rs:
+crates/adc-baselines/src/lru_cache.rs:
+crates/adc-baselines/src/owner.rs:
+crates/adc-baselines/src/soap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

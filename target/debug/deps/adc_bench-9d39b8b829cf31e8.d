@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/adc_bench-9d39b8b829cf31e8.d: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libadc_bench-9d39b8b829cf31e8.rlib: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libadc_bench-9d39b8b829cf31e8.rmeta: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs
+
+crates/adc-bench/src/lib.rs:
+crates/adc-bench/src/cli.rs:
+crates/adc-bench/src/experiment.rs:
+crates/adc-bench/src/output.rs:
+crates/adc-bench/src/parallel.rs:
+crates/adc-bench/src/scale.rs:
+crates/adc-bench/src/sweep.rs:

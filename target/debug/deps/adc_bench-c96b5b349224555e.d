@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/adc_bench-c96b5b349224555e.d: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc_bench-c96b5b349224555e.rmeta: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs Cargo.toml
+
+crates/adc-bench/src/lib.rs:
+crates/adc-bench/src/cli.rs:
+crates/adc-bench/src/experiment.rs:
+crates/adc-bench/src/output.rs:
+crates/adc-bench/src/parallel.rs:
+crates/adc-bench/src/scale.rs:
+crates/adc-bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adc_bench-d843230201fb6e74.d: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs
+
+/root/repo/target/debug/deps/adc_bench-d843230201fb6e74: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs
+
+crates/adc-bench/src/lib.rs:
+crates/adc-bench/src/cli.rs:
+crates/adc-bench/src/experiment.rs:
+crates/adc-bench/src/output.rs:
+crates/adc-bench/src/parallel.rs:
+crates/adc-bench/src/scale.rs:
+crates/adc-bench/src/sweep.rs:

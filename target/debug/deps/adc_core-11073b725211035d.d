@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/adc_core-11073b725211035d.d: crates/adc-core/src/lib.rs crates/adc-core/src/agent.rs crates/adc-core/src/config.rs crates/adc-core/src/entry.rs crates/adc-core/src/error.rs crates/adc-core/src/ids.rs crates/adc-core/src/message.rs crates/adc-core/src/proxy.rs crates/adc-core/src/snapshot.rs crates/adc-core/src/stats.rs crates/adc-core/src/tables/mod.rs crates/adc-core/src/tables/lru.rs crates/adc-core/src/tables/mapping.rs crates/adc-core/src/tables/ordered.rs crates/adc-core/src/tables/single.rs crates/adc-core/src/unlimited.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc_core-11073b725211035d.rmeta: crates/adc-core/src/lib.rs crates/adc-core/src/agent.rs crates/adc-core/src/config.rs crates/adc-core/src/entry.rs crates/adc-core/src/error.rs crates/adc-core/src/ids.rs crates/adc-core/src/message.rs crates/adc-core/src/proxy.rs crates/adc-core/src/snapshot.rs crates/adc-core/src/stats.rs crates/adc-core/src/tables/mod.rs crates/adc-core/src/tables/lru.rs crates/adc-core/src/tables/mapping.rs crates/adc-core/src/tables/ordered.rs crates/adc-core/src/tables/single.rs crates/adc-core/src/unlimited.rs Cargo.toml
+
+crates/adc-core/src/lib.rs:
+crates/adc-core/src/agent.rs:
+crates/adc-core/src/config.rs:
+crates/adc-core/src/entry.rs:
+crates/adc-core/src/error.rs:
+crates/adc-core/src/ids.rs:
+crates/adc-core/src/message.rs:
+crates/adc-core/src/proxy.rs:
+crates/adc-core/src/snapshot.rs:
+crates/adc-core/src/stats.rs:
+crates/adc-core/src/tables/mod.rs:
+crates/adc-core/src/tables/lru.rs:
+crates/adc-core/src/tables/mapping.rs:
+crates/adc-core/src/tables/ordered.rs:
+crates/adc-core/src/tables/single.rs:
+crates/adc-core/src/unlimited.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

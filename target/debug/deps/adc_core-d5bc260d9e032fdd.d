@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/adc_core-d5bc260d9e032fdd.d: crates/adc-core/src/lib.rs crates/adc-core/src/agent.rs crates/adc-core/src/config.rs crates/adc-core/src/entry.rs crates/adc-core/src/error.rs crates/adc-core/src/ids.rs crates/adc-core/src/message.rs crates/adc-core/src/proxy.rs crates/adc-core/src/snapshot.rs crates/adc-core/src/stats.rs crates/adc-core/src/tables/mod.rs crates/adc-core/src/tables/lru.rs crates/adc-core/src/tables/mapping.rs crates/adc-core/src/tables/ordered.rs crates/adc-core/src/tables/single.rs crates/adc-core/src/unlimited.rs
+
+/root/repo/target/debug/deps/libadc_core-d5bc260d9e032fdd.rlib: crates/adc-core/src/lib.rs crates/adc-core/src/agent.rs crates/adc-core/src/config.rs crates/adc-core/src/entry.rs crates/adc-core/src/error.rs crates/adc-core/src/ids.rs crates/adc-core/src/message.rs crates/adc-core/src/proxy.rs crates/adc-core/src/snapshot.rs crates/adc-core/src/stats.rs crates/adc-core/src/tables/mod.rs crates/adc-core/src/tables/lru.rs crates/adc-core/src/tables/mapping.rs crates/adc-core/src/tables/ordered.rs crates/adc-core/src/tables/single.rs crates/adc-core/src/unlimited.rs
+
+/root/repo/target/debug/deps/libadc_core-d5bc260d9e032fdd.rmeta: crates/adc-core/src/lib.rs crates/adc-core/src/agent.rs crates/adc-core/src/config.rs crates/adc-core/src/entry.rs crates/adc-core/src/error.rs crates/adc-core/src/ids.rs crates/adc-core/src/message.rs crates/adc-core/src/proxy.rs crates/adc-core/src/snapshot.rs crates/adc-core/src/stats.rs crates/adc-core/src/tables/mod.rs crates/adc-core/src/tables/lru.rs crates/adc-core/src/tables/mapping.rs crates/adc-core/src/tables/ordered.rs crates/adc-core/src/tables/single.rs crates/adc-core/src/unlimited.rs
+
+crates/adc-core/src/lib.rs:
+crates/adc-core/src/agent.rs:
+crates/adc-core/src/config.rs:
+crates/adc-core/src/entry.rs:
+crates/adc-core/src/error.rs:
+crates/adc-core/src/ids.rs:
+crates/adc-core/src/message.rs:
+crates/adc-core/src/proxy.rs:
+crates/adc-core/src/snapshot.rs:
+crates/adc-core/src/stats.rs:
+crates/adc-core/src/tables/mod.rs:
+crates/adc-core/src/tables/lru.rs:
+crates/adc-core/src/tables/mapping.rs:
+crates/adc-core/src/tables/ordered.rs:
+crates/adc-core/src/tables/single.rs:
+crates/adc-core/src/unlimited.rs:

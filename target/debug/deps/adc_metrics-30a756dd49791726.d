@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adc_metrics-30a756dd49791726.d: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs
+
+/root/repo/target/debug/deps/adc_metrics-30a756dd49791726: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs
+
+crates/adc-metrics/src/lib.rs:
+crates/adc-metrics/src/csv.rs:
+crates/adc-metrics/src/histogram.rs:
+crates/adc-metrics/src/moving.rs:
+crates/adc-metrics/src/quantile.rs:
+crates/adc-metrics/src/series.rs:
+crates/adc-metrics/src/summary.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/adc_metrics-336377cc40e14eaa.d: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libadc_metrics-336377cc40e14eaa.rlib: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libadc_metrics-336377cc40e14eaa.rmeta: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs
+
+crates/adc-metrics/src/lib.rs:
+crates/adc-metrics/src/csv.rs:
+crates/adc-metrics/src/histogram.rs:
+crates/adc-metrics/src/moving.rs:
+crates/adc-metrics/src/quantile.rs:
+crates/adc-metrics/src/series.rs:
+crates/adc-metrics/src/summary.rs:

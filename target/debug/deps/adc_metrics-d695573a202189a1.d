@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/adc_metrics-d695573a202189a1.d: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc_metrics-d695573a202189a1.rmeta: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs Cargo.toml
+
+crates/adc-metrics/src/lib.rs:
+crates/adc-metrics/src/csv.rs:
+crates/adc-metrics/src/histogram.rs:
+crates/adc-metrics/src/moving.rs:
+crates/adc-metrics/src/quantile.rs:
+crates/adc-metrics/src/series.rs:
+crates/adc-metrics/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adc_net-311e005a58e38b5a.d: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs
+
+/root/repo/target/debug/deps/libadc_net-311e005a58e38b5a.rlib: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs
+
+/root/repo/target/debug/deps/libadc_net-311e005a58e38b5a.rmeta: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs
+
+crates/adc-net/src/lib.rs:
+crates/adc-net/src/book.rs:
+crates/adc-net/src/client.rs:
+crates/adc-net/src/cluster.rs:
+crates/adc-net/src/driver.rs:
+crates/adc-net/src/node.rs:
+crates/adc-net/src/protocol.rs:
+crates/adc-net/src/transport.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adc_net-9f711eef091a95a2.d: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs
+
+/root/repo/target/debug/deps/adc_net-9f711eef091a95a2: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs
+
+crates/adc-net/src/lib.rs:
+crates/adc-net/src/book.rs:
+crates/adc-net/src/client.rs:
+crates/adc-net/src/cluster.rs:
+crates/adc-net/src/driver.rs:
+crates/adc-net/src/node.rs:
+crates/adc-net/src/protocol.rs:
+crates/adc-net/src/transport.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/adc_net-bd030e881d90305e.d: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc_net-bd030e881d90305e.rmeta: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs Cargo.toml
+
+crates/adc-net/src/lib.rs:
+crates/adc-net/src/book.rs:
+crates/adc-net/src/client.rs:
+crates/adc-net/src/cluster.rs:
+crates/adc-net/src/driver.rs:
+crates/adc-net/src/node.rs:
+crates/adc-net/src/protocol.rs:
+crates/adc-net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

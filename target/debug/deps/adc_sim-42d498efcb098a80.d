@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adc_sim-42d498efcb098a80.d: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs
+
+/root/repo/target/debug/deps/adc_sim-42d498efcb098a80: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs
+
+crates/adc-sim/src/lib.rs:
+crates/adc-sim/src/config.rs:
+crates/adc-sim/src/cputime.rs:
+crates/adc-sim/src/network.rs:
+crates/adc-sim/src/report.rs:
+crates/adc-sim/src/runner.rs:
+crates/adc-sim/src/time.rs:
+crates/adc-sim/src/tracelog.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/adc_sim-a64754fafa501cfc.d: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc_sim-a64754fafa501cfc.rmeta: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs Cargo.toml
+
+crates/adc-sim/src/lib.rs:
+crates/adc-sim/src/config.rs:
+crates/adc-sim/src/cputime.rs:
+crates/adc-sim/src/network.rs:
+crates/adc-sim/src/report.rs:
+crates/adc-sim/src/runner.rs:
+crates/adc-sim/src/time.rs:
+crates/adc-sim/src/tracelog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

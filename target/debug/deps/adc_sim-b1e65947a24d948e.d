@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adc_sim-b1e65947a24d948e.d: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs
+
+/root/repo/target/debug/deps/libadc_sim-b1e65947a24d948e.rlib: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs
+
+/root/repo/target/debug/deps/libadc_sim-b1e65947a24d948e.rmeta: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs
+
+crates/adc-sim/src/lib.rs:
+crates/adc-sim/src/config.rs:
+crates/adc-sim/src/cputime.rs:
+crates/adc-sim/src/network.rs:
+crates/adc-sim/src/report.rs:
+crates/adc-sim/src/runner.rs:
+crates/adc-sim/src/time.rs:
+crates/adc-sim/src/tracelog.rs:

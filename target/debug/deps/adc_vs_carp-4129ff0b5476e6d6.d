@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adc_vs_carp-4129ff0b5476e6d6.d: tests/adc_vs_carp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc_vs_carp-4129ff0b5476e6d6.rmeta: tests/adc_vs_carp.rs Cargo.toml
+
+tests/adc_vs_carp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

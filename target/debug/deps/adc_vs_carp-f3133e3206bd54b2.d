@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adc_vs_carp-f3133e3206bd54b2.d: tests/adc_vs_carp.rs
+
+/root/repo/target/debug/deps/adc_vs_carp-f3133e3206bd54b2: tests/adc_vs_carp.rs
+
+tests/adc_vs_carp.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adc_workload-3f00ecc6232c2fce.d: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libadc_workload-3f00ecc6232c2fce.rlib: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libadc_workload-3f00ecc6232c2fce.rmeta: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs
+
+crates/adc-workload/src/lib.rs:
+crates/adc-workload/src/analysis.rs:
+crates/adc-workload/src/polygraph.rs:
+crates/adc-workload/src/shared.rs:
+crates/adc-workload/src/sizes.rs:
+crates/adc-workload/src/synthetic.rs:
+crates/adc-workload/src/trace.rs:
+crates/adc-workload/src/zipf.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/adc_workload-7496cfb736744cc4.d: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadc_workload-7496cfb736744cc4.rmeta: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs Cargo.toml
+
+crates/adc-workload/src/lib.rs:
+crates/adc-workload/src/analysis.rs:
+crates/adc-workload/src/polygraph.rs:
+crates/adc-workload/src/shared.rs:
+crates/adc-workload/src/sizes.rs:
+crates/adc-workload/src/synthetic.rs:
+crates/adc-workload/src/trace.rs:
+crates/adc-workload/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

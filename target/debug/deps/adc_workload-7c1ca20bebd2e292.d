@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adc_workload-7c1ca20bebd2e292.d: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs
+
+/root/repo/target/debug/deps/adc_workload-7c1ca20bebd2e292: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs
+
+crates/adc-workload/src/lib.rs:
+crates/adc-workload/src/analysis.rs:
+crates/adc-workload/src/polygraph.rs:
+crates/adc-workload/src/shared.rs:
+crates/adc-workload/src/sizes.rs:
+crates/adc-workload/src/synthetic.rs:
+crates/adc-workload/src/trace.rs:
+crates/adc-workload/src/zipf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agents-abc1aef09b75e32b.d: crates/adc-bench/benches/agents.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagents-abc1aef09b75e32b.rmeta: crates/adc-bench/benches/agents.rs Cargo.toml
+
+crates/adc-bench/benches/agents.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

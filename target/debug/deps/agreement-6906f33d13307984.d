@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-6906f33d13307984.d: crates/adc-core/tests/agreement.rs
+
+/root/repo/target/debug/deps/agreement-6906f33d13307984: crates/adc-core/tests/agreement.rs
+
+crates/adc-core/tests/agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement-f025e94bc1b27dde.d: crates/adc-core/tests/agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement-f025e94bc1b27dde.rmeta: crates/adc-core/tests/agreement.rs Cargo.toml
+
+crates/adc-core/tests/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

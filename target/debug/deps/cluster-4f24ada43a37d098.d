@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-4f24ada43a37d098.d: crates/adc-net/tests/cluster.rs
+
+/root/repo/target/debug/deps/cluster-4f24ada43a37d098: crates/adc-net/tests/cluster.rs
+
+crates/adc-net/tests/cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-b33201c0bac625e5.d: crates/adc-net/tests/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-b33201c0bac625e5.rmeta: crates/adc-net/tests/cluster.rs Cargo.toml
+
+crates/adc-net/tests/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

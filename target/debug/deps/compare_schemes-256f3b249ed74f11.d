@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare_schemes-256f3b249ed74f11.d: crates/adc-bench/src/bin/compare_schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare_schemes-256f3b249ed74f11.rmeta: crates/adc-bench/src/bin/compare_schemes.rs Cargo.toml
+
+crates/adc-bench/src/bin/compare_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_schemes-3e82ee7637359117.d: crates/adc-bench/src/bin/compare_schemes.rs
+
+/root/repo/target/debug/deps/compare_schemes-3e82ee7637359117: crates/adc-bench/src/bin/compare_schemes.rs
+
+crates/adc-bench/src/bin/compare_schemes.rs:

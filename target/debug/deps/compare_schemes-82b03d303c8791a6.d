@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_schemes-82b03d303c8791a6.d: crates/adc-bench/src/bin/compare_schemes.rs
+
+/root/repo/target/debug/deps/compare_schemes-82b03d303c8791a6: crates/adc-bench/src/bin/compare_schemes.rs
+
+crates/adc-bench/src/bin/compare_schemes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare_schemes-9a51b7742d14b025.d: crates/adc-bench/src/bin/compare_schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare_schemes-9a51b7742d14b025.rmeta: crates/adc-bench/src/bin/compare_schemes.rs Cargo.toml
+
+crates/adc-bench/src/bin/compare_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

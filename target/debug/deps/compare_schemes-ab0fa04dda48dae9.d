@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare_schemes-ab0fa04dda48dae9.d: crates/adc-bench/src/bin/compare_schemes.rs
+
+/root/repo/target/debug/deps/compare_schemes-ab0fa04dda48dae9: crates/adc-bench/src/bin/compare_schemes.rs
+
+crates/adc-bench/src/bin/compare_schemes.rs:

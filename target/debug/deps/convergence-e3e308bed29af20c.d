@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-e3e308bed29af20c.d: tests/convergence.rs
+
+/root/repo/target/debug/deps/convergence-e3e308bed29af20c: tests/convergence.rs
+
+tests/convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convergence-ffe852171ebe58b9.d: tests/convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvergence-ffe852171ebe58b9.rmeta: tests/convergence.rs Cargo.toml
+
+tests/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

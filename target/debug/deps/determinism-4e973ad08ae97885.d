@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/determinism-4e973ad08ae97885.d: crates/adc-bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-4e973ad08ae97885: crates/adc-bench/tests/determinism.rs
+
+crates/adc-bench/tests/determinism.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/adc-bench

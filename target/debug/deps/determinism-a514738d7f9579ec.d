@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism-a514738d7f9579ec.d: crates/adc-bench/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-a514738d7f9579ec.rmeta: crates/adc-bench/tests/determinism.rs Cargo.toml
+
+crates/adc-bench/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/adc-bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/determinism-c69d2be239a8653b.d: crates/adc-bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c69d2be239a8653b: crates/adc-bench/tests/determinism.rs
+
+crates/adc-bench/tests/determinism.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/adc-bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-bc556f051caf6575.d: crates/adc-bench/benches/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-bc556f051caf6575.rmeta: crates/adc-bench/benches/end_to_end.rs Cargo.toml
+
+crates/adc-bench/benches/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

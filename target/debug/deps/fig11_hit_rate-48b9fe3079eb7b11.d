@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_hit_rate-48b9fe3079eb7b11.d: crates/adc-bench/src/bin/fig11_hit_rate.rs
+
+/root/repo/target/debug/deps/fig11_hit_rate-48b9fe3079eb7b11: crates/adc-bench/src/bin/fig11_hit_rate.rs
+
+crates/adc-bench/src/bin/fig11_hit_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_hit_rate-98b80486615bf8c8.d: crates/adc-bench/src/bin/fig11_hit_rate.rs
+
+/root/repo/target/debug/deps/fig11_hit_rate-98b80486615bf8c8: crates/adc-bench/src/bin/fig11_hit_rate.rs
+
+crates/adc-bench/src/bin/fig11_hit_rate.rs:

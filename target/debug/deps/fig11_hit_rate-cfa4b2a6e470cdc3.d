@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_hit_rate-cfa4b2a6e470cdc3.d: crates/adc-bench/src/bin/fig11_hit_rate.rs
+
+/root/repo/target/debug/deps/fig11_hit_rate-cfa4b2a6e470cdc3: crates/adc-bench/src/bin/fig11_hit_rate.rs
+
+crates/adc-bench/src/bin/fig11_hit_rate.rs:

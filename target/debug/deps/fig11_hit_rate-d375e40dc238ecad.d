@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_hit_rate-d375e40dc238ecad.d: crates/adc-bench/src/bin/fig11_hit_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_hit_rate-d375e40dc238ecad.rmeta: crates/adc-bench/src/bin/fig11_hit_rate.rs Cargo.toml
+
+crates/adc-bench/src/bin/fig11_hit_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

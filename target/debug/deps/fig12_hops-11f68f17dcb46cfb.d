@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_hops-11f68f17dcb46cfb.d: crates/adc-bench/src/bin/fig12_hops.rs
+
+/root/repo/target/debug/deps/fig12_hops-11f68f17dcb46cfb: crates/adc-bench/src/bin/fig12_hops.rs
+
+crates/adc-bench/src/bin/fig12_hops.rs:

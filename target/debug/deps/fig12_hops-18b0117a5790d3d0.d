@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_hops-18b0117a5790d3d0.d: crates/adc-bench/src/bin/fig12_hops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_hops-18b0117a5790d3d0.rmeta: crates/adc-bench/src/bin/fig12_hops.rs Cargo.toml
+
+crates/adc-bench/src/bin/fig12_hops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

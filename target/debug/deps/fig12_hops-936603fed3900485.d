@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_hops-936603fed3900485.d: crates/adc-bench/src/bin/fig12_hops.rs
+
+/root/repo/target/debug/deps/fig12_hops-936603fed3900485: crates/adc-bench/src/bin/fig12_hops.rs
+
+crates/adc-bench/src/bin/fig12_hops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_hops-a237a134561cae4b.d: crates/adc-bench/src/bin/fig12_hops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_hops-a237a134561cae4b.rmeta: crates/adc-bench/src/bin/fig12_hops.rs Cargo.toml
+
+crates/adc-bench/src/bin/fig12_hops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_hops-fb4da7acb8ef2618.d: crates/adc-bench/src/bin/fig12_hops.rs
+
+/root/repo/target/debug/deps/fig12_hops-fb4da7acb8ef2618: crates/adc-bench/src/bin/fig12_hops.rs
+
+crates/adc-bench/src/bin/fig12_hops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_hits_by_size-38f3ff57dd843f74.d: crates/adc-bench/src/bin/fig13_hits_by_size.rs
+
+/root/repo/target/debug/deps/fig13_hits_by_size-38f3ff57dd843f74: crates/adc-bench/src/bin/fig13_hits_by_size.rs
+
+crates/adc-bench/src/bin/fig13_hits_by_size.rs:

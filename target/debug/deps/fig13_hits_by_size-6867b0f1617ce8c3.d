@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_hits_by_size-6867b0f1617ce8c3.d: crates/adc-bench/src/bin/fig13_hits_by_size.rs
+
+/root/repo/target/debug/deps/fig13_hits_by_size-6867b0f1617ce8c3: crates/adc-bench/src/bin/fig13_hits_by_size.rs
+
+crates/adc-bench/src/bin/fig13_hits_by_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_hits_by_size-c9b7721fe03e4bc1.d: crates/adc-bench/src/bin/fig13_hits_by_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_hits_by_size-c9b7721fe03e4bc1.rmeta: crates/adc-bench/src/bin/fig13_hits_by_size.rs Cargo.toml
+
+crates/adc-bench/src/bin/fig13_hits_by_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

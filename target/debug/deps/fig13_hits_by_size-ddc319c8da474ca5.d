@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_hits_by_size-ddc319c8da474ca5.d: crates/adc-bench/src/bin/fig13_hits_by_size.rs
+
+/root/repo/target/debug/deps/fig13_hits_by_size-ddc319c8da474ca5: crates/adc-bench/src/bin/fig13_hits_by_size.rs
+
+crates/adc-bench/src/bin/fig13_hits_by_size.rs:

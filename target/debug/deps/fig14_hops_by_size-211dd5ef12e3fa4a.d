@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_hops_by_size-211dd5ef12e3fa4a.d: crates/adc-bench/src/bin/fig14_hops_by_size.rs
+
+/root/repo/target/debug/deps/fig14_hops_by_size-211dd5ef12e3fa4a: crates/adc-bench/src/bin/fig14_hops_by_size.rs
+
+crates/adc-bench/src/bin/fig14_hops_by_size.rs:

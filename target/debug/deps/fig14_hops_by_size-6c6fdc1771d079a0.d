@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_hops_by_size-6c6fdc1771d079a0.d: crates/adc-bench/src/bin/fig14_hops_by_size.rs
+
+/root/repo/target/debug/deps/fig14_hops_by_size-6c6fdc1771d079a0: crates/adc-bench/src/bin/fig14_hops_by_size.rs
+
+crates/adc-bench/src/bin/fig14_hops_by_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_hops_by_size-97bf51a895cd02de.d: crates/adc-bench/src/bin/fig14_hops_by_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_hops_by_size-97bf51a895cd02de.rmeta: crates/adc-bench/src/bin/fig14_hops_by_size.rs Cargo.toml
+
+crates/adc-bench/src/bin/fig14_hops_by_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

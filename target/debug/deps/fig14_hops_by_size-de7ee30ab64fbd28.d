@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_hops_by_size-de7ee30ab64fbd28.d: crates/adc-bench/src/bin/fig14_hops_by_size.rs
+
+/root/repo/target/debug/deps/fig14_hops_by_size-de7ee30ab64fbd28: crates/adc-bench/src/bin/fig14_hops_by_size.rs
+
+crates/adc-bench/src/bin/fig14_hops_by_size.rs:

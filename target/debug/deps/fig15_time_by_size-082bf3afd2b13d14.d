@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_time_by_size-082bf3afd2b13d14.d: crates/adc-bench/src/bin/fig15_time_by_size.rs
+
+/root/repo/target/debug/deps/fig15_time_by_size-082bf3afd2b13d14: crates/adc-bench/src/bin/fig15_time_by_size.rs
+
+crates/adc-bench/src/bin/fig15_time_by_size.rs:

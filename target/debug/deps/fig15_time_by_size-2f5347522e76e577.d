@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_time_by_size-2f5347522e76e577.d: crates/adc-bench/src/bin/fig15_time_by_size.rs
+
+/root/repo/target/debug/deps/fig15_time_by_size-2f5347522e76e577: crates/adc-bench/src/bin/fig15_time_by_size.rs
+
+crates/adc-bench/src/bin/fig15_time_by_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_time_by_size-bacc9a79015baf6e.d: crates/adc-bench/src/bin/fig15_time_by_size.rs
+
+/root/repo/target/debug/deps/fig15_time_by_size-bacc9a79015baf6e: crates/adc-bench/src/bin/fig15_time_by_size.rs
+
+crates/adc-bench/src/bin/fig15_time_by_size.rs:

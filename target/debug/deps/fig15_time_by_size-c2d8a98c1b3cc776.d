@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_time_by_size-c2d8a98c1b3cc776.d: crates/adc-bench/src/bin/fig15_time_by_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_time_by_size-c2d8a98c1b3cc776.rmeta: crates/adc-bench/src/bin/fig15_time_by_size.rs Cargo.toml
+
+crates/adc-bench/src/bin/fig15_time_by_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_trace-47186c2c46d212cb.d: crates/adc-bench/src/bin/gen_trace.rs
+
+/root/repo/target/debug/deps/gen_trace-47186c2c46d212cb: crates/adc-bench/src/bin/gen_trace.rs
+
+crates/adc-bench/src/bin/gen_trace.rs:

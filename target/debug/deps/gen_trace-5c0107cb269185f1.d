@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_trace-5c0107cb269185f1.d: crates/adc-bench/src/bin/gen_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_trace-5c0107cb269185f1.rmeta: crates/adc-bench/src/bin/gen_trace.rs Cargo.toml
+
+crates/adc-bench/src/bin/gen_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_trace-6bf098ae089d589f.d: crates/adc-bench/src/bin/gen_trace.rs
+
+/root/repo/target/debug/deps/gen_trace-6bf098ae089d589f: crates/adc-bench/src/bin/gen_trace.rs
+
+crates/adc-bench/src/bin/gen_trace.rs:

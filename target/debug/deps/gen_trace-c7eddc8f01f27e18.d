@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_trace-c7eddc8f01f27e18.d: crates/adc-bench/src/bin/gen_trace.rs
+
+/root/repo/target/debug/deps/gen_trace-c7eddc8f01f27e18: crates/adc-bench/src/bin/gen_trace.rs
+
+crates/adc-bench/src/bin/gen_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_protocol-bffc66c3499cf4ca.d: crates/adc-bench/benches/net_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_protocol-bffc66c3499cf4ca.rmeta: crates/adc-bench/benches/net_protocol.rs Cargo.toml
+
+crates/adc-bench/benches/net_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

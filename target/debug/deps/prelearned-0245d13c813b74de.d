@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prelearned-0245d13c813b74de.d: crates/adc-bench/src/bin/prelearned.rs
+
+/root/repo/target/debug/deps/prelearned-0245d13c813b74de: crates/adc-bench/src/bin/prelearned.rs
+
+crates/adc-bench/src/bin/prelearned.rs:

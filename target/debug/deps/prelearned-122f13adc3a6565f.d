@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prelearned-122f13adc3a6565f.d: crates/adc-bench/src/bin/prelearned.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprelearned-122f13adc3a6565f.rmeta: crates/adc-bench/src/bin/prelearned.rs Cargo.toml
+
+crates/adc-bench/src/bin/prelearned.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prelearned-59d60585aa2e59ef.d: crates/adc-bench/src/bin/prelearned.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprelearned-59d60585aa2e59ef.rmeta: crates/adc-bench/src/bin/prelearned.rs Cargo.toml
+
+crates/adc-bench/src/bin/prelearned.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

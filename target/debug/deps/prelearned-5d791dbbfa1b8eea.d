@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prelearned-5d791dbbfa1b8eea.d: crates/adc-bench/src/bin/prelearned.rs
+
+/root/repo/target/debug/deps/prelearned-5d791dbbfa1b8eea: crates/adc-bench/src/bin/prelearned.rs
+
+crates/adc-bench/src/bin/prelearned.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prelearned-612c493d8451b6ad.d: crates/adc-bench/src/bin/prelearned.rs
+
+/root/repo/target/debug/deps/prelearned-612c493d8451b6ad: crates/adc-bench/src/bin/prelearned.rs
+
+crates/adc-bench/src/bin/prelearned.rs:

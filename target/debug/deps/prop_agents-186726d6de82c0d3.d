@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_agents-186726d6de82c0d3.d: crates/adc-core/tests/prop_agents.rs
+
+/root/repo/target/debug/deps/prop_agents-186726d6de82c0d3: crates/adc-core/tests/prop_agents.rs
+
+crates/adc-core/tests/prop_agents.rs:

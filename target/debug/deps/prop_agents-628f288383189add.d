@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_agents-628f288383189add.d: crates/adc-core/tests/prop_agents.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_agents-628f288383189add.rmeta: crates/adc-core/tests/prop_agents.rs Cargo.toml
+
+crates/adc-core/tests/prop_agents.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

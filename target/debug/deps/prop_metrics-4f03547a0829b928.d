@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_metrics-4f03547a0829b928.d: crates/adc-metrics/tests/prop_metrics.rs
+
+/root/repo/target/debug/deps/prop_metrics-4f03547a0829b928: crates/adc-metrics/tests/prop_metrics.rs
+
+crates/adc-metrics/tests/prop_metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_metrics-a7a0af052799744b.d: crates/adc-metrics/tests/prop_metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_metrics-a7a0af052799744b.rmeta: crates/adc-metrics/tests/prop_metrics.rs Cargo.toml
+
+crates/adc-metrics/tests/prop_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_owner-5b1501e6cf8e8052.d: crates/adc-baselines/tests/prop_owner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_owner-5b1501e6cf8e8052.rmeta: crates/adc-baselines/tests/prop_owner.rs Cargo.toml
+
+crates/adc-baselines/tests/prop_owner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_owner-8f14de0dca5d139c.d: crates/adc-baselines/tests/prop_owner.rs
+
+/root/repo/target/debug/deps/prop_owner-8f14de0dca5d139c: crates/adc-baselines/tests/prop_owner.rs
+
+crates/adc-baselines/tests/prop_owner.rs:

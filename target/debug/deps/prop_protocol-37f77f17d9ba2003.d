@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_protocol-37f77f17d9ba2003.d: crates/adc-net/tests/prop_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_protocol-37f77f17d9ba2003.rmeta: crates/adc-net/tests/prop_protocol.rs Cargo.toml
+
+crates/adc-net/tests/prop_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_protocol-fc2453ba30fd2980.d: crates/adc-net/tests/prop_protocol.rs
+
+/root/repo/target/debug/deps/prop_protocol-fc2453ba30fd2980: crates/adc-net/tests/prop_protocol.rs
+
+crates/adc-net/tests/prop_protocol.rs:

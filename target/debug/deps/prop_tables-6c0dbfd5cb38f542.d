@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_tables-6c0dbfd5cb38f542.d: crates/adc-core/tests/prop_tables.rs
+
+/root/repo/target/debug/deps/prop_tables-6c0dbfd5cb38f542: crates/adc-core/tests/prop_tables.rs
+
+crates/adc-core/tests/prop_tables.rs:

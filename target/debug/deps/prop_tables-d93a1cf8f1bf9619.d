@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_tables-d93a1cf8f1bf9619.d: crates/adc-core/tests/prop_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_tables-d93a1cf8f1bf9619.rmeta: crates/adc-core/tests/prop_tables.rs Cargo.toml
+
+crates/adc-core/tests/prop_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

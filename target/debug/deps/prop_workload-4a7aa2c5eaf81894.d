@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_workload-4a7aa2c5eaf81894.d: crates/adc-workload/tests/prop_workload.rs
+
+/root/repo/target/debug/deps/prop_workload-4a7aa2c5eaf81894: crates/adc-workload/tests/prop_workload.rs
+
+crates/adc-workload/tests/prop_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_workload-c5d7002d4ccdc5f3.d: crates/adc-workload/tests/prop_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_workload-c5d7002d4ccdc5f3.rmeta: crates/adc-workload/tests/prop_workload.rs Cargo.toml
+
+crates/adc-workload/tests/prop_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6f2e77478e4c5ca2.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6f2e77478e4c5ca2.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a725669196747449.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a725669196747449: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5c26761591fa1078.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-5c26761591fa1078: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

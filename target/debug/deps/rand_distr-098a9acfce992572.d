@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-098a9acfce992572.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-098a9acfce992572: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-0b4178a5ef1ea283.d: vendor/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-0b4178a5ef1ea283.rmeta: vendor/rand_distr/src/lib.rs Cargo.toml
+
+vendor/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

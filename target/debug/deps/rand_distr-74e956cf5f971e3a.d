@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-74e956cf5f971e3a.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-74e956cf5f971e3a.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-74e956cf5f971e3a.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schemes-5a5a106ba3e888e6.d: tests/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschemes-5a5a106ba3e888e6.rmeta: tests/schemes.rs Cargo.toml
+
+tests/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schemes-b5bc76b0f1c6709f.d: tests/schemes.rs
+
+/root/repo/target/debug/deps/schemes-b5bc76b0f1c6709f: tests/schemes.rs
+
+tests/schemes.rs:

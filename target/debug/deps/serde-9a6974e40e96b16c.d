@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9a6974e40e96b16c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-9a6974e40e96b16c: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_vs_tcp-5401dd5d2c355e3e.d: tests/sim_vs_tcp.rs
+
+/root/repo/target/debug/deps/sim_vs_tcp-5401dd5d2c355e3e: tests/sim_vs_tcp.rs
+
+tests/sim_vs_tcp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_vs_tcp-ec8f5ec2eea09bb0.d: tests/sim_vs_tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_vs_tcp-ec8f5ec2eea09bb0.rmeta: tests/sim_vs_tcp.rs Cargo.toml
+
+tests/sim_vs_tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

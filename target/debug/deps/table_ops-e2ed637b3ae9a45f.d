@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_ops-e2ed637b3ae9a45f.d: crates/adc-bench/benches/table_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_ops-e2ed637b3ae9a45f.rmeta: crates/adc-bench/benches/table_ops.rs Cargo.toml
+
+crates/adc-bench/benches/table_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

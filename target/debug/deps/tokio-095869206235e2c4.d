@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tokio-095869206235e2c4.d: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs
+
+/root/repo/target/debug/deps/libtokio-095869206235e2c4.rlib: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs
+
+/root/repo/target/debug/deps/libtokio-095869206235e2c4.rmeta: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs
+
+vendor/tokio/src/lib.rs:
+vendor/tokio/src/io.rs:
+vendor/tokio/src/net.rs:
+vendor/tokio/src/runtime.rs:
+vendor/tokio/src/sync.rs:
+vendor/tokio/src/task.rs:
+vendor/tokio/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tokio-395b6044e9204247.d: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs
+
+/root/repo/target/debug/deps/tokio-395b6044e9204247: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs
+
+vendor/tokio/src/lib.rs:
+vendor/tokio/src/io.rs:
+vendor/tokio/src/net.rs:
+vendor/tokio/src/runtime.rs:
+vendor/tokio/src/sync.rs:
+vendor/tokio/src/task.rs:
+vendor/tokio/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tokio-c08559348f00e961.d: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtokio-c08559348f00e961.rmeta: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs Cargo.toml
+
+vendor/tokio/src/lib.rs:
+vendor/tokio/src/io.rs:
+vendor/tokio/src/net.rs:
+vendor/tokio/src/runtime.rs:
+vendor/tokio/src/sync.rs:
+vendor/tokio/src/task.rs:
+vendor/tokio/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

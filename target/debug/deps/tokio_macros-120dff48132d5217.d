@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tokio_macros-120dff48132d5217.d: vendor/tokio-macros/src/lib.rs
+
+/root/repo/target/debug/deps/tokio_macros-120dff48132d5217: vendor/tokio-macros/src/lib.rs
+
+vendor/tokio-macros/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tokio_macros-4daf88bb948ffc2d.d: vendor/tokio-macros/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtokio_macros-4daf88bb948ffc2d.rmeta: vendor/tokio-macros/src/lib.rs Cargo.toml
+
+vendor/tokio-macros/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

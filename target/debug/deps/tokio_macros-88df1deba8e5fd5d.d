@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tokio_macros-88df1deba8e5fd5d.d: vendor/tokio-macros/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio_macros-88df1deba8e5fd5d.so: vendor/tokio-macros/src/lib.rs
+
+vendor/tokio-macros/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tokio_macros-b7f8bd336c854a20.d: vendor/tokio-macros/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtokio_macros-b7f8bd336c854a20.so: vendor/tokio-macros/src/lib.rs Cargo.toml
+
+vendor/tokio-macros/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

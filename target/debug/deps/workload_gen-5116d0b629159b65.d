@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_gen-5116d0b629159b65.d: crates/adc-bench/benches/workload_gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_gen-5116d0b629159b65.rmeta: crates/adc-bench/benches/workload_gen.rs Cargo.toml
+
+crates/adc-bench/benches/workload_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/churn_recovery-2990a17fd5f6f1db.d: examples/churn_recovery.rs
+
+/root/repo/target/debug/examples/churn_recovery-2990a17fd5f6f1db: examples/churn_recovery.rs
+
+examples/churn_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/churn_recovery-bb81ab7c786a18ed.d: examples/churn_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchurn_recovery-bb81ab7c786a18ed.rmeta: examples/churn_recovery.rs Cargo.toml
+
+examples/churn_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flash_crowd-2dfa599485149bf9.d: examples/flash_crowd.rs
+
+/root/repo/target/debug/examples/flash_crowd-2dfa599485149bf9: examples/flash_crowd.rs
+
+examples/flash_crowd.rs:

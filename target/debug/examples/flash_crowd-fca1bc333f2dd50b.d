@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flash_crowd-fca1bc333f2dd50b.d: examples/flash_crowd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflash_crowd-fca1bc333f2dd50b.rmeta: examples/flash_crowd.rs Cargo.toml
+
+examples/flash_crowd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_sweep-cc8615f31b3f048e.d: examples/parameter_sweep.rs
+
+/root/repo/target/debug/examples/parameter_sweep-cc8615f31b3f048e: examples/parameter_sweep.rs
+
+examples/parameter_sweep.rs:

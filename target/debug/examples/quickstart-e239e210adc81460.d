@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e239e210adc81460.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e239e210adc81460: examples/quickstart.rs
+
+examples/quickstart.rs:

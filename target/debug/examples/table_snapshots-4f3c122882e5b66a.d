@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/table_snapshots-4f3c122882e5b66a.d: examples/table_snapshots.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtable_snapshots-4f3c122882e5b66a.rmeta: examples/table_snapshots.rs Cargo.toml
+
+examples/table_snapshots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

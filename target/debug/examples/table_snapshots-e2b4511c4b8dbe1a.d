@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table_snapshots-e2b4511c4b8dbe1a.d: examples/table_snapshots.rs
+
+/root/repo/target/debug/examples/table_snapshots-e2b4511c4b8dbe1a: examples/table_snapshots.rs
+
+examples/table_snapshots.rs:

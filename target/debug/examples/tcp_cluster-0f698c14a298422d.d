@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tcp_cluster-0f698c14a298422d.d: examples/tcp_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtcp_cluster-0f698c14a298422d.rmeta: examples/tcp_cluster.rs Cargo.toml
+
+examples/tcp_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_cluster-dae105a677b89d4a.d: examples/tcp_cluster.rs
+
+/root/repo/target/debug/examples/tcp_cluster-dae105a677b89d4a: examples/tcp_cluster.rs
+
+examples/tcp_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_analysis-3093dc64b6908e25.d: examples/trace_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_analysis-3093dc64b6908e25.rmeta: examples/trace_analysis.rs Cargo.toml
+
+examples/trace_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_analysis-671d44a27f2b4259.d: examples/trace_analysis.rs
+
+/root/repo/target/debug/examples/trace_analysis-671d44a27f2b4259: examples/trace_analysis.rs
+
+examples/trace_analysis.rs:

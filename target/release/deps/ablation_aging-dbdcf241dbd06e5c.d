@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_aging-dbdcf241dbd06e5c.d: crates/adc-bench/src/bin/ablation_aging.rs
+
+/root/repo/target/release/deps/ablation_aging-dbdcf241dbd06e5c: crates/adc-bench/src/bin/ablation_aging.rs
+
+crates/adc-bench/src/bin/ablation_aging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_churn-dcbec9cd59550376.d: crates/adc-bench/src/bin/ablation_churn.rs
+
+/root/repo/target/release/deps/ablation_churn-dcbec9cd59550376: crates/adc-bench/src/bin/ablation_churn.rs
+
+crates/adc-bench/src/bin/ablation_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_max_hops-0ae9ac8a9494d745.d: crates/adc-bench/src/bin/ablation_max_hops.rs
+
+/root/repo/target/release/deps/ablation_max_hops-0ae9ac8a9494d745: crates/adc-bench/src/bin/ablation_max_hops.rs
+
+crates/adc-bench/src/bin/ablation_max_hops.rs:

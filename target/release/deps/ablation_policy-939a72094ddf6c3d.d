@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-939a72094ddf6c3d.d: crates/adc-bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-939a72094ddf6c3d: crates/adc-bench/src/bin/ablation_policy.rs
+
+crates/adc-bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_proxies-d1b984b9c90f89ce.d: crates/adc-bench/src/bin/ablation_proxies.rs
+
+/root/repo/target/release/deps/ablation_proxies-d1b984b9c90f89ce: crates/adc-bench/src/bin/ablation_proxies.rs
+
+crates/adc-bench/src/bin/ablation_proxies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_unlimited-90c76d0fdff30697.d: crates/adc-bench/src/bin/ablation_unlimited.rs
+
+/root/repo/target/release/deps/ablation_unlimited-90c76d0fdff30697: crates/adc-bench/src/bin/ablation_unlimited.rs
+
+crates/adc-bench/src/bin/ablation_unlimited.rs:

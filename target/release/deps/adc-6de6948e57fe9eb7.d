@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/adc-6de6948e57fe9eb7.d: src/lib.rs src/guide.rs
+
+/root/repo/target/release/deps/libadc-6de6948e57fe9eb7.rlib: src/lib.rs src/guide.rs
+
+/root/repo/target/release/deps/libadc-6de6948e57fe9eb7.rmeta: src/lib.rs src/guide.rs
+
+src/lib.rs:
+src/guide.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/adc_baselines-9004414966456fd8.d: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs
+
+/root/repo/target/release/deps/libadc_baselines-9004414966456fd8.rlib: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs
+
+/root/repo/target/release/deps/libadc_baselines-9004414966456fd8.rmeta: crates/adc-baselines/src/lib.rs crates/adc-baselines/src/hashing_proxy.rs crates/adc-baselines/src/hierarchy.rs crates/adc-baselines/src/lru_cache.rs crates/adc-baselines/src/owner.rs crates/adc-baselines/src/soap.rs
+
+crates/adc-baselines/src/lib.rs:
+crates/adc-baselines/src/hashing_proxy.rs:
+crates/adc-baselines/src/hierarchy.rs:
+crates/adc-baselines/src/lru_cache.rs:
+crates/adc-baselines/src/owner.rs:
+crates/adc-baselines/src/soap.rs:

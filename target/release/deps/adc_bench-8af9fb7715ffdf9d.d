@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/adc_bench-8af9fb7715ffdf9d.d: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs
+
+/root/repo/target/release/deps/libadc_bench-8af9fb7715ffdf9d.rlib: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs
+
+/root/repo/target/release/deps/libadc_bench-8af9fb7715ffdf9d.rmeta: crates/adc-bench/src/lib.rs crates/adc-bench/src/cli.rs crates/adc-bench/src/experiment.rs crates/adc-bench/src/output.rs crates/adc-bench/src/parallel.rs crates/adc-bench/src/scale.rs crates/adc-bench/src/sweep.rs
+
+crates/adc-bench/src/lib.rs:
+crates/adc-bench/src/cli.rs:
+crates/adc-bench/src/experiment.rs:
+crates/adc-bench/src/output.rs:
+crates/adc-bench/src/parallel.rs:
+crates/adc-bench/src/scale.rs:
+crates/adc-bench/src/sweep.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/adc_core-d975f3a41c65afae.d: crates/adc-core/src/lib.rs crates/adc-core/src/agent.rs crates/adc-core/src/config.rs crates/adc-core/src/entry.rs crates/adc-core/src/error.rs crates/adc-core/src/ids.rs crates/adc-core/src/message.rs crates/adc-core/src/proxy.rs crates/adc-core/src/snapshot.rs crates/adc-core/src/stats.rs crates/adc-core/src/tables/mod.rs crates/adc-core/src/tables/lru.rs crates/adc-core/src/tables/mapping.rs crates/adc-core/src/tables/ordered.rs crates/adc-core/src/tables/single.rs crates/adc-core/src/unlimited.rs
+
+/root/repo/target/release/deps/libadc_core-d975f3a41c65afae.rlib: crates/adc-core/src/lib.rs crates/adc-core/src/agent.rs crates/adc-core/src/config.rs crates/adc-core/src/entry.rs crates/adc-core/src/error.rs crates/adc-core/src/ids.rs crates/adc-core/src/message.rs crates/adc-core/src/proxy.rs crates/adc-core/src/snapshot.rs crates/adc-core/src/stats.rs crates/adc-core/src/tables/mod.rs crates/adc-core/src/tables/lru.rs crates/adc-core/src/tables/mapping.rs crates/adc-core/src/tables/ordered.rs crates/adc-core/src/tables/single.rs crates/adc-core/src/unlimited.rs
+
+/root/repo/target/release/deps/libadc_core-d975f3a41c65afae.rmeta: crates/adc-core/src/lib.rs crates/adc-core/src/agent.rs crates/adc-core/src/config.rs crates/adc-core/src/entry.rs crates/adc-core/src/error.rs crates/adc-core/src/ids.rs crates/adc-core/src/message.rs crates/adc-core/src/proxy.rs crates/adc-core/src/snapshot.rs crates/adc-core/src/stats.rs crates/adc-core/src/tables/mod.rs crates/adc-core/src/tables/lru.rs crates/adc-core/src/tables/mapping.rs crates/adc-core/src/tables/ordered.rs crates/adc-core/src/tables/single.rs crates/adc-core/src/unlimited.rs
+
+crates/adc-core/src/lib.rs:
+crates/adc-core/src/agent.rs:
+crates/adc-core/src/config.rs:
+crates/adc-core/src/entry.rs:
+crates/adc-core/src/error.rs:
+crates/adc-core/src/ids.rs:
+crates/adc-core/src/message.rs:
+crates/adc-core/src/proxy.rs:
+crates/adc-core/src/snapshot.rs:
+crates/adc-core/src/stats.rs:
+crates/adc-core/src/tables/mod.rs:
+crates/adc-core/src/tables/lru.rs:
+crates/adc-core/src/tables/mapping.rs:
+crates/adc-core/src/tables/ordered.rs:
+crates/adc-core/src/tables/single.rs:
+crates/adc-core/src/unlimited.rs:

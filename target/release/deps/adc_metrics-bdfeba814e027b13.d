@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/adc_metrics-bdfeba814e027b13.d: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs
+
+/root/repo/target/release/deps/libadc_metrics-bdfeba814e027b13.rlib: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs
+
+/root/repo/target/release/deps/libadc_metrics-bdfeba814e027b13.rmeta: crates/adc-metrics/src/lib.rs crates/adc-metrics/src/csv.rs crates/adc-metrics/src/histogram.rs crates/adc-metrics/src/moving.rs crates/adc-metrics/src/quantile.rs crates/adc-metrics/src/series.rs crates/adc-metrics/src/summary.rs
+
+crates/adc-metrics/src/lib.rs:
+crates/adc-metrics/src/csv.rs:
+crates/adc-metrics/src/histogram.rs:
+crates/adc-metrics/src/moving.rs:
+crates/adc-metrics/src/quantile.rs:
+crates/adc-metrics/src/series.rs:
+crates/adc-metrics/src/summary.rs:

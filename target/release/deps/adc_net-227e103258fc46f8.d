@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/adc_net-227e103258fc46f8.d: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs
+
+/root/repo/target/release/deps/libadc_net-227e103258fc46f8.rlib: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs
+
+/root/repo/target/release/deps/libadc_net-227e103258fc46f8.rmeta: crates/adc-net/src/lib.rs crates/adc-net/src/book.rs crates/adc-net/src/client.rs crates/adc-net/src/cluster.rs crates/adc-net/src/driver.rs crates/adc-net/src/node.rs crates/adc-net/src/protocol.rs crates/adc-net/src/transport.rs
+
+crates/adc-net/src/lib.rs:
+crates/adc-net/src/book.rs:
+crates/adc-net/src/client.rs:
+crates/adc-net/src/cluster.rs:
+crates/adc-net/src/driver.rs:
+crates/adc-net/src/node.rs:
+crates/adc-net/src/protocol.rs:
+crates/adc-net/src/transport.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/adc_sim-2bc0f597c6ecc288.d: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs
+
+/root/repo/target/release/deps/libadc_sim-2bc0f597c6ecc288.rlib: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs
+
+/root/repo/target/release/deps/libadc_sim-2bc0f597c6ecc288.rmeta: crates/adc-sim/src/lib.rs crates/adc-sim/src/config.rs crates/adc-sim/src/cputime.rs crates/adc-sim/src/network.rs crates/adc-sim/src/report.rs crates/adc-sim/src/runner.rs crates/adc-sim/src/time.rs crates/adc-sim/src/tracelog.rs
+
+crates/adc-sim/src/lib.rs:
+crates/adc-sim/src/config.rs:
+crates/adc-sim/src/cputime.rs:
+crates/adc-sim/src/network.rs:
+crates/adc-sim/src/report.rs:
+crates/adc-sim/src/runner.rs:
+crates/adc-sim/src/time.rs:
+crates/adc-sim/src/tracelog.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/adc_workload-e4c0fe919a30a271.d: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs
+
+/root/repo/target/release/deps/libadc_workload-e4c0fe919a30a271.rlib: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs
+
+/root/repo/target/release/deps/libadc_workload-e4c0fe919a30a271.rmeta: crates/adc-workload/src/lib.rs crates/adc-workload/src/analysis.rs crates/adc-workload/src/polygraph.rs crates/adc-workload/src/shared.rs crates/adc-workload/src/sizes.rs crates/adc-workload/src/synthetic.rs crates/adc-workload/src/trace.rs crates/adc-workload/src/zipf.rs
+
+crates/adc-workload/src/lib.rs:
+crates/adc-workload/src/analysis.rs:
+crates/adc-workload/src/polygraph.rs:
+crates/adc-workload/src/shared.rs:
+crates/adc-workload/src/sizes.rs:
+crates/adc-workload/src/synthetic.rs:
+crates/adc-workload/src/trace.rs:
+crates/adc-workload/src/zipf.rs:

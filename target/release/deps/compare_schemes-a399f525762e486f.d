@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare_schemes-a399f525762e486f.d: crates/adc-bench/src/bin/compare_schemes.rs
+
+/root/repo/target/release/deps/compare_schemes-a399f525762e486f: crates/adc-bench/src/bin/compare_schemes.rs
+
+crates/adc-bench/src/bin/compare_schemes.rs:

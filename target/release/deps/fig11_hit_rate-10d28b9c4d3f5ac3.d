@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_hit_rate-10d28b9c4d3f5ac3.d: crates/adc-bench/src/bin/fig11_hit_rate.rs
+
+/root/repo/target/release/deps/fig11_hit_rate-10d28b9c4d3f5ac3: crates/adc-bench/src/bin/fig11_hit_rate.rs
+
+crates/adc-bench/src/bin/fig11_hit_rate.rs:

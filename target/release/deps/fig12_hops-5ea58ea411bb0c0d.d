@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_hops-5ea58ea411bb0c0d.d: crates/adc-bench/src/bin/fig12_hops.rs
+
+/root/repo/target/release/deps/fig12_hops-5ea58ea411bb0c0d: crates/adc-bench/src/bin/fig12_hops.rs
+
+crates/adc-bench/src/bin/fig12_hops.rs:

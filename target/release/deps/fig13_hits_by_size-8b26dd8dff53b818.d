@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_hits_by_size-8b26dd8dff53b818.d: crates/adc-bench/src/bin/fig13_hits_by_size.rs
+
+/root/repo/target/release/deps/fig13_hits_by_size-8b26dd8dff53b818: crates/adc-bench/src/bin/fig13_hits_by_size.rs
+
+crates/adc-bench/src/bin/fig13_hits_by_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_hops_by_size-42afad5cd43ec918.d: crates/adc-bench/src/bin/fig14_hops_by_size.rs
+
+/root/repo/target/release/deps/fig14_hops_by_size-42afad5cd43ec918: crates/adc-bench/src/bin/fig14_hops_by_size.rs
+
+crates/adc-bench/src/bin/fig14_hops_by_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_time_by_size-769ace29b6ac1373.d: crates/adc-bench/src/bin/fig15_time_by_size.rs
+
+/root/repo/target/release/deps/fig15_time_by_size-769ace29b6ac1373: crates/adc-bench/src/bin/fig15_time_by_size.rs
+
+crates/adc-bench/src/bin/fig15_time_by_size.rs:

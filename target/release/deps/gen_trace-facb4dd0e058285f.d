@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_trace-facb4dd0e058285f.d: crates/adc-bench/src/bin/gen_trace.rs
+
+/root/repo/target/release/deps/gen_trace-facb4dd0e058285f: crates/adc-bench/src/bin/gen_trace.rs
+
+crates/adc-bench/src/bin/gen_trace.rs:

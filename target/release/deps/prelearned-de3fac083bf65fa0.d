@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prelearned-de3fac083bf65fa0.d: crates/adc-bench/src/bin/prelearned.rs
+
+/root/repo/target/release/deps/prelearned-de3fac083bf65fa0: crates/adc-bench/src/bin/prelearned.rs
+
+crates/adc-bench/src/bin/prelearned.rs:

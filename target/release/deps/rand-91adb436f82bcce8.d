@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-91adb436f82bcce8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-91adb436f82bcce8.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-91adb436f82bcce8.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-f43cb8d7a11270f8.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f43cb8d7a11270f8.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f43cb8d7a11270f8.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

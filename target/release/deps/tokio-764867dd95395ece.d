@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tokio-764867dd95395ece.d: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs
+
+/root/repo/target/release/deps/libtokio-764867dd95395ece.rlib: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs
+
+/root/repo/target/release/deps/libtokio-764867dd95395ece.rmeta: vendor/tokio/src/lib.rs vendor/tokio/src/io.rs vendor/tokio/src/net.rs vendor/tokio/src/runtime.rs vendor/tokio/src/sync.rs vendor/tokio/src/task.rs vendor/tokio/src/time.rs
+
+vendor/tokio/src/lib.rs:
+vendor/tokio/src/io.rs:
+vendor/tokio/src/net.rs:
+vendor/tokio/src/runtime.rs:
+vendor/tokio/src/sync.rs:
+vendor/tokio/src/task.rs:
+vendor/tokio/src/time.rs:

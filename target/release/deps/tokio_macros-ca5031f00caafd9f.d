@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tokio_macros-ca5031f00caafd9f.d: vendor/tokio-macros/src/lib.rs
+
+/root/repo/target/release/deps/libtokio_macros-ca5031f00caafd9f.so: vendor/tokio-macros/src/lib.rs
+
+vendor/tokio-macros/src/lib.rs:
