@@ -13,7 +13,7 @@
 use crate::lru_cache::BoundedLru;
 use crate::owner::{Hrw, OwnerMap};
 use adc_core::{
-    Action, CacheAgent, CacheEvent, ClientId, NodeId, ObjectId, ProxyId, ProxyStats, Reply,
+    ActionSink, CacheAgent, CacheEvent, ClientId, NodeId, ObjectId, ProxyId, ProxyStats, Reply,
     Request, RequestId, DEFAULT_OBJECT_SIZE,
 };
 use rand::RngCore;
@@ -108,7 +108,7 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
         self.id
     }
 
-    fn on_request(&mut self, request: Request, _rng: &mut dyn RngCore) -> Action {
+    fn on_request(&mut self, request: Request, _rng: &mut dyn RngCore, out: &mut ActionSink) {
         self.stats.requests_received += 1;
         let object = request.object;
 
@@ -118,7 +118,8 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
             self.cache.touch(object);
             self.stats.local_hits += 1;
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
-            return Action::send(request.client, reply);
+            out.send(request.client, reply);
+            return;
         }
 
         let owner = self.owner_map.owner(object);
@@ -130,23 +131,23 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
             let mut forwarded = request;
             forwarded.sender = NodeId::Proxy(self.id);
             forwarded.hops += 1;
-            Action::send(NodeId::Origin, forwarded)
+            out.send(NodeId::Origin, forwarded);
         } else {
             // Route to the globally agreed owner.
             self.stats.forwards_learned += 1;
             let mut forwarded = request;
             forwarded.sender = NodeId::Proxy(self.id);
             forwarded.hops += 1;
-            Action::send(owner, forwarded)
+            out.send(owner, forwarded);
         }
     }
 
-    fn on_reply(&mut self, reply: Reply) -> Option<Action> {
+    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
         let client = match self.pending.remove(&reply.id) {
             Some(c) => c,
             None => {
                 self.stats.replies_orphaned += 1;
-                return None;
+                return;
             }
         };
         self.stats.replies_processed += 1;
@@ -155,7 +156,7 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
         self.store(reply.object);
         let mut reply = reply;
         reply.resolver = Some(self.id);
-        Some(Action::send(client, reply))
+        out.send(client, reply);
     }
 
     fn stats(&self) -> &ProxyStats {
@@ -184,7 +185,7 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_core::{Message, ServedFrom};
+    use adc_core::{Action, Message, ServedFrom};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -213,7 +214,7 @@ mod tests {
         let n = 4;
         let obj = object_owned_by(2, n);
         let mut p = CarpProxy::new(ProxyId::new(0), n, 8);
-        let Action::Send { to, message } = p.on_request(req(0, obj), &mut rng());
+        let Action::Send { to, message } = p.request_action(req(0, obj), &mut rng());
         assert_eq!(to, NodeId::Proxy(ProxyId::new(2)));
         match message {
             Message::Request(f) => {
@@ -230,7 +231,7 @@ mod tests {
         let n = 4;
         let obj = object_owned_by(0, n);
         let mut p = CarpProxy::new(ProxyId::new(0), n, 8);
-        let Action::Send { to, message } = p.on_request(req(0, obj), &mut rng());
+        let Action::Send { to, message } = p.request_action(req(0, obj), &mut rng());
         assert_eq!(to, NodeId::Origin);
         let forwarded = match message {
             Message::Request(f) => f,
@@ -238,7 +239,8 @@ mod tests {
         };
         assert_eq!(p.pending_requests(), 1);
 
-        let Action::Send { to, message } = p.on_reply(Reply::from_origin(&forwarded, 10)).unwrap();
+        let Action::Send { to, message } =
+            p.reply_action(Reply::from_origin(&forwarded, 10)).unwrap();
         assert_eq!(to, NodeId::Client(ClientId::new(1)));
         match message {
             Message::Reply(r) => {
@@ -257,16 +259,16 @@ mod tests {
         let obj = object_owned_by(0, n);
         let mut p = CarpProxy::new(ProxyId::new(0), n, 8);
         // Prime the cache via an origin fetch.
-        let Action::Send { message, .. } = p.on_request(req(0, obj), &mut rng());
+        let Action::Send { message, .. } = p.request_action(req(0, obj), &mut rng());
         let forwarded = match message {
             Message::Request(f) => f,
             _ => panic!(),
         };
-        let _ = p.on_reply(Reply::from_origin(&forwarded, 10));
+        let _ = p.reply_action(Reply::from_origin(&forwarded, 10));
         // Second request: direct hit to client (bypassing the first proxy).
         let mut second = req(1, obj);
         second.sender = NodeId::Proxy(ProxyId::new(3)); // arrived via proxy 3
-        let Action::Send { to, message } = p.on_request(second, &mut rng());
+        let Action::Send { to, message } = p.request_action(second, &mut rng());
         assert_eq!(to, NodeId::Client(ClientId::new(1)));
         match message {
             Message::Reply(r) => assert!(r.served_from.is_hit()),
@@ -281,12 +283,12 @@ mod tests {
         let mut p = CarpProxy::new(ProxyId::new(0), n, 2);
         let mut r = rng();
         for (seq, obj) in [(0u64, 1u64), (1, 2), (2, 3)] {
-            let Action::Send { message, .. } = p.on_request(req(seq, obj), &mut r);
+            let Action::Send { message, .. } = p.request_action(req(seq, obj), &mut r);
             let f = match message {
                 Message::Request(f) => f,
                 _ => panic!(),
             };
-            let _ = p.on_reply(Reply::from_origin(&f, 10));
+            let _ = p.reply_action(Reply::from_origin(&f, 10));
         }
         assert!(!p.is_cached(ObjectId::new(1)), "object 1 evicted");
         assert!(p.is_cached(ObjectId::new(2)));
@@ -298,7 +300,7 @@ mod tests {
     #[test]
     fn orphan_reply_dropped() {
         let mut p = CarpProxy::new(ProxyId::new(0), 2, 2);
-        assert!(p.on_reply(Reply::from_origin(&req(9, 9), 1)).is_none());
+        assert!(p.reply_action(Reply::from_origin(&req(9, 9), 1)).is_none());
         assert_eq!(p.stats().replies_orphaned, 1);
     }
 
@@ -307,12 +309,12 @@ mod tests {
         let mut p = CarpProxy::new(ProxyId::new(0), 1, 1);
         let mut r = rng();
         for (seq, obj) in [(0u64, 1u64), (1, 2)] {
-            let Action::Send { message, .. } = p.on_request(req(seq, obj), &mut r);
+            let Action::Send { message, .. } = p.request_action(req(seq, obj), &mut r);
             let f = match message {
                 Message::Request(f) => f,
                 _ => panic!(),
             };
-            let _ = p.on_reply(Reply::from_origin(&f, 10));
+            let _ = p.reply_action(Reply::from_origin(&f, 10));
         }
         let events = p.drain_cache_events();
         assert_eq!(

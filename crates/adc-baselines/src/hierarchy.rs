@@ -9,7 +9,7 @@
 
 use crate::lru_cache::BoundedLru;
 use adc_core::{
-    Action, CacheAgent, CacheEvent, NodeId, ObjectId, ProxyId, ProxyStats, Reply, Request,
+    ActionSink, CacheAgent, CacheEvent, NodeId, ObjectId, ProxyId, ProxyStats, Reply, Request,
     RequestId, DEFAULT_OBJECT_SIZE,
 };
 use rand::RngCore;
@@ -92,13 +92,14 @@ impl CacheAgent for HierarchyProxy {
         self.id
     }
 
-    fn on_request(&mut self, request: Request, _rng: &mut dyn RngCore) -> Action {
+    fn on_request(&mut self, request: Request, _rng: &mut dyn RngCore, out: &mut ActionSink) {
         self.stats.requests_received += 1;
         if self.cache.contains(request.object) {
             self.cache.touch(request.object);
             self.stats.local_hits += 1;
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
-            return Action::send(request.sender, reply);
+            out.send(request.sender, reply);
+            return;
         }
         self.pending
             .entry(request.id)
@@ -110,22 +111,22 @@ impl CacheAgent for HierarchyProxy {
         match self.parent {
             Some(parent) => {
                 self.stats.forwards_learned += 1;
-                Action::send(parent, forwarded)
+                out.send(parent, forwarded);
             }
             None => {
                 self.stats.origin_this_miss += 1;
-                Action::send(NodeId::Origin, forwarded)
+                out.send(NodeId::Origin, forwarded);
             }
         }
     }
 
-    fn on_reply(&mut self, reply: Reply) -> Option<Action> {
+    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
         let prev_hop = {
             let stack = match self.pending.get_mut(&reply.id) {
                 Some(s) => s,
                 None => {
                     self.stats.replies_orphaned += 1;
-                    return None;
+                    return;
                 }
             };
             let hop = stack.pop().expect("pending stacks are never empty");
@@ -141,7 +142,7 @@ impl CacheAgent for HierarchyProxy {
         if reply.resolver.is_none() {
             reply.resolver = Some(self.id);
         }
-        Some(Action::send(prev_hop, reply))
+        out.send(prev_hop, reply);
     }
 
     fn stats(&self) -> &ProxyStats {
@@ -170,7 +171,7 @@ impl CacheAgent for HierarchyProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_core::{ClientId, Message};
+    use adc_core::{Action, ClientId, Message};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -196,14 +197,14 @@ mod tests {
     fn leaf_miss_climbs_to_parent() {
         let mut tree = HierarchyProxy::binary_tree(3, 8);
         let mut rng = StdRng::seed_from_u64(1);
-        let Action::Send { to, message } = tree[1].on_request(req(0, 5), &mut rng);
+        let Action::Send { to, message } = tree[1].request_action(req(0, 5), &mut rng);
         assert_eq!(to, NodeId::Proxy(ProxyId::new(0)));
         let forwarded = match message {
             Message::Request(f) => f,
             _ => panic!("miss must forward"),
         };
         // Root misses too: goes to the origin.
-        let Action::Send { to, message } = tree[0].on_request(forwarded, &mut rng);
+        let Action::Send { to, message } = tree[0].request_action(forwarded, &mut rng);
         assert_eq!(to, NodeId::Origin);
         let at_origin = match message {
             Message::Request(f) => f,
@@ -211,14 +212,14 @@ mod tests {
         };
         // Reply retraces: root caches, then leaf caches.
         let reply = Reply::from_origin(&at_origin, 10);
-        let Action::Send { to, message } = tree[0].on_reply(reply).unwrap();
+        let Action::Send { to, message } = tree[0].reply_action(reply).unwrap();
         assert_eq!(to, NodeId::Proxy(ProxyId::new(1)));
         assert!(tree[0].is_cached(ObjectId::new(5)));
         let reply = match message {
             Message::Reply(r) => r,
             _ => panic!(),
         };
-        let Action::Send { to, .. } = tree[1].on_reply(reply).unwrap();
+        let Action::Send { to, .. } = tree[1].reply_action(reply).unwrap();
         assert_eq!(to, NodeId::Client(ClientId::new(0)));
         assert!(tree[1].is_cached(ObjectId::new(5)));
         assert_eq!(tree[0].pending_requests(), 0);
@@ -230,24 +231,25 @@ mod tests {
         let mut tree = HierarchyProxy::binary_tree(3, 8);
         let mut rng = StdRng::seed_from_u64(1);
         // Prime via leaf 1 (as in the previous test, compressed).
-        let Action::Send { message, .. } = tree[1].on_request(req(0, 5), &mut rng);
+        let Action::Send { message, .. } = tree[1].request_action(req(0, 5), &mut rng);
         let f = match message {
             Message::Request(f) => f,
             _ => panic!(),
         };
-        let Action::Send { message, .. } = tree[0].on_request(f, &mut rng);
+        let Action::Send { message, .. } = tree[0].request_action(f, &mut rng);
         let f = match message {
             Message::Request(f) => f,
             _ => panic!(),
         };
-        let Action::Send { message, .. } = tree[0].on_reply(Reply::from_origin(&f, 10)).unwrap();
+        let Action::Send { message, .. } =
+            tree[0].reply_action(Reply::from_origin(&f, 10)).unwrap();
         let r = match message {
             Message::Reply(r) => r,
             _ => panic!(),
         };
-        tree[1].on_reply(r).unwrap();
+        tree[1].reply_action(r).unwrap();
         // Second request: leaf hit, 0 extra hops.
-        let Action::Send { to, message } = tree[1].on_request(req(1, 5), &mut rng);
+        let Action::Send { to, message } = tree[1].request_action(req(1, 5), &mut rng);
         assert_eq!(to, NodeId::Client(ClientId::new(0)));
         assert!(matches!(message, Message::Reply(_)));
         assert_eq!(tree[1].stats().local_hits, 1);
@@ -258,29 +260,30 @@ mod tests {
         let mut tree = HierarchyProxy::binary_tree(3, 8);
         let mut rng = StdRng::seed_from_u64(1);
         // Prime through leaf 1 so the root holds a copy.
-        let Action::Send { message, .. } = tree[1].on_request(req(0, 5), &mut rng);
+        let Action::Send { message, .. } = tree[1].request_action(req(0, 5), &mut rng);
         let f = match message {
             Message::Request(f) => f,
             _ => panic!(),
         };
-        let Action::Send { message, .. } = tree[0].on_request(f, &mut rng);
+        let Action::Send { message, .. } = tree[0].request_action(f, &mut rng);
         let f = match message {
             Message::Request(f) => f,
             _ => panic!(),
         };
-        let Action::Send { message, .. } = tree[0].on_reply(Reply::from_origin(&f, 10)).unwrap();
+        let Action::Send { message, .. } =
+            tree[0].reply_action(Reply::from_origin(&f, 10)).unwrap();
         let r = match message {
             Message::Reply(r) => r,
             _ => panic!(),
         };
-        tree[1].on_reply(r).unwrap();
+        tree[1].reply_action(r).unwrap();
         // Leaf 2 misses but the root answers without the origin.
-        let Action::Send { message, .. } = tree[2].on_request(req(1, 5), &mut rng);
+        let Action::Send { message, .. } = tree[2].request_action(req(1, 5), &mut rng);
         let f = match message {
             Message::Request(f) => f,
             _ => panic!(),
         };
-        let Action::Send { to, message } = tree[0].on_request(f, &mut rng);
+        let Action::Send { to, message } = tree[0].request_action(f, &mut rng);
         assert_eq!(to, NodeId::Proxy(ProxyId::new(2)));
         match message {
             Message::Reply(r) => assert!(r.served_from.is_hit()),

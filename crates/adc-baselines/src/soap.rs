@@ -11,7 +11,7 @@
 
 use crate::lru_cache::BoundedLru;
 use adc_core::{
-    Action, CacheAgent, CacheEvent, NodeId, ObjectId, ProxyId, ProxyStats, Reply, Request,
+    ActionSink, CacheAgent, CacheEvent, NodeId, ObjectId, ProxyId, ProxyStats, Reply, Request,
     RequestId, DEFAULT_OBJECT_SIZE,
 };
 use rand::Rng;
@@ -90,7 +90,7 @@ impl CacheAgent for SoapProxy {
         self.id
     }
 
-    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore) -> Action {
+    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore, out: &mut ActionSink) {
         self.stats.requests_received += 1;
         let object = request.object;
 
@@ -98,7 +98,8 @@ impl CacheAgent for SoapProxy {
             self.cache.touch(object);
             self.stats.local_hits += 1;
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
-            return Action::send(request.sender, reply);
+            out.send(request.sender, reply);
+            return;
         }
 
         let loop_detected = self.pending.contains_key(&request.id);
@@ -137,16 +138,16 @@ impl CacheAgent for SoapProxy {
                 }
             }
         };
-        Action::send(to, forwarded)
+        out.send(to, forwarded);
     }
 
-    fn on_reply(&mut self, reply: Reply) -> Option<Action> {
+    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
         let prev_hop = {
             let stack = match self.pending.get_mut(&reply.id) {
                 Some(s) => s,
                 None => {
                     self.stats.replies_orphaned += 1;
-                    return None;
+                    return;
                 }
             };
             let hop = stack.pop().expect("pending stacks are never empty");
@@ -170,7 +171,7 @@ impl CacheAgent for SoapProxy {
             reply.resolver = Some(self.id);
             reply.cached_by = Some(self.id);
         }
-        Some(Action::send(prev_hop, reply))
+        out.send(prev_hop, reply);
     }
 
     fn stats(&self) -> &ProxyStats {
@@ -202,7 +203,7 @@ impl CacheAgent for SoapProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_core::{ClientId, Message};
+    use adc_core::{Action, ClientId, Message};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -218,8 +219,8 @@ mod tests {
         let mut inbox = vec![Message::Request(req(seq, object))];
         while let Some(message) = inbox.pop() {
             let action = match message {
-                Message::Request(r) => Some(p.on_request(r, rng)),
-                Message::Reply(r) => p.on_reply(r),
+                Message::Request(r) => Some(p.request_action(r, rng)),
+                Message::Reply(r) => p.reply_action(r),
             };
             if let Some(Action::Send { to, message }) = action {
                 match to {
@@ -273,7 +274,7 @@ mod tests {
         let mut p = SoapProxy::new(ProxyId::new(0), 1, 4, 8, 8);
         let mut rng = StdRng::seed_from_u64(1);
         resolve(&mut p, &mut rng, 0, 7);
-        let Action::Send { to, .. } = p.on_request(req(1, 7), &mut rng);
+        let Action::Send { to, .. } = p.request_action(req(1, 7), &mut rng);
         assert_eq!(to, NodeId::Client(ClientId::new(0)));
         assert_eq!(p.stats().local_hits, 1);
     }

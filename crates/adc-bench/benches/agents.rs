@@ -18,13 +18,13 @@ fn drive_cycle<A: CacheAgent>(agent: &mut A, rng: &mut StdRng, seq: u64, object:
         ObjectId::new(object),
         ClientId::new(0),
     );
-    let Action::Send { message, .. } = agent.on_request(req, rng);
+    let Action::Send { message, .. } = agent.request_action(req, rng);
     if let Message::Request(forwarded) = message {
         // Pretend the origin resolved it immediately.
         let reply = Reply::from_origin(&forwarded, 1024);
         let mut reply = reply;
         // Unwind any pending hops (loops can stack two).
-        while let Some(Action::Send { message, .. }) = agent.on_reply(reply) {
+        while let Some(Action::Send { message, .. }) = agent.reply_action(reply) {
             match message {
                 Message::Reply(r) => reply = r,
                 Message::Request(_) => break,

@@ -1,0 +1,92 @@
+//! Tracked throughput baseline for the event-loop core.
+//!
+//! Runs the fixed 5-proxy end-to-end scenario (the Figure 11 setup,
+//! ADC agents over the shared Polygraph trace) and writes
+//! `BENCH_adc.json` — requests/sec, events/sec, peak flow-table size,
+//! wall and CPU time — to the current directory. The committed copy at
+//! the repository root is the baseline a perf-sensitive change should be
+//! compared against; regenerate it with:
+//!
+//! ```text
+//! cargo run --release -p adc-bench --bin bench_report
+//! ```
+//!
+//! `--smoke` shrinks the workload to a few-second run for CI, where only
+//! "does it run and emit well-formed JSON" matters, and stamps the output
+//! accordingly so a smoke file is never mistaken for a baseline.
+
+use adc_bench::{BenchArgs, Experiment, Scale};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    raw.retain(|a| a != "--smoke");
+    let mut args = match BenchArgs::parse(raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}\n(additionally: --smoke for a fast CI run)");
+            std::process::exit(2);
+        }
+    };
+    if smoke {
+        args.scale = Scale::Custom(0.002);
+    }
+
+    let mut experiment = Experiment::at_scale(args.scale);
+    if let Some(seed) = args.seed {
+        experiment.workload.seed = seed;
+        experiment.sim.seed = seed;
+    }
+    // The baseline measures the event loop, not the metrics subsystem:
+    // match the sweep configuration (no occupancy series).
+    experiment.sim.sample_occupancy = false;
+
+    eprintln!(
+        "bench_report: {} requests, 5 proxies, scale {} — running ADC end-to-end...",
+        experiment.workload.total_requests(),
+        args.scale,
+    );
+    let trace = experiment.trace();
+    let report = experiment.run_adc_on(&trace);
+
+    let wall = report.wall_time;
+    let cpu = report.cpu_time;
+    let per_sec = |count: u64, d: Duration| {
+        if d.as_secs_f64() > 0.0 {
+            count as f64 / d.as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"adc_end_to_end_5_proxies\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", args.scale.tag());
+    let _ = writeln!(json, "  \"requests\": {},", report.completed);
+    let _ = writeln!(json, "  \"events\": {},", report.events_processed);
+    let _ = writeln!(json, "  \"messages\": {},", report.messages_delivered);
+    let _ = writeln!(json, "  \"peak_flows\": {},", report.peak_flows);
+    let _ = writeln!(json, "  \"hit_rate\": {:.6},", report.hit_rate());
+    let _ = writeln!(json, "  \"mean_hops\": {:.6},", report.mean_hops());
+    let _ = writeln!(json, "  \"wall_seconds\": {:.6},", wall.as_secs_f64());
+    let _ = writeln!(json, "  \"cpu_seconds\": {:.6},", cpu.as_secs_f64());
+    let _ = writeln!(
+        json,
+        "  \"requests_per_sec\": {:.1},",
+        per_sec(report.completed, wall)
+    );
+    let _ = writeln!(
+        json,
+        "  \"events_per_sec\": {:.1}",
+        per_sec(report.events_processed, wall)
+    );
+    json.push_str("}\n");
+
+    let path = "BENCH_adc.json";
+    std::fs::write(path, &json).expect("write BENCH_adc.json");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,93 @@
+//! Pins the fixed 5-proxy end-to-end scenario's hit and hop numbers to a
+//! golden file, at a micro scale that still exercises both systems.
+//!
+//! The golden sweep CSV (`determinism.rs`) covers the ADC parameter
+//! sweep; this file covers the Figure 11 comparison path — ADC and the
+//! CARP baseline over the shared Polygraph trace — so an event-loop or
+//! agent rewrite that shifts any count by even one is caught. Hit counts,
+//! hop sums and message totals here were produced by the pre-calendar-
+//! queue binary-heap event loop; the rewrite reproduced them exactly.
+//!
+//! Regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! ADC_BLESS_GOLDEN=1 cargo test -p adc-bench --test fig11_pinned
+//! ```
+
+use adc_bench::experiment::Experiment;
+use adc_bench::scale::Scale;
+use adc_sim::SimReport;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("fig11_micro.txt")
+}
+
+/// Renders every deterministic count the comparison produces. Floats are
+/// printed with `{:?}` (shortest round-trip form), so any bit-level
+/// change shows up.
+fn render(name: &str, report: &SimReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[{name}]");
+    let _ = writeln!(out, "completed = {}", report.completed);
+    let _ = writeln!(out, "hits = {}", report.hits);
+    for (phase, stats) in ["fill", "request1", "request2"].iter().zip(&report.phases) {
+        let _ = writeln!(out, "{phase} = {}/{}", stats.hits, stats.requests);
+    }
+    let _ = writeln!(out, "mean_hops = {:?}", report.mean_hops());
+    let _ = writeln!(out, "messages_delivered = {}", report.messages_delivered);
+    let _ = writeln!(out, "events_processed = {}", report.events_processed);
+    let _ = writeln!(out, "peak_flows = {}", report.peak_flows);
+    let _ = writeln!(out, "client_orphans = {}", report.client_orphans);
+    let _ = writeln!(
+        out,
+        "orphan_origin_requests = {}",
+        report.orphan_origin_requests
+    );
+    let _ = writeln!(out, "bytes_from_origin = {}", report.bytes_from_origin);
+    let _ = writeln!(out, "bytes_from_caches = {}", report.bytes_from_caches);
+    let cluster = report.cluster_stats();
+    let _ = writeln!(
+        out,
+        "origin_fetches = {}",
+        cluster.origin_loops + cluster.origin_max_hops + cluster.origin_this_miss
+    );
+    let _ = writeln!(out, "per_proxy_requests = {:?}", {
+        let mut v: Vec<u64> = report
+            .per_proxy
+            .iter()
+            .map(|p| p.requests_received)
+            .collect();
+        v.sort_unstable();
+        v
+    });
+    out
+}
+
+#[test]
+fn fig11_micro_counts_match_golden() {
+    let experiment = Experiment::at_scale(Scale::Custom(0.002));
+    let trace = experiment.trace();
+    let adc = experiment.run_adc_on(&trace);
+    let carp = experiment.run_carp_on(&trace);
+    let rendered = format!("{}\n{}", render("adc", &adc), render("carp", &carp));
+
+    let path = golden_path();
+    if std::env::var_os("ADC_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect(
+        "golden file missing; bless it with \
+         ADC_BLESS_GOLDEN=1 cargo test -p adc-bench --test fig11_pinned",
+    );
+    assert_eq!(
+        rendered, golden,
+        "fig11 micro counts diverged from the golden file; if the change \
+         is intentional, re-bless with ADC_BLESS_GOLDEN=1"
+    );
+}

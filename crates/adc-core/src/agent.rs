@@ -33,6 +33,80 @@ impl Action {
     }
 }
 
+/// A reusable scratch buffer agents push their [`Action`]s into.
+///
+/// Runtimes allocate one sink, pass it to every
+/// [`CacheAgent::on_request`] / [`CacheAgent::on_reply`] call and drain
+/// it afterwards, so steady-state message handling performs no heap
+/// allocation (the backing `Vec` is retained across deliveries).
+///
+/// The contract between agent and runtime:
+///
+/// - the runtime hands the agent an **empty** sink (it drains or clears
+///   it between deliveries);
+/// - the agent appends zero or more actions in the order they should be
+///   executed and never reads, reorders or removes prior contents;
+/// - the runtime executes the actions in push order.
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    actions: Vec<Action>,
+}
+
+impl ActionSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        ActionSink::default()
+    }
+
+    /// Creates an empty sink with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ActionSink {
+            actions: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    /// Appends a send action (mirrors [`Action::send`]).
+    pub fn send(&mut self, to: impl Into<NodeId>, message: impl Into<Message>) {
+        self.actions.push(Action::send(to, message));
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` when no actions are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Removes and returns the last buffered action.
+    pub fn pop(&mut self) -> Option<Action> {
+        self.actions.pop()
+    }
+
+    /// Drops all buffered actions, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    /// Borrows the buffered actions in push order.
+    pub fn as_slice(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Removes and yields the buffered actions in push order, keeping
+    /// the allocation for reuse.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action> {
+        self.actions.drain(..)
+    }
+}
+
 /// A change to the agent's object store that the runtime must mirror when
 /// it manages real object payloads (the TCP runtime does; the simulator
 /// tracks IDs only).
@@ -47,21 +121,43 @@ pub enum CacheEvent {
 /// A proxy-cache agent: ADC or one of the baselines.
 ///
 /// Runtimes deliver every incoming message through [`CacheAgent::on_request`]
-/// or [`CacheAgent::on_reply`] and execute the returned actions. The RNG is
-/// injected so a run is a pure function of its seeds.
+/// or [`CacheAgent::on_reply`], which push the resulting transmissions
+/// into a runtime-owned [`ActionSink`], and then execute the buffered
+/// actions. The RNG is injected so a run is a pure function of its seeds.
 pub trait CacheAgent {
     /// This agent's proxy identity.
     fn proxy_id(&self) -> ProxyId;
 
     /// Handles an incoming request (the paper's `Receive_Request`).
-    /// Returns the single resulting transmission: a reply toward the
-    /// sender on a cache hit, or a forwarded request otherwise.
-    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore) -> Action;
+    /// Pushes the single resulting transmission into `out`: a reply
+    /// toward the sender on a cache hit, or a forwarded request
+    /// otherwise.
+    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore, out: &mut ActionSink);
 
     /// Handles an incoming reply on the backwarding path (the paper's
-    /// `Receive_Reply`). Returns `None` if the reply does not match any
+    /// `Receive_Reply`). Pushes nothing if the reply does not match any
     /// pending request (e.g. a duplicate under failure injection).
-    fn on_reply(&mut self, reply: Reply) -> Option<Action>;
+    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink);
+
+    /// Allocating convenience wrapper around [`CacheAgent::on_request`]
+    /// for tests and examples that drive one delivery at a time. Hot
+    /// paths should reuse an [`ActionSink`] instead.
+    fn request_action(&mut self, request: Request, rng: &mut dyn RngCore) -> Action {
+        let mut out = ActionSink::new();
+        self.on_request(request, rng, &mut out);
+        debug_assert_eq!(out.len(), 1, "on_request emits exactly one action");
+        out.pop().expect("on_request emits exactly one action")
+    }
+
+    /// Allocating convenience wrapper around [`CacheAgent::on_reply`];
+    /// returns `None` for orphaned replies. Hot paths should reuse an
+    /// [`ActionSink`] instead.
+    fn reply_action(&mut self, reply: Reply) -> Option<Action> {
+        let mut out = ActionSink::new();
+        self.on_reply(reply, &mut out);
+        debug_assert!(out.len() <= 1, "on_reply emits at most one action");
+        out.pop()
+    }
 
     /// Counters accumulated so far.
     fn stats(&self) -> &ProxyStats;
@@ -106,5 +202,32 @@ mod tests {
                 assert_eq!(message.object(), ObjectId::new(5));
             }
         }
+    }
+
+    #[test]
+    fn action_sink_buffers_in_push_order_and_reuses_allocation() {
+        let req = Request::new(
+            RequestId::new(ClientId::new(0), 1),
+            ObjectId::new(5),
+            ClientId::new(0),
+        );
+        let mut sink = ActionSink::with_capacity(4);
+        assert!(sink.is_empty());
+        sink.send(ProxyId::new(1), req);
+        sink.push(Action::send(ProxyId::new(2), req));
+        assert_eq!(sink.len(), 2);
+        let dests: Vec<NodeId> = sink.drain().map(|Action::Send { to, .. }| to).collect();
+        assert_eq!(
+            dests,
+            vec![
+                NodeId::Proxy(ProxyId::new(1)),
+                NodeId::Proxy(ProxyId::new(2))
+            ]
+        );
+        assert!(sink.is_empty());
+        sink.send(ProxyId::new(3), req);
+        assert_eq!(sink.as_slice().len(), 1);
+        sink.clear();
+        assert!(sink.pop().is_none());
     }
 }

@@ -44,7 +44,7 @@
 //! let request = Request::new(RequestId::new(client, 0), ObjectId::new(7), client);
 //!
 //! // Miss: the proxy forwards the request (here: to itself or the origin).
-//! let Action::Send { message, .. } = proxy.on_request(request, &mut rng);
+//! let Action::Send { message, .. } = proxy.request_action(request, &mut rng);
 //! let forwarded = match message {
 //!     Message::Request(r) => r,
 //!     _ => unreachable!(),
@@ -52,7 +52,7 @@
 //!
 //! // The origin resolves it; the reply backtracks through the proxy.
 //! let reply = Reply::from_origin(&forwarded, 1024);
-//! proxy.on_reply(reply);
+//! proxy.reply_action(reply);
 //!
 //! // The proxy has learned that it is responsible for object 7.
 //! let entry = proxy.tables().lookup(ObjectId::new(7)).unwrap();
@@ -74,7 +74,7 @@ mod stats;
 pub mod tables;
 mod unlimited;
 
-pub use agent::{Action, CacheAgent, CacheEvent};
+pub use agent::{Action, ActionSink, CacheAgent, CacheEvent};
 pub use config::{AdcConfig, AdcConfigBuilder, AgingMode, CachePolicy};
 pub use entry::{TableEntry, Tick};
 pub use error::ConfigError;

@@ -1,7 +1,7 @@
 //! The ADC proxy agent (§IV of the paper): `Receive_Request`,
 //! `Receive_Reply`, `Forward_Addr` and the pending/backwarding store.
 
-use crate::agent::{Action, CacheAgent, CacheEvent};
+use crate::agent::{ActionSink, CacheAgent, CacheEvent};
 use crate::config::{AdcConfig, CachePolicy};
 use crate::entry::Tick;
 use crate::ids::{Location, NodeId, ObjectId, ProxyId, RequestId};
@@ -18,7 +18,8 @@ pub const DEFAULT_OBJECT_SIZE: u32 = 8 * 1024;
 /// One self-organizing ADC proxy.
 ///
 /// The agent is sans-IO: it consumes [`Request`]/[`Reply`] messages and
-/// returns [`Action`]s. Drive it through the [`CacheAgent`] trait.
+/// pushes [`Action`](crate::Action)s into an [`ActionSink`]. Drive it
+/// through the [`CacheAgent`] trait.
 ///
 /// # Examples
 ///
@@ -37,7 +38,7 @@ pub const DEFAULT_OBJECT_SIZE: u32 = 8 * 1024;
 /// );
 /// // Nothing cached yet, a single proxy: the request goes somewhere
 /// // (to itself — detected as a loop next hop — or to the origin).
-/// let Action::Send { to, .. } = proxy.on_request(req, &mut rng);
+/// let Action::Send { to, .. } = proxy.request_action(req, &mut rng);
 /// assert!(matches!(to, NodeId::Proxy(_) | NodeId::Origin));
 /// ```
 #[derive(Debug)]
@@ -238,7 +239,7 @@ impl CacheAgent for AdcProxy {
     }
 
     /// The paper's `Receive_Request()` (Figure 5).
-    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore) -> Action {
+    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore, out: &mut ActionSink) {
         self.local_time += 1;
         self.stats.requests_received += 1;
         let object = request.object;
@@ -252,7 +253,8 @@ impl CacheAgent for AdcProxy {
                 self.lru_admit(object);
             }
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
-            return Action::send(request.sender, reply);
+            out.send(request.sender, reply);
+            return;
         }
 
         // Miss: remember the backwarding hop, then forward.
@@ -275,17 +277,17 @@ impl CacheAgent for AdcProxy {
         } else {
             self.forward_addr(object, rng)
         };
-        Action::send(to, forwarded)
+        out.send(to, forwarded);
     }
 
     /// The paper's `Receive_Reply()` (Figure 7).
-    fn on_reply(&mut self, reply: Reply) -> Option<Action> {
+    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
         let prev_hop = {
             let stack = match self.pending.get_mut(&reply.id) {
                 Some(s) => s,
                 None => {
                     self.stats.replies_orphaned += 1;
-                    return None;
+                    return;
                 }
             };
             let hop = stack.pop().expect("pending stacks are never empty");
@@ -316,7 +318,7 @@ impl CacheAgent for AdcProxy {
             reply.cached_by = Some(self.id);
         }
 
-        Some(Action::send(prev_hop, reply))
+        out.send(prev_hop, reply);
     }
 
     fn stats(&self) -> &ProxyStats {
@@ -351,6 +353,7 @@ impl CacheAgent for AdcProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agent::Action;
     use crate::config::AgingMode;
     use crate::ids::ClientId;
     use crate::message::ServedFrom;
@@ -384,13 +387,13 @@ mod tests {
 
     /// Drives a full miss-resolve-backward cycle through one proxy.
     fn resolve_via_origin(p: &mut AdcProxy, r: Request, rng: &mut StdRng) -> Reply {
-        let Action::Send { message, .. } = p.on_request(r, rng);
+        let Action::Send { message, .. } = p.request_action(r, rng);
         let forwarded = match message {
             crate::message::Message::Request(f) => f,
             _ => panic!("miss must forward"),
         };
         let origin_reply = Reply::from_origin(&forwarded, 100);
-        let Action::Send { to, message } = p.on_reply(origin_reply).expect("pending reply");
+        let Action::Send { to, message } = p.reply_action(origin_reply).expect("pending reply");
         assert_eq!(to, NodeId::Client(ClientId::new(0)));
         match message {
             crate::message::Message::Reply(rep) => rep,
@@ -402,7 +405,7 @@ mod tests {
     fn miss_forwards_and_stores_backwarding_info() {
         let mut p = proxy(0, 4);
         let mut r = rng();
-        let Action::Send { to, message } = p.on_request(req(1, 10), &mut r);
+        let Action::Send { to, message } = p.request_action(req(1, 10), &mut r);
         assert!(matches!(to, NodeId::Proxy(_)));
         match message {
             crate::message::Message::Request(f) => {
@@ -432,12 +435,12 @@ mod tests {
         let mut p = proxy(0, 4);
         let mut r = rng();
         // First visit: miss, forwarded somewhere, pending stored.
-        let _ = p.on_request(req(1, 10), &mut r);
+        let _ = p.request_action(req(1, 10), &mut r);
         // The same request comes back (loop).
         let mut looped = req(1, 10);
         looped.sender = NodeId::Proxy(ProxyId::new(2));
         looped.hops = 3;
-        let Action::Send { to, .. } = p.on_request(looped, &mut r);
+        let Action::Send { to, .. } = p.request_action(looped, &mut r);
         assert_eq!(to, NodeId::Origin);
         assert_eq!(p.stats().origin_loops, 1);
         // Two pending hops now (stacked).
@@ -449,10 +452,10 @@ mod tests {
     fn looped_reply_unwinds_both_pending_hops_in_lifo_order() {
         let mut p = proxy(0, 4);
         let mut r = rng();
-        let _ = p.on_request(req(1, 10), &mut r); // prev hop: client
+        let _ = p.request_action(req(1, 10), &mut r); // prev hop: client
         let mut looped = req(1, 10);
         looped.sender = NodeId::Proxy(ProxyId::new(2));
-        let _ = p.on_request(looped, &mut r); // prev hop: proxy 2
+        let _ = p.request_action(looped, &mut r); // prev hop: proxy 2
 
         let forwarded = {
             let mut f = req(1, 10);
@@ -462,14 +465,14 @@ mod tests {
         };
         let rep = Reply::from_origin(&forwarded, 100);
         // First unwind goes to the most recent hop (proxy 2).
-        let Action::Send { to, message } = p.on_reply(rep).unwrap();
+        let Action::Send { to, message } = p.reply_action(rep).unwrap();
         assert_eq!(to, NodeId::Proxy(ProxyId::new(2)));
         let rep2 = match message {
             crate::message::Message::Reply(r) => r,
             _ => panic!(),
         };
         // Second unwind (after the loop traverses back) goes to the client.
-        let Action::Send { to, .. } = p.on_reply(rep2).unwrap();
+        let Action::Send { to, .. } = p.reply_action(rep2).unwrap();
         assert_eq!(to, NodeId::Client(ClientId::new(0)));
         assert_eq!(p.pending_requests(), 0);
     }
@@ -481,7 +484,7 @@ mod tests {
         let mut exhausted = req(1, 10);
         exhausted.hops = 8; // == max_hops
         exhausted.sender = NodeId::Proxy(ProxyId::new(1));
-        let Action::Send { to, .. } = p.on_request(exhausted, &mut r);
+        let Action::Send { to, .. } = p.request_action(exhausted, &mut r);
         assert_eq!(to, NodeId::Origin);
         assert_eq!(p.stats().origin_max_hops, 1);
     }
@@ -498,7 +501,7 @@ mod tests {
         }
         assert!(p.is_cached(ObjectId::new(10)), "object should be cached");
         // Fourth request: local hit.
-        let Action::Send { to, message } = p.on_request(req(3, 10), &mut r);
+        let Action::Send { to, message } = p.request_action(req(3, 10), &mut r);
         assert_eq!(to, NodeId::Client(ClientId::new(0)));
         match message {
             crate::message::Message::Reply(rep) => {
@@ -514,7 +517,7 @@ mod tests {
     fn backwarding_adopts_resolver_location() {
         let mut p = proxy(0, 4);
         let mut r = rng();
-        let _ = p.on_request(req(1, 10), &mut r);
+        let _ = p.request_action(req(1, 10), &mut r);
         // Reply comes back already resolved by proxy 3.
         let mut rep = Reply::from_origin(
             &{
@@ -527,7 +530,7 @@ mod tests {
         rep.resolver = Some(ProxyId::new(3));
         rep.cached_by = Some(ProxyId::new(3));
         rep.served_from = ServedFrom::Cache(ProxyId::new(3));
-        let _ = p.on_reply(rep).unwrap();
+        let _ = p.reply_action(rep).unwrap();
         let e = p.tables().lookup(ObjectId::new(10)).unwrap();
         assert_eq!(e.location, Location::Remote(ProxyId::new(3)));
     }
@@ -544,7 +547,7 @@ mod tests {
         );
         assert!(!p.is_cached(ObjectId::new(10)));
         // Next request for it: responsible but not cached → origin.
-        let Action::Send { to, .. } = p.on_request(req(2, 10), &mut r);
+        let Action::Send { to, .. } = p.request_action(req(2, 10), &mut r);
         assert_eq!(to, NodeId::Origin);
         assert_eq!(p.stats().origin_this_miss, 1);
     }
@@ -553,7 +556,7 @@ mod tests {
     fn orphan_reply_is_counted_and_dropped() {
         let mut p = proxy(0, 4);
         let rep = Reply::from_origin(&req(9, 9), 10);
-        assert!(p.on_reply(rep).is_none());
+        assert!(p.reply_action(rep).is_none());
         assert_eq!(p.stats().replies_orphaned, 1);
     }
 
@@ -572,10 +575,10 @@ mod tests {
         }
         assert!(p.is_cached(ObjectId::new(10)));
         // A reply already marked as cached elsewhere passes through p.
-        let _ = p.on_request(req(7, 10), &mut r); // shouldn't happen for cached, but force pending
-                                                  // Actually cached objects reply immediately; craft pending manually
-                                                  // via a different object to exercise the claim rule instead.
-        let _ = p.on_request(req(8, 11), &mut r);
+        let _ = p.request_action(req(7, 10), &mut r); // shouldn't happen for cached, but force pending
+                                                      // Actually cached objects reply immediately; craft pending manually
+                                                      // via a different object to exercise the claim rule instead.
+        let _ = p.request_action(req(8, 11), &mut r);
         let mut rep = Reply::from_origin(
             &{
                 let mut f = req(8, 11);
@@ -586,7 +589,7 @@ mod tests {
         );
         rep.resolver = Some(ProxyId::new(2));
         rep.cached_by = Some(ProxyId::new(2));
-        let Action::Send { message, .. } = p.on_reply(rep).unwrap();
+        let Action::Send { message, .. } = p.reply_action(rep).unwrap();
         match message {
             crate::message::Message::Reply(out) => {
                 // Object 11 is not cached at p, and even if it were, the
@@ -641,7 +644,7 @@ mod tests {
         let mut r = rng();
         for seq in 0..4000 {
             let mut p = proxy(0, 4);
-            let Action::Send { to, .. } = p.on_request(req(seq, seq + 100), &mut r);
+            let Action::Send { to, .. } = p.request_action(req(seq, seq + 100), &mut r);
             if let NodeId::Proxy(pid) = to {
                 counts[pid.raw() as usize] += 1;
             }

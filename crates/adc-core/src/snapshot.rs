@@ -321,8 +321,8 @@ mod tests {
             let mut inbox = vec![Message::Request(request)];
             while let Some(message) = inbox.pop() {
                 let action = match message {
-                    Message::Request(r) => Some(proxy.on_request(r, &mut rng)),
-                    Message::Reply(r) => proxy.on_reply(r),
+                    Message::Request(r) => Some(proxy.request_action(r, &mut rng)),
+                    Message::Reply(r) => proxy.reply_action(r),
                 };
                 if let Some(Action::Send { to, message }) = action {
                     match to {
@@ -379,7 +379,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let client = ClientId::new(0);
         let request = Request::new(RequestId::new(client, 999), hot, client);
-        let Action::Send { to, .. } = restored.on_request(request, &mut rng);
+        let Action::Send { to, .. } = restored.request_action(request, &mut rng);
         assert_eq!(to, NodeId::Client(client), "warm proxy should hit");
         assert_eq!(restored.stats().local_hits, 1);
     }

@@ -14,7 +14,7 @@
 //! contribution is showing the bounded tables reach the same performance
 //! with fixed memory.
 
-use crate::agent::{Action, CacheAgent, CacheEvent};
+use crate::agent::{ActionSink, CacheAgent, CacheEvent};
 use crate::entry::{TableEntry, Tick};
 use crate::ids::{Location, NodeId, ObjectId, ProxyId, RequestId};
 use crate::message::{Reply, Request};
@@ -151,7 +151,7 @@ impl CacheAgent for UnlimitedAdcProxy {
         self.id
     }
 
-    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore) -> Action {
+    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore, out: &mut ActionSink) {
         self.local_time += 1;
         self.stats.requests_received += 1;
         let object = request.object;
@@ -160,7 +160,8 @@ impl CacheAgent for UnlimitedAdcProxy {
             self.stats.local_hits += 1;
             self.update_entry(object, Location::This);
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
-            return Action::send(request.sender, reply);
+            out.send(request.sender, reply);
+            return;
         }
 
         let loop_detected = self.pending.contains_key(&request.id);
@@ -196,16 +197,16 @@ impl CacheAgent for UnlimitedAdcProxy {
                 }
             }
         };
-        Action::send(to, forwarded)
+        out.send(to, forwarded);
     }
 
-    fn on_reply(&mut self, reply: Reply) -> Option<Action> {
+    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
         let prev_hop = {
             let stack = match self.pending.get_mut(&reply.id) {
                 Some(s) => s,
                 None => {
                     self.stats.replies_orphaned += 1;
-                    return None;
+                    return;
                 }
             };
             let hop = stack.pop().expect("pending stacks are never empty");
@@ -227,7 +228,7 @@ impl CacheAgent for UnlimitedAdcProxy {
             reply.resolver = Some(self.id);
             reply.cached_by = Some(self.id);
         }
-        Some(Action::send(prev_hop, reply))
+        out.send(prev_hop, reply);
     }
 
     fn stats(&self) -> &ProxyStats {
@@ -257,6 +258,7 @@ impl CacheAgent for UnlimitedAdcProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agent::Action;
     use crate::ids::ClientId;
     use crate::message::Message;
     use rand::rngs::StdRng;
@@ -274,8 +276,8 @@ mod tests {
         let mut inbox = vec![Message::Request(req(seq, object))];
         while let Some(message) = inbox.pop() {
             let action = match message {
-                Message::Request(r) => Some(p.on_request(r, rng)),
-                Message::Reply(r) => p.on_reply(r),
+                Message::Request(r) => Some(p.request_action(r, rng)),
+                Message::Reply(r) => p.reply_action(r),
             };
             if let Some(Action::Send { to, message }) = action {
                 match to {
@@ -313,7 +315,7 @@ mod tests {
         assert!(p.is_cached(ObjectId::new(42)));
         // A later request is a local hit.
         let hits_before = p.stats().local_hits;
-        let Action::Send { to, .. } = p.on_request(req(9, 42), &mut rng);
+        let Action::Send { to, .. } = p.request_action(req(9, 42), &mut rng);
         assert_eq!(to, NodeId::Client(ClientId::new(0)));
         assert_eq!(p.stats().local_hits, hits_before + 1);
         assert_eq!(p.pending_requests(), 0);

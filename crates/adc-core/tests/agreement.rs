@@ -50,8 +50,8 @@ impl MiniBus {
                 NodeId::Proxy(p) => {
                     let agent = &mut self.proxies[p.raw() as usize];
                     let action = match message {
-                        Message::Request(r) => Some(agent.on_request(r, &mut self.rng)),
-                        Message::Reply(r) => agent.on_reply(r),
+                        Message::Request(r) => Some(agent.request_action(r, &mut self.rng)),
+                        Message::Reply(r) => agent.reply_action(r),
                     };
                     if let Some(Action::Send { to: dest, message }) = action {
                         queue.push_back((to, dest, message));

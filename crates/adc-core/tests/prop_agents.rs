@@ -35,8 +35,8 @@ fn resolve_on_bus<A: CacheAgent>(
             NodeId::Proxy(p) => {
                 let agent = &mut agents[p.raw() as usize];
                 let action = match message {
-                    Message::Request(r) => Some(agent.on_request(r, rng)),
-                    Message::Reply(r) => agent.on_reply(r),
+                    Message::Request(r) => Some(agent.request_action(r, rng)),
+                    Message::Reply(r) => agent.reply_action(r),
                 };
                 if let Some(Action::Send { to, message }) = action {
                     queue.push((to, message));
@@ -155,8 +155,8 @@ proptest! {
                     NodeId::Proxy(p) => {
                         let agent = &mut agents[p.raw() as usize];
                         let action = match message {
-                            Message::Request(r) => Some(agent.on_request(r, &mut rng)),
-                            Message::Reply(r) => agent.on_reply(r),
+                            Message::Request(r) => Some(agent.request_action(r, &mut rng)),
+                            Message::Reply(r) => agent.reply_action(r),
                         };
                         if let Some(Action::Send { to, message }) = action {
                             queue.push_back((to, message));

@@ -3,7 +3,7 @@
 use crate::book::AddressBook;
 use crate::protocol::Frame;
 use crate::transport::{read_frame, Pool};
-use adc_core::{Action, CacheAgent, CacheEvent, Message, ObjectId, Reply};
+use adc_core::{Action, ActionSink, CacheAgent, CacheEvent, Message, ObjectId, Reply};
 use adc_workload::SizeModel;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -92,37 +92,42 @@ fn handle_frame<A: CacheAgent>(
     frame: Frame,
 ) -> Vec<(Action, Bytes)> {
     let mut agent = agent.lock();
+    let mut sink = ActionSink::new();
     match frame {
         Frame::Request(request) => {
             let object = request.object;
-            let mut action = {
+            {
                 let mut rng = rng.lock();
-                agent.on_request(request, &mut *rng)
-            };
+                agent.on_request(request, &mut *rng, &mut sink);
+            }
             apply_cache_events(&mut *agent, store, None);
             // A local hit replies with data from the byte store; the
             // agent only knows a nominal size, so fix it up to the real
             // body length.
-            let body = match &mut action {
-                Action::Send {
-                    message: Message::Reply(reply),
-                    ..
-                } => {
-                    let body = store.lock().get(&object).cloned().unwrap_or_default();
-                    reply.size = body.len() as u32;
-                    body
-                }
-                _ => Bytes::new(),
-            };
-            vec![(action, body)]
+            sink.drain()
+                .map(|mut action| {
+                    let body = match &mut action {
+                        Action::Send {
+                            message: Message::Reply(reply),
+                            ..
+                        } => {
+                            let body = store.lock().get(&object).cloned().unwrap_or_default();
+                            reply.size = body.len() as u32;
+                            body
+                        }
+                        _ => Bytes::new(),
+                    };
+                    (action, body)
+                })
+                .collect()
         }
         Frame::Reply(reply, body) => {
             let object = reply.object;
-            let action = agent.on_reply(reply);
+            agent.on_reply(reply, &mut sink);
             // The passing body is the bytes the store keeps if the agent
             // decided to cache.
             apply_cache_events(&mut *agent, store, Some((object, body.clone())));
-            action.into_iter().map(|a| (a, body.clone())).collect()
+            sink.drain().map(|a| (a, body.clone())).collect()
         }
     }
 }

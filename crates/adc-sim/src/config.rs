@@ -89,6 +89,10 @@ pub struct SimConfig {
     pub hit_window: usize,
     /// Keep one series point per this many completed requests.
     pub sample_every: u64,
+    /// Record per-proxy cache-occupancy series. On by default; sweep
+    /// runs turn it off since their outputs never read occupancy and the
+    /// per-completion sampling of every proxy costs measurable time.
+    pub sample_occupancy: bool,
     /// Seed for all simulator-side randomness (agent RNG, assignment,
     /// faults). A run is a pure function of (workload, agents, config).
     pub seed: u64,
@@ -106,6 +110,7 @@ impl Default for SimConfig {
             proxy_latency_matrix: None,
             hit_window: 5_000,
             sample_every: 5_000,
+            sample_occupancy: true,
             seed: 0xADC0_5EED,
         }
     }

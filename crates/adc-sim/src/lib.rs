@@ -35,7 +35,9 @@
 
 mod config;
 mod cputime;
+mod flows;
 mod network;
+mod queue;
 mod report;
 mod runner;
 mod time;
@@ -43,7 +45,9 @@ mod tracelog;
 
 pub use config::{ChurnEvent, ClientAssignment, FaultPlan, InjectionMode, SimConfig};
 pub use cputime::thread_cpu_now;
+pub use flows::FlowTable;
 pub use network::LatencyModel;
+pub use queue::CalendarQueue;
 pub use report::{PhaseStats, SimReport};
 pub use runner::Simulation;
 pub use time::SimTime;

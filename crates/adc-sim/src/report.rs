@@ -58,10 +58,22 @@ pub struct SimReport {
     pub occupancy_series: Vec<Series>,
     /// Total message deliveries (including duplicates).
     pub messages_delivered: u64,
+    /// Total events the simulator processed (deliveries plus injection
+    /// ticks) — the denominator for events/sec throughput numbers.
+    pub events_processed: u64,
+    /// Largest number of flows in flight at once.
+    pub peak_flows: usize,
     /// Fault-injected duplicate deliveries.
     pub duplicates_injected: u64,
     /// Replies that reached a client for an already-completed flow.
     pub client_orphans: u64,
+    /// Requests that reached the origin after their flow had already
+    /// completed (e.g. a duplicated delivery racing the original). The
+    /// origin still answers them — with the nominal default object size,
+    /// since the workload's true size left with the flow — but silently
+    /// substituting that size used to hide the mismatch; now it is
+    /// counted.
+    pub orphan_origin_requests: u64,
     /// Scheduled proxy restarts that fired (churn injection).
     pub proxies_reset: u64,
     /// Object-body bytes fetched from the origin server (misses).
@@ -185,8 +197,11 @@ mod tests {
             final_cache_sizes: vec![0, 0],
             occupancy_series: Vec::new(),
             messages_delivered: 12,
+            events_processed: 16,
+            peak_flows: 1,
             duplicates_injected: 0,
             client_orphans: 0,
+            orphan_origin_requests: 0,
             proxies_reset: 0,
             bytes_from_origin: 0,
             bytes_from_caches: 0,

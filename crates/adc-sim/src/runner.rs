@@ -1,16 +1,18 @@
 //! The discrete-event simulation loop.
 
 use crate::config::{ChurnEvent, ClientAssignment, InjectionMode, SimConfig};
+use crate::flows::FlowTable;
+use crate::queue::CalendarQueue;
 use crate::report::{PhaseStats, SimReport};
 use crate::time::SimTime;
 use crate::tracelog::{DeliveryRecord, TraceLog};
-use adc_core::{Action, CacheAgent, Message, NodeId, ProxyId, Reply, Request, RequestId};
+use adc_core::{
+    Action, ActionSink, CacheAgent, Message, NodeId, ProxyId, Reply, Request, RequestId,
+};
 use adc_metrics::{MovingAverage, P2Quantile, Sampler, Summary};
 use adc_workload::{Phase, RequestRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 
 /// Per-flow bookkeeping from injection to completion.
@@ -32,35 +34,6 @@ enum EventKind {
     },
     /// Pull the next request from the workload (open-loop mode).
     Inject,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-// Ordering (and equality, for consistency) is by (time, insertion seq);
-// `seq` is unique so no two events ever compare equal in practice.
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-
-impl Eq for Event {}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// A deterministic discrete-event simulation of one proxy cluster.
@@ -120,10 +93,17 @@ impl<A: CacheAgent> Simulation<A> {
         let mut assign_rng = StdRng::seed_from_u64(self.config.seed ^ 0xA551);
         let mut fault_rng = StdRng::seed_from_u64(self.config.seed ^ 0xFA17);
 
-        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        // Events pop in exactly ascending `(at, seq)` order — the same
+        // total order the original binary-heap loop used; the calendar
+        // queue only changes the constant factor (see the module docs of
+        // `queue` and the property test pinning the equivalence).
+        let mut queue: CalendarQueue<EventKind> = CalendarQueue::new();
         let mut event_seq: u64 = 0;
         let mut now = SimTime::ZERO;
-        let mut flows: HashMap<RequestId, FlowState> = HashMap::new();
+        let mut flows: FlowTable<FlowState> = FlowTable::new();
+        let mut sink = ActionSink::new();
+        let mut events_processed: u64 = 0;
+        let mut orphan_origin_requests: u64 = 0;
 
         // Metrics.
         let mut completed: u64 = 0;
@@ -137,9 +117,14 @@ impl<A: CacheAgent> Simulation<A> {
         let mut hops_window = MovingAverage::new(self.config.hit_window);
         let mut hit_sampler = Sampler::new("hit_rate", self.config.sample_every);
         let mut hops_sampler = Sampler::new("hops", self.config.sample_every);
-        let mut occupancy: Vec<Sampler> = (0..self.agents.len())
-            .map(|i| Sampler::new(format!("proxy{i}"), self.config.sample_every))
-            .collect();
+        // Occupancy samplers are optional (sweeps never read them) and
+        // unnamed until the report is built, keeping the hot path free of
+        // string formatting.
+        let mut occupancy: Option<Vec<Sampler>> = self.config.sample_occupancy.then(|| {
+            (0..self.agents.len())
+                .map(|_| Sampler::new("", self.config.sample_every))
+                .collect()
+        });
         let mut messages_delivered: u64 = 0;
         let mut duplicates_injected: u64 = 0;
         let mut client_orphans: u64 = 0;
@@ -166,24 +151,20 @@ impl<A: CacheAgent> Simulation<A> {
         let mut churn_idx = 0;
         let mut proxies_reset: u64 = 0;
 
-        let push = |queue: &mut BinaryHeap<Reverse<Event>>,
+        let push = |queue: &mut CalendarQueue<EventKind>,
                     event_seq: &mut u64,
                     at: SimTime,
                     kind: EventKind| {
-            queue.push(Reverse(Event {
-                at,
-                seq: *event_seq,
-                kind,
-            }));
+            queue.push(at.as_micros(), *event_seq, kind);
             *event_seq += 1;
         };
 
         // Injects the next workload request, if any. Returns false when
         // the workload is exhausted.
-        let mut inject = |queue: &mut BinaryHeap<Reverse<Event>>,
+        let mut inject = |queue: &mut CalendarQueue<EventKind>,
                           event_seq: &mut u64,
                           now: SimTime,
-                          flows: &mut HashMap<RequestId, FlowState>,
+                          flows: &mut FlowTable<FlowState>,
                           assign_rng: &mut StdRng|
          -> bool {
             let Some(record) = workload.next() else {
@@ -230,9 +211,10 @@ impl<A: CacheAgent> Simulation<A> {
             }
         }
 
-        while let Some(Reverse(event)) = queue.pop() {
-            now = event.at;
-            match event.kind {
+        while let Some((at, _seq, kind)) = queue.pop() {
+            now = SimTime::from_micros(at);
+            events_processed += 1;
+            match kind {
                 EventKind::Inject => {
                     if inject(&mut queue, &mut event_seq, now, &mut flows, &mut assign_rng) {
                         if let InjectionMode::OpenLoop { interval } = injection {
@@ -287,33 +269,36 @@ impl<A: CacheAgent> Simulation<A> {
                         );
                     }
 
-                    let actions: Vec<Action> = match to {
+                    debug_assert!(sink.is_empty(), "sink drained after every delivery");
+                    match to {
                         NodeId::Proxy(pid) => {
                             let agent = &mut self.agents[pid.raw() as usize];
                             match message {
                                 Message::Request(req) => {
-                                    vec![agent.on_request(req, &mut agent_rng)]
+                                    agent.on_request(req, &mut agent_rng, &mut sink);
                                 }
-                                Message::Reply(rep) => agent.on_reply(rep).into_iter().collect(),
+                                Message::Reply(rep) => agent.on_reply(rep, &mut sink),
                             }
                         }
                         NodeId::Origin => match message {
                             Message::Request(req) => {
                                 // The origin always resolves; reply to the
-                                // proxy that sent the request.
-                                let size = flows
-                                    .get(&req.id)
-                                    .map(|f| f.size)
-                                    .unwrap_or(adc_core::DEFAULT_OBJECT_SIZE);
+                                // proxy that sent the request. A request
+                                // whose flow already completed gets the
+                                // nominal size — and is counted, not
+                                // silently patched over.
+                                let size = match flows.get(&req.id) {
+                                    Some(f) => f.size,
+                                    None => {
+                                        orphan_origin_requests += 1;
+                                        adc_core::DEFAULT_OBJECT_SIZE
+                                    }
+                                };
                                 let reply = Reply::from_origin(&req, size);
-                                vec![Action::Send {
-                                    to: req.sender,
-                                    message: Message::Reply(reply),
-                                }]
+                                sink.send(req.sender, reply);
                             }
                             Message::Reply(_) => {
                                 debug_assert!(false, "origin never receives replies");
-                                Vec::new()
                             }
                         },
                         NodeId::Client(_) => {
@@ -345,13 +330,15 @@ impl<A: CacheAgent> Simulation<A> {
                                         if let Some(v) = hops_window.value() {
                                             hops_sampler.observe(completed as f64, v);
                                         }
-                                        for (agent, sampler) in
-                                            self.agents.iter().zip(occupancy.iter_mut())
-                                        {
-                                            sampler.observe(
-                                                completed as f64,
-                                                agent.cached_objects() as f64,
-                                            );
+                                        if let Some(occupancy) = occupancy.as_mut() {
+                                            for (agent, sampler) in
+                                                self.agents.iter().zip(occupancy.iter_mut())
+                                            {
+                                                sampler.observe(
+                                                    completed as f64,
+                                                    agent.cached_objects() as f64,
+                                                );
+                                            }
                                         }
                                         // Scheduled proxy restarts fire on
                                         // completion boundaries.
@@ -384,11 +371,10 @@ impl<A: CacheAgent> Simulation<A> {
                                     debug_assert!(false, "clients never receive requests");
                                 }
                             }
-                            Vec::new()
                         }
-                    };
+                    }
 
-                    for action in actions {
+                    for action in sink.drain() {
                         let Action::Send {
                             to: dest,
                             mut message,
@@ -436,10 +422,25 @@ impl<A: CacheAgent> Simulation<A> {
             hops_series: hops_sampler.into_series(),
             per_proxy: self.agents.iter().map(|a| *a.stats()).collect(),
             final_cache_sizes: self.agents.iter().map(|a| a.cached_objects()).collect(),
-            occupancy_series: occupancy.into_iter().map(Sampler::into_series).collect(),
+            occupancy_series: occupancy
+                .map(|samplers| {
+                    samplers
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, sampler)| {
+                            let mut series = sampler.into_series();
+                            series.name = format!("proxy{i}");
+                            series
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
             messages_delivered,
+            events_processed,
+            peak_flows: flows.peak(),
             duplicates_injected,
             client_orphans,
+            orphan_origin_requests,
             proxies_reset,
             bytes_from_origin,
             bytes_from_caches,

@@ -1,0 +1,95 @@
+//! Property tests pinning the calendar queue's determinism contract:
+//! [`CalendarQueue`] pops in exactly the `(at, seq)` order a reference
+//! `BinaryHeap` produces, for arbitrary push/pop interleavings. The
+//! simulator's bit-for-bit reproducibility rests on this equivalence —
+//! the event loop swapped its heap for the calendar queue on the promise
+//! that the total order is unchanged.
+
+use adc_sim::CalendarQueue;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scripted operation against both queues.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at this (possibly far-future, possibly past) timestamp.
+    Push(u64),
+    /// Pop once and compare.
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    // Timestamps mix bucket-local values, multi-year jumps and
+    // boundary-adjacent keys to exercise window advance, rewind and the
+    // global-minimum fallback.
+    let op = prop_oneof![
+        (0u64..5_000_000).prop_map(Op::Push),
+        (0u64..u64::MAX / 2).prop_map(Op::Push),
+        Just(Op::Pop),
+    ];
+    prop::collection::vec(op, 1..400)
+}
+
+proptest! {
+    #[test]
+    fn matches_binary_heap_reference(script in ops()) {
+        let mut calendar = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for op in script {
+            match op {
+                Op::Push(at) => {
+                    calendar.push(at, seq, ());
+                    heap.push(Reverse((at, seq)));
+                    seq += 1;
+                }
+                Op::Pop => {
+                    let expected = heap.pop().map(|Reverse(key)| key);
+                    let got = calendar.pop().map(|(at, s, ())| (at, s));
+                    prop_assert_eq!(got, expected);
+                    prop_assert_eq!(calendar.len(), heap.len());
+                }
+            }
+        }
+        // Drain both: every remaining item must come out in heap order.
+        while let Some(Reverse(expected)) = heap.pop() {
+            let got = calendar.pop().map(|(at, s, ())| (at, s));
+            prop_assert_eq!(got, Some(expected));
+        }
+        prop_assert!(calendar.is_empty());
+    }
+
+    #[test]
+    fn monotone_simulation_shaped_batches(
+        deltas in prop::collection::vec((0u64..100_000, 1usize..4), 1..200)
+    ) {
+        // The simulator's actual pattern: every push is at-or-after the
+        // last popped time, with a few distinct latency magnitudes.
+        let mut calendar = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        calendar.push(0, seq, ());
+        heap.push(Reverse((0, seq)));
+        seq += 1;
+        let mut pending = deltas.into_iter();
+        loop {
+            let expected = heap.pop().map(|Reverse(key)| key);
+            let got = calendar.pop().map(|(at, s, ())| (at, s));
+            prop_assert_eq!(got, expected);
+            let Some((at, _)) = expected else { break };
+            now = at;
+            if let Some((delta, fanout)) = pending.next() {
+                for i in 0..fanout as u64 {
+                    let t = now + delta + i * 1_000;
+                    calendar.push(t, seq, ());
+                    heap.push(Reverse((t, seq)));
+                    seq += 1;
+                }
+            }
+        }
+        prop_assert!(calendar.is_empty());
+        let _ = now;
+    }
+}

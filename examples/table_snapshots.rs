@@ -23,8 +23,8 @@ fn resolve(proxy: &mut AdcProxy, rng: &mut StdRng, seq: u64, url: &str) {
     let mut inbox = vec![Message::Request(request)];
     while let Some(message) = inbox.pop() {
         let action = match message {
-            Message::Request(req) => Some(proxy.on_request(req, rng)),
-            Message::Reply(rep) => proxy.on_reply(rep),
+            Message::Request(req) => Some(proxy.request_action(req, rng)),
+            Message::Reply(rep) => proxy.reply_action(rep),
         };
         if let Some(Action::Send { to, message }) = action {
             match to {
