@@ -13,8 +13,8 @@
 use crate::lru_cache::BoundedLru;
 use crate::owner::{Hrw, OwnerMap};
 use adc_core::{
-    ActionSink, CacheAgent, CacheEvent, ClientId, NodeId, ObjectId, ProxyId, ProxyStats, Reply,
-    Request, RequestId, DEFAULT_OBJECT_SIZE,
+    ActionSink, CacheAgent, CacheEvent, ClientId, NodeId, ObjectId, Probe, ProxyId, ProxyStats,
+    Reply, Request, RequestId, SimEvent, DEFAULT_OBJECT_SIZE,
 };
 use rand::RngCore;
 use std::collections::HashMap;
@@ -89,7 +89,7 @@ impl<O: OwnerMap> HashingProxy<O> {
         self.pending.len()
     }
 
-    fn store(&mut self, object: ObjectId) {
+    fn store<P: Probe>(&mut self, object: ObjectId, probe: &mut P) {
         if self.cache.contains(object) {
             self.cache.touch(object);
             return;
@@ -97,9 +97,21 @@ impl<O: OwnerMap> HashingProxy<O> {
         if let Some(evicted) = self.cache.insert(object) {
             self.stats.cache_evictions += 1;
             self.cache_events.push(CacheEvent::Evict(evicted));
+            if P::ENABLED {
+                probe.emit(SimEvent::CacheEvict {
+                    proxy: self.id.raw(),
+                    object: evicted.raw(),
+                });
+            }
         }
         self.stats.cache_insertions += 1;
         self.cache_events.push(CacheEvent::Store(object));
+        if P::ENABLED {
+            probe.emit(SimEvent::CacheInsert {
+                proxy: self.id.raw(),
+                object: object.raw(),
+            });
+        }
     }
 }
 
@@ -108,7 +120,13 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
         self.id
     }
 
-    fn on_request(&mut self, request: Request, _rng: &mut dyn RngCore, out: &mut ActionSink) {
+    fn on_request<P: Probe>(
+        &mut self,
+        request: Request,
+        _rng: &mut dyn RngCore,
+        probe: &mut P,
+        out: &mut ActionSink,
+    ) {
         self.stats.requests_received += 1;
         let object = request.object;
 
@@ -117,6 +135,12 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
             // directly, bypassing any first-hop proxy.
             self.cache.touch(object);
             self.stats.local_hits += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::LocalHit {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                });
+            }
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
             out.send(request.client, reply);
             return;
@@ -127,6 +151,12 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
             // We are responsible but do not have it: fetch from the
             // origin and remember whom to answer.
             self.stats.origin_this_miss += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::OriginThisMiss {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                });
+            }
             self.pending.insert(request.id, request.client);
             let mut forwarded = request;
             forwarded.sender = NodeId::Proxy(self.id);
@@ -135,6 +165,13 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
         } else {
             // Route to the globally agreed owner.
             self.stats.forwards_learned += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::ForwardLearned {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                    to: owner.raw(),
+                });
+            }
             let mut forwarded = request;
             forwarded.sender = NodeId::Proxy(self.id);
             forwarded.hops += 1;
@@ -142,18 +179,24 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
         }
     }
 
-    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
+    fn on_reply<P: Probe>(&mut self, reply: Reply, probe: &mut P, out: &mut ActionSink) {
         let client = match self.pending.remove(&reply.id) {
             Some(c) => c,
             None => {
                 self.stats.replies_orphaned += 1;
+                if P::ENABLED {
+                    probe.emit(SimEvent::ReplyOrphaned {
+                        proxy: self.id.raw(),
+                        object: reply.object.raw(),
+                    });
+                }
                 return;
             }
         };
         self.stats.replies_processed += 1;
         // Store the fetched object under LRU replacement, then answer the
         // client directly.
-        self.store(reply.object);
+        self.store(reply.object, probe);
         let mut reply = reply;
         reply.resolver = Some(self.id);
         out.send(client, reply);
@@ -173,6 +216,12 @@ impl<O: OwnerMap> CacheAgent for HashingProxy<O> {
 
     fn is_cached(&self, object: ObjectId) -> bool {
         self.cache.contains(object)
+    }
+
+    fn owner_hint(&self, object: ObjectId) -> Option<ProxyId> {
+        // Hash routing fixes ownership globally; every proxy "agrees" by
+        // construction, making this the convergence sampler's upper bound.
+        Some(self.owner_map.owner(object))
     }
 
     fn reset(&mut self) {

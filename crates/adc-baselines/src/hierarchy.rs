@@ -9,8 +9,8 @@
 
 use crate::lru_cache::BoundedLru;
 use adc_core::{
-    ActionSink, CacheAgent, CacheEvent, NodeId, ObjectId, ProxyId, ProxyStats, Reply, Request,
-    RequestId, DEFAULT_OBJECT_SIZE,
+    ActionSink, CacheAgent, CacheEvent, NodeId, ObjectId, Probe, ProxyId, ProxyStats, Reply,
+    Request, RequestId, SimEvent, DEFAULT_OBJECT_SIZE,
 };
 use rand::RngCore;
 use std::collections::HashMap;
@@ -73,7 +73,7 @@ impl HierarchyProxy {
         self.pending.len()
     }
 
-    fn store(&mut self, object: ObjectId) {
+    fn store<P: Probe>(&mut self, object: ObjectId, probe: &mut P) {
         if self.cache.contains(object) {
             self.cache.touch(object);
             return;
@@ -81,9 +81,21 @@ impl HierarchyProxy {
         if let Some(evicted) = self.cache.insert(object) {
             self.stats.cache_evictions += 1;
             self.cache_events.push(CacheEvent::Evict(evicted));
+            if P::ENABLED {
+                probe.emit(SimEvent::CacheEvict {
+                    proxy: self.id.raw(),
+                    object: evicted.raw(),
+                });
+            }
         }
         self.stats.cache_insertions += 1;
         self.cache_events.push(CacheEvent::Store(object));
+        if P::ENABLED {
+            probe.emit(SimEvent::CacheInsert {
+                proxy: self.id.raw(),
+                object: object.raw(),
+            });
+        }
     }
 }
 
@@ -92,11 +104,23 @@ impl CacheAgent for HierarchyProxy {
         self.id
     }
 
-    fn on_request(&mut self, request: Request, _rng: &mut dyn RngCore, out: &mut ActionSink) {
+    fn on_request<P: Probe>(
+        &mut self,
+        request: Request,
+        _rng: &mut dyn RngCore,
+        probe: &mut P,
+        out: &mut ActionSink,
+    ) {
         self.stats.requests_received += 1;
         if self.cache.contains(request.object) {
             self.cache.touch(request.object);
             self.stats.local_hits += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::LocalHit {
+                    proxy: self.id.raw(),
+                    object: request.object.raw(),
+                });
+            }
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
             out.send(request.sender, reply);
             return;
@@ -111,21 +135,40 @@ impl CacheAgent for HierarchyProxy {
         match self.parent {
             Some(parent) => {
                 self.stats.forwards_learned += 1;
+                if P::ENABLED {
+                    probe.emit(SimEvent::ForwardLearned {
+                        proxy: self.id.raw(),
+                        object: forwarded.object.raw(),
+                        to: parent.raw(),
+                    });
+                }
                 out.send(parent, forwarded);
             }
             None => {
                 self.stats.origin_this_miss += 1;
+                if P::ENABLED {
+                    probe.emit(SimEvent::OriginThisMiss {
+                        proxy: self.id.raw(),
+                        object: forwarded.object.raw(),
+                    });
+                }
                 out.send(NodeId::Origin, forwarded);
             }
         }
     }
 
-    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
+    fn on_reply<P: Probe>(&mut self, reply: Reply, probe: &mut P, out: &mut ActionSink) {
         let prev_hop = {
             let stack = match self.pending.get_mut(&reply.id) {
                 Some(s) => s,
                 None => {
                     self.stats.replies_orphaned += 1;
+                    if P::ENABLED {
+                        probe.emit(SimEvent::ReplyOrphaned {
+                            proxy: self.id.raw(),
+                            object: reply.object.raw(),
+                        });
+                    }
                     return;
                 }
             };
@@ -137,7 +180,7 @@ impl CacheAgent for HierarchyProxy {
         };
         self.stats.replies_processed += 1;
         // Hierarchical caching: store every passing object.
-        self.store(reply.object);
+        self.store(reply.object, probe);
         let mut reply = reply;
         if reply.resolver.is_none() {
             reply.resolver = Some(self.id);

@@ -11,8 +11,8 @@
 
 use crate::lru_cache::BoundedLru;
 use adc_core::{
-    ActionSink, CacheAgent, CacheEvent, NodeId, ObjectId, ProxyId, ProxyStats, Reply, Request,
-    RequestId, DEFAULT_OBJECT_SIZE,
+    ActionSink, CacheAgent, CacheEvent, NodeId, ObjectId, Probe, ProxyId, ProxyStats, Reply,
+    Request, RequestId, SimEvent, DEFAULT_OBJECT_SIZE,
 };
 use rand::Rng;
 use rand::RngCore;
@@ -71,7 +71,7 @@ impl SoapProxy {
         self.category_map.get(category).copied().flatten()
     }
 
-    fn store(&mut self, object: ObjectId) {
+    fn store<P: Probe>(&mut self, object: ObjectId, probe: &mut P) {
         if self.cache.contains(object) {
             self.cache.touch(object);
             return;
@@ -79,9 +79,21 @@ impl SoapProxy {
         if let Some(evicted) = self.cache.insert(object) {
             self.stats.cache_evictions += 1;
             self.cache_events.push(CacheEvent::Evict(evicted));
+            if P::ENABLED {
+                probe.emit(SimEvent::CacheEvict {
+                    proxy: self.id.raw(),
+                    object: evicted.raw(),
+                });
+            }
         }
         self.stats.cache_insertions += 1;
         self.cache_events.push(CacheEvent::Store(object));
+        if P::ENABLED {
+            probe.emit(SimEvent::CacheInsert {
+                proxy: self.id.raw(),
+                object: object.raw(),
+            });
+        }
     }
 }
 
@@ -90,13 +102,25 @@ impl CacheAgent for SoapProxy {
         self.id
     }
 
-    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore, out: &mut ActionSink) {
+    fn on_request<P: Probe>(
+        &mut self,
+        request: Request,
+        rng: &mut dyn RngCore,
+        probe: &mut P,
+        out: &mut ActionSink,
+    ) {
         self.stats.requests_received += 1;
         let object = request.object;
 
         if self.cache.contains(object) {
             self.cache.touch(object);
             self.stats.local_hits += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::LocalHit {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                });
+            }
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
             out.send(request.sender, reply);
             return;
@@ -114,39 +138,79 @@ impl CacheAgent for SoapProxy {
 
         let to = if loop_detected {
             self.stats.origin_loops += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::LoopDetected {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                });
+            }
             NodeId::Origin
         } else if request.hops >= self.max_hops {
             self.stats.origin_max_hops += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::HopLimitHit {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                    hops: request.hops,
+                });
+            }
             NodeId::Origin
         } else {
             let category = self.category_of(object);
             match self.category_map[category] {
                 Some(p) if p != self.id => {
                     self.stats.forwards_learned += 1;
+                    if P::ENABLED {
+                        probe.emit(SimEvent::ForwardLearned {
+                            proxy: self.id.raw(),
+                            object: object.raw(),
+                            to: p.raw(),
+                        });
+                    }
                     NodeId::Proxy(p)
                 }
                 Some(_) => {
                     // We are responsible for the category but miss the
                     // object: fetch from the origin.
                     self.stats.origin_this_miss += 1;
+                    if P::ENABLED {
+                        probe.emit(SimEvent::OriginThisMiss {
+                            proxy: self.id.raw(),
+                            object: object.raw(),
+                        });
+                    }
                     NodeId::Origin
                 }
                 None => {
                     self.stats.forwards_random += 1;
                     let i = rng.gen_range(0..self.peers.len());
-                    NodeId::Proxy(self.peers[i])
+                    let to = self.peers[i];
+                    if P::ENABLED {
+                        probe.emit(SimEvent::ForwardRandom {
+                            proxy: self.id.raw(),
+                            object: object.raw(),
+                            to: to.raw(),
+                        });
+                    }
+                    NodeId::Proxy(to)
                 }
             }
         };
         out.send(to, forwarded);
     }
 
-    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
+    fn on_reply<P: Probe>(&mut self, reply: Reply, probe: &mut P, out: &mut ActionSink) {
         let prev_hop = {
             let stack = match self.pending.get_mut(&reply.id) {
                 Some(s) => s,
                 None => {
                     self.stats.replies_orphaned += 1;
+                    if P::ENABLED {
+                        probe.emit(SimEvent::ReplyOrphaned {
+                            proxy: self.id.raw(),
+                            object: reply.object.raw(),
+                        });
+                    }
                     return;
                 }
             };
@@ -163,10 +227,17 @@ impl CacheAgent for SoapProxy {
             reply.resolver = Some(self.id);
         }
         let resolver = reply.resolver.expect("resolver was just set");
+        if P::ENABLED && resolver != self.id {
+            probe.emit(SimEvent::BackwardAdoption {
+                proxy: self.id.raw(),
+                object: reply.object.raw(),
+                owner: resolver.raw(),
+            });
+        }
         let category = self.category_of(reply.object);
         self.category_map[category] = Some(resolver);
         // SOAP lesson: no selectivity — cache every passing object.
-        self.store(reply.object);
+        self.store(reply.object, probe);
         if self.cache.contains(reply.object) && reply.cached_by.is_none() {
             reply.resolver = Some(self.id);
             reply.cached_by = Some(self.id);
@@ -188,6 +259,12 @@ impl CacheAgent for SoapProxy {
 
     fn is_cached(&self, object: ObjectId) -> bool {
         self.cache.contains(object)
+    }
+
+    fn owner_hint(&self, object: ObjectId) -> Option<ProxyId> {
+        // SOAP learns one location per *category*, so its "owner" for an
+        // object is whatever its category currently maps to.
+        self.category_map[self.category_of(object)]
     }
 
     fn reset(&mut self) {

@@ -32,6 +32,7 @@ fn run_shifting(aging: AgingMode, scale: f64, base: &AdcConfig, sim: &SimConfig)
 
 fn main() {
     let args = BenchArgs::from_env();
+    adc_bench::observe_default_run(&args);
     let experiment = apply_args(Experiment::at_scale(args.scale), &args);
 
     eprintln!("ablation A2 (stationary): ADC with aging...");

@@ -14,6 +14,7 @@ use adc_sim::{ChurnEvent, Simulation};
 
 fn main() {
     let args = BenchArgs::from_env();
+    adc_bench::observe_default_run(&args);
     let experiment = apply_args(Experiment::at_scale(args.scale), &args);
     let total = experiment.workload.total_requests();
 

@@ -16,6 +16,7 @@ const LIMITS: [u32; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
     let args = BenchArgs::from_env();
+    adc_bench::observe_default_run(&args);
     let experiment = apply_args(Experiment::at_scale(args.scale), &args);
     let trace = experiment.trace();
 

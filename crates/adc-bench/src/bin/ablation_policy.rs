@@ -13,6 +13,7 @@ use adc_metrics::csv;
 
 fn main() {
     let args = BenchArgs::from_env();
+    adc_bench::observe_default_run(&args);
     let experiment = apply_args(Experiment::at_scale(args.scale), &args);
 
     eprintln!("ablation A1: running ADC with selective caching...");

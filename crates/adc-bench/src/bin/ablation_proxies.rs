@@ -21,6 +21,7 @@ const CLUSTER_SIZES: [u32; 5] = [2, 3, 5, 8, 10];
 
 fn main() {
     let args = BenchArgs::from_env();
+    adc_bench::observe_default_run(&args);
     let base = apply_args(Experiment::at_scale(args.scale), &args);
     // The paper's aggregate budget: 5 proxies × the per-proxy default.
     let aggregate_cache = base.adc.cache_capacity * 5;

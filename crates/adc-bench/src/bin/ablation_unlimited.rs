@@ -16,6 +16,7 @@ use adc_sim::SimReport;
 
 fn main() {
     let args = BenchArgs::from_env();
+    adc_bench::observe_default_run(&args);
     let experiment = apply_args(Experiment::at_scale(args.scale), &args);
     let trace = experiment.trace();
     let bounded_entries = (experiment.adc.single_capacity

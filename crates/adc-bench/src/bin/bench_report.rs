@@ -3,7 +3,9 @@
 //! Runs the fixed 5-proxy end-to-end scenario (the Figure 11 setup,
 //! ADC agents over the shared Polygraph trace) and writes
 //! `BENCH_adc.json` — requests/sec, events/sec, peak flow-table size,
-//! wall and CPU time — to the current directory. The committed copy at
+//! wall and CPU time, plus a per-phase `"profile"` section (workload
+//! generation / simulation / report assembly) — to the current
+//! directory. The committed copy at
 //! the repository root is the baseline a perf-sensitive change should be
 //! compared against; regenerate it with:
 //!
@@ -16,8 +18,9 @@
 //! accordingly so a smoke file is never mistaken for a baseline.
 
 use adc_bench::{BenchArgs, Experiment, Scale};
+use adc_sim::thread_cpu_now;
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
@@ -48,11 +51,24 @@ fn main() {
         experiment.workload.total_requests(),
         args.scale,
     );
+    let total_wall_start = Instant::now();
+    let total_cpu_start = thread_cpu_now();
+    let gen_wall_start = Instant::now();
+    let gen_cpu_start = thread_cpu_now();
     let trace = experiment.trace();
+    let gen_wall = gen_wall_start.elapsed();
+    let gen_cpu = thread_cpu_now().saturating_sub(gen_cpu_start);
     let report = experiment.run_adc_on(&trace);
+    let total_wall = total_wall_start.elapsed();
+    let total_cpu = thread_cpu_now().saturating_sub(total_cpu_start);
 
     let wall = report.wall_time;
     let cpu = report.cpu_time;
+    // Whatever the simulation itself didn't account for (report
+    // assembly, series bookkeeping, trace iteration overhead) lands in
+    // the "report" bucket: total minus generation minus simulation.
+    let rep_wall = total_wall.saturating_sub(gen_wall).saturating_sub(wall);
+    let rep_cpu = total_cpu.saturating_sub(gen_cpu).saturating_sub(cpu);
     let per_sec = |count: u64, d: Duration| {
         if d.as_secs_f64() > 0.0 {
             count as f64 / d.as_secs_f64()
@@ -71,6 +87,12 @@ fn main() {
     let _ = writeln!(json, "  \"peak_flows\": {},", report.peak_flows);
     let _ = writeln!(json, "  \"hit_rate\": {:.6},", report.hit_rate());
     let _ = writeln!(json, "  \"mean_hops\": {:.6},", report.mean_hops());
+    let _ = writeln!(
+        json,
+        "  \"replies_orphaned\": {},",
+        report.cluster_stats().replies_orphaned
+    );
+    let _ = writeln!(json, "  \"trace_dropped\": {},", report.trace_dropped());
     let _ = writeln!(json, "  \"wall_seconds\": {:.6},", wall.as_secs_f64());
     let _ = writeln!(json, "  \"cpu_seconds\": {:.6},", cpu.as_secs_f64());
     let _ = writeln!(
@@ -80,9 +102,23 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"events_per_sec\": {:.1}",
+        "  \"events_per_sec\": {:.1},",
         per_sec(report.events_processed, wall)
     );
+    let phase = |name: &str, w: Duration, c: Duration, last: bool| {
+        format!(
+            "    \"{name}\": {{ \"wall_seconds\": {:.6}, \"cpu_seconds\": {:.6} }}{}",
+            w.as_secs_f64(),
+            c.as_secs_f64(),
+            if last { "" } else { "," }
+        )
+    };
+    let _ = writeln!(json, "  \"profile\": {{");
+    let _ = writeln!(json, "{}", phase("workload_gen", gen_wall, gen_cpu, false));
+    let _ = writeln!(json, "{}", phase("simulate", wall, cpu, false));
+    let _ = writeln!(json, "{}", phase("report", rep_wall, rep_cpu, false));
+    let _ = writeln!(json, "{}", phase("total", total_wall, total_cpu, true));
+    let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
     let path = "BENCH_adc.json";

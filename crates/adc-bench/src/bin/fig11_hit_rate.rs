@@ -8,6 +8,7 @@
 //! learning phase where ADC "drags after" hashing, then ADC catching up
 //! and slightly outperforming the hashing scheme in the replayed phase.
 
+use adc_bench::observe::run_adc_observed;
 use adc_bench::output::{apply_args, named, print_run_summary, print_series_table};
 use adc_bench::{BenchArgs, Experiment};
 use adc_metrics::csv;
@@ -22,7 +23,7 @@ fn main() {
         experiment.adc.multiple_capacity / 1000,
         experiment.adc.cache_capacity / 1000,
     );
-    let adc = experiment.run_adc();
+    let adc = run_adc_observed(&experiment, &args);
     eprintln!("running CARP hashing baseline...");
     let carp = experiment.run_carp();
 

@@ -8,6 +8,7 @@
 //! the hashing scheme (around 7 vs around 5), the price of its flexible
 //! search.
 
+use adc_bench::observe::run_adc_observed;
 use adc_bench::output::{apply_args, named, print_run_summary, print_series_table};
 use adc_bench::{BenchArgs, Experiment};
 use adc_metrics::csv;
@@ -19,7 +20,7 @@ fn main() {
         "figure 12: {} requests, 5 proxies — running ADC...",
         experiment.workload.total_requests()
     );
-    let adc = experiment.run_adc();
+    let adc = run_adc_observed(&experiment, &args);
     eprintln!("running CARP hashing baseline...");
     let carp = experiment.run_carp();
 

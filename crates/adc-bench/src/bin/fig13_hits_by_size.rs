@@ -15,6 +15,7 @@ use adc_metrics::csv;
 
 fn main() {
     let args = BenchArgs::from_env();
+    adc_bench::observe_default_run(&args);
     let points =
         load_or_run_sweep_with(&args.out, args.scale, SweepOptions::from(&args)).expect("sweep");
 

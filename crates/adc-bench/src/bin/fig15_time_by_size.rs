@@ -22,6 +22,7 @@ use adc_metrics::csv;
 
 fn main() {
     let args = BenchArgs::from_env();
+    adc_bench::observe_default_run(&args);
     let options = SweepOptions::from(&args);
     let points = load_or_run_sweep_with(&args.out, args.scale, options).expect("sweep");
 

@@ -9,7 +9,13 @@
 //!   machine's available parallelism);
 //! * `--serial-timing` — after a parallel sweep, re-run the
 //!   timing-sensitive points sequentially so wall-clock numbers are not
-//!   inflated by core sharing (Figure 15).
+//!   inflated by core sharing (Figure 15);
+//! * `--events <file>` — capture the typed simulation event stream of
+//!   the main ADC run as JSON-Lines;
+//! * `--chrome-trace <file>` — export the same stream as a
+//!   `chrome://tracing` / Perfetto `trace_event` file;
+//! * `--convergence` — sample mapping-table convergence (agreement,
+//!   remaps, churn) during the main ADC run.
 
 use crate::parallel::default_jobs;
 use crate::scale::Scale;
@@ -28,6 +34,12 @@ pub struct BenchArgs {
     pub jobs: usize,
     /// Re-run timing-sensitive points serially after a parallel sweep.
     pub serial_timing: bool,
+    /// Write the main ADC run's event stream to this JSON-Lines file.
+    pub events: Option<PathBuf>,
+    /// Write the main ADC run's events as a `chrome://tracing` file.
+    pub chrome_trace: Option<PathBuf>,
+    /// Sample mapping-table convergence during the main ADC run.
+    pub convergence: bool,
 }
 
 impl Default for BenchArgs {
@@ -38,6 +50,9 @@ impl Default for BenchArgs {
             seed: None,
             jobs: default_jobs(),
             serial_timing: false,
+            events: None,
+            chrome_trace: None,
+            convergence: false,
         }
     }
 }
@@ -76,6 +91,11 @@ impl BenchArgs {
                     out.jobs = jobs;
                 }
                 "--serial-timing" => out.serial_timing = true,
+                "--events" => out.events = Some(PathBuf::from(value_for("--events")?)),
+                "--chrome-trace" => {
+                    out.chrome_trace = Some(PathBuf::from(value_for("--chrome-trace")?))
+                }
+                "--convergence" => out.convergence = true,
                 "--help" | "-h" => return Err(Self::usage()),
                 other => return Err(format!("unknown argument {other:?}\n{}", Self::usage())),
             }
@@ -98,7 +118,8 @@ impl BenchArgs {
     /// Usage text.
     pub fn usage() -> String {
         "usage: <figure-bin> [--scale ci|full|<factor>] [--out <dir>] [--seed <u64>] \
-         [--jobs <n>] [--serial-timing]"
+         [--jobs <n>] [--serial-timing] [--events <file.jsonl>] \
+         [--chrome-trace <file.json>] [--convergence]"
             .to_string()
     }
 }
@@ -154,8 +175,30 @@ mod tests {
     }
 
     #[test]
+    fn observability_flags() {
+        let a = parse(&[
+            "--events",
+            "/tmp/ev.jsonl",
+            "--chrome-trace",
+            "/tmp/trace.json",
+            "--convergence",
+        ])
+        .unwrap();
+        assert_eq!(a.events, Some(PathBuf::from("/tmp/ev.jsonl")));
+        assert_eq!(a.chrome_trace, Some(PathBuf::from("/tmp/trace.json")));
+        assert!(a.convergence);
+        // Off by default — the unobserved hot path must stay the default.
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.events, None);
+        assert_eq!(d.chrome_trace, None);
+        assert!(!d.convergence);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--events"]).is_err());
+        assert!(parse(&["--chrome-trace"]).is_err());
         assert!(parse(&["--scale", "nope"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--jobs"]).is_err());

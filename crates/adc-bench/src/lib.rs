@@ -26,6 +26,7 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod observe;
 pub mod output;
 pub mod parallel;
 pub mod scale;
@@ -33,6 +34,7 @@ pub mod sweep;
 
 pub use cli::BenchArgs;
 pub use experiment::Experiment;
+pub use observe::{obs_enabled, observe_default_run, run_adc_observed};
 pub use parallel::{default_jobs, run_jobs, ExperimentJob};
 pub use scale::Scale;
 pub use sweep::{

@@ -73,6 +73,20 @@ pub fn print_run_summary(name: &str, report: &SimReport) {
         stats.origin_max_hops,
         stats.origin_this_miss
     );
+    println!(
+        "  replies orphaned   : {} (trace-log drops: {})",
+        stats.replies_orphaned,
+        report.trace_dropped()
+    );
+    if let Some(conv) = &report.convergence {
+        println!(
+            "  convergence        : agreement {:.4} after {} samples ({} remaps, {} churn)",
+            conv.final_agreement().unwrap_or(0.0),
+            conv.samples,
+            conv.total_remaps,
+            conv.total_churn
+        );
+    }
 }
 
 /// Renames a series (builder-style convenience for figure output).

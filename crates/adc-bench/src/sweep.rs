@@ -204,7 +204,10 @@ pub fn run_sweep_with(scale: Scale, options: SweepOptions) -> Vec<SweepPoint> {
     let trace = base.trace();
     let grid = sweep_grid(scale);
 
-    let jobs: Vec<ExperimentJob<SweepPoint>> = grid
+    // Each job also carries its run's orphaned-reply and trace-drop
+    // counts, aggregated below — the sweep CSV schema itself is pinned
+    // by golden files and stays unchanged.
+    let jobs: Vec<ExperimentJob<(SweepPoint, u64, u64)>> = grid
         .iter()
         .map(|&(table, nominal, actual)| {
             let base = base.clone();
@@ -212,11 +215,32 @@ pub fn run_sweep_with(scale: Scale, options: SweepOptions) -> Vec<SweepPoint> {
             ExperimentJob::new(format!("{table}@{nominal}"), move || {
                 let adc = config_with(&base.adc, table, actual);
                 let report = base.run_adc_with_on(adc, &trace);
-                point_from_report(table, nominal, actual, &report)
+                let orphaned = report.cluster_stats().replies_orphaned;
+                (
+                    point_from_report(table, nominal, actual, &report),
+                    orphaned,
+                    report.trace_dropped(),
+                )
             })
         })
         .collect();
-    let mut points = run_jobs(jobs, options.jobs);
+    let mut orphaned_total: u64 = 0;
+    let mut dropped_total: u64 = 0;
+    let mut points: Vec<SweepPoint> = run_jobs(jobs, options.jobs)
+        .into_iter()
+        .map(|(point, orphaned, dropped)| {
+            orphaned_total += orphaned;
+            dropped_total += dropped;
+            point
+        })
+        .collect();
+    if orphaned_total > 0 || dropped_total > 0 {
+        eprintln!(
+            "sweep observability: {orphaned_total} orphaned replies, \
+             {dropped_total} trace-log drops across {} runs",
+            points.len()
+        );
+    }
 
     if options.serial_timing && options.jobs > 1 {
         // Timing re-pass: identical runs, one at a time, keeping only the

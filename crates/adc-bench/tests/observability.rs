@@ -1,0 +1,72 @@
+//! End-to-end checks for the observability layer as the figure binaries
+//! use it: convergence sampling over a real (scaled-down) fig11-style
+//! run must show agreement rising in trend, and both export formats must
+//! be syntactically valid.
+
+use adc_bench::observe::run_adc_observed;
+use adc_bench::{BenchArgs, Experiment, Scale};
+use adc_obs::validate_json;
+use std::path::PathBuf;
+
+/// Unique scratch path so parallel test binaries can't collide.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adc_obs_test_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn convergence_agreement_rises_over_a_fig11_run() {
+    let args = BenchArgs {
+        convergence: true,
+        ..BenchArgs::default()
+    };
+    let experiment = Experiment::at_scale(Scale::Custom(0.01));
+    let report = run_adc_observed(&experiment, &args);
+    let conv = report.convergence.expect("convergence sampling was on");
+    assert!(conv.samples >= 8, "too few samples: {}", conv.samples);
+
+    // Trend, not strict monotonicity: the mean agreement over the first
+    // quarter of samples must not exceed the mean over the last quarter,
+    // and the run must actually end substantially converged.
+    let ys: Vec<f64> = conv.agreement.points.iter().map(|&(_, y)| y).collect();
+    let quarter = (ys.len() / 4).max(1);
+    let head: f64 = ys[..quarter].iter().sum::<f64>() / quarter as f64;
+    let tail: f64 = ys[ys.len() - quarter..].iter().sum::<f64>() / quarter as f64;
+    assert!(
+        head <= tail,
+        "agreement fell over the run: head mean {head:.4} > tail mean {tail:.4}"
+    );
+    assert!(
+        conv.final_agreement().unwrap_or(0.0) > 0.5,
+        "run ended unconverged: {:?}",
+        conv.final_agreement()
+    );
+}
+
+#[test]
+fn exports_are_valid_json() {
+    let events = scratch("events.jsonl");
+    let chrome = scratch("trace.json");
+    let args = BenchArgs {
+        events: Some(events.clone()),
+        chrome_trace: Some(chrome.clone()),
+        ..BenchArgs::default()
+    };
+    let experiment = Experiment::at_scale(Scale::Custom(0.002));
+    let report = run_adc_observed(&experiment, &args);
+    assert!(report.completed > 0);
+
+    let jsonl = std::fs::read_to_string(&events).expect("events file written");
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        validate_json(line).unwrap_or_else(|e| panic!("bad JSONL line {e}: {line}"));
+        lines += 1;
+    }
+    assert!(lines > 1_000, "suspiciously few events: {lines}");
+
+    let trace = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    validate_json(&trace).expect("chrome trace is one valid JSON document");
+    assert!(trace.contains("\"traceEvents\""));
+
+    let _ = std::fs::remove_file(&events);
+    let _ = std::fs::remove_file(&chrome);
+}

@@ -9,6 +9,7 @@
 use crate::ids::{NodeId, ObjectId, ProxyId};
 use crate::message::{Message, Reply, Request};
 use crate::stats::ProxyStats;
+use adc_obs::{NullProbe, Probe};
 use rand::RngCore;
 
 /// An instruction from an agent to its runtime.
@@ -124,6 +125,13 @@ pub enum CacheEvent {
 /// or [`CacheAgent::on_reply`], which push the resulting transmissions
 /// into a runtime-owned [`ActionSink`], and then execute the buffered
 /// actions. The RNG is injected so a run is a pure function of its seeds.
+///
+/// Both handlers are generic over a [`Probe`] receiving typed
+/// [`SimEvent`](adc_obs::SimEvent)s. Emission sites are guarded by
+/// `P::ENABLED`, an associated constant, so driving an agent with the
+/// default [`NullProbe`] monomorphizes every probe hook away — the
+/// disabled path compiles to the unobserved code. The trait is therefore
+/// not object-safe; runtimes are generic over their agent type.
 pub trait CacheAgent {
     /// This agent's proxy identity.
     fn proxy_id(&self) -> ProxyId;
@@ -132,19 +140,25 @@ pub trait CacheAgent {
     /// Pushes the single resulting transmission into `out`: a reply
     /// toward the sender on a cache hit, or a forwarded request
     /// otherwise.
-    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore, out: &mut ActionSink);
+    fn on_request<P: Probe>(
+        &mut self,
+        request: Request,
+        rng: &mut dyn RngCore,
+        probe: &mut P,
+        out: &mut ActionSink,
+    );
 
     /// Handles an incoming reply on the backwarding path (the paper's
     /// `Receive_Reply`). Pushes nothing if the reply does not match any
     /// pending request (e.g. a duplicate under failure injection).
-    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink);
+    fn on_reply<P: Probe>(&mut self, reply: Reply, probe: &mut P, out: &mut ActionSink);
 
     /// Allocating convenience wrapper around [`CacheAgent::on_request`]
     /// for tests and examples that drive one delivery at a time. Hot
     /// paths should reuse an [`ActionSink`] instead.
     fn request_action(&mut self, request: Request, rng: &mut dyn RngCore) -> Action {
         let mut out = ActionSink::new();
-        self.on_request(request, rng, &mut out);
+        self.on_request(request, rng, &mut NullProbe, &mut out);
         debug_assert_eq!(out.len(), 1, "on_request emits exactly one action");
         out.pop().expect("on_request emits exactly one action")
     }
@@ -154,9 +168,20 @@ pub trait CacheAgent {
     /// [`ActionSink`] instead.
     fn reply_action(&mut self, reply: Reply) -> Option<Action> {
         let mut out = ActionSink::new();
-        self.on_reply(reply, &mut out);
+        self.on_reply(reply, &mut NullProbe, &mut out);
         debug_assert!(out.len() <= 1, "on_reply emits at most one action");
         out.pop()
+    }
+
+    /// The proxy this agent currently believes owns `object` (resolved to
+    /// a concrete proxy id, with `THIS`-style self references mapped to
+    /// the agent's own id), or `None` when nothing is known.
+    ///
+    /// Used by the convergence sampler to measure inter-proxy agreement;
+    /// agents without a notion of learned ownership keep the default.
+    fn owner_hint(&self, object: ObjectId) -> Option<ProxyId> {
+        let _ = object;
+        None
     }
 
     /// Counters accumulated so far.

@@ -84,3 +84,7 @@ pub use proxy::{AdcProxy, DEFAULT_OBJECT_SIZE};
 pub use snapshot::{ProxySnapshot, SnapshotError};
 pub use stats::ProxyStats;
 pub use unlimited::UnlimitedAdcProxy;
+
+// Observability vocabulary, re-exported so agent implementors and
+// runtimes need only depend on `adc-core`.
+pub use adc_obs::{CountingProbe, EventKind, EventLog, NullProbe, Probe, SimEvent, TableLevel};

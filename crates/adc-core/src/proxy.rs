@@ -8,6 +8,7 @@ use crate::ids::{Location, NodeId, ObjectId, ProxyId, RequestId};
 use crate::message::{Reply, Request};
 use crate::stats::ProxyStats;
 use crate::tables::{LruList, MappingTables};
+use adc_obs::{Probe, SimEvent, TableLevel};
 use rand::Rng;
 use rand::RngCore;
 use std::collections::HashMap;
@@ -168,20 +169,46 @@ impl AdcProxy {
     /// this proxy itself). An entry marked `THIS` means this proxy is
     /// responsible but does not hold the data, so the request must go to
     /// the origin server.
-    fn forward_addr(&mut self, object: ObjectId, rng: &mut dyn RngCore) -> NodeId {
+    fn forward_addr<P: Probe>(
+        &mut self,
+        object: ObjectId,
+        rng: &mut dyn RngCore,
+        probe: &mut P,
+    ) -> NodeId {
         match self.tables.lookup(object).map(|e| e.location) {
             Some(Location::Remote(p)) => {
                 self.stats.forwards_learned += 1;
+                if P::ENABLED {
+                    probe.emit(SimEvent::ForwardLearned {
+                        proxy: self.id.raw(),
+                        object: object.raw(),
+                        to: p.raw(),
+                    });
+                }
                 NodeId::Proxy(p)
             }
             Some(Location::This) => {
                 self.stats.origin_this_miss += 1;
+                if P::ENABLED {
+                    probe.emit(SimEvent::OriginThisMiss {
+                        proxy: self.id.raw(),
+                        object: object.raw(),
+                    });
+                }
                 NodeId::Origin
             }
             None => {
                 self.stats.forwards_random += 1;
                 let i = rng.gen_range(0..self.peers.len());
-                NodeId::Proxy(self.peers[i])
+                let to = self.peers[i];
+                if P::ENABLED {
+                    probe.emit(SimEvent::ForwardRandom {
+                        proxy: self.id.raw(),
+                        object: object.raw(),
+                        to: to.raw(),
+                    });
+                }
+                NodeId::Proxy(to)
             }
         }
     }
@@ -196,23 +223,78 @@ impl AdcProxy {
 
     /// Runs `Update_Entry` and mirrors the outcome into the object store
     /// (selective policy) or refreshes the LRU store (ablation policy).
-    fn update_entry(&mut self, object: ObjectId, location: Location) {
+    fn update_entry<P: Probe>(&mut self, object: ObjectId, location: Location, probe: &mut P) {
         let outcome = self.tables.update_entry(object, location, self.local_time);
+        if P::ENABLED {
+            let proxy = self.id.raw();
+            if outcome.promoted_to_multiple {
+                probe.emit(SimEvent::TableMigration {
+                    proxy,
+                    object: object.raw(),
+                    from: TableLevel::Single,
+                    to: TableLevel::Multiple,
+                });
+            }
+            if let Some(demoted) = outcome.demoted_to_single {
+                probe.emit(SimEvent::TableMigration {
+                    proxy,
+                    object: demoted.raw(),
+                    from: TableLevel::Multiple,
+                    to: TableLevel::Single,
+                });
+            }
+            if outcome.admitted_to_cache {
+                probe.emit(SimEvent::TableMigration {
+                    proxy,
+                    object: object.raw(),
+                    from: TableLevel::Multiple,
+                    to: TableLevel::Caching,
+                });
+            }
+            if let Some(evicted) = outcome.evicted_from_cache {
+                probe.emit(SimEvent::TableMigration {
+                    proxy,
+                    object: evicted.raw(),
+                    from: TableLevel::Caching,
+                    to: TableLevel::Multiple,
+                });
+            }
+            if let Some(forgotten) = outcome.forgotten {
+                probe.emit(SimEvent::TableMigration {
+                    proxy,
+                    object: forgotten.raw(),
+                    from: TableLevel::Single,
+                    to: TableLevel::Out,
+                });
+            }
+        }
         if self.lru_store.is_none() {
             if outcome.admitted_to_cache {
                 self.stats.cache_insertions += 1;
                 self.cache_events.push(CacheEvent::Store(object));
+                if P::ENABLED {
+                    probe.emit(SimEvent::CacheInsert {
+                        proxy: self.id.raw(),
+                        object: object.raw(),
+                    });
+                }
             }
             if let Some(evicted) = outcome.evicted_from_cache {
                 self.stats.cache_evictions += 1;
                 self.cache_events.push(CacheEvent::Evict(evicted));
+                if P::ENABLED {
+                    probe.emit(SimEvent::CacheEvict {
+                        proxy: self.id.raw(),
+                        object: evicted.raw(),
+                    });
+                }
             }
         }
     }
 
     /// Stores `object` in the LRU store (ablation policy only), evicting
     /// the least recently used entry when full.
-    fn lru_admit(&mut self, object: ObjectId) {
+    fn lru_admit<P: Probe>(&mut self, object: ObjectId, probe: &mut P) {
         let capacity = self.config.cache_capacity;
         let Some(lru) = self.lru_store.as_mut() else {
             return;
@@ -224,10 +306,22 @@ impl AdcProxy {
         lru.push_front(object, ());
         self.stats.cache_insertions += 1;
         self.cache_events.push(CacheEvent::Store(object));
+        if P::ENABLED {
+            probe.emit(SimEvent::CacheInsert {
+                proxy: self.id.raw(),
+                object: object.raw(),
+            });
+        }
         if lru.len() > capacity {
             if let Some((evicted, ())) = lru.pop_back() {
                 self.stats.cache_evictions += 1;
                 self.cache_events.push(CacheEvent::Evict(evicted));
+                if P::ENABLED {
+                    probe.emit(SimEvent::CacheEvict {
+                        proxy: self.id.raw(),
+                        object: evicted.raw(),
+                    });
+                }
             }
         }
     }
@@ -239,7 +333,13 @@ impl CacheAgent for AdcProxy {
     }
 
     /// The paper's `Receive_Request()` (Figure 5).
-    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore, out: &mut ActionSink) {
+    fn on_request<P: Probe>(
+        &mut self,
+        request: Request,
+        rng: &mut dyn RngCore,
+        probe: &mut P,
+        out: &mut ActionSink,
+    ) {
         self.local_time += 1;
         self.stats.requests_received += 1;
         let object = request.object;
@@ -248,9 +348,15 @@ impl CacheAgent for AdcProxy {
             // Local hit: refresh the entry with ourselves as location and
             // return the data to the sender.
             self.stats.local_hits += 1;
-            self.update_entry(object, Location::This);
+            if P::ENABLED {
+                probe.emit(SimEvent::LocalHit {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                });
+            }
+            self.update_entry(object, Location::This, probe);
             if self.lru_store.is_some() {
-                self.lru_admit(object);
+                self.lru_admit(object, probe);
             }
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
             out.send(request.sender, reply);
@@ -270,23 +376,42 @@ impl CacheAgent for AdcProxy {
 
         let to = if loop_detected {
             self.stats.origin_loops += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::LoopDetected {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                });
+            }
             NodeId::Origin
         } else if request.hops >= self.config.max_hops {
             self.stats.origin_max_hops += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::HopLimitHit {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                    hops: request.hops,
+                });
+            }
             NodeId::Origin
         } else {
-            self.forward_addr(object, rng)
+            self.forward_addr(object, rng, probe)
         };
         out.send(to, forwarded);
     }
 
     /// The paper's `Receive_Reply()` (Figure 7).
-    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
+    fn on_reply<P: Probe>(&mut self, reply: Reply, probe: &mut P, out: &mut ActionSink) {
         let prev_hop = {
             let stack = match self.pending.get_mut(&reply.id) {
                 Some(s) => s,
                 None => {
                     self.stats.replies_orphaned += 1;
+                    if P::ENABLED {
+                        probe.emit(SimEvent::ReplyOrphaned {
+                            proxy: self.id.raw(),
+                            object: reply.object.raw(),
+                        });
+                    }
                     return;
                 }
             };
@@ -305,10 +430,18 @@ impl CacheAgent for AdcProxy {
             reply.resolver = Some(self.id);
         }
         let resolver = reply.resolver.expect("resolver was just set");
-        self.update_entry(reply.object, Location::from_proxy(resolver, self.id));
+        if P::ENABLED && resolver != self.id {
+            // Backwarding taught us a remote owner for this object.
+            probe.emit(SimEvent::BackwardAdoption {
+                proxy: self.id.raw(),
+                object: reply.object.raw(),
+                owner: resolver.raw(),
+            });
+        }
+        self.update_entry(reply.object, Location::from_proxy(resolver, self.id), probe);
         if self.lru_store.is_some() {
             // Cache-everything ablation: every passing object is stored.
-            self.lru_admit(reply.object);
+            self.lru_admit(reply.object, probe);
         }
 
         // Claim the caching location if we hold the data and nobody else
@@ -338,6 +471,12 @@ impl CacheAgent for AdcProxy {
 
     fn is_cached(&self, object: ObjectId) -> bool {
         self.locally_cached(object)
+    }
+
+    fn owner_hint(&self, object: ObjectId) -> Option<ProxyId> {
+        self.tables
+            .lookup(object)
+            .map(|e| e.location.resolve(self.id))
     }
 
     fn reset(&mut self) {

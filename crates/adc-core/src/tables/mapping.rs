@@ -37,6 +37,12 @@ pub struct UpdateOutcome {
     /// This object was displaced from the caching table (back into the
     /// multiple-table); its data must be evicted from the store.
     pub evicted_from_cache: Option<ObjectId>,
+    /// The object was promoted from the single-table into the
+    /// multiple-table (it proved a measurable inter-request average).
+    pub promoted_to_multiple: bool,
+    /// This object was displaced from the multiple-table back onto the
+    /// top of the single-table to make room for a promotion.
+    pub demoted_to_single: Option<ObjectId>,
     /// This object fell off the bottom of the single-table and is
     /// forgotten entirely.
     pub forgotten: Option<ObjectId>,
@@ -191,6 +197,8 @@ impl MappingTables {
                     found_in: TableHit::Cached,
                     admitted_to_cache: false,
                     evicted_from_cache: None,
+                    promoted_to_multiple: false,
+                    demoted_to_single: None,
                     forgotten: None,
                 };
             }
@@ -220,6 +228,8 @@ impl MappingTables {
                     found_in: TableHit::Multiple,
                     admitted_to_cache: true,
                     evicted_from_cache,
+                    promoted_to_multiple: false,
+                    demoted_to_single: None,
                     forgotten: None,
                 };
             }
@@ -228,6 +238,8 @@ impl MappingTables {
                 found_in: TableHit::Multiple,
                 admitted_to_cache: false,
                 evicted_from_cache: None,
+                promoted_to_multiple: false,
+                demoted_to_single: None,
                 forgotten: None,
             };
         }
@@ -243,16 +255,20 @@ impl MappingTables {
             // real second request (hits == 1, average still 0) must stay
             // in the single-table — otherwise its zero average would rank
             // it best-in-table forever.
+            let mut promoted_to_multiple = false;
+            let mut demoted_to_single = None;
             if entry.has_average() && self.multiple.admits(entry.average, now, aged) {
                 if self.multiple.is_full() {
                     let worst = self
                         .multiple
                         .pop_worst()
                         .expect("full multiple-table has a worst entry");
+                    demoted_to_single = Some(worst.object);
                     // The single-table just lost `entry`, so it has room.
                     self.single.push_top(worst);
                 }
                 self.multiple.insert(entry);
+                promoted_to_multiple = true;
             } else {
                 self.single.push_top(entry);
             }
@@ -260,6 +276,8 @@ impl MappingTables {
                 found_in: TableHit::Single,
                 admitted_to_cache: false,
                 evicted_from_cache: None,
+                promoted_to_multiple,
+                demoted_to_single,
                 forgotten: None,
             };
         }
@@ -271,6 +289,8 @@ impl MappingTables {
             found_in: TableHit::New,
             admitted_to_cache: false,
             evicted_from_cache: None,
+            promoted_to_multiple: false,
+            demoted_to_single: None,
             forgotten,
         }
     }
@@ -369,6 +389,8 @@ mod tests {
         t.update_entry(ObjectId::new(1), Location::This, 1);
         let out = t.update_entry(ObjectId::new(1), Location::This, 11);
         assert_eq!(out.found_in, TableHit::Single);
+        assert!(out.promoted_to_multiple);
+        assert_eq!(out.demoted_to_single, None);
         let e = t.multiple().get(ObjectId::new(1)).unwrap();
         assert_eq!(e.average, 10);
         assert_eq!(e.hits, 2);
@@ -467,7 +489,9 @@ mod tests {
         assert!(t2.multiple().contains(ObjectId::new(1)));
         // Object 2 (avg 50) displaces object 1 back to the single-table.
         t2.update_entry(ObjectId::new(2), Location::This, 200);
-        t2.update_entry(ObjectId::new(2), Location::This, 250);
+        let out = t2.update_entry(ObjectId::new(2), Location::This, 250);
+        assert!(out.promoted_to_multiple);
+        assert_eq!(out.demoted_to_single, Some(ObjectId::new(1)));
         assert!(t2.multiple().contains(ObjectId::new(2)));
         assert!(t2.single().contains(ObjectId::new(1)));
         // Demoted entry keeps its forwarding information and history.

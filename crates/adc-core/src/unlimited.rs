@@ -21,6 +21,7 @@ use crate::message::{Reply, Request};
 use crate::proxy::DEFAULT_OBJECT_SIZE;
 use crate::stats::ProxyStats;
 use crate::tables::OrderedTable;
+use adc_obs::{Probe, SimEvent, TableLevel};
 use rand::Rng;
 use rand::RngCore;
 use std::collections::HashMap;
@@ -92,7 +93,7 @@ impl UnlimitedAdcProxy {
         self.pending.len()
     }
 
-    fn update_entry(&mut self, object: ObjectId, location: Location) {
+    fn update_entry<P: Probe>(&mut self, object: ObjectId, location: Location, probe: &mut P) {
         let now = self.local_time;
         // Cached entries refresh in place.
         if let Some(mut entry) = self.cached.remove(object) {
@@ -122,10 +123,35 @@ impl UnlimitedAdcProxy {
                             .expect("full caching table has a worst entry");
                         self.stats.cache_evictions += 1;
                         self.cache_events.push(CacheEvent::Evict(worst.object));
+                        if P::ENABLED {
+                            probe.emit(SimEvent::CacheEvict {
+                                proxy: self.id.raw(),
+                                object: worst.object.raw(),
+                            });
+                            probe.emit(SimEvent::TableMigration {
+                                proxy: self.id.raw(),
+                                object: worst.object.raw(),
+                                from: TableLevel::Caching,
+                                to: TableLevel::Multiple,
+                            });
+                        }
                         self.mapping.insert(worst.object, worst);
                     }
                     self.stats.cache_insertions += 1;
                     self.cache_events.push(CacheEvent::Store(object));
+                    if P::ENABLED {
+                        probe.emit(SimEvent::CacheInsert {
+                            proxy: self.id.raw(),
+                            object: object.raw(),
+                        });
+                        // The unbounded map plays the multiple-table's role.
+                        probe.emit(SimEvent::TableMigration {
+                            proxy: self.id.raw(),
+                            object: object.raw(),
+                            from: TableLevel::Multiple,
+                            to: TableLevel::Caching,
+                        });
+                    }
                     self.cached.insert(entry);
                 }
             }
@@ -151,14 +177,26 @@ impl CacheAgent for UnlimitedAdcProxy {
         self.id
     }
 
-    fn on_request(&mut self, request: Request, rng: &mut dyn RngCore, out: &mut ActionSink) {
+    fn on_request<P: Probe>(
+        &mut self,
+        request: Request,
+        rng: &mut dyn RngCore,
+        probe: &mut P,
+        out: &mut ActionSink,
+    ) {
         self.local_time += 1;
         self.stats.requests_received += 1;
         let object = request.object;
 
         if self.cached.contains(object) {
             self.stats.local_hits += 1;
-            self.update_entry(object, Location::This);
+            if P::ENABLED {
+                probe.emit(SimEvent::LocalHit {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                });
+            }
+            self.update_entry(object, Location::This, probe);
             let reply = Reply::from_cache(&request, self.id, DEFAULT_OBJECT_SIZE);
             out.send(request.sender, reply);
             return;
@@ -176,36 +214,76 @@ impl CacheAgent for UnlimitedAdcProxy {
 
         let to = if loop_detected {
             self.stats.origin_loops += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::LoopDetected {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                });
+            }
             NodeId::Origin
         } else if request.hops >= self.max_hops {
             self.stats.origin_max_hops += 1;
+            if P::ENABLED {
+                probe.emit(SimEvent::HopLimitHit {
+                    proxy: self.id.raw(),
+                    object: object.raw(),
+                    hops: request.hops,
+                });
+            }
             NodeId::Origin
         } else {
             match self.lookup_location(object) {
                 Some(Location::Remote(p)) => {
                     self.stats.forwards_learned += 1;
+                    if P::ENABLED {
+                        probe.emit(SimEvent::ForwardLearned {
+                            proxy: self.id.raw(),
+                            object: object.raw(),
+                            to: p.raw(),
+                        });
+                    }
                     NodeId::Proxy(p)
                 }
                 Some(Location::This) => {
                     self.stats.origin_this_miss += 1;
+                    if P::ENABLED {
+                        probe.emit(SimEvent::OriginThisMiss {
+                            proxy: self.id.raw(),
+                            object: object.raw(),
+                        });
+                    }
                     NodeId::Origin
                 }
                 None => {
                     self.stats.forwards_random += 1;
                     let i = rng.gen_range(0..self.peers.len());
-                    NodeId::Proxy(self.peers[i])
+                    let to = self.peers[i];
+                    if P::ENABLED {
+                        probe.emit(SimEvent::ForwardRandom {
+                            proxy: self.id.raw(),
+                            object: object.raw(),
+                            to: to.raw(),
+                        });
+                    }
+                    NodeId::Proxy(to)
                 }
             }
         };
         out.send(to, forwarded);
     }
 
-    fn on_reply(&mut self, reply: Reply, out: &mut ActionSink) {
+    fn on_reply<P: Probe>(&mut self, reply: Reply, probe: &mut P, out: &mut ActionSink) {
         let prev_hop = {
             let stack = match self.pending.get_mut(&reply.id) {
                 Some(s) => s,
                 None => {
                     self.stats.replies_orphaned += 1;
+                    if P::ENABLED {
+                        probe.emit(SimEvent::ReplyOrphaned {
+                            proxy: self.id.raw(),
+                            object: reply.object.raw(),
+                        });
+                    }
                     return;
                 }
             };
@@ -222,7 +300,14 @@ impl CacheAgent for UnlimitedAdcProxy {
             reply.resolver = Some(self.id);
         }
         let resolver = reply.resolver.expect("resolver was just set");
-        self.update_entry(reply.object, Location::from_proxy(resolver, self.id));
+        if P::ENABLED && resolver != self.id {
+            probe.emit(SimEvent::BackwardAdoption {
+                proxy: self.id.raw(),
+                object: reply.object.raw(),
+                owner: resolver.raw(),
+            });
+        }
+        self.update_entry(reply.object, Location::from_proxy(resolver, self.id), probe);
 
         if self.cached.contains(reply.object) && reply.cached_by.is_none() {
             reply.resolver = Some(self.id);
@@ -245,6 +330,10 @@ impl CacheAgent for UnlimitedAdcProxy {
 
     fn is_cached(&self, object: ObjectId) -> bool {
         self.cached.contains(object)
+    }
+
+    fn owner_hint(&self, object: ObjectId) -> Option<ProxyId> {
+        self.lookup_location(object).map(|l| l.resolve(self.id))
     }
 
     fn reset(&mut self) {

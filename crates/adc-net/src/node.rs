@@ -3,7 +3,9 @@
 use crate::book::AddressBook;
 use crate::protocol::Frame;
 use crate::transport::{read_frame, Pool};
-use adc_core::{Action, ActionSink, CacheAgent, CacheEvent, Message, ObjectId, Reply};
+use adc_core::{
+    Action, ActionSink, CacheAgent, CacheEvent, Message, NullProbe, ObjectId, Probe, Reply,
+};
 use adc_workload::SizeModel;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -11,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use tokio::net::TcpListener;
 use tokio::task::JoinHandle;
 
@@ -32,11 +35,28 @@ impl<A> Drop for ProxyNode<A> {
 
 impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
     /// Spawns a proxy node serving `listener`, forwarding through `book`.
+    /// Observability is disabled ([`NullProbe`]); use
+    /// [`ProxyNode::spawn_observed`] to capture events.
     pub fn spawn(agent: A, listener: TcpListener, book: Arc<AddressBook>, seed: u64) -> Self {
+        Self::spawn_observed(agent, listener, book, seed, Arc::new(Mutex::new(NullProbe)))
+    }
+
+    /// Spawns a proxy node that feeds every agent event through `probe`.
+    /// Event timestamps are microseconds since the node was spawned
+    /// (wall clock, unlike the simulator's virtual clock). The probe is
+    /// shared so callers can drain or export it after the run.
+    pub fn spawn_observed<P: Probe + Send + 'static>(
+        agent: A,
+        listener: TcpListener,
+        book: Arc<AddressBook>,
+        seed: u64,
+        probe: Arc<Mutex<P>>,
+    ) -> Self {
         let agent = Arc::new(Mutex::new(agent));
         let store: Arc<Mutex<HashMap<ObjectId, Bytes>>> = Arc::new(Mutex::new(HashMap::new()));
         let pool = Arc::new(Pool::new());
         let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
+        let epoch = Instant::now();
 
         let agent_for_task = Arc::clone(&agent);
         let store_for_task = Arc::clone(&store);
@@ -50,9 +70,11 @@ impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
                 let book = Arc::clone(&book);
                 let pool = Arc::clone(&pool);
                 let rng = Arc::clone(&rng);
+                let probe = Arc::clone(&probe);
                 tokio::spawn(async move {
                     while let Ok(Some(frame)) = read_frame(&mut stream).await {
-                        let outgoing = handle_frame(&agent, &store, &rng, frame);
+                        let now_us = epoch.elapsed().as_micros() as u64;
+                        let outgoing = handle_frame(&agent, &store, &rng, &probe, now_us, frame);
                         for (action, body) in outgoing {
                             let Action::Send { to, message } = action;
                             let Some(addr) = book.addr_of(to) else {
@@ -85,10 +107,12 @@ impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
 
 /// Feeds one frame through the agent and returns the transmissions plus
 /// the object body to attach to outgoing replies.
-fn handle_frame<A: CacheAgent>(
+fn handle_frame<A: CacheAgent, P: Probe>(
     agent: &Mutex<A>,
     store: &Mutex<HashMap<ObjectId, Bytes>>,
     rng: &Mutex<StdRng>,
+    probe: &Mutex<P>,
+    now_us: u64,
     frame: Frame,
 ) -> Vec<(Action, Bytes)> {
     let mut agent = agent.lock();
@@ -98,7 +122,9 @@ fn handle_frame<A: CacheAgent>(
             let object = request.object;
             {
                 let mut rng = rng.lock();
-                agent.on_request(request, &mut *rng, &mut sink);
+                let mut probe = probe.lock();
+                probe.tick(now_us);
+                agent.on_request(request, &mut *rng, &mut *probe, &mut sink);
             }
             apply_cache_events(&mut *agent, store, None);
             // A local hit replies with data from the byte store; the
@@ -123,7 +149,11 @@ fn handle_frame<A: CacheAgent>(
         }
         Frame::Reply(reply, body) => {
             let object = reply.object;
-            agent.on_reply(reply, &mut sink);
+            {
+                let mut probe = probe.lock();
+                probe.tick(now_us);
+                agent.on_reply(reply, &mut *probe, &mut sink);
+            }
             // The passing body is the bytes the store keeps if the agent
             // decided to cache.
             apply_cache_events(&mut *agent, store, Some((object, body.clone())));
@@ -229,6 +259,27 @@ pub fn origin_body(object: ObjectId, size_model: &SizeModel) -> Bytes {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adc_core::{AdcConfig, AdcProxy, ClientId, EventLog, ProxyId, Request, RequestId};
+
+    #[test]
+    fn handle_frame_feeds_events_through_the_probe() {
+        let agent = Mutex::new(AdcProxy::new(ProxyId::new(0), 2, AdcConfig::default()));
+        let store: Mutex<HashMap<ObjectId, Bytes>> = Mutex::new(HashMap::new());
+        let rng = Mutex::new(StdRng::seed_from_u64(7));
+        let probe = Mutex::new(EventLog::new());
+
+        let client = ClientId::new(0);
+        let request = Request::new(RequestId::new(client, 0), ObjectId::new(5), client);
+        let out = handle_frame(&agent, &store, &rng, &probe, 1234, Frame::Request(request));
+        // A miss forwards exactly one message onward.
+        assert_eq!(out.len(), 1);
+        let log = probe.lock();
+        // The forward decision (learned/random/this-miss) was recorded
+        // with the tick's timestamp.
+        assert!(!log.is_empty(), "request handling must emit events");
+        assert!(log.events().iter().all(|&(t, _)| t == 1234));
+        assert_eq!(log.dropped(), 0);
+    }
 
     #[test]
     fn origin_body_is_deterministic_and_sized() {

@@ -1,0 +1,143 @@
+//! chrome://tracing (`trace_event` JSON) export of a captured stream.
+//!
+//! The output is the stable "JSON object format": a single object with a
+//! `traceEvents` array, loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Layout:
+//!
+//! - **pid 0 / tid = client**: one complete span (`ph:"X"`) per finished
+//!   request, from injection to completion, named `hit` or `miss`;
+//! - **pid 1 / tid = proxy**: one instant event (`ph:"i"`) per agent
+//!   event (forwards, loops, migrations, cache churn), with the
+//!   variant's fields under `args`;
+//! - metadata events (`ph:"M"`) label both rows.
+//!
+//! Timestamps (`ts`) and durations (`dur`) are in microseconds, matching
+//! the simulator's clock.
+
+use crate::event::SimEvent;
+use crate::json::write_escaped;
+use crate::jsonl::write_event_json;
+use std::fmt::Write as _;
+use std::io;
+
+fn push_meta(out: &mut String, pid: u32, name: &str) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":"
+    );
+    write_escaped(out, name);
+    out.push_str("}}");
+}
+
+/// Renders the captured stream in chrome `trace_event` format.
+pub fn to_chrome_trace(events: &[(u64, SimEvent)]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    push_meta(&mut out, 0, "clients (request flows)");
+    out.push(',');
+    push_meta(&mut out, 1, "proxies (agent events)");
+    for &(t, ref event) in events {
+        out.push(',');
+        match *event {
+            // Injections are represented by the span start of the matching
+            // completion; emit nothing separate to keep traces compact.
+            SimEvent::RequestInjected { .. } => {
+                out.pop();
+                continue;
+            }
+            SimEvent::RequestCompleted {
+                client,
+                seq,
+                object,
+                hit,
+                hops,
+                start_us,
+            } => {
+                let name = if hit { "hit" } else { "miss" };
+                let dur = t.saturating_sub(start_us);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{client},\"ts\":{start_us},\"dur\":{dur},\"name\":\"{name}\",\"args\":{{\"object\":{object},\"seq\":{seq},\"hops\":{hops}}}}}"
+                );
+            }
+            _ => {
+                let proxy = event.proxy().unwrap_or(0);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{proxy},\"ts\":{t},\"name\":"
+                );
+                write_escaped(&mut out, event.kind().name());
+                out.push_str(",\"args\":");
+                // Reuse the JSONL object as the args payload: it is a
+                // flat JSON object carrying every field of the variant.
+                write_event_json(&mut out, t, event);
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes the chrome trace to `writer`.
+pub fn write_chrome_trace<W: io::Write>(
+    writer: &mut W,
+    events: &[(u64, SimEvent)],
+) -> io::Result<()> {
+    writer.write_all(to_chrome_trace(events).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+
+    #[test]
+    fn trace_is_valid_json_with_expected_rows() {
+        let events = [
+            (
+                0,
+                SimEvent::RequestInjected {
+                    client: 1,
+                    seq: 0,
+                    object: 42,
+                },
+            ),
+            (
+                5,
+                SimEvent::ForwardLearned {
+                    proxy: 0,
+                    object: 42,
+                    to: 3,
+                },
+            ),
+            (
+                12,
+                SimEvent::RequestCompleted {
+                    client: 1,
+                    seq: 0,
+                    object: 42,
+                    hit: true,
+                    hops: 3,
+                    start_us: 0,
+                },
+            ),
+        ];
+        let trace = to_chrome_trace(&events);
+        validate_json(&trace).expect("chrome trace must be valid JSON");
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        // Injection is folded into the span; span covers 0..12 on tid 1.
+        assert!(
+            trace.contains("\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":0,\"dur\":12,\"name\":\"hit\"")
+        );
+        assert!(trace.contains("\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,\"ts\":5"));
+        assert!(trace.contains("\"name\":\"forward_learned\""));
+        assert_eq!(trace.matches("\"ph\":\"M\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_stream_is_still_valid() {
+        let trace = to_chrome_trace(&[]);
+        validate_json(&trace).expect("empty trace must be valid JSON");
+    }
+}

@@ -1,0 +1,224 @@
+//! Convergence sampling: do the proxies agree on who owns each object?
+//!
+//! The paper's central claim is that ADC *self-organizes*: backwarding
+//! alone drives every proxy's mapping tables toward one agreed owner per
+//! object. The simulator periodically snapshots each agent's owner hint
+//! for a fixed set of hot objects and feeds the snapshots to a
+//! [`ConvergenceTracker`], which turns them into three time series:
+//!
+//! - **agreement** — fraction of tracked objects whose cluster-wide
+//!   mapping is *coherent*: every proxy names an owner, and every named
+//!   owner names itself (it claims the object). This covers both
+//!   converged shapes ADC produces — one owner everyone points at, and a
+//!   hot object replicated at several proxies, each serving it locally —
+//!   while stale chains (a proxy pointing at a peer that no longer
+//!   claims the object) count as disagreement;
+//! - **remaps** — `(object, proxy)` pairs whose owner changed from one
+//!   known owner to a different one since the previous sample;
+//! - **churn** — `(object, proxy)` pairs whose hint appeared or
+//!   disappeared since the previous sample.
+//!
+//! Under stable workload the agreement series should trend upward — the
+//! observable form of Figures 11–15's improving hit rates.
+
+use adc_metrics::Series;
+use std::collections::HashMap;
+
+/// Settings for the periodic convergence sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceConfig {
+    /// Take one snapshot every `sample_every` completed requests.
+    pub sample_every: u64,
+    /// Track the `top_k` most-requested objects (hot set), chosen from
+    /// injected-request counts with ties broken by object id.
+    pub top_k: usize,
+}
+
+impl Default for ConvergenceConfig {
+    fn default() -> Self {
+        ConvergenceConfig {
+            sample_every: 5_000,
+            top_k: 128,
+        }
+    }
+}
+
+/// Folds owner-hint snapshots into agreement/remap/churn series.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceTracker {
+    prev: HashMap<u64, Vec<Option<u32>>>,
+    agreement: Series,
+    remaps: Series,
+    churn: Series,
+    total_remaps: u64,
+    total_churn: u64,
+}
+
+impl ConvergenceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ConvergenceTracker {
+            prev: HashMap::new(),
+            agreement: Series::new("convergence_agreement"),
+            remaps: Series::new("convergence_remaps"),
+            churn: Series::new("convergence_churn"),
+            total_remaps: 0,
+            total_churn: 0,
+        }
+    }
+
+    /// Ingests one snapshot taken at x-coordinate `x` (typically the
+    /// completed-request count). Each entry is an object id plus one
+    /// owner hint per proxy, in a fixed proxy order.
+    pub fn sample(&mut self, x: f64, snapshot: &[(u64, Vec<Option<u32>>)]) {
+        let mut agreed = 0usize;
+        let mut remaps = 0u64;
+        let mut churn = 0u64;
+        for (object, hints) in snapshot {
+            // Coherent mapping: every proxy has a hint, and every hinted
+            // owner claims the object itself (its own hint is itself).
+            let coherent = !hints.is_empty()
+                && hints.iter().all(|h| match h {
+                    Some(q) => hints
+                        .get(*q as usize)
+                        .is_some_and(|owner| *owner == Some(*q)),
+                    None => false,
+                });
+            if coherent {
+                agreed += 1;
+            }
+            if let Some(prev_hints) = self.prev.get(object) {
+                for (old, new) in prev_hints.iter().zip(hints) {
+                    match (old, new) {
+                        (Some(a), Some(b)) if a != b => remaps += 1,
+                        (Some(_), None) | (None, Some(_)) => churn += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let fraction = if snapshot.is_empty() {
+            0.0
+        } else {
+            agreed as f64 / snapshot.len() as f64
+        };
+        self.agreement.push(x, fraction);
+        self.remaps.push(x, remaps as f64);
+        self.churn.push(x, churn as f64);
+        self.total_remaps += remaps;
+        self.total_churn += churn;
+        self.prev.clear();
+        for (object, hints) in snapshot {
+            self.prev.insert(*object, hints.clone());
+        }
+    }
+
+    /// Number of snapshots ingested so far.
+    pub fn samples(&self) -> usize {
+        self.agreement.len()
+    }
+
+    /// Consumes the tracker into its report.
+    pub fn into_report(self) -> ConvergenceReport {
+        ConvergenceReport {
+            samples: self.agreement.len(),
+            agreement: self.agreement,
+            remaps: self.remaps,
+            churn: self.churn,
+            total_remaps: self.total_remaps,
+            total_churn: self.total_churn,
+        }
+    }
+}
+
+/// The convergence series of one run, carried in `SimReport`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvergenceReport {
+    /// Per-sample agreement fraction in `[0, 1]`.
+    pub agreement: Series,
+    /// Per-sample owner remap count.
+    pub remaps: Series,
+    /// Per-sample hint appear/disappear count.
+    pub churn: Series,
+    /// Number of snapshots taken.
+    pub samples: usize,
+    /// Remaps summed over the whole run.
+    pub total_remaps: u64,
+    /// Churn summed over the whole run.
+    pub total_churn: u64,
+}
+
+impl ConvergenceReport {
+    /// Agreement fraction at the last sample, if any were taken.
+    pub fn final_agreement(&self) -> Option<f64> {
+        self.agreement.last_y()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default() {
+        let cfg = ConvergenceConfig::default();
+        assert_eq!(cfg.sample_every, 5_000);
+        assert_eq!(cfg.top_k, 128);
+    }
+
+    #[test]
+    fn agreement_means_every_hint_lands_on_a_claiming_owner() {
+        let mut t = ConvergenceTracker::new();
+        t.sample(
+            1.0,
+            &[
+                // One owner, everyone points at it: coherent.
+                (10, vec![Some(0), Some(0), Some(0)]),
+                // Replicated at proxies 0 and 1 (each claims itself),
+                // proxy 2 fetches from 0: also coherent.
+                (11, vec![Some(0), Some(1), Some(0)]),
+                // Stale chain: 0 points at 1 but 1 points back at 0 —
+                // neither claims the object.
+                (12, vec![Some(1), Some(0), Some(2)]),
+                // Incomplete (a proxy has no hint).
+                (13, vec![Some(2), None, Some(2)]),
+            ],
+        );
+        let report = t.into_report();
+        assert_eq!(report.samples, 1);
+        assert_eq!(report.final_agreement(), Some(0.5));
+        assert_eq!(report.total_remaps, 0);
+        assert_eq!(report.total_churn, 0);
+    }
+
+    #[test]
+    fn remaps_and_churn_compare_consecutive_samples() {
+        let mut t = ConvergenceTracker::new();
+        t.sample(
+            1.0,
+            &[(10, vec![Some(0), None]), (11, vec![Some(1), Some(1)])],
+        );
+        // Proxy 0 remaps object 10 (0 -> 1); proxy 1 learns it (None -> 1);
+        // object 11's owner is forgotten by proxy 0 (Some -> None).
+        t.sample(
+            2.0,
+            &[(10, vec![Some(1), Some(1)]), (11, vec![None, Some(1)])],
+        );
+        let report = t.into_report();
+        assert_eq!(report.total_remaps, 1);
+        assert_eq!(report.total_churn, 2);
+        assert_eq!(report.remaps.points, vec![(1.0, 0.0), (2.0, 1.0)]);
+        assert_eq!(report.churn.points, vec![(1.0, 0.0), (2.0, 2.0)]);
+        // Second sample: object 10 agreed (owner 1 claims itself),
+        // object 11 not (proxy 0 lost its hint).
+        assert_eq!(report.final_agreement(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_snapshot_counts_as_zero_agreement() {
+        let mut t = ConvergenceTracker::new();
+        t.sample(1.0, &[]);
+        assert_eq!(t.samples(), 1);
+        assert_eq!(t.into_report().final_agreement(), Some(0.0));
+    }
+}

@@ -1,0 +1,29 @@
+//! Structured observability for the ADC reproduction.
+//!
+//! This crate defines the typed event taxonomy ([`SimEvent`]), the
+//! zero-cost [`Probe`] trait agents and runtimes are generic over, an
+//! in-memory bounded recorder ([`EventLog`]), exporters (JSON Lines and
+//! chrome://tracing `trace_event`), and the convergence sampler that
+//! turns mapping-table snapshots into agreement/remap/churn series.
+//!
+//! It sits *below* `adc-core` in the dependency graph — the agent trait
+//! itself takes a `Probe` type parameter — so events carry raw integer
+//! ids instead of the core newtypes.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod convergence;
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod log;
+pub mod probe;
+
+pub use chrome::{to_chrome_trace, write_chrome_trace};
+pub use convergence::{ConvergenceConfig, ConvergenceReport, ConvergenceTracker};
+pub use event::{EventKind, SimEvent, TableLevel};
+pub use json::validate_json;
+pub use jsonl::{to_jsonl_string, write_event_json, write_jsonl};
+pub use log::EventLog;
+pub use probe::{CountingProbe, NullProbe, Probe};

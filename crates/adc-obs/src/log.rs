@@ -1,0 +1,134 @@
+//! A bounded in-memory event recorder.
+
+use crate::event::SimEvent;
+use crate::probe::Probe;
+
+/// A [`Probe`] that stores every event with the timestamp of the latest
+/// [`Probe::tick`], up to a fixed capacity; further events are counted
+/// as dropped rather than grown without bound. The captured stream feeds
+/// the JSONL and chrome-trace exporters.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    now_us: u64,
+    events: Vec<(u64, SimEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Default capacity (events) when none is given: 2^20 ≈ one million
+    /// events, ~25 MB. Matches the `TraceLog` hard bound.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a log bounded at [`EventLog::DEFAULT_CAPACITY`] events.
+    pub fn new() -> Self {
+        EventLog::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a log bounded at `capacity` events. The backing storage
+    /// is grown on demand, not pre-reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            now_us: 0,
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The recorded `(timestamp_us, event)` pairs, in emission order.
+    pub fn events(&self) -> &[(u64, SimEvent)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum number of events this log will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The timestamp of the latest [`Probe::tick`], microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new()
+    }
+}
+
+impl Probe for EventLog {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn tick(&mut self, now_us: u64) {
+        self.now_us = now_us;
+    }
+
+    #[inline]
+    fn emit(&mut self, event: SimEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push((self.now_us, event));
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(object: u64) -> SimEvent {
+        SimEvent::LocalHit { proxy: 0, object }
+    }
+
+    #[test]
+    fn records_with_latest_tick_timestamp() {
+        let mut log = EventLog::new();
+        log.tick(10);
+        log.emit(hit(1));
+        log.tick(25);
+        log.emit(hit(2));
+        assert_eq!(log.events(), &[(10, hit(1)), (25, hit(2))]);
+        assert_eq!(log.now_us(), 25);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_beyond_capacity_and_counts() {
+        let mut log = EventLog::with_capacity(2);
+        assert_eq!(log.capacity(), 2);
+        for o in 0..5 {
+            log.emit(hit(o));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.events()[1].1, hit(1));
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut log = EventLog::with_capacity(0);
+        assert!(log.is_empty());
+        log.emit(hit(7));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::network::LatencyModel;
 use crate::time::SimTime;
 use adc_core::ProxyId;
+use adc_obs::ConvergenceConfig;
 use serde::{Deserialize, Serialize};
 
 /// How client requests enter the system.
@@ -93,6 +94,13 @@ pub struct SimConfig {
     /// runs turn it off since their outputs never read occupancy and the
     /// per-completion sampling of every proxy costs measurable time.
     pub sample_occupancy: bool,
+    /// When set, periodically snapshot every agent's
+    /// [`owner_hint`](adc_core::CacheAgent::owner_hint) for the hottest
+    /// objects and report cluster-wide mapping agreement, remaps and
+    /// churn as a [`ConvergenceReport`](adc_obs::ConvergenceReport). Off
+    /// (`None`) by default — the sampling walks every agent once per
+    /// interval, so it is opt-in like tracing.
+    pub convergence: Option<ConvergenceConfig>,
     /// Seed for all simulator-side randomness (agent RNG, assignment,
     /// faults). A run is a pure function of (workload, agents, config).
     pub seed: u64,
@@ -111,6 +119,7 @@ impl Default for SimConfig {
             hit_window: 5_000,
             sample_every: 5_000,
             sample_occupancy: true,
+            convergence: None,
             seed: 0xADC0_5EED,
         }
     }
@@ -146,6 +155,14 @@ impl SimConfig {
         if let Some(matrix) = &self.proxy_latency_matrix {
             if matrix.iter().any(|row| row.len() != matrix.len()) {
                 return Err("proxy_latency_matrix must be square".into());
+            }
+        }
+        if let Some(conv) = &self.convergence {
+            if conv.sample_every == 0 {
+                return Err("convergence.sample_every must be positive".into());
+            }
+            if conv.top_k == 0 {
+                return Err("convergence.top_k must be positive".into());
             }
         }
         Ok(())
@@ -185,5 +202,24 @@ mod tests {
     #[test]
     fn fast_config_is_valid() {
         assert!(SimConfig::fast().validate().is_ok());
+    }
+
+    #[test]
+    fn convergence_config_validated() {
+        let mut c = SimConfig {
+            convergence: Some(ConvergenceConfig::default()),
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        c.convergence = Some(ConvergenceConfig {
+            sample_every: 0,
+            top_k: 8,
+        });
+        assert!(c.validate().is_err());
+        c.convergence = Some(ConvergenceConfig {
+            sample_every: 100,
+            top_k: 0,
+        });
+        assert!(c.validate().is_err());
     }
 }

@@ -52,3 +52,7 @@ pub use report::{PhaseStats, SimReport};
 pub use runner::Simulation;
 pub use time::SimTime;
 pub use tracelog::{DeliveryRecord, TraceLog};
+
+// Convergence sampling vocabulary, re-exported so simulator users can
+// configure and read it without a direct `adc-obs` dependency.
+pub use adc_obs::{ConvergenceConfig, ConvergenceReport};

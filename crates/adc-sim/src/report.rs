@@ -3,6 +3,7 @@
 use crate::tracelog::TraceLog;
 use adc_core::ProxyStats;
 use adc_metrics::{Series, Summary};
+use adc_obs::ConvergenceReport;
 use adc_workload::Phase;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -82,6 +83,10 @@ pub struct SimReport {
     pub bytes_from_caches: u64,
     /// Message deliveries captured when tracing was enabled.
     pub trace: Option<TraceLog>,
+    /// Mapping-convergence series (agreement, remaps, churn), present
+    /// when [`SimConfig::convergence`](crate::SimConfig::convergence)
+    /// was set.
+    pub convergence: Option<ConvergenceReport>,
     /// Wall-clock time the simulation took (Figure 15 style).
     pub wall_time: Duration,
     /// CPU time the simulating thread consumed. Unlike [`wall_time`],
@@ -136,15 +141,32 @@ impl SimReport {
         total
     }
 
-    /// A one-line human summary.
+    /// Deliveries the bounded [`TraceLog`] had to drop (0 when tracing
+    /// was off). Non-zero means path-level analyses of this run are
+    /// incomplete — surfaced so truncation is never silent.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map_or(0, TraceLog::dropped)
+    }
+
+    /// A one-line human summary. Orphaned replies and trace-log drops
+    /// are appended only when non-zero, so clean runs stay terse.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "completed={} hit_rate={:.4} mean_hops={:.2} wall={:?}",
             self.completed,
             self.hit_rate(),
             self.mean_hops(),
             self.wall_time
-        )
+        );
+        let orphaned = self.cluster_stats().replies_orphaned;
+        if orphaned > 0 {
+            line.push_str(&format!(" replies_orphaned={orphaned}"));
+        }
+        let trace_dropped = self.trace_dropped();
+        if trace_dropped > 0 {
+            line.push_str(&format!(" trace_dropped={trace_dropped}"));
+        }
+        line
     }
 }
 
@@ -206,6 +228,7 @@ mod tests {
             bytes_from_origin: 0,
             bytes_from_caches: 0,
             trace: None,
+            convergence: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };
@@ -214,5 +237,58 @@ mod tests {
         assert_eq!(report.phase(Phase::RequestI).hits, 2);
         assert_eq!(report.cluster_stats().requests_received, 4);
         assert!(report.summary_line().contains("hit_rate=0.5000"));
+        // Clean runs do not mention orphans or trace drops.
+        assert!(!report.summary_line().contains("replies_orphaned"));
+        assert!(!report.summary_line().contains("trace_dropped"));
+        assert_eq!(report.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn summary_line_surfaces_orphans_and_trace_drops() {
+        let mut report = SimReport {
+            completed: 1,
+            hits: 0,
+            phases: [PhaseStats::default(); 3],
+            hops: Summary::new(),
+            latency_us: Summary::new(),
+            latency_p50_us: 0.0,
+            latency_p99_us: 0.0,
+            hit_series: Series::new("hit"),
+            hops_series: Series::new("hops"),
+            per_proxy: vec![ProxyStats {
+                replies_orphaned: 3,
+                ..Default::default()
+            }],
+            final_cache_sizes: vec![0],
+            occupancy_series: Vec::new(),
+            messages_delivered: 2,
+            events_processed: 2,
+            peak_flows: 1,
+            duplicates_injected: 0,
+            client_orphans: 0,
+            orphan_origin_requests: 0,
+            proxies_reset: 0,
+            bytes_from_origin: 0,
+            bytes_from_caches: 0,
+            trace: Some(TraceLog::new(1)),
+            convergence: None,
+            wall_time: Duration::from_millis(1),
+            cpu_time: Duration::from_millis(1),
+        };
+        // Overflow the one-record trace log so two deliveries drop.
+        let log = report.trace.as_mut().unwrap();
+        for i in 0..3 {
+            log.record(crate::tracelog::DeliveryRecord {
+                at: crate::time::SimTime::from_micros(i),
+                request: adc_core::RequestId::new(adc_core::ClientId::new(0), i),
+                from: adc_core::NodeId::Origin,
+                to: adc_core::NodeId::Origin,
+                is_request: true,
+            });
+        }
+        assert_eq!(report.trace_dropped(), 2);
+        let line = report.summary_line();
+        assert!(line.contains("replies_orphaned=3"), "{line}");
+        assert!(line.contains("trace_dropped=2"), "{line}");
     }
 }

@@ -7,12 +7,14 @@ use crate::report::{PhaseStats, SimReport};
 use crate::time::SimTime;
 use crate::tracelog::{DeliveryRecord, TraceLog};
 use adc_core::{
-    Action, ActionSink, CacheAgent, Message, NodeId, ProxyId, Reply, Request, RequestId,
+    Action, ActionSink, CacheAgent, Message, NodeId, ObjectId, ProxyId, Reply, Request, RequestId,
 };
 use adc_metrics::{MovingAverage, P2Quantile, Sampler, Summary};
+use adc_obs::{ConvergenceConfig, ConvergenceTracker, NullProbe, Probe, SimEvent};
 use adc_workload::{Phase, RequestRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Per-flow bookkeeping from injection to completion.
@@ -22,6 +24,15 @@ struct FlowState {
     hops: u32,
     size: u32,
     phase: Phase,
+}
+
+/// Live state for the periodic convergence sampler: injected-request
+/// counts (to pick the hot set) plus the tracker folding snapshots into
+/// series.
+struct ConvState {
+    cfg: ConvergenceConfig,
+    counts: HashMap<u64, u64>,
+    tracker: ConvergenceTracker,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,10 +91,28 @@ impl<A: CacheAgent> Simulation<A> {
     }
 
     /// Runs the workload to completion and returns the report together
-    /// with the agents (for post-run inspection).
+    /// with the agents (for post-run inspection). Observability is off
+    /// ([`NullProbe`]); the probe plumbing compiles away entirely, so
+    /// this is byte-for-byte the unobserved hot path.
     pub fn run_with_agents(
+        self,
+        workload: impl IntoIterator<Item = RequestRecord>,
+    ) -> (SimReport, Vec<A>) {
+        self.run_observed_with_agents(workload, &mut NullProbe)
+    }
+
+    /// Runs the workload with every simulation event fed through
+    /// `probe`, returning the report and the agents.
+    ///
+    /// The probe is ticked with virtual time (microseconds) before each
+    /// event is processed, then receives the typed [`SimEvent`]s the
+    /// agents and the runner emit. With [`NullProbe`] every emission
+    /// site is statically dead code, so observability costs nothing
+    /// unless a real probe is attached.
+    pub fn run_observed_with_agents<P: Probe>(
         mut self,
         workload: impl IntoIterator<Item = RequestRecord>,
+        probe: &mut P,
     ) -> (SimReport, Vec<A>) {
         let wall_start = Instant::now();
         let cpu_start = crate::cputime::thread_cpu_now();
@@ -132,6 +161,11 @@ impl<A: CacheAgent> Simulation<A> {
         let mut bytes_from_caches: u64 = 0;
         let mut trace =
             (self.config.trace_capacity > 0).then(|| TraceLog::new(self.config.trace_capacity));
+        let mut conv: Option<ConvState> = self.config.convergence.map(|cfg| ConvState {
+            cfg,
+            counts: HashMap::new(),
+            tracker: ConvergenceTracker::new(),
+        });
 
         let assignment = self.config.assignment;
         let base_latency = self.config.latency;
@@ -165,11 +199,23 @@ impl<A: CacheAgent> Simulation<A> {
                           event_seq: &mut u64,
                           now: SimTime,
                           flows: &mut FlowTable<FlowState>,
-                          assign_rng: &mut StdRng|
+                          assign_rng: &mut StdRng,
+                          conv: &mut Option<ConvState>,
+                          probe: &mut P|
          -> bool {
             let Some(record) = workload.next() else {
                 return false;
             };
+            if let Some(c) = conv.as_mut() {
+                *c.counts.entry(record.object.raw()).or_insert(0) += 1;
+            }
+            if P::ENABLED {
+                probe.emit(SimEvent::RequestInjected {
+                    client: record.client.raw(),
+                    seq: record.seq,
+                    object: record.object.raw(),
+                });
+            }
             let proxy = match assignment {
                 ClientAssignment::Sticky => ProxyId::new(record.client.raw() % n),
                 ClientAssignment::RandomPerRequest => ProxyId::new(assign_rng.gen_range(0..n)),
@@ -204,7 +250,15 @@ impl<A: CacheAgent> Simulation<A> {
         // Prime the pump.
         match injection {
             InjectionMode::Sequential => {
-                inject(&mut queue, &mut event_seq, now, &mut flows, &mut assign_rng);
+                inject(
+                    &mut queue,
+                    &mut event_seq,
+                    now,
+                    &mut flows,
+                    &mut assign_rng,
+                    &mut conv,
+                    probe,
+                );
             }
             InjectionMode::OpenLoop { .. } => {
                 push(&mut queue, &mut event_seq, SimTime::ZERO, EventKind::Inject);
@@ -213,10 +267,21 @@ impl<A: CacheAgent> Simulation<A> {
 
         while let Some((at, _seq, kind)) = queue.pop() {
             now = SimTime::from_micros(at);
+            if P::ENABLED {
+                probe.tick(at);
+            }
             events_processed += 1;
             match kind {
                 EventKind::Inject => {
-                    if inject(&mut queue, &mut event_seq, now, &mut flows, &mut assign_rng) {
+                    if inject(
+                        &mut queue,
+                        &mut event_seq,
+                        now,
+                        &mut flows,
+                        &mut assign_rng,
+                        &mut conv,
+                        probe,
+                    ) {
                         if let InjectionMode::OpenLoop { interval } = injection {
                             push(
                                 &mut queue,
@@ -275,9 +340,9 @@ impl<A: CacheAgent> Simulation<A> {
                             let agent = &mut self.agents[pid.raw() as usize];
                             match message {
                                 Message::Request(req) => {
-                                    agent.on_request(req, &mut agent_rng, &mut sink);
+                                    agent.on_request(req, &mut agent_rng, probe, &mut sink);
                                 }
-                                Message::Reply(rep) => agent.on_reply(rep, &mut sink),
+                                Message::Reply(rep) => agent.on_reply(rep, probe, &mut sink),
                             }
                         }
                         NodeId::Origin => match message {
@@ -310,6 +375,16 @@ impl<A: CacheAgent> Simulation<A> {
                                         if hit {
                                             hits += 1;
                                         }
+                                        if P::ENABLED {
+                                            probe.emit(SimEvent::RequestCompleted {
+                                                client: rep.id.client.raw(),
+                                                seq: rep.id.seq,
+                                                object: rep.object.raw(),
+                                                hit,
+                                                hops: flow.hops,
+                                                start_us: flow.start.as_micros(),
+                                            });
+                                        }
                                         let phase_idx = match flow.phase {
                                             Phase::Fill => 0,
                                             Phase::RequestI => 1,
@@ -340,6 +415,37 @@ impl<A: CacheAgent> Simulation<A> {
                                                 );
                                             }
                                         }
+                                        // Convergence: snapshot every
+                                        // agent's owner hint for the hot
+                                        // set on the sampling schedule.
+                                        if let Some(c) = conv.as_mut() {
+                                            if completed.is_multiple_of(c.cfg.sample_every) {
+                                                let mut hot: Vec<(u64, u64)> = c
+                                                    .counts
+                                                    .iter()
+                                                    .map(|(&o, &n)| (o, n))
+                                                    .collect();
+                                                hot.sort_unstable_by(|a, b| {
+                                                    b.1.cmp(&a.1).then(a.0.cmp(&b.0))
+                                                });
+                                                hot.truncate(c.cfg.top_k);
+                                                let snapshot: Vec<(u64, Vec<Option<u32>>)> = hot
+                                                    .iter()
+                                                    .map(|&(object, _)| {
+                                                        let hints = self
+                                                            .agents
+                                                            .iter()
+                                                            .map(|a| {
+                                                                a.owner_hint(ObjectId::new(object))
+                                                                    .map(|p| p.raw())
+                                                            })
+                                                            .collect();
+                                                        (object, hints)
+                                                    })
+                                                    .collect();
+                                                c.tracker.sample(completed as f64, &snapshot);
+                                            }
+                                        }
                                         // Scheduled proxy restarts fire on
                                         // completion boundaries.
                                         while churn_idx < churn.len()
@@ -361,6 +467,8 @@ impl<A: CacheAgent> Simulation<A> {
                                                 now,
                                                 &mut flows,
                                                 &mut assign_rng,
+                                                &mut conv,
+                                                probe,
                                             );
                                         }
                                     } else {
@@ -445,6 +553,7 @@ impl<A: CacheAgent> Simulation<A> {
             bytes_from_origin,
             bytes_from_caches,
             trace,
+            convergence: conv.map(|c| c.tracker.into_report()),
             wall_time: wall_start.elapsed(),
             cpu_time: crate::cputime::thread_cpu_now().saturating_sub(cpu_start),
         };
@@ -454,6 +563,16 @@ impl<A: CacheAgent> Simulation<A> {
     /// Runs the workload to completion.
     pub fn run(self, workload: impl IntoIterator<Item = RequestRecord>) -> SimReport {
         self.run_with_agents(workload).0
+    }
+
+    /// Runs the workload to completion with `probe` attached; see
+    /// [`run_observed_with_agents`](Simulation::run_observed_with_agents).
+    pub fn run_observed<P: Probe>(
+        self,
+        workload: impl IntoIterator<Item = RequestRecord>,
+        probe: &mut P,
+    ) -> SimReport {
+        self.run_observed_with_agents(workload, probe).0
     }
 }
 
@@ -674,6 +793,98 @@ mod tests {
     #[should_panic(expected = "at least one proxy")]
     fn empty_agent_set_rejected() {
         let _ = Simulation::new(Vec::<AdcProxy>::new(), SimConfig::fast());
+    }
+}
+
+#[cfg(test)]
+mod observed_tests {
+    use super::*;
+    use adc_core::{AdcConfig, AdcProxy, CountingProbe, EventLog};
+    use adc_obs::EventKind as ObsEventKind;
+    use adc_workload::StationaryZipf;
+
+    fn adc_agents(n: u32) -> Vec<AdcProxy> {
+        let config = AdcConfig::builder()
+            .single_capacity(64)
+            .multiple_capacity(64)
+            .cache_capacity(32)
+            .max_hops(8)
+            .build();
+        (0..n)
+            .map(|i| AdcProxy::new(ProxyId::new(i), n, config.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let workload = || StationaryZipf::new(120, 0.9, 6, 7).take(2_500);
+        let plain = Simulation::new(adc_agents(3), SimConfig::fast()).run(workload());
+        let mut probe = CountingProbe::new();
+        let observed =
+            Simulation::new(adc_agents(3), SimConfig::fast()).run_observed(workload(), &mut probe);
+        // Attaching a probe must not perturb the simulation itself.
+        assert_eq!(plain.completed, observed.completed);
+        assert_eq!(plain.hits, observed.hits);
+        assert_eq!(plain.messages_delivered, observed.messages_delivered);
+        assert_eq!(plain.hit_series, observed.hit_series);
+        // Runner-level events account for every request exactly once.
+        assert_eq!(probe.count(ObsEventKind::RequestInjected), 2_500);
+        assert_eq!(
+            probe.count(ObsEventKind::RequestCompleted),
+            observed.completed
+        );
+        assert!(probe.total() > 2 * 2_500, "agent events missing");
+    }
+
+    #[test]
+    fn event_log_timestamps_are_monotone_virtual_time() {
+        let mut log = EventLog::new();
+        let report = Simulation::new(adc_agents(2), SimConfig::fast())
+            .run_observed(StationaryZipf::new(40, 0.9, 4, 3).take(400), &mut log);
+        assert_eq!(report.completed, 400);
+        assert!(!log.is_empty());
+        assert_eq!(log.dropped(), 0);
+        let times: Vec<u64> = log.events().iter().map(|&(t, _)| t).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "virtual time ran backwards"
+        );
+    }
+
+    #[test]
+    fn convergence_sampling_reports_rising_agreement() {
+        let mut config = SimConfig::fast();
+        config.convergence = Some(ConvergenceConfig {
+            sample_every: 500,
+            top_k: 32,
+        });
+        let report = Simulation::new(adc_agents(3), config)
+            .run(StationaryZipf::new(100, 0.9, 6, 7).take(6_000));
+        let conv = report.convergence.as_ref().expect("sampling was on");
+        assert_eq!(conv.samples, (6_000 / 500) as usize);
+        assert_eq!(conv.agreement.len(), conv.samples);
+        // Backwarding drives the cluster toward agreement: the late
+        // samples must agree more than the early ones on average.
+        let early = conv.agreement.points[..conv.samples / 2]
+            .iter()
+            .map(|&(_, y)| y)
+            .sum::<f64>()
+            / (conv.samples / 2) as f64;
+        let late = conv.agreement.points[conv.samples / 2..]
+            .iter()
+            .map(|&(_, y)| y)
+            .sum::<f64>()
+            / (conv.samples - conv.samples / 2) as f64;
+        assert!(
+            late >= early,
+            "agreement should trend upward: early={early} late={late}"
+        );
+        assert!(conv.final_agreement().unwrap() > 0.5);
+        // Convergence sampling alone must not disturb the run either.
+        let plain = Simulation::new(adc_agents(3), SimConfig::fast())
+            .run(StationaryZipf::new(100, 0.9, 6, 7).take(6_000));
+        assert_eq!(plain.hits, report.hits);
+        assert_eq!(plain.messages_delivered, report.messages_delivered);
     }
 }
 

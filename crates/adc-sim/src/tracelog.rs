@@ -32,13 +32,27 @@ pub struct TraceLog {
 }
 
 impl TraceLog {
-    /// Creates a log bounded to `capacity` records.
+    /// The hard upper bound on stored records (2^20). Requests for a
+    /// larger log are clamped to this, so a `TraceLog` never holds more
+    /// than ~32 MiB of records regardless of the configured
+    /// `trace_capacity`; everything past the bound is counted in
+    /// [`dropped`](TraceLog::dropped) rather than stored.
+    pub const MAX_CAPACITY: usize = 1 << 20;
+
+    /// Creates a log bounded to `min(capacity, MAX_CAPACITY)` records.
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.min(Self::MAX_CAPACITY);
         TraceLog {
-            records: Vec::with_capacity(capacity.min(1 << 20)),
+            records: Vec::with_capacity(capacity),
             capacity,
             dropped: 0,
         }
+    }
+
+    /// The effective record bound (after clamping to
+    /// [`MAX_CAPACITY`](TraceLog::MAX_CAPACITY)).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Records a delivery (drops it silently when full).
@@ -128,11 +142,41 @@ mod tests {
     #[test]
     fn bounded_capacity() {
         let mut log = TraceLog::new(2);
+        assert_eq!(log.capacity(), 2);
         for i in 0..5 {
             log.record(delivery(i, client(), proxy(0), true));
         }
         assert_eq!(log.records().len(), 2);
         assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn oversized_capacity_is_clamped() {
+        // A request far beyond the bound must clamp the *accounting*
+        // capacity, not just the pre-allocation — the log previously kept
+        // the raw value and would have grown unbounded past 2^20.
+        let log = TraceLog::new(usize::MAX);
+        assert_eq!(log.capacity(), TraceLog::MAX_CAPACITY);
+        let log = TraceLog::new(TraceLog::MAX_CAPACITY + 1);
+        assert_eq!(log.capacity(), TraceLog::MAX_CAPACITY);
+        // At or below the bound the request is honoured exactly.
+        let log = TraceLog::new(TraceLog::MAX_CAPACITY);
+        assert_eq!(log.capacity(), TraceLog::MAX_CAPACITY);
+    }
+
+    #[test]
+    fn drop_accounting_at_the_boundary() {
+        // Fill to exactly capacity: nothing drops.
+        let mut log = TraceLog::new(3);
+        for i in 0..3 {
+            log.record(delivery(i, client(), proxy(0), true));
+        }
+        assert_eq!(log.records().len(), 3);
+        assert_eq!(log.dropped(), 0);
+        // The first record past the bound is the first drop.
+        log.record(delivery(3, client(), proxy(0), true));
+        assert_eq!(log.records().len(), 3);
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Property test: over random micro-runs, the typed [`SimEvent`] stream
+//! exactly reconciles with the [`ProxyStats`] counters the agents keep.
+//! Every emission site in `adc-core` mirrors a stats increment, so a
+//! divergence here means an event was dropped, double-emitted, or gated
+//! differently from its counter — the contract the exporters rely on.
+//!
+//! [`SimEvent`]: adc_core::SimEvent
+//! [`ProxyStats`]: adc_core::ProxyStats
+
+use adc_core::{AdcConfig, AdcProxy, CountingProbe, EventKind, ProxyId};
+use adc_sim::{FaultPlan, SimConfig, SimTime, Simulation};
+use adc_workload::StationaryZipf;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn event_counts_reconcile_with_proxy_stats(
+        n in 1u32..5,
+        objects in 10usize..200,
+        requests in 200usize..1200,
+        seed in 0u64..1_000,
+        // Duplicate faults exercise the orphaned-reply path, so the
+        // ReplyOrphaned <-> replies_orphaned pairing is covered too.
+        dup in prop_oneof![Just(0.0f64), Just(0.15f64)],
+    ) {
+        let config = AdcConfig::builder()
+            .single_capacity(64)
+            .multiple_capacity(64)
+            .cache_capacity(16)
+            .max_hops(6)
+            .build();
+        let agents: Vec<AdcProxy> = (0..n)
+            .map(|i| AdcProxy::new(ProxyId::new(i), n, config.clone()))
+            .collect();
+        let mut sim_config = SimConfig::fast();
+        sim_config.faults = FaultPlan {
+            duplicate_prob: dup,
+            duplicate_jitter: SimTime::from_micros(3),
+        };
+        sim_config.seed ^= seed;
+
+        let mut probe = CountingProbe::new();
+        let report = Simulation::new(agents, sim_config).run_observed(
+            StationaryZipf::new(objects, 0.9, 4, seed).take(requests),
+            &mut probe,
+        );
+        let stats = report.cluster_stats();
+
+        // Agent-side events mirror the per-proxy counters one-for-one.
+        prop_assert_eq!(probe.count(EventKind::ForwardLearned), stats.forwards_learned);
+        prop_assert_eq!(probe.count(EventKind::ForwardRandom), stats.forwards_random);
+        prop_assert_eq!(probe.count(EventKind::LoopDetected), stats.origin_loops);
+        prop_assert_eq!(probe.count(EventKind::HopLimitHit), stats.origin_max_hops);
+        prop_assert_eq!(probe.count(EventKind::OriginThisMiss), stats.origin_this_miss);
+        prop_assert_eq!(probe.count(EventKind::LocalHit), stats.local_hits);
+        prop_assert_eq!(probe.count(EventKind::ReplyOrphaned), stats.replies_orphaned);
+        prop_assert_eq!(probe.count(EventKind::CacheInsert), stats.cache_insertions);
+        prop_assert_eq!(probe.count(EventKind::CacheEvict), stats.cache_evictions);
+
+        // Runner-side flow events account for every request exactly once.
+        prop_assert_eq!(probe.count(EventKind::RequestInjected), requests as u64);
+        prop_assert_eq!(probe.count(EventKind::RequestCompleted), report.completed);
+        prop_assert_eq!(report.completed, requests as u64);
+    }
+}
