@@ -17,7 +17,7 @@ use adc_core::{
     Reply, Request, RequestId, SimEvent, DEFAULT_OBJECT_SIZE,
 };
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A hash-routing proxy, generic over the ownership function.
 ///
@@ -31,7 +31,7 @@ pub struct HashingProxy<O> {
     cache: BoundedLru,
     /// Requests this proxy forwarded to the origin, awaiting the reply,
     /// mapped to the client the response must go to.
-    pending: HashMap<RequestId, ClientId>,
+    pending: BTreeMap<RequestId, ClientId>,
     stats: ProxyStats,
     cache_events: Vec<CacheEvent>,
 }
@@ -73,7 +73,7 @@ impl<O: OwnerMap> HashingProxy<O> {
             id,
             owner_map,
             cache: BoundedLru::new(cache_capacity),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             stats: ProxyStats::default(),
             cache_events: Vec::new(),
         }

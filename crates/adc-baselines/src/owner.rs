@@ -70,6 +70,8 @@ impl OwnerMap for Hrw {
             .proxies
             .iter()
             .max_by_key(|&&p| Self::score(object, p))
+            // Invariant: constructors reject empty proxy sets.
+            // adc-lint: allow(panic)
             .expect("proxy set is non-empty")
     }
 
@@ -126,6 +128,8 @@ impl OwnerMap for ConsistentRing {
             .next()
             .or_else(|| self.ring.iter().next())
             .map(|(_, &p)| p)
+            // Invariant: constructors reject empty proxy sets.
+            // adc-lint: allow(panic)
             .expect("ring is non-empty")
     }
 

@@ -16,7 +16,7 @@ use adc_core::{
 };
 use rand::Rng;
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A SOAP-style proxy: per-category location learning + LRU caching.
 #[derive(Debug)]
@@ -27,7 +27,7 @@ pub struct SoapProxy {
     /// Learned location per category; `None` until first observed.
     category_map: Vec<Option<ProxyId>>,
     cache: BoundedLru,
-    pending: HashMap<RequestId, Vec<NodeId>>,
+    pending: BTreeMap<RequestId, Vec<NodeId>>,
     stats: ProxyStats,
     cache_events: Vec<CacheEvent>,
 }
@@ -55,7 +55,7 @@ impl SoapProxy {
             max_hops,
             category_map: vec![None; num_categories],
             cache: BoundedLru::new(cache_capacity),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             stats: ProxyStats::default(),
             cache_events: Vec::new(),
         }
@@ -214,6 +214,8 @@ impl CacheAgent for SoapProxy {
                     return;
                 }
             };
+            // Invariant: stacks are removed when their last hop pops.
+            // adc-lint: allow(panic)
             let hop = stack.pop().expect("pending stacks are never empty");
             if stack.is_empty() {
                 self.pending.remove(&reply.id);
@@ -226,6 +228,7 @@ impl CacheAgent for SoapProxy {
         if reply.resolver.is_none() {
             reply.resolver = Some(self.id);
         }
+        // Invariant: set two lines above when None. adc-lint: allow(panic)
         let resolver = reply.resolver.expect("resolver was just set");
         if P::ENABLED && resolver != self.id {
             probe.emit(SimEvent::BackwardAdoption {

@@ -3,9 +3,10 @@
 //! Runs the fixed 5-proxy end-to-end scenario (the Figure 11 setup,
 //! ADC agents over the shared Polygraph trace) and writes
 //! `BENCH_adc.json` — requests/sec, events/sec, peak flow-table size,
-//! wall and CPU time, plus a per-phase `"profile"` section (workload
-//! generation / simulation / report assembly) — to the current
-//! directory. The committed copy at
+//! wall and CPU time, a `"lint"` section (adc-lint rule and suppression
+//! counts, so allow-creep is visible in baseline diffs), plus a
+//! per-phase `"profile"` section (workload generation / simulation /
+//! report assembly) — to the current directory. The committed copy at
 //! the repository root is the baseline a perf-sensitive change should be
 //! compared against; regenerate it with:
 //!
@@ -93,6 +94,23 @@ fn main() {
         report.cluster_stats().replies_orphaned
     );
     let _ = writeln!(json, "  \"trace_dropped\": {},", report.trace_dropped());
+    // Static-analysis surface: rule count and how many suppressions the
+    // tree carries, so allow-creep shows up in baseline diffs.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match adc_lint::run(&repo_root) {
+        Ok(lint) => {
+            let _ = writeln!(
+                json,
+                "  \"lint\": {{ \"rules\": {}, \"suppressions\": {} }},",
+                lint.rules,
+                lint.suppressions_total()
+            );
+        }
+        Err(e) => {
+            eprintln!("bench_report: lint scan skipped ({e})");
+            let _ = writeln!(json, "  \"lint\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"wall_seconds\": {:.6},", wall.as_secs_f64());
     let _ = writeln!(json, "  \"cpu_seconds\": {:.6},", cpu.as_secs_f64());
     let _ = writeln!(

@@ -160,6 +160,8 @@ pub trait CacheAgent {
         let mut out = ActionSink::new();
         self.on_request(request, rng, &mut NullProbe, &mut out);
         debug_assert_eq!(out.len(), 1, "on_request emits exactly one action");
+        // Invariant: every on_request impl pushes exactly one action
+        // (checked above in debug builds). adc-lint: allow(panic)
         out.pop().expect("on_request emits exactly one action")
     }
 

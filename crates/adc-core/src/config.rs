@@ -166,7 +166,8 @@ impl AdcConfigBuilder {
     /// Panics if any capacity or the hop limit is zero; use
     /// [`AdcConfigBuilder::try_build`] for a fallible variant.
     pub fn build(self) -> AdcConfig {
-        self.try_build().expect("invalid ADC configuration")
+        // Documented panic above; try_build is the fallible variant.
+        self.try_build().expect("invalid ADC configuration") // adc-lint: allow(panic)
     }
 
     /// Fallible variant of [`AdcConfigBuilder::build`].

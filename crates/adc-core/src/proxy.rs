@@ -11,7 +11,9 @@ use crate::tables::{LruList, MappingTables};
 use adc_obs::{Probe, SimEvent, TableLevel};
 use rand::Rng;
 use rand::RngCore;
-use std::collections::HashMap;
+// Pending-request map on the ADC hot path: keyed access only, never
+// iterated, so hasher order cannot leak into results.
+use std::collections::HashMap; // adc-lint: allow(default-hasher)
 
 /// Default size reported for objects when the runtime does not supply one.
 pub const DEFAULT_OBJECT_SIZE: u32 = 8 * 1024;
@@ -55,7 +57,7 @@ pub struct AdcProxy {
     /// Backwarding information: for every pending request ID, the stack of
     /// previous hops (a stack because a looping request can traverse the
     /// same proxy twice).
-    pending: HashMap<RequestId, Vec<NodeId>>,
+    pending: HashMap<RequestId, Vec<NodeId>>, // adc-lint: allow(default-hasher)
     local_time: Tick,
     stats: ProxyStats,
     cache_events: Vec<CacheEvent>,
@@ -84,7 +86,8 @@ impl AdcProxy {
     /// invalid.
     pub fn with_peers(id: ProxyId, peers: Vec<ProxyId>, config: AdcConfig) -> Self {
         assert!(peers.contains(&id), "peer set must include the proxy");
-        config.validate().expect("invalid ADC configuration");
+        // Documented panic above; callers wanting fallibility validate first.
+        config.validate().expect("invalid ADC configuration"); // adc-lint: allow(panic)
         let (tables, lru_store) = match config.policy {
             CachePolicy::Selective => (
                 MappingTables::new(
@@ -110,7 +113,7 @@ impl AdcProxy {
             config,
             tables,
             lru_store,
-            pending: HashMap::new(),
+            pending: HashMap::new(), // adc-lint: allow(default-hasher)
             local_time: 0,
             stats: ProxyStats::default(),
             cache_events: Vec::new(),
@@ -200,7 +203,7 @@ impl AdcProxy {
             None => {
                 self.stats.forwards_random += 1;
                 let i = rng.gen_range(0..self.peers.len());
-                let to = self.peers[i];
+                let to = self.peers[i]; // i < peers.len() by gen_range
                 if P::ENABLED {
                     probe.emit(SimEvent::ForwardRandom {
                         proxy: self.id.raw(),
@@ -415,6 +418,8 @@ impl CacheAgent for AdcProxy {
                     return;
                 }
             };
+            // Invariant: empty stacks are removed from `pending` as soon
+            // as the last hop pops (below). adc-lint: allow(panic)
             let hop = stack.pop().expect("pending stacks are never empty");
             if stack.is_empty() {
                 self.pending.remove(&reply.id);
@@ -429,6 +434,7 @@ impl CacheAgent for AdcProxy {
         if reply.resolver.is_none() {
             reply.resolver = Some(self.id);
         }
+        // Invariant: a None resolver was replaced just above. adc-lint: allow(panic)
         let resolver = reply.resolver.expect("resolver was just set");
         if P::ENABLED && resolver != self.id {
             // Backwarding taught us a remote owner for this object.

@@ -183,6 +183,31 @@ impl MappingTables {
         location: Location,
         now: Tick,
     ) -> UpdateOutcome {
+        let outcome = self.update_entry_inner(object, location, now);
+        // The paper's core structural invariant: after every update the
+        // object lives in exactly one of the three tables.
+        debug_assert_eq!(
+            usize::from(self.single.contains(object))
+                + usize::from(self.multiple.contains(object))
+                + usize::from(self.cached.contains(object)),
+            1,
+            "object {object} must be in exactly one table after update_entry"
+        );
+        debug_assert!(
+            self.single.len() <= self.single.capacity()
+                && self.multiple.len() <= self.multiple.capacity()
+                && self.cached.len() <= self.cached.capacity(),
+            "a mapping table exceeded its capacity bound"
+        );
+        outcome
+    }
+
+    fn update_entry_inner(
+        &mut self,
+        object: ObjectId,
+        location: Location,
+        now: Tick,
+    ) -> UpdateOutcome {
         let aged = self.aging.is_aged();
 
         // PART 1: the object is cached; refresh in place.
@@ -215,10 +240,12 @@ impl MappingTables {
             if promote {
                 let mut evicted_from_cache = None;
                 if self.cached.is_full() {
+                    // Invariant: is_full() just returned true, so the
+                    // table is non-empty.
                     let worst = self
                         .cached
                         .pop_worst()
-                        .expect("full caching table has a worst entry");
+                        .expect("full caching table has a worst entry"); // adc-lint: allow(panic)
                     evicted_from_cache = Some(worst.object);
                     // The multiple-table just lost `entry`, so it has room.
                     self.multiple.insert(worst);
@@ -259,10 +286,12 @@ impl MappingTables {
             let mut demoted_to_single = None;
             if entry.has_average() && self.multiple.admits(entry.average, now, aged) {
                 if self.multiple.is_full() {
+                    // Invariant: is_full() just returned true, so the
+                    // table is non-empty.
                     let worst = self
                         .multiple
                         .pop_worst()
-                        .expect("full multiple-table has a worst entry");
+                        .expect("full multiple-table has a worst entry"); // adc-lint: allow(panic)
                     demoted_to_single = Some(worst.object);
                     // The single-table just lost `entry`, so it has room.
                     self.single.push_top(worst);
@@ -339,7 +368,7 @@ impl MappingTables {
         assert!(self.single.len() <= self.single.capacity());
         assert!(self.multiple.len() <= self.multiple.capacity());
         assert!(self.cached.len() <= self.cached.capacity());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for e in self
             .single
             .iter()

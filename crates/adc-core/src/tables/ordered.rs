@@ -10,7 +10,9 @@
 
 use crate::entry::{TableEntry, Tick};
 use crate::ids::ObjectId;
-use std::collections::{BTreeMap, HashMap};
+// The object index is keyed-only (never iterated); ordering comes from
+// the BTreeMap, so the randomized hasher cannot leak into results.
+use std::collections::{BTreeMap, HashMap}; // adc-lint: allow(default-hasher)
 
 /// Sort key: ascending stored average, FIFO among equals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -40,7 +42,7 @@ struct OrderKey {
 #[derive(Debug, Clone)]
 pub struct OrderedTable {
     capacity: usize,
-    by_object: HashMap<ObjectId, OrderKey>,
+    by_object: HashMap<ObjectId, OrderKey>, // adc-lint: allow(default-hasher)
     by_order: BTreeMap<OrderKey, TableEntry>,
     next_seq: u64,
 }
@@ -55,7 +57,7 @@ impl OrderedTable {
         assert!(capacity > 0, "ordered table capacity must be positive");
         OrderedTable {
             capacity,
-            by_object: HashMap::with_capacity(capacity.min(1 << 20)),
+            by_object: HashMap::with_capacity(capacity.min(1 << 20)), // adc-lint: allow(default-hasher)
             by_order: BTreeMap::new(),
             next_seq: 0,
         }
@@ -96,7 +98,9 @@ impl OrderedTable {
     /// `RemoveEntry`).
     pub fn remove(&mut self, object: ObjectId) -> Option<TableEntry> {
         let key = self.by_object.remove(&object)?;
-        self.by_order.remove(&key)
+        let entry = self.by_order.remove(&key);
+        self.debug_check();
+        entry
     }
 
     /// Inserts `entry` at its ordered position (the paper's
@@ -123,6 +127,7 @@ impl OrderedTable {
         self.next_seq += 1;
         self.by_object.insert(entry.object, key);
         self.by_order.insert(key, entry);
+        self.debug_check();
         evicted
     }
 
@@ -188,6 +193,28 @@ impl OrderedTable {
     /// Iterates entries best-to-worst.
     pub fn iter(&self) -> impl Iterator<Item = &TableEntry> {
         self.by_order.values()
+    }
+
+    /// Debug-build invariants: both views agree, the capacity bound
+    /// holds, and the order index really is ascending (best <= worst,
+    /// FIFO among equal averages by sequence).
+    #[inline]
+    fn debug_check(&self) {
+        debug_assert_eq!(
+            self.by_object.len(),
+            self.by_order.len(),
+            "object index and order index must stay in sync"
+        );
+        debug_assert!(
+            self.by_order.len() <= self.capacity,
+            "ordered table exceeded its capacity bound"
+        );
+        debug_assert!(
+            self.best()
+                .zip(self.worst())
+                .is_none_or(|(b, w)| b.average <= w.average),
+            "ordered table lost ascending-average order"
+        );
     }
 
     /// Removes all entries.

@@ -24,6 +24,8 @@ use crate::tables::OrderedTable;
 use adc_obs::{Probe, SimEvent, TableLevel};
 use rand::Rng;
 use rand::RngCore;
+// Keyed access only, never iterated: hasher randomization cannot leak
+// into simulation order. adc-lint: allow(default-hasher)
 use std::collections::HashMap;
 
 /// An ADC proxy with an unbounded mapping table (the paper's earlier
@@ -43,10 +45,12 @@ pub struct UnlimitedAdcProxy {
     id: ProxyId,
     peers: Vec<ProxyId>,
     max_hops: u32,
-    /// The unbounded object → entry map.
+    /// The unbounded object → entry map. Keyed access only, never
+    /// iterated. adc-lint: allow(default-hasher)
     mapping: HashMap<ObjectId, TableEntry>,
     /// Bounded selective caching table, same as the bounded design.
     cached: OrderedTable,
+    /// Keyed access only, never iterated. adc-lint: allow(default-hasher)
     pending: HashMap<RequestId, Vec<NodeId>>,
     local_time: Tick,
     stats: ProxyStats,
@@ -68,9 +72,9 @@ impl UnlimitedAdcProxy {
             id,
             peers: (0..num_proxies).map(ProxyId::new).collect(),
             max_hops,
-            mapping: HashMap::new(),
+            mapping: HashMap::new(), // adc-lint: allow(default-hasher)
             cached: OrderedTable::new(cache_capacity),
-            pending: HashMap::new(),
+            pending: HashMap::new(), // adc-lint: allow(default-hasher)
             local_time: 0,
             stats: ProxyStats::default(),
             cache_events: Vec::new(),
@@ -115,11 +119,15 @@ impl UnlimitedAdcProxy {
                     let entry = self
                         .mapping
                         .remove(&object)
+                        // Invariant: get_mut above proved membership.
+                        // adc-lint: allow(panic)
                         .expect("entry was just borrowed");
                     if self.cached.is_full() {
                         let worst = self
                             .cached
                             .pop_worst()
+                            // Invariant: is_full() ⇒ non-empty.
+                            // adc-lint: allow(panic)
                             .expect("full caching table has a worst entry");
                         self.stats.cache_evictions += 1;
                         self.cache_events.push(CacheEvent::Evict(worst.object));
@@ -257,7 +265,7 @@ impl CacheAgent for UnlimitedAdcProxy {
                 None => {
                     self.stats.forwards_random += 1;
                     let i = rng.gen_range(0..self.peers.len());
-                    let to = self.peers[i];
+                    let to = self.peers[i]; // i < peers.len() by gen_range
                     if P::ENABLED {
                         probe.emit(SimEvent::ForwardRandom {
                             proxy: self.id.raw(),
@@ -287,6 +295,8 @@ impl CacheAgent for UnlimitedAdcProxy {
                     return;
                 }
             };
+            // Invariant: stacks are removed when their last hop pops.
+            // adc-lint: allow(panic)
             let hop = stack.pop().expect("pending stacks are never empty");
             if stack.is_empty() {
                 self.pending.remove(&reply.id);
@@ -299,6 +309,7 @@ impl CacheAgent for UnlimitedAdcProxy {
         if reply.resolver.is_none() {
             reply.resolver = Some(self.id);
         }
+        // Invariant: set two lines above when None. adc-lint: allow(panic)
         let resolver = reply.resolver.expect("resolver was just set");
         if P::ENABLED && resolver != self.id {
             probe.emit(SimEvent::BackwardAdoption {

@@ -1,0 +1,765 @@
+//! The rule set: each rule is a function over one scanned file that
+//! pushes raw findings (suppression filtering happens in the engine).
+//!
+//! Scope philosophy (documented per-rule in `RULES`): the deterministic
+//! simulation crates (`adc-core`, `adc-sim`, `adc-workload`,
+//! `adc-baselines`) carry the strictest rules because golden-file
+//! reproducibility depends on them. `adc-metrics` and `adc-obs` are
+//! post-processing and get panic/float/println hygiene only. `adc-net`
+//! is an experimental wall-clock TCP harness: it is exempt from the
+//! panic and determinism rules by design (it talks to real sockets),
+//! but still must not `println!` from library code. `adc-bench` and
+//! binaries are CLI glue and are out of scope entirely.
+
+use crate::scan::{SourceFile, SourceLine};
+use crate::{Finding, Severity};
+
+/// Static metadata for one rule.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+    pub scope: &'static str,
+}
+
+/// The full rule catalog. `unused-allow` is engine-level (it fires on
+/// suppressions, not source lines) but is listed here so `--list-rules`
+/// and the JSON rule count describe the whole contract.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "determinism",
+        severity: Severity::Error,
+        summary: "wall-clock, OS randomness, or environment reads in deterministic simulation code",
+        scope: "adc-core, adc-sim, adc-workload, adc-baselines (library, non-test)",
+    },
+    RuleInfo {
+        id: "default-hasher",
+        severity: Severity::Error,
+        summary: "HashMap/HashSet with the default (randomized) hasher in deterministic simulation code",
+        scope: "adc-core, adc-sim, adc-workload, adc-baselines (library, non-test)",
+    },
+    RuleInfo {
+        id: "panic",
+        severity: Severity::Error,
+        summary: "bare .unwrap()/.expect() in library code",
+        scope: "adc-core, adc-sim, adc-workload, adc-baselines, adc-metrics, adc-obs (library, non-test)",
+    },
+    RuleInfo {
+        id: "index-comment",
+        severity: Severity::Warning,
+        summary: "slice/array indexing without a nearby justification comment",
+        scope: "adc-core plus adc-sim hot path (queue.rs, flows.rs, runner.rs)",
+    },
+    RuleInfo {
+        id: "float-eq",
+        severity: Severity::Error,
+        summary: "== or != against a floating-point literal",
+        scope: "adc-core, adc-sim, adc-workload, adc-baselines, adc-metrics, adc-obs (library, non-test)",
+    },
+    RuleInfo {
+        id: "lossy-cast",
+        severity: Severity::Warning,
+        summary: "potentially lossy `as` cast without a nearby justification comment",
+        scope: "adc-sim hot path only (queue.rs, flows.rs, runner.rs)",
+    },
+    RuleInfo {
+        id: "obs-coverage",
+        severity: Severity::Warning,
+        summary: "ProxyStats counter mutation with no Probe emission nearby",
+        scope: "adc-core, adc-baselines (library, non-test)",
+    },
+    RuleInfo {
+        id: "api-docs",
+        severity: Severity::Warning,
+        summary: "public item without a doc comment",
+        scope: "adc-core, adc-obs (library, non-test)",
+    },
+    RuleInfo {
+        id: "no-println",
+        severity: Severity::Error,
+        summary: "println!/print!/dbg! in library code (use probes or return values)",
+        scope: "all adc library crates (library, non-test)",
+    },
+    RuleInfo {
+        id: "unused-allow",
+        severity: Severity::Error,
+        summary: "adc-lint suppression that matched no finding, or names an unknown rule",
+        scope: "everywhere suppressions appear",
+    },
+];
+
+/// Looks up a rule's metadata by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Whether `id` names a known rule.
+pub fn is_known_rule(id: &str) -> bool {
+    rule_info(id).is_some()
+}
+
+const DETERMINISTIC_CRATES: &[&str] = &["adc-core", "adc-sim", "adc-workload", "adc-baselines"];
+const PANIC_CRATES: &[&str] = &[
+    "adc-core",
+    "adc-sim",
+    "adc-workload",
+    "adc-baselines",
+    "adc-metrics",
+    "adc-obs",
+];
+const PRINTLN_CRATES: &[&str] = &[
+    "adc-core",
+    "adc-sim",
+    "adc-workload",
+    "adc-baselines",
+    "adc-metrics",
+    "adc-obs",
+    "adc-net",
+];
+const DOC_CRATES: &[&str] = &["adc-core", "adc-obs"];
+const OBS_CRATES: &[&str] = &["adc-core", "adc-baselines"];
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/adc-sim/src/queue.rs",
+    "crates/adc-sim/src/flows.rs",
+    "crates/adc-sim/src/runner.rs",
+];
+
+/// Runs every rule against one file.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    determinism(file, out);
+    default_hasher(file, out);
+    panic_hygiene(file, out);
+    index_comment(file, out);
+    float_eq(file, out);
+    lossy_cast(file, out);
+    obs_coverage(file, out);
+    api_docs(file, out);
+    no_println(file, out);
+}
+
+fn in_scope(file: &SourceFile, crates: &[&str]) -> bool {
+    file.is_lib && crates.contains(&file.krate.as_str())
+}
+
+fn push(
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    file: &SourceFile,
+    idx: usize,
+    message: String,
+) {
+    let info = rule_info(rule).unwrap_or(&RULES[0]);
+    out.push(Finding {
+        rule,
+        severity: info.severity,
+        file: file.rel.clone(),
+        line: idx + 1,
+        snippet: file.lines[idx].raw.trim().to_string(),
+        message,
+    });
+}
+
+/// Token search with identifier boundaries on both sides (`::` is not a
+/// boundary on the left, so fully-qualified paths still match).
+fn contains_token(code: &str, tok: &str) -> bool {
+    let mut start = 0;
+    while let Some(p) = code[start..].find(tok) {
+        let at = start + p;
+        let before_ok = code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let after_ok = code[at + tok.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + tok.len();
+    }
+    false
+}
+
+fn determinism(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file, DETERMINISTIC_CRATES) {
+        return;
+    }
+    const TOKENS: &[(&str, &str)] = &[
+        ("SystemTime", "wall-clock read"),
+        ("time::Instant", "wall-clock type"),
+        ("Instant::now", "wall-clock read"),
+        ("clock_gettime", "OS clock read"),
+        ("thread_rng", "OS-seeded RNG"),
+        ("from_entropy", "OS-seeded RNG"),
+        ("env::var", "environment read"),
+        ("env::var_os", "environment read"),
+        ("env::args", "environment read"),
+        ("RandomState", "randomized hasher state"),
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (tok, what) in TOKENS {
+            if contains_token(&line.code, tok) {
+                push(
+                    out,
+                    "determinism",
+                    file,
+                    i,
+                    format!("{what} (`{tok}`) in deterministic simulation code"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn default_hasher(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file, DETERMINISTIC_CRATES) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for tok in ["HashMap", "HashSet"] {
+            if contains_token(&line.code, tok) {
+                push(
+                    out,
+                    "default-hasher",
+                    file,
+                    i,
+                    format!(
+                        "`{tok}` uses a randomized default hasher; use BTreeMap/BTreeSet or \
+                         justify keyed-only access with an allow"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn panic_hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file, PANIC_CRATES) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        // `debug_assert!` lines may mention unwrap in messages; the code
+        // view already strips strings, so matches here are real calls.
+        if line.code.contains(".unwrap()") {
+            push(
+                out,
+                "panic",
+                file,
+                i,
+                "bare `.unwrap()` in library code; handle the error or document the \
+                 invariant and allow"
+                    .to_string(),
+            );
+        } else if line.code.contains(".expect(") {
+            push(
+                out,
+                "panic",
+                file,
+                i,
+                "`.expect()` in library code; handle the error or document the invariant \
+                 and allow"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn is_hot_path(file: &SourceFile) -> bool {
+    HOT_PATH_FILES.contains(&file.rel.as_str())
+}
+
+/// A comment on the same line or within the two preceding lines counts
+/// as justification for indexing.
+fn has_nearby_comment(lines: &[SourceLine], i: usize) -> bool {
+    let lo = i.saturating_sub(2);
+    lines[lo..=i].iter().any(|l| !l.comment.is_empty())
+}
+
+fn index_comment(file: &SourceFile, out: &mut Vec<Finding>) {
+    let core_scope = file.is_lib && file.krate == "adc-core";
+    if !(core_scope || is_hot_path(file)) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || !has_index_expr(&line.code) {
+            continue;
+        }
+        if has_nearby_comment(&file.lines, i) {
+            continue;
+        }
+        push(
+            out,
+            "index-comment",
+            file,
+            i,
+            "indexing can panic; add a comment stating why the index is in bounds \
+             (or use get())"
+                .to_string(),
+        );
+    }
+}
+
+/// Detects `expr[` — an identifier, `)`, or `]` immediately followed by
+/// `[`. Attribute syntax (`#[`) never matches because `#` is not an
+/// index-able token tail.
+fn has_index_expr(code: &str) -> bool {
+    let mut prev = ' ';
+    for c in code.chars() {
+        if c == '[' && (prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            return true;
+        }
+        prev = c;
+    }
+    false
+}
+
+fn float_eq(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file, PANIC_CRATES) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if float_comparison(&line.code) {
+            push(
+                out,
+                "float-eq",
+                file,
+                i,
+                "exact float comparison; use an epsilon, integer representation, or \
+                 document the sentinel and allow"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// True when `==` or `!=` has a float literal (digits `.` digits) in its
+/// immediate operand text on either side.
+fn float_comparison(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    let mut k = 0;
+    while k + 1 < chars.len() {
+        let two: String = chars[k..k + 2].iter().collect();
+        if two == "==" || two == "!=" {
+            // Skip <=, >=, +=, etc. (first char must be '=' or '!').
+            let prev = if k > 0 { chars[k - 1] } else { ' ' };
+            if two == "==" && (prev == '<' || prev == '>' || prev == '!' || prev == '=') {
+                k += 2;
+                continue;
+            }
+            let left: String = chars[..k]
+                .iter()
+                .rev()
+                .take_while(|&&c| !matches!(c, '(' | ',' | ';' | '&' | '|' | '{'))
+                .collect();
+            let right: String = chars[k + 2..]
+                .iter()
+                .take_while(|&&c| !matches!(c, ')' | ',' | ';' | '&' | '|' | '{'))
+                .collect();
+            if has_float_literal(&left) || has_float_literal(&right) {
+                return true;
+            }
+            k += 2;
+        } else {
+            k += 1;
+        }
+    }
+    false
+}
+
+fn has_float_literal(s: &str) -> bool {
+    let chars: Vec<char> = s.chars().collect();
+    for k in 0..chars.len() {
+        if chars[k] == '.'
+            && k > 0
+            && chars[k - 1].is_ascii_digit()
+            && chars.get(k + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            // Reject version-ish tokens glued to identifiers (v1.2).
+            let mut j = k - 1;
+            while j > 0 && chars[j - 1].is_ascii_digit() {
+                j -= 1;
+            }
+            let lead = if j > 0 { chars[j - 1] } else { ' ' };
+            if !lead.is_alphanumeric() && lead != '_' {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+const LOSSY_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "i8", "i16", "i32", "f32", "f64", "usize",
+];
+
+fn lossy_cast(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !is_hot_path(file) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(target) = lossy_cast_target(&line.code) else {
+            continue;
+        };
+        if has_nearby_comment(&file.lines, i) {
+            continue;
+        }
+        push(
+            out,
+            "lossy-cast",
+            file,
+            i,
+            format!(
+                "`as {target}` can silently truncate or round; add a comment stating the \
+                 value range (or use try_into/from)"
+            ),
+        );
+    }
+}
+
+fn lossy_cast_target(code: &str) -> Option<&'static str> {
+    let mut start = 0;
+    while let Some(p) = code[start..].find(" as ") {
+        let at = start + p + 4;
+        let rest = &code[at..];
+        for t in LOSSY_TARGETS {
+            if rest.starts_with(t)
+                && rest[t.len()..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+            {
+                return Some(t);
+            }
+        }
+        start = at;
+    }
+    None
+}
+
+fn obs_coverage(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file, OBS_CRATES) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || !(line.code.contains("stats.") && line.code.contains("+=")) {
+            continue;
+        }
+        let lo = i.saturating_sub(10);
+        let hi = (i + 10).min(file.lines.len() - 1);
+        let covered = file.lines[lo..=hi]
+            .iter()
+            .any(|l| l.code.contains(".emit(") || l.code.contains("P::ENABLED"));
+        if !covered {
+            push(
+                out,
+                "obs-coverage",
+                file,
+                i,
+                "ProxyStats counter mutated with no Probe emission within 10 lines; \
+                 emit a SimEvent so adc-obs reconciliation stays honest"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+const PUB_ITEM_PREFIXES: &[&str] = &[
+    "pub fn ",
+    "pub struct ",
+    "pub enum ",
+    "pub trait ",
+    "pub const ",
+    "pub static ",
+    "pub type ",
+    "pub unsafe fn ",
+    "pub async fn ",
+];
+
+fn api_docs(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file, DOC_CRATES) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim_start();
+        if !PUB_ITEM_PREFIXES.iter().any(|p| code.starts_with(p)) {
+            continue;
+        }
+        let j = walk_attributes_up(file, i);
+        let documented = j > 0 && file.lines[j - 1].is_doc_comment();
+        if !documented {
+            push(
+                out,
+                "api-docs",
+                file,
+                i,
+                "public item has no doc comment".to_string(),
+            );
+        }
+    }
+}
+
+/// Walks upward from line `i` over the attributes decorating an item
+/// (single-line `#[...]` and multi-line `#[derive(...)]` blocks),
+/// returning the line index where a doc comment would sit.
+fn walk_attributes_up(file: &SourceFile, mut j: usize) -> usize {
+    loop {
+        if j == 0 {
+            return j;
+        }
+        let above = file.lines[j - 1].code.trim();
+        if above.starts_with("#[") || above.starts_with("#![") {
+            j -= 1;
+            continue;
+        }
+        if above.ends_with(']') && !above.contains(';') {
+            // Possibly the tail of a multi-line attribute: look for its
+            // opener within a few lines.
+            let mut k = j - 1;
+            let mut opener = None;
+            while k > 0 && (j - k) < 16 {
+                let t = file.lines[k - 1].code.trim();
+                if t.starts_with("#[") || t.starts_with("#![") {
+                    opener = Some(k - 1);
+                    break;
+                }
+                if t.is_empty() || t.contains(';') || t.contains('}') {
+                    break;
+                }
+                k -= 1;
+            }
+            if let Some(open) = opener {
+                j = open;
+                continue;
+            }
+        }
+        return j;
+    }
+}
+
+fn no_println(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(file, PRINTLN_CRATES) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for tok in ["println!", "print!", "dbg!"] {
+            if contains_token(&line.code, tok) {
+                push(
+                    out,
+                    "no-println",
+                    file,
+                    i,
+                    format!(
+                        "`{tok}` in library code; route output through probes or return values"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn findings(krate: &str, rel: &str, text: &str) -> Vec<Finding> {
+        let file = parse_source(rel, krate, true, text);
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out
+    }
+
+    fn lib(krate: &str, text: &str) -> Vec<Finding> {
+        findings(krate, &format!("crates/{krate}/src/lib.rs"), text)
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn determinism_catches_instant_now() {
+        let f = lib("adc-sim", "fn t() { let s = Instant::now(); }");
+        assert!(rules_of(&f).contains(&"determinism"));
+    }
+
+    #[test]
+    fn determinism_ignores_out_of_scope_crates() {
+        let f = lib("adc-metrics", "fn t() { let s = Instant::now(); }");
+        assert!(!rules_of(&f).contains(&"determinism"));
+    }
+
+    #[test]
+    fn determinism_ignores_tests() {
+        let f = lib(
+            "adc-sim",
+            "#[cfg(test)]\nmod t {\n fn x() { Instant::now(); }\n}",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn default_hasher_catches_hashmap_not_identifier_suffix() {
+        let f = lib("adc-core", "use std::collections::HashMap;");
+        assert!(rules_of(&f).contains(&"default-hasher"));
+        let ok = lib("adc-core", "struct MyHashMapLike;");
+        assert!(!rules_of(&ok).contains(&"default-hasher"));
+    }
+
+    #[test]
+    fn panic_catches_unwrap_and_expect_only() {
+        let f = lib("adc-obs", "fn t() { x.unwrap(); y.expect(\"m\"); }");
+        assert_eq!(
+            rules_of(&f).iter().filter(|r| **r == "panic").count(),
+            1,
+            "one finding per line"
+        );
+        let ok = lib("adc-obs", "fn t() { x.unwrap_or(0); y.expect_err(); }");
+        assert!(!rules_of(&ok).contains(&"panic"));
+    }
+
+    #[test]
+    fn index_requires_comment_in_core() {
+        let bad = lib("adc-core", "fn t(v: &[u32]) -> u32 { v[0] }");
+        assert!(rules_of(&bad).contains(&"index-comment"));
+        let ok = lib(
+            "adc-core",
+            "fn t(v: &[u32]) -> u32 {\n // v is non-empty: checked by caller\n v[0]\n}",
+        );
+        assert!(!rules_of(&ok).contains(&"index-comment"));
+    }
+
+    #[test]
+    fn index_scope_is_core_plus_hot_path() {
+        let hot = findings(
+            "adc-sim",
+            "crates/adc-sim/src/queue.rs",
+            "fn t(v: &[u32]) -> u32 { v[0] }",
+        );
+        assert!(rules_of(&hot).contains(&"index-comment"));
+        let cold = findings(
+            "adc-sim",
+            "crates/adc-sim/src/config.rs",
+            "fn t(v: &[u32]) -> u32 { v[0] }",
+        );
+        assert!(!rules_of(&cold).contains(&"index-comment"));
+    }
+
+    #[test]
+    fn float_eq_requires_float_literal() {
+        let bad = lib("adc-sim", "fn t(x: f64) -> bool { x == 0.0 }");
+        assert!(rules_of(&bad).contains(&"float-eq"));
+        let int = lib("adc-sim", "fn t(x: u64) -> bool { x == 0 }");
+        assert!(!rules_of(&int).contains(&"float-eq"));
+        let le = lib("adc-sim", "fn t(x: f64) -> bool { x <= 1.5 }");
+        assert!(!rules_of(&le).contains(&"float-eq"));
+    }
+
+    #[test]
+    fn lossy_cast_hot_path_only_and_comment_exempts() {
+        let bad = findings(
+            "adc-sim",
+            "crates/adc-sim/src/flows.rs",
+            "fn t(x: u64) -> u32 { x as u32 }",
+        );
+        assert!(rules_of(&bad).contains(&"lossy-cast"));
+        let ok = findings(
+            "adc-sim",
+            "crates/adc-sim/src/flows.rs",
+            "// bounded by the window size\nfn t(x: u64) -> u32 { x as u32 }",
+        );
+        assert!(!rules_of(&ok).contains(&"lossy-cast"));
+        let widen = findings(
+            "adc-sim",
+            "crates/adc-sim/src/flows.rs",
+            "fn t(x: u32) -> u64 { x as u64 }",
+        );
+        assert!(!rules_of(&widen).contains(&"lossy-cast"));
+    }
+
+    #[test]
+    fn obs_coverage_needs_probe_near_counter() {
+        let bad = lib("adc-core", "fn t(&mut self) { self.stats.hits += 1; }");
+        assert!(rules_of(&bad).contains(&"obs-coverage"));
+        let ok = lib(
+            "adc-core",
+            "fn t(&mut self) {\n self.stats.hits += 1;\n if P::ENABLED {\n }\n}",
+        );
+        assert!(!rules_of(&ok).contains(&"obs-coverage"));
+    }
+
+    #[test]
+    fn api_docs_walks_over_attributes() {
+        let bad = lib("adc-core", "pub fn undocumented() {}");
+        assert!(rules_of(&bad).contains(&"api-docs"));
+        let ok = lib(
+            "adc-core",
+            "/// Documented.\n#[derive(Debug, Clone)]\npub struct S;",
+        );
+        assert!(!rules_of(&ok).contains(&"api-docs"));
+        let pub_use = lib("adc-core", "pub use crate::ids::ObjectId;");
+        assert!(!rules_of(&pub_use).contains(&"api-docs"));
+    }
+
+    #[test]
+    fn api_docs_walks_over_multiline_derives() {
+        // rustfmt breaks long derive lists across lines; the walker must
+        // traverse the whole attribute to find the doc comment above it.
+        let ok = lib(
+            "adc-core",
+            "/// Documented.\n#[derive(\n    Debug, Clone, Copy, PartialEq, Eq,\n)]\npub struct S;",
+        );
+        assert!(!rules_of(&ok).contains(&"api-docs"));
+        let bad = lib(
+            "adc-core",
+            "#[derive(\n    Debug, Clone,\n)]\npub struct S;",
+        );
+        assert!(rules_of(&bad).contains(&"api-docs"));
+    }
+
+    #[test]
+    fn no_println_catches_macros_but_not_eprintln() {
+        let bad = lib("adc-net", "fn t() { println!(\"x\"); }");
+        assert!(rules_of(&bad).contains(&"no-println"));
+        let ok = lib("adc-net", "fn t() { eprintln!(\"x\"); }");
+        assert!(!rules_of(&ok).contains(&"no-println"));
+    }
+
+    #[test]
+    fn bin_files_are_out_of_scope() {
+        let file = parse_source(
+            "crates/adc-sim/src/bin/tool.rs",
+            "adc-sim",
+            false,
+            "fn main() { x.unwrap(); println!(\"x\"); }",
+        );
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        assert!(out.is_empty());
+    }
+}

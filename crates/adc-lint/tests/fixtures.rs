@@ -1,0 +1,238 @@
+//! Per-rule fixture tests: every rule has a negative fixture that must
+//! trigger it and a positive fixture that must stay clean, plus
+//! suppression-handling cases and an end-to-end workspace self-check
+//! through the actual binary.
+
+use adc_lint::scan::parse_source;
+use adc_lint::{run_files, Report};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Parses a fixture as if it lived at `rel` inside crate `krate` and
+/// runs the full engine (rules + suppression resolution) over it.
+fn lint_fixture(name: &str, krate: &str, rel: &str) -> Report {
+    let text = fixture(name);
+    run_files(&[parse_source(rel, krate, true, &text)])
+}
+
+fn rules_hit(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+/// (rule, negative fixture, positive fixture, crate, rel path). The rel
+/// path matters for path-scoped rules (lossy-cast only fires on the
+/// simulator hot-path files).
+const CASES: &[(&str, &str, &str, &str, &str)] = &[
+    (
+        "determinism",
+        "determinism_bad.rs",
+        "determinism_ok.rs",
+        "adc-sim",
+        "crates/adc-sim/src/fixture.rs",
+    ),
+    (
+        "default-hasher",
+        "default_hasher_bad.rs",
+        "default_hasher_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+    (
+        "panic",
+        "panic_bad.rs",
+        "panic_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+    (
+        "index-comment",
+        "index_comment_bad.rs",
+        "index_comment_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+    (
+        "float-eq",
+        "float_eq_bad.rs",
+        "float_eq_ok.rs",
+        "adc-sim",
+        "crates/adc-sim/src/fixture.rs",
+    ),
+    (
+        "lossy-cast",
+        "lossy_cast_bad.rs",
+        "lossy_cast_ok.rs",
+        "adc-sim",
+        "crates/adc-sim/src/queue.rs",
+    ),
+    (
+        "obs-coverage",
+        "obs_coverage_bad.rs",
+        "obs_coverage_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+    (
+        "api-docs",
+        "api_docs_bad.rs",
+        "api_docs_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+    (
+        "no-println",
+        "no_println_bad.rs",
+        "no_println_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+    (
+        "unused-allow",
+        "unused_allow_bad.rs",
+        "suppression_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+];
+
+#[test]
+fn every_negative_fixture_triggers_its_rule() {
+    for (rule, bad, _, krate, rel) in CASES {
+        let report = lint_fixture(bad, krate, rel);
+        assert!(
+            rules_hit(&report).contains(rule),
+            "{bad} should trigger `{rule}`, got {:?}",
+            rules_hit(&report)
+        );
+        assert!(!report.is_clean(), "{bad} must fail --check");
+    }
+}
+
+#[test]
+fn every_positive_fixture_passes_its_rule() {
+    for (rule, _, ok, krate, rel) in CASES {
+        let report = lint_fixture(ok, krate, rel);
+        assert!(
+            !rules_hit(&report).contains(rule),
+            "{ok} should not trigger `{rule}`, got findings {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn used_suppression_silences_and_counts() {
+    let report = lint_fixture("suppression_ok.rs", "adc-core", "crates/adc-core/src/x.rs");
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+    assert_eq!(report.suppressions_line, 1);
+    assert_eq!(report.suppressions_file, 0);
+}
+
+#[test]
+fn unused_suppression_is_itself_a_finding() {
+    let report = lint_fixture(
+        "unused_allow_bad.rs",
+        "adc-core",
+        "crates/adc-core/src/x.rs",
+    );
+    assert_eq!(rules_hit(&report), vec!["unused-allow"]);
+}
+
+#[test]
+fn file_level_allow_covers_whole_file() {
+    let text = "// adc-lint: allow-file(panic)\n\
+                pub fn a(xs: &[u32]) -> u32 { *xs.first().unwrap() }\n\
+                pub fn b(xs: &[u32]) -> u32 { *xs.last().unwrap() }\n";
+    let report = run_files(&[parse_source(
+        "crates/adc-core/src/x.rs",
+        "adc-core",
+        true,
+        text,
+    )]);
+    let panics: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "panic")
+        .collect();
+    assert!(panics.is_empty(), "allow-file must cover both unwraps");
+    assert_eq!(report.suppressions_file, 1);
+}
+
+#[test]
+fn unknown_rule_in_allow_is_reported() {
+    let text = "// adc-lint: allow(no-such-rule)\nfn f() {}\n";
+    let report = run_files(&[parse_source(
+        "crates/adc-core/src/x.rs",
+        "adc-core",
+        true,
+        text,
+    )]);
+    assert_eq!(rules_hit(&report), vec!["unused-allow"]);
+}
+
+#[test]
+fn test_code_is_exempt_from_line_rules() {
+    let text = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let v = vec![1]; let _ = v.first().unwrap(); }\n}\n";
+    let report = run_files(&[parse_source(
+        "crates/adc-core/src/x.rs",
+        "adc-core",
+        true,
+        text,
+    )]);
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+/// The CI gate: the binary itself, run over this workspace in `--check`
+/// mode, must exit 0.
+#[test]
+fn workspace_self_check_is_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_adc-lint"))
+        .args(["--check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run adc-lint");
+    assert!(
+        out.status.success(),
+        "workspace lint failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A violating tree makes the binary exit non-zero in `--check` mode and
+/// report the finding in `--json` output.
+#[test]
+fn check_mode_fails_on_violating_tree() {
+    let dir = std::env::temp_dir().join(format!("adc-lint-fixture-{}", std::process::id()));
+    let src = dir.join("crates/adc-core/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(xs: &[u32]) -> u32 { *xs.first().unwrap() }\n",
+    )
+    .expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_adc-lint"))
+        .args(["--check", "--json", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run adc-lint");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(1), "expected check failure");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\": \"panic\""), "json: {stdout}");
+}

@@ -1,0 +1,8 @@
+/// Documented behind a rustfmt-wrapped derive list.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq,
+)]
+pub struct Documented;
+
+/// Documented plainly.
+pub fn documented() {}

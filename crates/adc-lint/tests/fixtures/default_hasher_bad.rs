@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub struct Index {
+    map: HashMap<u64, u32>,
+}

@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub struct Index {
+    map: BTreeMap<u64, u32>,
+}

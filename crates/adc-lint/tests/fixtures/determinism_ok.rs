@@ -1,0 +1,3 @@
+pub fn stamp(sim_clock: u64) -> u64 {
+    sim_clock + 1
+}

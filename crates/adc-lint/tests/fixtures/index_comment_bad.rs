@@ -1,0 +1,3 @@
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}

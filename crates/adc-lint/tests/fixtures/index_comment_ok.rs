@@ -1,0 +1,4 @@
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    // Caller guarantees i < xs.len().
+    xs[i]
+}

@@ -1,0 +1,3 @@
+pub fn shrink(x: u64) -> u32 {
+    x as u32
+}

@@ -1,0 +1,3 @@
+fn report(x: u32) -> String {
+    format!("x = {x}")
+}

@@ -1,0 +1,5 @@
+impl Proxy {
+    fn on_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+}

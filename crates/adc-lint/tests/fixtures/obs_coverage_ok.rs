@@ -1,0 +1,6 @@
+impl Proxy {
+    fn on_hit(&mut self, probe: &mut impl Probe) {
+        self.stats.hits += 1;
+        probe.emit(SimEvent::LocalHit);
+    }
+}

@@ -1,0 +1,3 @@
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}

@@ -1,0 +1,4 @@
+fn first(xs: &[u32]) -> u32 {
+    // Invariant: callers pass non-empty slices. adc-lint: allow(panic)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,2 @@
+// adc-lint: allow(panic)
+fn nothing_panics_here() {}

@@ -22,7 +22,9 @@
 //! observable form of Figures 11–15's improving hit rates.
 
 use adc_metrics::Series;
-use std::collections::HashMap;
+// Ordered map: keyed access only today, but the tracker feeds
+// deterministic reports and costs nothing to keep hasher-free.
+use std::collections::BTreeMap;
 
 /// Settings for the periodic convergence sampler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +48,7 @@ impl Default for ConvergenceConfig {
 /// Folds owner-hint snapshots into agreement/remap/churn series.
 #[derive(Debug, Clone, Default)]
 pub struct ConvergenceTracker {
-    prev: HashMap<u64, Vec<Option<u32>>>,
+    prev: BTreeMap<u64, Vec<Option<u32>>>,
     agreement: Series,
     remaps: Series,
     churn: Series,
@@ -58,7 +60,7 @@ impl ConvergenceTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         ConvergenceTracker {
-            prev: HashMap::new(),
+            prev: BTreeMap::new(),
             agreement: Series::new("convergence_agreement"),
             remaps: Series::new("convergence_remaps"),
             churn: Series::new("convergence_churn"),

@@ -23,6 +23,8 @@ mod linux {
     }
 
     extern "C" {
+        // CPU-time telemetry only, never simulation state.
+        // adc-lint: allow(determinism)
         fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
     }
 
@@ -32,6 +34,7 @@ mod linux {
             tv_nsec: 0,
         };
         // SAFETY: `ts` is a valid, writable Timespec matching the C layout.
+        // Telemetry only. adc-lint: allow(determinism)
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         if rc != 0 {
             return Duration::ZERO;

@@ -13,7 +13,7 @@
 //! [`RequestRecord`]: adc_workload::RequestRecord
 
 use adc_core::RequestId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// A slab of flow states indexed by workload-unique request `seq`.
@@ -27,8 +27,9 @@ pub struct FlowTable<V> {
     /// The `seq` the window's front corresponds to.
     base: u64,
     /// Flows outside the window (never hit on the simulator's in-order
-    /// injection pattern).
-    overflow: HashMap<RequestId, u32>,
+    /// injection pattern). Ordered map: off the hot path, and iteration
+    /// order must never depend on a randomized hasher.
+    overflow: BTreeMap<RequestId, u32>,
     len: usize,
     peak: usize,
 }
@@ -47,7 +48,7 @@ impl<V> FlowTable<V> {
             free: Vec::new(),
             window: VecDeque::new(),
             base: 0,
-            overflow: HashMap::new(),
+            overflow: BTreeMap::new(),
             len: 0,
             peak: 0,
         }
@@ -73,11 +74,13 @@ impl<V> FlowTable<V> {
         self.peak = self.peak.max(self.len);
         match self.free.pop() {
             Some(slot) => {
+                // Free-list entries always index live slot storage.
                 self.slots[slot as usize] = (id, value);
                 slot
             }
             None => {
                 self.slots.push((id, value));
+                // Slot count is bounded by live flows, far below u32::MAX.
                 (self.slots.len() - 1) as u32
             }
         }
@@ -94,24 +97,43 @@ impl<V> FlowTable<V> {
             self.overflow.insert(id, slot);
             return;
         }
+        // Window span tracks live flows, so the offset fits in memory.
         let offset = (id.seq - self.base) as usize;
         if self.window.len() <= offset {
             self.window.resize(offset + 1, 0);
         }
+        debug_assert_eq!(
+            // resize() above guarantees offset is in bounds.
+            self.window[offset],
+            0,
+            "seq {} already has a live flow (seqs must be unique)",
+            id.seq
+        );
         let slot = self.alloc(id, value);
+        // resize() above guarantees offset is in bounds.
         self.window[offset] = slot + 1;
+        debug_assert!(
+            self.window.front().is_some_and(|&s| s != 0) || self.base == id.seq,
+            "window front must stay live after insert"
+        );
     }
 
     fn slot_of(&self, id: &RequestId) -> Option<u32> {
         if id.seq >= self.base {
+            // Offset fits: the window never outgrows the live flow span.
             let offset = (id.seq - self.base) as usize;
             match self.window.get(offset).copied() {
-                Some(s) if s != 0 && self.slots[(s - 1) as usize].0 == *id => Some(s - 1),
-                _ => None,
+                // Nonzero window entries always point at a live slot.
+                Some(s) if s != 0 && self.slots[(s - 1) as usize].0 == *id => {
+                    return Some(s - 1);
+                }
+                _ => {}
             }
-        } else {
-            self.overflow.get(id).copied()
         }
+        // Fall back to the overflow map even for seqs at or above the
+        // base: window compaction can move the base below an overflowed
+        // seq (e.g. after the window empties and the base resets).
+        self.overflow.get(id).copied()
     }
 
     /// Borrows the flow for `id`.
@@ -129,9 +151,11 @@ impl<V> FlowTable<V> {
     where
         V: Copy,
     {
-        let slot = if id.seq >= self.base {
+        let window_slot = if id.seq >= self.base {
+            // Offset fits: the window never outgrows the live flow span.
             let offset = (id.seq - self.base) as usize;
             match self.window.get(offset).copied() {
+                // Nonzero window entries always point at a live slot.
                 Some(s) if s != 0 && self.slots[(s - 1) as usize].0 == *id => {
                     self.window[offset] = 0;
                     // Completed flows at the front shrink the window so
@@ -143,15 +167,27 @@ impl<V> FlowTable<V> {
                     if self.window.is_empty() {
                         self.base = 0;
                     }
-                    s - 1
+                    debug_assert!(
+                        self.window.front().is_none_or(|&s| s != 0),
+                        "window front must be live after compaction"
+                    );
+                    Some(s - 1)
                 }
-                _ => return None,
+                _ => None,
             }
         } else {
-            self.overflow.remove(id)?
+            None
         };
+        // As in slot_of: an overflowed seq can sit at or above the base
+        // after compaction resets it, so the window miss is not final.
+        let slot = match window_slot {
+            Some(s) => s,
+            None => self.overflow.remove(id)?,
+        };
+        debug_assert!(self.len > 0, "freed a slot with no live flows");
         self.free.push(slot);
         self.len -= 1;
+        // Slot was just resolved from the window/overflow, so in bounds.
         Some(self.slots[slot as usize].1)
     }
 }
@@ -234,6 +270,20 @@ mod tests {
         t.insert(id(3, 9), 10u32);
         *t.get_mut(&id(3, 9)).unwrap() += 5;
         assert_eq!(t.remove(&id(3, 9)), Some(15));
+    }
+
+    #[test]
+    fn overflow_survives_base_reset() {
+        let mut t = FlowTable::new();
+        t.insert(id(0, 100), 'x');
+        t.insert(id(0, 50), 'y'); // overflow, behind base 100
+                                  // Removing the only windowed flow empties the window and resets
+                                  // the base to 0; seq 50 now compares >= base but must still be
+                                  // found in the overflow map.
+        assert_eq!(t.remove(&id(0, 100)), Some('x'));
+        assert_eq!(t.get(&id(0, 50)), Some(&'y'));
+        assert_eq!(t.remove(&id(0, 50)), Some('y'));
+        assert!(t.is_empty());
     }
 
     #[test]

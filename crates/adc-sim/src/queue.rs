@@ -43,6 +43,10 @@ pub struct CalendarQueue<T> {
     /// bucket. Invariant: no live item has `at < bucket_top - width`.
     bucket_top: u64,
     len: usize,
+    /// Debug-only record of the last key handed out, backing the
+    /// pop-order `debug_assert` (the determinism contract above).
+    #[cfg(debug_assertions)]
+    last_pop: Option<(u64, u64)>,
 }
 
 /// Initial bucket count (power of two).
@@ -69,6 +73,8 @@ impl<T> CalendarQueue<T> {
             cursor: 0,
             bucket_top: 1 << DEFAULT_SHIFT,
             len: 0,
+            #[cfg(debug_assertions)]
+            last_pop: None,
         }
     }
 
@@ -87,11 +93,18 @@ impl<T> CalendarQueue<T> {
     }
 
     fn bucket_of(&self, at: u64) -> usize {
+        // Masked by `mask < buckets.len()`, so the cast cannot truncate.
         ((at >> self.shift) & self.mask) as usize
     }
 
     /// Schedules `value` at `(at, seq)`.
     pub fn push(&mut self, at: u64, seq: u64, value: T) {
+        // A push behind the last pop (never done by the simulator)
+        // legitimately restarts the monotone-pop sequence.
+        #[cfg(debug_assertions)]
+        if self.last_pop.is_some_and(|last| (at, seq) < last) {
+            self.last_pop = None;
+        }
         // An item landing before the current window (possible for
         // arbitrary key sets, never for the simulator's monotone pushes)
         // rewinds the window so the pop invariant holds.
@@ -101,6 +114,7 @@ impl<T> CalendarQueue<T> {
             self.bucket_top = (at >> self.shift).wrapping_add(1) << self.shift;
         }
         let idx = self.bucket_of(at);
+        // bucket_of() masks idx below buckets.len().
         self.buckets[idx].push(Item { at, seq, value });
         self.len += 1;
         if self.len > MAX_LOAD * self.buckets.len() {
@@ -128,6 +142,7 @@ impl<T> CalendarQueue<T> {
             if let Some((i, _, _)) = best {
                 return Some(self.take(self.cursor, i));
             }
+            // mask fits usize: it is derived from buckets.len() - 1.
             self.cursor = (self.cursor + 1) & self.mask as usize;
             self.bucket_top += self.width();
         }
@@ -146,6 +161,8 @@ impl<T> CalendarQueue<T> {
             })
             .min_by_key(|&(_, _, at, seq)| (at, seq))
             .map(|(b, i, at, _)| (b, i, at))
+            // Invariant: len > 0 was checked on entry, so some bucket
+            // holds an item. adc-lint: allow(panic)
             .expect("len > 0 but no item found");
         self.cursor = self.bucket_of(at);
         self.bucket_top = ((at >> self.shift) + 1) << self.shift;
@@ -153,8 +170,19 @@ impl<T> CalendarQueue<T> {
     }
 
     fn take(&mut self, bucket: usize, index: usize) -> (u64, u64, T) {
+        // Callers pass coordinates of an item they just located.
         let item = self.buckets[bucket].swap_remove(index);
         self.len -= 1;
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.last_pop.is_none_or(|last| last < (item.at, item.seq)),
+                "calendar queue popped {:?} after {:?}",
+                (item.at, item.seq),
+                self.last_pop
+            );
+            self.last_pop = Some((item.at, item.seq));
+        }
         (item.at, item.seq, item.value)
     }
 
@@ -162,10 +190,12 @@ impl<T> CalendarQueue<T> {
     /// the current window) unchanged.
     fn grow(&mut self) {
         let new_count = self.buckets.len() * 2;
+        // Bucket counts stay far below u64::MAX.
         let new_mask = (new_count - 1) as u64;
         let mut new_buckets: Vec<Vec<Item<T>>> = (0..new_count).map(|_| Vec::new()).collect();
         for bucket in self.buckets.drain(..) {
             for item in bucket {
+                // Masked below new_count, so in bounds and not truncated.
                 let idx = ((item.at >> self.shift) & new_mask) as usize;
                 new_buckets[idx].push(item);
             }
@@ -173,6 +203,7 @@ impl<T> CalendarQueue<T> {
         self.buckets = new_buckets;
         self.mask = new_mask;
         let window_start = self.bucket_top - self.width();
+        // Masked by mask < buckets.len(), so the cast cannot truncate.
         self.cursor = ((window_start >> self.shift) & self.mask) as usize;
     }
 }

@@ -14,7 +14,9 @@ use adc_obs::{ConvergenceConfig, ConvergenceTracker, NullProbe, Probe, SimEvent}
 use adc_workload::{Phase, RequestRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+// Wall-clock time feeds report telemetry only, never simulation
+// state. adc-lint: allow(determinism)
 use std::time::Instant;
 
 /// Per-flow bookkeeping from injection to completion.
@@ -31,7 +33,9 @@ struct FlowState {
 /// series.
 struct ConvState {
     cfg: ConvergenceConfig,
-    counts: HashMap<u64, u64>,
+    /// Ordered map: the hot-set selection iterates it, and that order
+    /// must not depend on a randomized hasher.
+    counts: BTreeMap<u64, u64>,
     tracker: ConvergenceTracker,
 }
 
@@ -70,10 +74,11 @@ impl<A: CacheAgent> Simulation<A> {
         for (i, a) in agents.iter().enumerate() {
             assert_eq!(
                 a.proxy_id(),
-                ProxyId::new(i as u32),
+                ProxyId::new(i as u32), // dense ids: i < agent count ≤ u32::MAX
                 "agent IDs must be dense 0..n in order"
             );
         }
+        // Documented precondition (see "# Panics"). adc-lint: allow(panic)
         config.validate().expect("invalid simulator configuration");
         if let Some(matrix) = &config.proxy_latency_matrix {
             assert_eq!(
@@ -114,9 +119,10 @@ impl<A: CacheAgent> Simulation<A> {
         workload: impl IntoIterator<Item = RequestRecord>,
         probe: &mut P,
     ) -> (SimReport, Vec<A>) {
+        // Wall telemetry only. adc-lint: allow(determinism)
         let wall_start = Instant::now();
         let cpu_start = crate::cputime::thread_cpu_now();
-        let n = self.agents.len() as u32;
+        let n = self.agents.len() as u32; // proxy counts stay tiny
         let mut workload = workload.into_iter();
         let mut agent_rng = StdRng::seed_from_u64(self.config.seed ^ 0xA6E7);
         let mut assign_rng = StdRng::seed_from_u64(self.config.seed ^ 0xA551);
@@ -163,7 +169,7 @@ impl<A: CacheAgent> Simulation<A> {
             (self.config.trace_capacity > 0).then(|| TraceLog::new(self.config.trace_capacity));
         let mut conv: Option<ConvState> = self.config.convergence.map(|cfg| ConvState {
             cfg,
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             tracker: ConvergenceTracker::new(),
         });
 
@@ -173,6 +179,7 @@ impl<A: CacheAgent> Simulation<A> {
         let latency = move |from: NodeId, to: NodeId| -> SimTime {
             if let (Some(m), NodeId::Proxy(a), NodeId::Proxy(b)) = (&matrix, from, to) {
                 if a != b {
+                    // Matrix is n×n over dense proxy ids (checked in new()).
                     return m[a.raw() as usize][b.raw() as usize];
                 }
             }
@@ -337,6 +344,7 @@ impl<A: CacheAgent> Simulation<A> {
                     debug_assert!(sink.is_empty(), "sink drained after every delivery");
                     match to {
                         NodeId::Proxy(pid) => {
+                            // Proxy ids are dense 0..n (checked in new()).
                             let agent = &mut self.agents[pid.raw() as usize];
                             match message {
                                 Message::Request(req) => {
@@ -390,27 +398,31 @@ impl<A: CacheAgent> Simulation<A> {
                                             Phase::RequestI => 1,
                                             Phase::RequestII => 2,
                                         };
+                                        // phase_idx is 0..3 by construction.
                                         phases[phase_idx].requests += 1;
                                         phases[phase_idx].hits += u64::from(hit);
-                                        hops_summary.push(flow.hops as f64);
-                                        let latency_us = (now - flow.start).as_micros() as f64;
+                                        let hops_f = flow.hops as f64; // u32: exact in f64
+                                        let completed_f = completed as f64; // < 2^53: exact
+                                        let latency_us = (now - flow.start).as_micros() as f64; // < 2^53: exact
+                                        hops_summary.push(hops_f);
                                         latency_summary.push(latency_us);
                                         latency_p50.push(latency_us);
                                         latency_p99.push(latency_us);
                                         hit_window.push_bool(hit);
-                                        hops_window.push(flow.hops as f64);
+                                        hops_window.push(hops_f);
                                         if let Some(v) = hit_window.value() {
-                                            hit_sampler.observe(completed as f64, v);
+                                            hit_sampler.observe(completed_f, v);
                                         }
                                         if let Some(v) = hops_window.value() {
-                                            hops_sampler.observe(completed as f64, v);
+                                            hops_sampler.observe(completed_f, v);
                                         }
                                         if let Some(occupancy) = occupancy.as_mut() {
                                             for (agent, sampler) in
                                                 self.agents.iter().zip(occupancy.iter_mut())
                                             {
                                                 sampler.observe(
-                                                    completed as f64,
+                                                    completed_f,
+                                                    // cache sizes ≪ 2^53: exact
                                                     agent.cached_objects() as f64,
                                                 );
                                             }
@@ -443,7 +455,7 @@ impl<A: CacheAgent> Simulation<A> {
                                                         (object, hints)
                                                     })
                                                     .collect();
-                                                c.tracker.sample(completed as f64, &snapshot);
+                                                c.tracker.sample(completed_f, &snapshot);
                                             }
                                         }
                                         // Scheduled proxy restarts fire on
@@ -451,8 +463,10 @@ impl<A: CacheAgent> Simulation<A> {
                                         while churn_idx < churn.len()
                                             && churn[churn_idx].after_completed <= completed
                                         {
+                                            // churn_idx bounds-checked above.
                                             let p = churn[churn_idx].proxy;
                                             if let Some(agent) =
+                                                // u32 → usize widens on 64-bit
                                                 self.agents.get_mut(p.raw() as usize)
                                             {
                                                 agent.reset();

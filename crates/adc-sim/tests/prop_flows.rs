@@ -1,0 +1,97 @@
+//! Property tests for [`FlowTable`]: for arbitrary insert/remove/lookup
+//! interleavings — including seqs behind the window base, which spill
+//! into the overflow map — the table behaves exactly like a reference
+//! `BTreeMap`. Running under `debug_assertions`, every operation also
+//! exercises the table's internal invariants (unique live seqs, live
+//! window front after insert and compaction, len/slot accounting).
+
+use adc_core::{ClientId, RequestId};
+use adc_sim::FlowTable;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn id(seq: u64) -> RequestId {
+    RequestId::new(ClientId::new((seq % 7) as u32), seq)
+}
+
+/// One scripted operation. Seqs are drawn from a small universe so that
+/// removals hit live flows often and re-inserts land behind the window
+/// base (the overflow path) once the base has advanced past them.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u64..64).prop_map(Op::Insert),
+        (0u64..64).prop_map(Op::Insert),
+        (0u64..64).prop_map(Op::Remove),
+        (0u64..64).prop_map(Op::Get),
+    ];
+    prop::collection::vec(op, 1..500)
+}
+
+proptest! {
+    #[test]
+    fn matches_btreemap_reference(script in ops()) {
+        let mut table: FlowTable<u64> = FlowTable::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (step, op) in script.into_iter().enumerate() {
+            let step = step as u64;
+            match op {
+                Op::Insert(seq) => {
+                    // Live seqs must be unique; skip duplicates like the
+                    // workload's monotone trace positions would.
+                    if let std::collections::btree_map::Entry::Vacant(slot) = model.entry(seq) {
+                        table.insert(id(seq), step);
+                        slot.insert(step);
+                    }
+                }
+                Op::Remove(seq) => {
+                    prop_assert_eq!(table.remove(&id(seq)), model.remove(&seq));
+                }
+                Op::Get(seq) => {
+                    prop_assert_eq!(table.get(&id(seq)), model.get(&seq));
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+            prop_assert_eq!(table.is_empty(), model.is_empty());
+        }
+        // Drain everything; the table must agree to the end.
+        let live: Vec<u64> = model.keys().copied().collect();
+        for seq in live {
+            prop_assert_eq!(table.remove(&id(seq)), model.remove(&seq));
+        }
+        prop_assert!(table.is_empty());
+    }
+
+    /// The simulator's closed-loop pattern at a fixed fan-out: monotone
+    /// seqs with bounded in-flight flows completing in scrambled order.
+    /// Peak occupancy never exceeds the in-flight bound.
+    #[test]
+    fn bounded_inflight_pattern(
+        completions in prop::collection::vec(0usize..16, 50..300),
+        inflight in 1usize..16,
+    ) {
+        let mut table: FlowTable<u64> = FlowTable::new();
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_seq = 0u64;
+        for pick in completions {
+            while live.len() < inflight {
+                table.insert(id(next_seq), next_seq);
+                live.push(next_seq);
+                next_seq += 1;
+            }
+            let victim = live.remove(pick % live.len());
+            prop_assert_eq!(table.remove(&id(victim)), Some(victim));
+        }
+        prop_assert!(table.peak() <= inflight);
+        for &seq in &live {
+            prop_assert_eq!(table.remove(&id(seq)), Some(seq));
+        }
+        prop_assert!(table.is_empty());
+    }
+}

@@ -60,6 +60,37 @@ proptest! {
         prop_assert!(calendar.is_empty());
     }
 
+    /// Pops come out in strictly increasing `(at, seq)` order except
+    /// immediately after a rewind (a push behind the last popped key),
+    /// which legitimately restarts the monotone sequence. This is the
+    /// external statement of the queue's debug-build `last_pop` check.
+    #[test]
+    fn pops_monotone_between_rewinds(script in ops()) {
+        let mut calendar = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut last_pop: Option<(u64, u64)> = None;
+        for op in script {
+            match op {
+                Op::Push(at) => {
+                    if last_pop.is_some_and(|last| (at, seq) < last) {
+                        last_pop = None; // rewind: monotonicity restarts
+                    }
+                    calendar.push(at, seq, ());
+                    seq += 1;
+                }
+                Op::Pop => {
+                    if let Some((at, s, ())) = calendar.pop() {
+                        prop_assert!(
+                            last_pop.is_none_or(|last| last < (at, s)),
+                            "pop {:?} not after {:?}", (at, s), last_pop
+                        );
+                        last_pop = Some((at, s));
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn monotone_simulation_shaped_batches(
         deltas in prop::collection::vec((0u64..100_000, 1usize..4), 1..200)

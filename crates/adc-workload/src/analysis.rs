@@ -6,7 +6,9 @@
 
 use crate::trace::RequestRecord;
 use adc_core::ObjectId;
-use std::collections::HashMap;
+// Ordered maps throughout: these aggregates are iterated, and ties in
+// the sorted outputs must not depend on a randomized hasher.
+use std::collections::BTreeMap;
 
 /// Aggregate statistics of a request stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +33,7 @@ pub struct TraceStats {
 
 /// Computes [`TraceStats`] over a stream.
 pub fn trace_stats(records: impl IntoIterator<Item = RequestRecord>) -> TraceStats {
-    let mut counts: HashMap<ObjectId, u64> = HashMap::new();
+    let mut counts: BTreeMap<ObjectId, u64> = BTreeMap::new();
     let mut requests = 0u64;
     let mut total_bytes = 0u64;
     for r in records {
@@ -106,7 +108,7 @@ pub fn zipf_alpha_estimate(frequencies: &[u64]) -> Option<f64> {
 pub fn mean_inter_request_gaps(
     records: impl IntoIterator<Item = RequestRecord>,
 ) -> Vec<(ObjectId, f64)> {
-    let mut last_seen: HashMap<ObjectId, (u64, f64, u64)> = HashMap::new(); // (last, sum, gaps)
+    let mut last_seen: BTreeMap<ObjectId, (u64, f64, u64)> = BTreeMap::new(); // (last, sum, gaps)
     for (pos, r) in records.into_iter().enumerate() {
         let pos = pos as u64;
         match last_seen.get_mut(&r.object) {
@@ -132,11 +134,11 @@ pub fn mean_inter_request_gaps(
 /// The popularity histogram: how many objects were requested exactly
 /// `k` times, as `(k, object_count)` sorted by `k`.
 pub fn popularity_histogram(records: impl IntoIterator<Item = RequestRecord>) -> Vec<(u64, u64)> {
-    let mut counts: HashMap<ObjectId, u64> = HashMap::new();
+    let mut counts: BTreeMap<ObjectId, u64> = BTreeMap::new();
     for r in records {
         *counts.entry(r.object).or_default() += 1;
     }
-    let mut hist: HashMap<u64, u64> = HashMap::new();
+    let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
     for c in counts.into_values() {
         *hist.entry(c).or_default() += 1;
     }

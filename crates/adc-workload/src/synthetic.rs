@@ -405,6 +405,8 @@ impl Iterator for LruStackWorkload {
         let recur = !self.stack.is_empty() && self.rng.gen_bool(self.recurrence);
         let object = if recur {
             let depth = self.depth.sample(&mut self.rng).min(self.stack.len() - 1);
+            // Invariant: depth ≤ len - 1 by the min() above (stack is
+            // non-empty when recur is true). adc-lint: allow(panic)
             let object = self.stack.remove(depth).expect("depth is in range");
             self.stack.push_front(object);
             object
