@@ -1,0 +1,111 @@
+//! Perf-regression gate: compares a fresh `BENCH_adc.json` against the
+//! committed baseline and exits non-zero when a gated field regressed.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json> \
+//!     [--throughput-tolerance <0..1>] [--warn-throughput]
+//! ```
+//!
+//! Exit codes: 0 = gate passed, 1 = regression detected, 2 = usage or
+//! I/O error. Deterministic fields (counts, hit rate, hops, lint
+//! surface) must match the baseline exactly; throughput fields get a
+//! relative tolerance (default 30%) and `--warn-throughput` demotes
+//! their failures to warnings for noisy shared runners.
+
+use adc_bench::{diff_reports, DiffConfig};
+
+fn usage() -> String {
+    "usage: bench_diff <baseline.json> <current.json> \
+     [--throughput-tolerance <0..1>] [--warn-throughput]"
+        .to_string()
+}
+
+fn parse_args(
+    args: impl IntoIterator<Item = String>,
+) -> Result<(String, String, DiffConfig), String> {
+    let mut paths = Vec::new();
+    let mut config = DiffConfig::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--throughput-tolerance" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| "--throughput-tolerance requires a value".to_string())?;
+                let tol: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("bad --throughput-tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&tol) {
+                    return Err("--throughput-tolerance must be in [0, 1)".to_string());
+                }
+                config.throughput_tolerance = tol;
+            }
+            "--warn-throughput" => config.warn_throughput = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown argument {other:?}\n{}", usage()))
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(format!(
+            "expected exactly two report paths, got {}\n{}",
+            paths.len(),
+            usage()
+        ));
+    }
+    let current = paths.pop().unwrap_or_default();
+    let baseline = paths.pop().unwrap_or_default();
+    Ok((baseline, current, config))
+}
+
+fn main() {
+    let (baseline_path, current_path, config) = match parse_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+    let report = match diff_reports(&baseline, &current, &config) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("bench_diff: {msg}");
+            std::process::exit(2);
+        }
+    };
+    for warning in &report.warnings {
+        println!("warning: {warning}");
+    }
+    if report.passed() {
+        println!(
+            "bench_diff: OK — {} gated fields match {} (tolerance {:.0}%{})",
+            report.compared,
+            baseline_path,
+            100.0 * config.throughput_tolerance,
+            if config.warn_throughput {
+                ", throughput warn-only"
+            } else {
+                ""
+            },
+        );
+        return;
+    }
+    for regression in &report.regressions {
+        println!("REGRESSION: {regression}");
+    }
+    println!(
+        "bench_diff: FAILED — {} regression(s) against {baseline_path}",
+        report.regressions.len()
+    );
+    std::process::exit(1);
+}

@@ -6,12 +6,14 @@
 //! wall and CPU time, a `"lint"` section (adc-lint rule and suppression
 //! counts, so allow-creep is visible in baseline diffs), plus a
 //! per-phase `"profile"` section (workload generation / simulation /
-//! report assembly) — to the current directory. The committed copy at
-//! the repository root is the baseline a perf-sensitive change should be
-//! compared against; regenerate it with:
+//! report assembly) — to the current directory. The committed
+//! `BENCH_baseline.json` at the repository root is the baseline a
+//! perf-sensitive change is compared against (see the `bench_diff`
+//! gate); refresh it with:
 //!
 //! ```text
 //! cargo run --release -p adc-bench --bin bench_report
+//! cp BENCH_adc.json BENCH_baseline.json
 //! ```
 //!
 //! `--smoke` shrinks the workload to a few-second run for CI, where only

@@ -15,7 +15,10 @@
 //! * `--chrome-trace <file>` — export the same stream as a
 //!   `chrome://tracing` / Perfetto `trace_event` file;
 //! * `--convergence` — sample mapping-table convergence (agreement,
-//!   remaps, churn) during the main ADC run.
+//!   remaps, churn) during the main ADC run;
+//! * `--metrics <file>` — fold the main ADC run's events into the
+//!   per-proxy metrics registry and write the Prometheus text
+//!   exposition to this file.
 
 use crate::parallel::default_jobs;
 use crate::scale::Scale;
@@ -40,6 +43,8 @@ pub struct BenchArgs {
     pub chrome_trace: Option<PathBuf>,
     /// Sample mapping-table convergence during the main ADC run.
     pub convergence: bool,
+    /// Write the main ADC run's Prometheus text exposition to this file.
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -53,6 +58,7 @@ impl Default for BenchArgs {
             events: None,
             chrome_trace: None,
             convergence: false,
+            metrics: None,
         }
     }
 }
@@ -96,6 +102,7 @@ impl BenchArgs {
                     out.chrome_trace = Some(PathBuf::from(value_for("--chrome-trace")?))
                 }
                 "--convergence" => out.convergence = true,
+                "--metrics" => out.metrics = Some(PathBuf::from(value_for("--metrics")?)),
                 "--help" | "-h" => return Err(Self::usage()),
                 other => return Err(format!("unknown argument {other:?}\n{}", Self::usage())),
             }
@@ -119,7 +126,7 @@ impl BenchArgs {
     pub fn usage() -> String {
         "usage: <figure-bin> [--scale ci|full|<factor>] [--out <dir>] [--seed <u64>] \
          [--jobs <n>] [--serial-timing] [--events <file.jsonl>] \
-         [--chrome-trace <file.json>] [--convergence]"
+         [--chrome-trace <file.json>] [--convergence] [--metrics <file.prom>]"
             .to_string()
     }
 }
@@ -182,16 +189,20 @@ mod tests {
             "--chrome-trace",
             "/tmp/trace.json",
             "--convergence",
+            "--metrics",
+            "/tmp/m.prom",
         ])
         .unwrap();
         assert_eq!(a.events, Some(PathBuf::from("/tmp/ev.jsonl")));
         assert_eq!(a.chrome_trace, Some(PathBuf::from("/tmp/trace.json")));
         assert!(a.convergence);
+        assert_eq!(a.metrics, Some(PathBuf::from("/tmp/m.prom")));
         // Off by default — the unobserved hot path must stay the default.
         let d = parse(&[]).unwrap();
         assert_eq!(d.events, None);
         assert_eq!(d.chrome_trace, None);
         assert!(!d.convergence);
+        assert_eq!(d.metrics, None);
     }
 
     #[test]
@@ -199,6 +210,7 @@ mod tests {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--events"]).is_err());
         assert!(parse(&["--chrome-trace"]).is_err());
+        assert!(parse(&["--metrics"]).is_err());
         assert!(parse(&["--scale", "nope"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--jobs"]).is_err());

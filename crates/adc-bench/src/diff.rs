@@ -1,0 +1,499 @@
+//! Comparison of two `BENCH_adc.json` reports: the perf-regression gate.
+//!
+//! The bench report mixes two kinds of fields. Deterministic outputs
+//! (request/event/message counts, hit rate, hops, lint surface) are pure
+//! functions of the seeded workload and must match the baseline
+//! *exactly* — any drift means behaviour changed, and either the change
+//! is a bug or the baseline must be consciously regenerated. Timing
+//! fields (`requests_per_sec`, `wall_seconds`, ...) are noisy on shared
+//! CI runners, so they get a generous relative threshold and can be
+//! demoted to warnings with [`DiffConfig::warn_throughput`].
+//!
+//! The JSON is parsed with a small hand-rolled scalar reader (the
+//! workspace's vendored `serde` is a no-op): nested objects flatten to
+//! dotted keys (`lint.rules`, `profile.total.wall_seconds`) and the
+//! noise-only `profile.*` subtree is excluded from gating.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar value extracted from a bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A JSON number (all numbers are read as `f64`; the bench report
+    /// stays well inside the 2^53 exact-integer range).
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+    /// A JSON string.
+    Str(String),
+    /// JSON `null` (the report writes `"lint": null` when the scan is
+    /// skipped).
+    Null,
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Num(n) => write!(f, "{n}"),
+            Scalar::Bool(b) => write!(f, "{b}"),
+            Scalar::Str(s) => write!(f, "{s:?}"),
+            Scalar::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Flattens a bench-report JSON object into dotted-key scalars.
+///
+/// Supports exactly the grammar `bench_report` emits: objects, strings,
+/// numbers, booleans and `null`. Arrays are rejected.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax problem.
+pub fn parse_flat_json(text: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut out = BTreeMap::new();
+    parser.skip_ws();
+    parser.parse_object("", &mut out)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&b| b as char)
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(format!("escape sequences unsupported at byte {}", self.pos));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("bad UTF-8 in string: {e}"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_object(
+        &mut self,
+        prefix: &str,
+        out: &mut BTreeMap<String, Scalar>,
+    ) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            let path = if prefix.is_empty() {
+                key
+            } else {
+                format!("{prefix}.{key}")
+            };
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.parse_value(&path, out)?;
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|&b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_value(
+        &mut self,
+        path: &str,
+        out: &mut BTreeMap<String, Scalar>,
+    ) -> Result<(), String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.parse_object(path, out),
+            Some(b'"') => {
+                let s = self.parse_string()?;
+                out.insert(path.to_string(), Scalar::Str(s));
+                Ok(())
+            }
+            Some(b'[') => Err(format!("arrays unsupported (at {path:?})")),
+            Some(_) => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&b| {
+                    !b.is_ascii_whitespace() && b != b',' && b != b'}' && b != b']'
+                }) {
+                    self.pos += 1;
+                }
+                let token = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("bad UTF-8: {e}"))?;
+                let scalar = match token {
+                    "true" => Scalar::Bool(true),
+                    "false" => Scalar::Bool(false),
+                    "null" => Scalar::Null,
+                    n => Scalar::Num(
+                        n.parse()
+                            .map_err(|e| format!("bad number {n:?} at {path:?}: {e}"))?,
+                    ),
+                };
+                out.insert(path.to_string(), scalar);
+                Ok(())
+            }
+            None => Err(format!("unexpected end of input at {path:?}")),
+        }
+    }
+}
+
+/// Fields that are pure functions of the seeded workload: any drift from
+/// the baseline is a hard failure.
+pub const EXACT_FIELDS: &[&str] = &[
+    "requests",
+    "events",
+    "messages",
+    "peak_flows",
+    "hit_rate",
+    "mean_hops",
+    "replies_orphaned",
+    "trace_dropped",
+    "lint.rules",
+];
+
+/// Fields where an *increase* over the baseline is a regression but a
+/// decrease is an improvement (allow-creep guard).
+pub const NON_INCREASING_FIELDS: &[&str] = &["lint.suppressions"];
+
+/// Throughput fields: higher is better, compared with a relative
+/// threshold because shared runners are noisy.
+pub const THROUGHPUT_FIELDS: &[&str] = &["requests_per_sec", "events_per_sec"];
+
+/// Identity fields that must match for the comparison to make sense at
+/// all (comparing a smoke run against a full baseline is meaningless).
+pub const IDENTITY_FIELDS: &[&str] = &["benchmark", "smoke", "scale"];
+
+/// Gate policy knobs.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Allowed relative throughput drop before a throughput field
+    /// regresses (0.30 = current may be up to 30% slower).
+    pub throughput_tolerance: f64,
+    /// Demote throughput regressions to warnings (for shared CI runners
+    /// where only the deterministic fields are trustworthy).
+    pub warn_throughput: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            throughput_tolerance: 0.30,
+            warn_throughput: false,
+        }
+    }
+}
+
+/// Outcome of comparing a current bench report against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Hard failures: the gate must reject the change.
+    pub regressions: Vec<String>,
+    /// Soft findings (throughput drift in warn mode, improvements worth
+    /// a baseline refresh).
+    pub warnings: Vec<String>,
+    /// Number of gated fields actually compared.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn get_num(fields: &BTreeMap<String, Scalar>, key: &str) -> Option<f64> {
+    match fields.get(key) {
+        Some(Scalar::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Compares `current` against `baseline` (both raw `BENCH_adc.json`
+/// text) under `config`.
+///
+/// # Errors
+///
+/// Returns a message when either report fails to parse or the two
+/// reports describe different experiments (benchmark/smoke/scale
+/// mismatch).
+pub fn diff_reports(
+    baseline: &str,
+    current: &str,
+    config: &DiffConfig,
+) -> Result<DiffReport, String> {
+    let base = parse_flat_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = parse_flat_json(current).map_err(|e| format!("current: {e}"))?;
+
+    for &key in IDENTITY_FIELDS {
+        let (b, c) = (base.get(key), cur.get(key));
+        if b != c {
+            return Err(format!(
+                "reports are not comparable: {key} is {} in the baseline but {} in the current run",
+                b.map_or("missing".to_string(), |v| v.to_string()),
+                c.map_or("missing".to_string(), |v| v.to_string()),
+            ));
+        }
+    }
+
+    let mut report = DiffReport::default();
+    for &key in EXACT_FIELDS {
+        let Some(b) = get_num(&base, key) else {
+            continue; // baseline predates the field — nothing to gate
+        };
+        match get_num(&cur, key) {
+            None => report
+                .regressions
+                .push(format!("{key}: present in baseline ({b}) but missing now")),
+            // Printed decimals compared after a text round-trip: exact.
+            Some(c) if c.to_bits() != b.to_bits() => report
+                .regressions
+                .push(format!("{key}: baseline {b}, now {c} (must match exactly)")),
+            Some(_) => {}
+        }
+        report.compared += 1;
+    }
+    for &key in NON_INCREASING_FIELDS {
+        let Some(b) = get_num(&base, key) else {
+            continue;
+        };
+        match get_num(&cur, key) {
+            None => report
+                .regressions
+                .push(format!("{key}: present in baseline ({b}) but missing now")),
+            Some(c) if c > b => report
+                .regressions
+                .push(format!("{key}: rose from {b} to {c} (may not increase)")),
+            Some(c) if c < b => report.warnings.push(format!(
+                "{key}: fell from {b} to {c} — refresh the baseline"
+            )),
+            Some(_) => {}
+        }
+        report.compared += 1;
+    }
+    for &key in THROUGHPUT_FIELDS {
+        let Some(b) = get_num(&base, key) else {
+            continue;
+        };
+        let Some(c) = get_num(&cur, key) else {
+            report
+                .regressions
+                .push(format!("{key}: present in baseline ({b}) but missing now"));
+            report.compared += 1;
+            continue;
+        };
+        report.compared += 1;
+        if b <= 0.0 {
+            continue; // degenerate baseline (zero-duration run): nothing to gate
+        }
+        let floor = b * (1.0 - config.throughput_tolerance);
+        if c < floor {
+            let drop = 100.0 * (1.0 - c / b);
+            let msg = format!(
+                "{key}: baseline {b:.1}, now {c:.1} ({drop:.1}% drop exceeds the {:.0}% tolerance)",
+                100.0 * config.throughput_tolerance
+            );
+            if config.warn_throughput {
+                report.warnings.push(msg);
+            } else {
+                report.regressions.push(msg);
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "benchmark": "adc_end_to_end_5_proxies",
+  "smoke": false,
+  "scale": "ci",
+  "requests": 399000,
+  "events": 2126120,
+  "messages": 2126120,
+  "peak_flows": 1,
+  "hit_rate": 0.525434,
+  "mean_hops": 4.857724,
+  "replies_orphaned": 0,
+  "trace_dropped": 0,
+  "lint": { "rules": 10, "suppressions": 44 },
+  "wall_seconds": 0.529920,
+  "cpu_seconds": 0.526393,
+  "requests_per_sec": 752943.2,
+  "events_per_sec": 4012149.2,
+  "profile": {
+    "workload_gen": { "wall_seconds": 0.089630, "cpu_seconds": 0.080885 },
+    "simulate": { "wall_seconds": 0.529920, "cpu_seconds": 0.526393 },
+    "report": { "wall_seconds": 0.000262, "cpu_seconds": 0.000253 },
+    "total": { "wall_seconds": 0.619812, "cpu_seconds": 0.607532 }
+  }
+}"#;
+
+    #[test]
+    fn parses_the_real_report_shape() {
+        let fields = parse_flat_json(BASELINE).unwrap();
+        assert_eq!(fields.get("requests"), Some(&Scalar::Num(399000.0)));
+        assert_eq!(fields.get("smoke"), Some(&Scalar::Bool(false)));
+        assert_eq!(
+            fields.get("benchmark"),
+            Some(&Scalar::Str("adc_end_to_end_5_proxies".to_string()))
+        );
+        assert_eq!(fields.get("lint.rules"), Some(&Scalar::Num(10.0)));
+        assert_eq!(
+            fields.get("profile.total.wall_seconds"),
+            Some(&Scalar::Num(0.619812))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_flat_json("").is_err());
+        assert!(parse_flat_json("{").is_err());
+        assert!(parse_flat_json(r#"{"a": [1]}"#).is_err());
+        assert!(parse_flat_json(r#"{"a": 1} x"#).is_err());
+        assert!(parse_flat_json(r#"{"a": nope}"#).is_err());
+    }
+
+    #[test]
+    fn null_lint_section_is_tolerated() {
+        let doctored = BASELINE.replace(
+            r#""lint": { "rules": 10, "suppressions": 44 }"#,
+            r#""lint": null"#,
+        );
+        // A baseline without a lint scan simply gates fewer fields.
+        let report = diff_reports(&doctored, BASELINE, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let report = diff_reports(BASELINE, BASELINE, &DiffConfig::default()).unwrap();
+        assert!(report.passed());
+        assert!(report.warnings.is_empty());
+        assert_eq!(
+            report.compared,
+            EXACT_FIELDS.len() + NON_INCREASING_FIELDS.len() + THROUGHPUT_FIELDS.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_drift_is_a_hard_failure() {
+        let doctored = BASELINE.replace("\"hit_rate\": 0.525434", "\"hit_rate\": 0.525433");
+        let report = diff_reports(BASELINE, &doctored, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions.iter().any(|r| r.contains("hit_rate")));
+    }
+
+    #[test]
+    fn missing_gated_field_is_a_hard_failure() {
+        let doctored = BASELINE.replace("  \"mean_hops\": 4.857724,\n", "");
+        let report = diff_reports(BASELINE, &doctored, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions.iter().any(|r| r.contains("mean_hops")));
+    }
+
+    #[test]
+    fn suppression_creep_fails_but_reduction_warns() {
+        let crept = BASELINE.replace("\"suppressions\": 44", "\"suppressions\": 45");
+        let report = diff_reports(BASELINE, &crept, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        let reduced = BASELINE.replace("\"suppressions\": 44", "\"suppressions\": 40");
+        let report = diff_reports(BASELINE, &reduced, &DiffConfig::default()).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.warnings.len(), 1);
+    }
+
+    #[test]
+    fn throughput_gate_respects_tolerance_and_warn_mode() {
+        let slow = BASELINE.replace(
+            "\"requests_per_sec\": 752943.2",
+            "\"requests_per_sec\": 400000.0",
+        );
+        let config = DiffConfig::default();
+        let report = diff_reports(BASELINE, &slow, &config).unwrap();
+        assert!(!report.passed(), "47% drop must fail the 30% gate");
+        let warn = DiffConfig {
+            warn_throughput: true,
+            ..config
+        };
+        let report = diff_reports(BASELINE, &slow, &warn).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.warnings.len(), 1);
+        // A 10% drop is inside the default tolerance either way.
+        let mild = BASELINE.replace(
+            "\"requests_per_sec\": 752943.2",
+            "\"requests_per_sec\": 680000.0",
+        );
+        let report = diff_reports(BASELINE, &mild, &DiffConfig::default()).unwrap();
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn mismatched_experiments_are_not_comparable() {
+        let smoke = BASELINE.replace("\"smoke\": false", "\"smoke\": true");
+        assert!(diff_reports(BASELINE, &smoke, &DiffConfig::default()).is_err());
+        let other = BASELINE.replace("\"scale\": \"ci\"", "\"scale\": \"full\"");
+        assert!(diff_reports(BASELINE, &other, &DiffConfig::default()).is_err());
+    }
+}

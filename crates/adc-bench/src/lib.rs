@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cli;
+pub mod diff;
 pub mod experiment;
 pub mod observe;
 pub mod output;
@@ -33,6 +34,7 @@ pub mod scale;
 pub mod sweep;
 
 pub use cli::BenchArgs;
+pub use diff::{diff_reports, parse_flat_json, DiffConfig, DiffReport, Scalar};
 pub use experiment::Experiment;
 pub use observe::{obs_enabled, observe_default_run, run_adc_observed};
 pub use parallel::{default_jobs, run_jobs, ExperimentJob};

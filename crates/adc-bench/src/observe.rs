@@ -1,21 +1,26 @@
 //! Observability wiring for the figure binaries: runs the main ADC
 //! simulation with a probe attached when any of `--events`,
-//! `--chrome-trace` or `--convergence` was given, writes the requested
-//! exports, and prints a capture summary. Without those flags the run
-//! goes through the plain (probe-free) path, so default invocations stay
-//! bit-for-bit identical to the pre-observability harness.
+//! `--chrome-trace`, `--convergence` or `--metrics` was given, writes
+//! the requested exports, and prints a capture summary. Without those
+//! flags the run goes through the plain (probe-free) path, so default
+//! invocations stay bit-for-bit identical to the pre-observability
+//! harness.
 
 use crate::cli::BenchArgs;
 use crate::experiment::Experiment;
-use adc_obs::{self, ConvergenceConfig, EventLog};
+use adc_obs::{self, ConvergenceConfig, EventLog, MetricsProbe};
 use adc_sim::SimReport;
 use adc_sim::Simulation;
 use std::io::BufWriter;
+use std::io::Write;
 use std::path::Path;
 
 /// Whether any observability flag was given.
 pub fn obs_enabled(args: &BenchArgs) -> bool {
-    args.events.is_some() || args.chrome_trace.is_some() || args.convergence
+    args.events.is_some()
+        || args.chrome_trace.is_some()
+        || args.convergence
+        || args.metrics.is_some()
 }
 
 /// Event-log bound for one observed run: generous enough that a CI-scale
@@ -43,9 +48,23 @@ pub fn run_adc_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport 
             ..ConvergenceConfig::default()
         });
     }
-    let mut log = EventLog::with_capacity(log_capacity(experiment.workload.total_requests()));
-    let report = Simulation::new(experiment.adc_agents(), sim)
-        .run_observed(experiment.workload.build(), &mut log);
+    let capacity = log_capacity(experiment.workload.total_requests());
+    let (report, log) = if let Some(path) = &args.metrics {
+        // Fan the event stream out to both the bounded log and the
+        // metrics registry via the pair probe.
+        let mut probe = (EventLog::with_capacity(capacity), MetricsProbe::new());
+        let mut report = Simulation::new(experiment.adc_agents(), sim.clone())
+            .run_observed(experiment.workload.build(), &mut probe);
+        let (log, metrics) = probe;
+        write_metrics_prom(path, &metrics);
+        report.metrics = Some(metrics.report());
+        (report, log)
+    } else {
+        let mut log = EventLog::with_capacity(capacity);
+        let report = Simulation::new(experiment.adc_agents(), sim)
+            .run_observed(experiment.workload.build(), &mut log);
+        (report, log)
+    };
 
     eprintln!(
         "observability: captured {} events ({} dropped at the {}-event bound)",
@@ -100,6 +119,19 @@ fn write_events_jsonl(path: &Path, log: &EventLog) {
     eprintln!("wrote {} ({} events)", path.display(), log.len());
 }
 
+fn write_metrics_prom(path: &Path, metrics: &MetricsProbe) {
+    let text = metrics.snapshot().to_prometheus();
+    let mut out = BufWriter::new(create_export_file(path));
+    out.write_all(text.as_bytes())
+        .and_then(|()| out.flush())
+        .expect("write metrics exposition");
+    eprintln!(
+        "wrote {} ({} bytes of Prometheus text)",
+        path.display(),
+        text.len()
+    );
+}
+
 fn write_chrome(path: &Path, log: &EventLog) {
     let mut out = BufWriter::new(create_export_file(path));
     adc_obs::write_chrome_trace(&mut out, log.events()).expect("write chrome trace");
@@ -131,6 +163,31 @@ mod tests {
         assert_eq!(log_capacity(0), 1 << 16);
         assert_eq!(log_capacity(u64::MAX), 1 << 23);
         assert_eq!(log_capacity(100_000), 1_200_000);
+    }
+
+    #[test]
+    fn metrics_flag_writes_exposition_and_fills_report() {
+        let path = std::env::temp_dir().join(format!(
+            "adc_bench_metrics_test_{}.prom",
+            std::process::id()
+        ));
+        let args = BenchArgs {
+            metrics: Some(path.clone()),
+            ..BenchArgs::default()
+        };
+        assert!(obs_enabled(&args));
+        let experiment = Experiment::at_scale(Scale::Custom(0.002));
+        let plain = experiment.run_adc();
+        let observed = run_adc_observed(&experiment, &args);
+        // The metrics probe must not perturb the simulation.
+        assert_eq!(plain.completed, observed.completed);
+        assert_eq!(plain.hits, observed.hits);
+        let metrics = observed.metrics.expect("metrics probe was on");
+        assert!(!metrics.per_proxy.is_empty());
+        let text = std::fs::read_to_string(&path).expect("exposition file written");
+        std::fs::remove_file(&path).ok();
+        adc_metrics::validate_prometheus(&text).expect("exposition must parse");
+        assert_eq!(text, metrics.snapshot.to_prometheus());
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "obs-coverage",
         severity: Severity::Warning,
-        summary: "ProxyStats counter mutation with no Probe emission nearby",
+        summary: "ProxyStats or metrics-registry mutation with no Probe emission nearby",
         scope: "adc-core, adc-baselines (library, non-test)",
     },
     RuleInfo {
@@ -459,7 +459,13 @@ fn obs_coverage(file: &SourceFile, out: &mut Vec<Finding>) {
         return;
     }
     for (i, line) in file.lines.iter().enumerate() {
-        if line.in_test || !(line.code.contains("stats.") && line.code.contains("+=")) {
+        let stats_mutation = line.code.contains("stats.") && line.code.contains("+=");
+        // Registry mutations in the hot path are held to the same
+        // standard: counters the simulator cannot reconcile against a
+        // SimEvent stream drift silently.
+        let registry_mutation =
+            line.code.contains(".counter_add(") || line.code.contains(".histogram_record(");
+        if line.in_test || !(stats_mutation || registry_mutation) {
             continue;
         }
         let lo = i.saturating_sub(10);
@@ -468,14 +474,20 @@ fn obs_coverage(file: &SourceFile, out: &mut Vec<Finding>) {
             .iter()
             .any(|l| l.code.contains(".emit(") || l.code.contains("P::ENABLED"));
         if !covered {
+            let what = if stats_mutation {
+                "ProxyStats counter"
+            } else {
+                "metrics registry family"
+            };
             push(
                 out,
                 "obs-coverage",
                 file,
                 i,
-                "ProxyStats counter mutated with no Probe emission within 10 lines; \
-                 emit a SimEvent so adc-obs reconciliation stays honest"
-                    .to_string(),
+                format!(
+                    "{what} mutated with no Probe emission within 10 lines; \
+                     emit a SimEvent so adc-obs reconciliation stays honest"
+                ),
             );
         }
     }

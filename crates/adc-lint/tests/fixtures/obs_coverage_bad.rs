@@ -3,3 +3,15 @@ impl Proxy {
         self.stats.hits += 1;
     }
 }
+
+impl Telemetry {
+    fn on_forward(&mut self) {
+        self.registry.counter_add("adc_forwards_total", self.id, 1);
+    }
+}
+
+impl Telemetry {
+    fn on_resolved(&mut self, hops: u64) {
+        self.registry.histogram_record("adc_hops", self.id, hops);
+    }
+}

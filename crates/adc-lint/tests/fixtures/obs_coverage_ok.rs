@@ -4,3 +4,10 @@ impl Proxy {
         probe.emit(SimEvent::LocalHit);
     }
 }
+
+impl Telemetry {
+    fn on_forward(&mut self, probe: &mut impl Probe) {
+        self.registry.counter_add("adc_forwards_total", self.id, 1);
+        probe.emit(SimEvent::ForwardLearned);
+    }
+}

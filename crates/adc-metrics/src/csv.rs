@@ -17,11 +17,23 @@ fn escape(field: &str) -> String {
     }
 }
 
+/// Whether a cell is the `Display` form of a non-finite float. Such
+/// cells would round-trip poorly (and silently poison downstream
+/// plotting), so the writers reject them.
+fn non_finite_cell(cell: &str) -> bool {
+    matches!(
+        cell,
+        "NaN" | "-NaN" | "inf" | "-inf" | "Infinity" | "-Infinity"
+    )
+}
+
 /// Writes a header row and data rows to `w`.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the underlying writer.
+/// Propagates I/O errors from the underlying writer; returns
+/// `InvalidInput` when any data cell is a non-finite float rendering
+/// (`NaN`, `inf`, `-inf`).
 pub fn write_rows<W: Write>(
     mut w: W,
     header: &[&str],
@@ -30,6 +42,12 @@ pub fn write_rows<W: Write>(
     let head: Vec<String> = header.iter().map(|h| escape(h)).collect();
     writeln!(w, "{}", head.join(","))?;
     for row in rows {
+        if let Some(bad) = row.iter().find(|c| non_finite_cell(c)) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("refusing to write non-finite CSV cell {bad:?}"),
+            ));
+        }
         let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
         writeln!(w, "{}", cells.join(","))?;
     }
@@ -63,7 +81,8 @@ pub fn write_file(
 ///
 /// # Errors
 ///
-/// Propagates I/O errors; returns `InvalidInput` when no series is given.
+/// Propagates I/O errors; returns `InvalidInput` when no series is given
+/// or when any series contains a non-finite point.
 pub fn write_series_file(
     path: impl AsRef<Path>,
     x_name: &str,
@@ -74,6 +93,18 @@ pub fn write_series_file(
             io::ErrorKind::InvalidInput,
             "need at least one series",
         ));
+    }
+    for s in series {
+        if let Some(&(x, y)) = s
+            .points
+            .iter()
+            .find(|(x, y)| !x.is_finite() || !y.is_finite())
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("series {:?} has non-finite point ({x}, {y})", s.name),
+            ));
+        }
     }
     let mut header: Vec<&str> = vec![x_name];
     header.extend(series.iter().map(|s| s.name.as_str()));
@@ -224,5 +255,40 @@ mod tests {
     fn empty_series_list_is_an_error() {
         let err = write_series_file("/tmp/never.csv", "x", &[]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn write_rows_rejects_non_finite_cells() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut buf = Vec::new();
+            let err = write_rows(
+                &mut buf,
+                &["a", "b"],
+                vec![vec!["1".to_string(), format!("{bad}")]],
+            )
+            .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "value {bad}");
+        }
+        // Finite rows keep working.
+        let mut buf = Vec::new();
+        write_rows(&mut buf, &["a"], vec![vec!["inflation".to_string()]]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a\ninflation\n");
+    }
+
+    #[test]
+    fn write_series_file_rejects_non_finite_points() {
+        let dir =
+            std::env::temp_dir().join(format!("adc-metrics-nonfinite-{}", std::process::id()));
+        let path = dir.join("bad.csv");
+        let mut s = Series::new("adc");
+        s.push(1.0, f64::NAN);
+        let err = write_series_file(&path, "x", &[&s]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let mut s = Series::new("adc");
+        s.push(f64::INFINITY, 0.5);
+        let err = write_series_file(&path, "x", &[&s]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(!path.exists(), "no partial file on rejection");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

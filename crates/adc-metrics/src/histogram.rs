@@ -70,6 +70,33 @@ impl Histogram {
         self.overflow
     }
 
+    /// Adds every observation of `other` into `self`.
+    ///
+    /// Exact for same-shape histograms: because both sides bucket on
+    /// identical edges, merging the counts then taking a quantile equals
+    /// recording the interleaved streams into one histogram, and merge is
+    /// commutative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms differ in bucket count or width.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bucket counts must match"
+        );
+        assert!(
+            self.width.to_bits() == other.width.to_bits(),
+            "histogram bucket widths must match"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Approximate quantile (0.0–1.0) by bucket midpoint; `None` when
     /// empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -141,6 +168,35 @@ mod tests {
         let mut h = Histogram::new(2, 1.0);
         h.record(100.0);
         assert_eq!(h.quantile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_overflow() {
+        let mut a = Histogram::new(4, 1.0);
+        let mut b = Histogram::new(4, 1.0);
+        a.record(0.5);
+        a.record(10.0); // overflow
+        b.record(0.7);
+        b.record(2.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bucket_count(0), 2);
+        assert_eq!(a.bucket_count(2), 1);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket counts must match")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(4, 1.0);
+        a.merge(&Histogram::new(5, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn merge_rejects_width_mismatch() {
+        let mut a = Histogram::new(4, 1.0);
+        a.merge(&Histogram::new(4, 2.0));
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! Measurement utilities shared by the ADC simulator, benchmarks and
 //! examples: the 5000-request [`MovingAverage`] from the paper's figures,
 //! sampled [`Series`] for plotting, streaming [`Summary`] statistics,
-//! [`Histogram`]s, and tiny CSV export helpers (see [`csv`]).
+//! [`Histogram`]s, tiny CSV export helpers (see [`csv`]), and the
+//! per-proxy metric [`Registry`] with Prometheus text exposition (see
+//! [`registry`]).
 //!
 //! # Examples
 //!
@@ -31,11 +33,13 @@ pub mod csv;
 mod histogram;
 mod moving;
 mod quantile;
+pub mod registry;
 mod series;
 mod summary;
 
 pub use histogram::Histogram;
 pub use moving::MovingAverage;
 pub use quantile::P2Quantile;
+pub use registry::{validate_prometheus, Log2Histogram, Registry, RegistrySnapshot};
 pub use series::{Sampler, Series};
 pub use summary::Summary;

@@ -1,7 +1,47 @@
 //! Property-based tests of the metrics primitives against naive models.
 
-use adc_metrics::{Histogram, MovingAverage, Series, Summary};
+use adc_metrics::{Histogram, Log2Histogram, MovingAverage, P2Quantile, Series, Summary};
 use proptest::prelude::*;
+
+/// Exact quantile of a sample by sorting: the smallest element whose
+/// empirical CDF reaches `q`.
+fn exact_quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Checks a P² estimate against the sample it saw: the estimate must sit
+/// inside the observed range, and its *rank* error (position in the
+/// empirical CDF) must be bounded — the right yardstick for heavy tails,
+/// where value distance is meaningless.
+fn check_p2_estimate(values: &[f64], q: f64, rank_tol: f64) -> Result<(), TestCaseError> {
+    let mut p2 = P2Quantile::new(q);
+    for &v in values {
+        p2.push(v);
+    }
+    let est = p2.value().unwrap();
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    prop_assert!(
+        est >= lo && est <= hi,
+        "q={q}: estimate {est} outside observed range [{lo}, {hi}]"
+    );
+    if values.len() < 20 {
+        return Ok(()); // range containment only below the bound regime
+    }
+    let n = values.len() as f64;
+    let frac_lt = values.iter().filter(|&&v| v < est).count() as f64 / n;
+    let frac_le = values.iter().filter(|&&v| v <= est).count() as f64 / n;
+    prop_assert!(
+        frac_le >= q - rank_tol && frac_lt <= q + rank_tol,
+        "q={q}: estimate {est} covers CDF [{frac_lt}, {frac_le}], want within {rank_tol} of {q} \
+         (exact {})",
+        exact_quantile(values, q)
+    );
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -64,6 +104,136 @@ proptest! {
             let v = h.quantile(q).unwrap();
             prop_assert!(v >= last, "quantile({q}) = {v} < {last}");
             last = v;
+        }
+    }
+
+    /// Merging any split of a stream into fixed-width histograms equals
+    /// recording the interleaved stream, bucket for bucket — so
+    /// merge-then-quantile equals interleaved-record-then-quantile — and
+    /// merge is commutative.
+    #[test]
+    fn histogram_merge_equals_interleaved(
+        values in prop::collection::vec(0f64..120.0, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let mut whole = Histogram::new(10, 5.0);
+        let mut left = Histogram::new(10, 5.0);
+        let mut right = Histogram::new(10, 5.0);
+        for &v in &values {
+            whole.record(v);
+        }
+        for &v in &values[..split] {
+            left.record(v);
+        }
+        for &v in &values[split..] {
+            right.record(v);
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        prop_assert_eq!(&lr, &whole, "merge must equal interleaved recording");
+        prop_assert_eq!(&rl, &whole, "merge must be commutative");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(lr.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Same exact-merge property for the log2 registry histogram, over
+    /// the full u64 domain.
+    #[test]
+    fn log2_histogram_merge_equals_interleaved(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let mut whole = Log2Histogram::new();
+        let mut left = Log2Histogram::new();
+        let mut right = Log2Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        for &v in &values[..split] {
+            left.record(v);
+        }
+        for &v in &values[split..] {
+            right.record(v);
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right;
+        rl.merge(&left);
+        prop_assert_eq!(&lr, &whole);
+        prop_assert_eq!(&rl, &whole);
+        for q in [0.5, 0.99] {
+            prop_assert_eq!(lr.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// P² median on sorted (ascending) input stays rank-accurate.
+    #[test]
+    fn p2_sorted_input_bounded_rank_error(
+        mut values in prop::collection::vec(0f64..1e6, 1..300),
+    ) {
+        values.sort_by(f64::total_cmp);
+        check_p2_estimate(&values, 0.5, 0.15)?;
+        check_p2_estimate(&values, 0.99, 0.15)?;
+    }
+
+    /// P² median on reversed (descending) input stays rank-accurate.
+    #[test]
+    fn p2_reversed_input_bounded_rank_error(
+        mut values in prop::collection::vec(0f64..1e6, 1..300),
+    ) {
+        values.sort_by(f64::total_cmp);
+        values.reverse();
+        check_p2_estimate(&values, 0.5, 0.15)?;
+        check_p2_estimate(&values, 0.99, 0.15)?;
+    }
+
+    /// P² on a constant stream reports exactly the constant.
+    #[test]
+    fn p2_constant_input_is_exact(value in -1e6f64..1e6, n in 1usize..300) {
+        let values = vec![value; n];
+        for q in [0.5, 0.99] {
+            let mut p2 = P2Quantile::new(q);
+            for &v in &values {
+                p2.push(v);
+            }
+            prop_assert_eq!(p2.value().unwrap(), value);
+        }
+    }
+
+    /// P² on heavy-tailed (Pareto α=2) input: the value estimate may be
+    /// far from the exact quantile, but its rank error stays bounded.
+    /// (Heavier tails than α=2 genuinely break P²'s parabolic markers —
+    /// measured median rank error reaches 0.49 on α=0.5 — so this pins
+    /// the boundary of where the estimator is trustworthy.)
+    #[test]
+    fn p2_heavy_tail_bounded_rank_error(
+        seeds in prop::collection::vec(1e-6f64..1.0, 20..300),
+    ) {
+        // Inverse-CDF Pareto transform: u in (0,1) -> u^(-1/2), the
+        // classic finite-mean, infinite-higher-moment tail.
+        let values: Vec<f64> = seeds.iter().map(|&u| u.powf(-0.5)).collect();
+        check_p2_estimate(&values, 0.5, 0.25)?;
+        check_p2_estimate(&values, 0.99, 0.25)?;
+    }
+
+    /// P² with fewer than five samples is exact (it sorts the buffer and
+    /// picks the nearest rank, `round((n-1) * q)`).
+    #[test]
+    fn p2_small_samples_are_exact(values in prop::collection::vec(-1e6f64..1e6, 1..5)) {
+        for q in [0.5, 0.99] {
+            let mut p2 = P2Quantile::new(q);
+            for &v in &values {
+                p2.push(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            prop_assert_eq!(p2.value().unwrap(), sorted[idx]);
         }
     }
 

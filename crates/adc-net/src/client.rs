@@ -3,18 +3,45 @@
 
 use crate::book::AddressBook;
 use crate::protocol::Frame;
-use crate::transport::{read_frame, Pool};
+use crate::transport::{read_frame, write_frame, Pool};
 use adc_core::{ClientId, ObjectId, ProxyId, Reply, Request, RequestId};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tokio::net::TcpListener;
+use tokio::net::TcpStream;
 use tokio::sync::oneshot;
 use tokio::task::JoinHandle;
+
+/// Scrapes the Prometheus text exposition from the node listening at
+/// `addr` by sending a [`Frame::MetricsRequest`] and reading the
+/// in-band response on the same connection.
+///
+/// # Errors
+///
+/// Returns `UnexpectedEof` if the node closes the connection without
+/// answering, `InvalidData` when the response is not a metrics frame or
+/// is not valid UTF-8, or any underlying socket error.
+pub async fn scrape_metrics(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr).await?;
+    write_frame(&mut stream, &Frame::MetricsRequest).await?;
+    let frame = read_frame(&mut stream)
+        .await?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "node closed during scrape"))?;
+    let Frame::MetricsResponse(body) = frame else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected a metrics response frame",
+        ));
+    };
+    String::from_utf8(body.to_vec())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad UTF-8: {e}")))
+}
 
 /// Outstanding requests awaiting replies.
 type PendingReplies = Arc<Mutex<HashMap<RequestId, oneshot::Sender<(Reply, Bytes)>>>>;

@@ -80,6 +80,29 @@ impl<A: CacheAgent + Send + 'static> Cluster<A> {
         *self.proxies[p.raw() as usize].agent.lock().stats()
     }
 
+    /// Scrapes proxy `p`'s Prometheus text exposition over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns `NotFound` for an unknown proxy, otherwise the errors of
+    /// [`crate::client::scrape_metrics`].
+    pub async fn metrics_text(&self, p: ProxyId) -> io::Result<String> {
+        let addr = self
+            .book
+            .proxy_addr(p)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such proxy {p}")))?;
+        crate::client::scrape_metrics(addr).await
+    }
+
+    /// Scrapes the origin server's Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`crate::client::scrape_metrics`].
+    pub async fn origin_metrics_text(&self) -> io::Result<String> {
+        crate::client::scrape_metrics(self.book.origin_addr()).await
+    }
+
     /// Cluster-wide counters.
     pub fn cluster_stats(&self) -> ProxyStats {
         let mut total = ProxyStats::default();

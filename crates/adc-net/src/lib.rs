@@ -39,7 +39,7 @@ pub mod protocol;
 pub mod transport;
 
 pub use book::AddressBook;
-pub use client::NetClient;
+pub use client::{scrape_metrics, NetClient};
 pub use cluster::Cluster;
 pub use driver::{drive_workload, DriveReport};
-pub use node::{origin_body, OriginNode, ProxyNode};
+pub use node::{origin_body, render_node_metrics, OriginNode, ProxyNode};

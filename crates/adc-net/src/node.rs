@@ -2,16 +2,20 @@
 
 use crate::book::AddressBook;
 use crate::protocol::Frame;
-use crate::transport::{read_frame, Pool};
+use crate::transport::{read_frame, write_frame, Pool};
 use adc_core::{
-    Action, ActionSink, CacheAgent, CacheEvent, Message, NullProbe, ObjectId, Probe, Reply,
+    Action, ActionSink, CacheAgent, CacheEvent, Message, NullProbe, ObjectId, Probe, ProxyId,
+    ProxyStats, Reply,
 };
+use adc_metrics::Registry;
+use adc_obs::metrics as families;
 use adc_workload::SizeModel;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tokio::net::TcpListener;
@@ -73,6 +77,24 @@ impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
                 let probe = Arc::clone(&probe);
                 tokio::spawn(async move {
                     while let Ok(Some(frame)) = read_frame(&mut stream).await {
+                        // Metrics scrapes are answered in-band on the
+                        // same connection — they belong to no flow and
+                        // never touch the address book or the pool.
+                        if frame == Frame::MetricsRequest {
+                            let text = {
+                                let agent = agent.lock();
+                                render_node_metrics(
+                                    agent.proxy_id(),
+                                    agent.stats(),
+                                    store.lock().len(),
+                                )
+                            };
+                            let response = Frame::MetricsResponse(Bytes::from(text.into_bytes()));
+                            if write_frame(&mut stream, &response).await.is_err() {
+                                break;
+                            }
+                            continue;
+                        }
                         let now_us = epoch.elapsed().as_micros() as u64;
                         let outgoing = handle_frame(&agent, &store, &rng, &probe, now_us, frame);
                         for (action, body) in outgoing {
@@ -159,7 +181,37 @@ fn handle_frame<A: CacheAgent, P: Probe>(
             apply_cache_events(&mut *agent, store, Some((object, body.clone())));
             sink.drain().map(|a| (a, body.clone())).collect()
         }
+        // Scrape frames are handled in-band by the connection loop and
+        // never reach the agent.
+        Frame::MetricsRequest | Frame::MetricsResponse(_) => Vec::new(),
     }
+}
+
+/// Renders one proxy node's live counters in the Prometheus text
+/// exposition format: the full [`ProxyStats`] block plus a
+/// stored-objects gauge, using the same family names as
+/// [`adc_obs::MetricsProbe`] where the semantics coincide, so simulator
+/// metrics and scraped cluster metrics line up.
+pub fn render_node_metrics(proxy: ProxyId, stats: &ProxyStats, stored_objects: usize) -> String {
+    let p = proxy.raw();
+    let mut reg = Registry::new();
+    reg.counter_add("adc_requests_received_total", p, stats.requests_received);
+    reg.counter_add(families::LOCAL_HITS, p, stats.local_hits);
+    reg.counter_add(families::FORWARDS_LEARNED, p, stats.forwards_learned);
+    reg.counter_add(families::FORWARDS_RANDOM, p, stats.forwards_random);
+    reg.counter_add(families::LOOPS_DETECTED, p, stats.origin_loops);
+    reg.counter_add(families::HOP_LIMIT, p, stats.origin_max_hops);
+    reg.counter_add(families::ORIGIN_THIS_MISS, p, stats.origin_this_miss);
+    reg.counter_add("adc_replies_processed_total", p, stats.replies_processed);
+    reg.counter_add(families::REPLIES_ORPHANED, p, stats.replies_orphaned);
+    reg.counter_add(families::CACHE_INSERTS, p, stats.cache_insertions);
+    reg.counter_add(families::CACHE_EVICTS, p, stats.cache_evictions);
+    reg.gauge_set(
+        families::CACHED_OBJECTS,
+        p,
+        i64::try_from(stored_objects).unwrap_or(i64::MAX),
+    );
+    reg.snapshot().to_prometheus()
 }
 
 fn apply_cache_events<A: CacheAgent>(
@@ -210,6 +262,7 @@ impl OriginNode {
     pub fn spawn(listener: TcpListener, book: Arc<AddressBook>) -> Self {
         let pool = Arc::new(Pool::new());
         let size_model = SizeModel::default();
+        let served = Arc::new(AtomicU64::new(0));
         let handle = tokio::spawn(async move {
             loop {
                 let Ok((mut stream, _)) = listener.accept().await else {
@@ -217,11 +270,27 @@ impl OriginNode {
                 };
                 let book = Arc::clone(&book);
                 let pool = Arc::clone(&pool);
+                let served = Arc::clone(&served);
                 tokio::spawn(async move {
                     while let Ok(Some(frame)) = read_frame(&mut stream).await {
+                        // Answer scrapes so a metrics sweep over every
+                        // address never hangs on the origin.
+                        if frame == Frame::MetricsRequest {
+                            let total = served.load(Ordering::Relaxed);
+                            let text = format!(
+                                "# TYPE adc_origin_requests_total counter\n\
+                                 adc_origin_requests_total {total}\n"
+                            );
+                            let response = Frame::MetricsResponse(Bytes::from(text.into_bytes()));
+                            if write_frame(&mut stream, &response).await.is_err() {
+                                break;
+                            }
+                            continue;
+                        }
                         let Frame::Request(request) = frame else {
                             continue;
                         };
+                        served.fetch_add(1, Ordering::Relaxed);
                         let body = origin_body(request.object, &size_model);
                         let reply = Reply::from_origin(&request, body.len() as u32);
                         let Some(addr) = book.addr_of(request.sender) else {

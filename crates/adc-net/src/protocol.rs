@@ -1,10 +1,12 @@
 //! The wire protocol: length-prefixed binary frames.
 //!
 //! Each frame is `u32` big-endian payload length followed by the payload.
-//! Payloads carry either a [`Request`] or a [`Reply`] plus, for replies,
-//! the object body bytes. Encoding is fixed-width big-endian throughout —
-//! no self-describing format, no versioning games, just the two message
-//! types the ADC system exchanges.
+//! Payloads carry a [`Request`], a [`Reply`] plus (for replies) the
+//! object body bytes, or a metrics scrape exchange: an empty
+//! [`Frame::MetricsRequest`] answered in-band with a
+//! [`Frame::MetricsResponse`] carrying Prometheus exposition text.
+//! Encoding is fixed-width big-endian throughout — no self-describing
+//! format, no versioning games.
 
 use adc_core::{ClientId, NodeId, ObjectId, ProxyId, Reply, Request, RequestId, ServedFrom};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -16,26 +18,37 @@ pub const MAX_FRAME: usize = 8 * 1024 * 1024;
 
 const TAG_REQUEST: u8 = 1;
 const TAG_REPLY: u8 = 2;
+const TAG_METRICS_REQUEST: u8 = 3;
+const TAG_METRICS_RESPONSE: u8 = 4;
 
 const NODE_CLIENT: u8 = 0;
 const NODE_PROXY: u8 = 1;
 const NODE_ORIGIN: u8 = 2;
 
-/// A decoded frame: a message plus (for replies) the object body.
+/// A decoded frame: a message plus (for replies) the object body, or a
+/// metrics scrape exchange.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
     /// A request on its way toward a resolver.
     Request(Request),
     /// A reply with the object body attached.
     Reply(Reply, Bytes),
+    /// Asks the receiving node for its metric families; answered in-band
+    /// on the same connection with a [`Frame::MetricsResponse`].
+    MetricsRequest,
+    /// Prometheus text-exposition payload (UTF-8) answering a
+    /// [`Frame::MetricsRequest`].
+    MetricsResponse(Bytes),
 }
 
 impl Frame {
-    /// The destination-independent request ID.
-    pub fn request_id(&self) -> RequestId {
+    /// The destination-independent request ID; `None` for the metrics
+    /// scrape frames, which belong to no flow.
+    pub fn request_id(&self) -> Option<RequestId> {
         match self {
-            Frame::Request(r) => r.id,
-            Frame::Reply(r, _) => r.id,
+            Frame::Request(r) => Some(r.id),
+            Frame::Reply(r, _) => Some(r.id),
+            Frame::MetricsRequest | Frame::MetricsResponse(_) => None,
         }
     }
 }
@@ -141,6 +154,14 @@ pub fn encode(frame: &Frame) -> Bytes {
             buf.put_u32(body.len() as u32);
             buf.put_slice(body);
         }
+        Frame::MetricsRequest => {
+            buf.put_u8(TAG_METRICS_REQUEST);
+        }
+        Frame::MetricsResponse(text) => {
+            buf.put_u8(TAG_METRICS_RESPONSE);
+            buf.put_u32(text.len() as u32);
+            buf.put_slice(text);
+        }
     }
     buf.freeze()
 }
@@ -218,6 +239,18 @@ pub fn decode(mut buf: Bytes) -> Result<Frame, ProtocolError> {
                 },
                 body,
             ))
+        }
+        TAG_METRICS_REQUEST => Ok(Frame::MetricsRequest),
+        TAG_METRICS_RESPONSE => {
+            if buf.remaining() < 4 {
+                return Err(ProtocolError::Truncated);
+            }
+            let text_len = buf.get_u32() as usize;
+            if text_len > MAX_FRAME || buf.remaining() < text_len {
+                return Err(ProtocolError::Truncated);
+            }
+            let text = buf.split_to(text_len);
+            Ok(Frame::MetricsResponse(text))
         }
         other => Err(ProtocolError::BadTag(other)),
     }
@@ -305,9 +338,31 @@ mod tests {
 
     #[test]
     fn frame_request_id_accessor() {
-        let f = Frame::Request(request());
-        assert_eq!(f.request_id(), RequestId::new(ClientId::new(3), 99));
-        let f = Frame::Reply(reply(), Bytes::new());
-        assert_eq!(f.request_id(), RequestId::new(ClientId::new(3), 99));
+        let id = RequestId::new(ClientId::new(3), 99);
+        assert_eq!(Frame::Request(request()).request_id(), Some(id));
+        assert_eq!(Frame::Reply(reply(), Bytes::new()).request_id(), Some(id));
+        assert_eq!(Frame::MetricsRequest.request_id(), None);
+        assert_eq!(Frame::MetricsResponse(Bytes::new()).request_id(), None);
+    }
+
+    #[test]
+    fn metrics_frames_round_trip() {
+        let f = Frame::MetricsRequest;
+        assert_eq!(decode(encode(&f)).unwrap(), f);
+        let f = Frame::MetricsResponse(Bytes::from_static(b"adc_up{proxy=\"0\"} 1\n"));
+        assert_eq!(decode(encode(&f)).unwrap(), f);
+        let f = Frame::MetricsResponse(Bytes::new());
+        assert_eq!(decode(encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_metrics_response_errors() {
+        let full = encode(&Frame::MetricsResponse(Bytes::from_static(b"metric 1\n")));
+        for cut in 0..full.len() {
+            assert!(
+                decode(full.slice(0..cut)).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
     }
 }

@@ -150,3 +150,84 @@ async fn carp_cluster_over_tcp_routes_to_owner() {
         .count();
     assert_eq!(holders, 1);
 }
+
+/// Extracts the value of `family{proxy="<p>"}` from a Prometheus text
+/// exposition, if present.
+fn sample_value(text: &str, family: &str, proxy: u32) -> Option<u64> {
+    let needle = format!("{family}{{proxy=\"{proxy}\"}} ");
+    text.lines()
+        .find(|l| l.starts_with(&needle))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[tokio::test]
+async fn scraped_metrics_validate_and_reconcile_with_stats() {
+    let cluster = Cluster::spawn_adc(3, small_config()).await.unwrap();
+    let client = cluster.client(ClientId::new(9)).await.unwrap();
+    for i in 0..30u64 {
+        client
+            .request(ObjectId::new(i % 7), ProxyId::new((i % 3) as u32))
+            .await
+            .unwrap();
+    }
+    for p in 0..3u32 {
+        let text = cluster.metrics_text(ProxyId::new(p)).await.unwrap();
+        adc_metrics::validate_prometheus(&text)
+            .unwrap_or_else(|e| panic!("proxy {p} exposition invalid: {e}"));
+        let stats = cluster.proxy_stats(ProxyId::new(p));
+        assert_eq!(
+            sample_value(&text, "adc_requests_received_total", p),
+            Some(stats.requests_received),
+            "proxy {p} request counter drifted from its stats snapshot"
+        );
+        assert_eq!(
+            sample_value(&text, "adc_local_hits_total", p),
+            Some(stats.local_hits),
+        );
+        // The exposed gauge mirrors the live byte store.
+        let stored = cluster.proxies[p as usize].stored_objects() as u64;
+        assert_eq!(sample_value(&text, "adc_cached_objects", p), Some(stored));
+    }
+}
+
+#[tokio::test]
+async fn origin_scrape_counts_served_requests() {
+    let cluster = Cluster::spawn_adc(2, small_config()).await.unwrap();
+    let client = cluster.client(ClientId::new(10)).await.unwrap();
+    // Distinct cold objects: every request reaches the origin exactly once.
+    for i in 100..110u64 {
+        client
+            .request(ObjectId::new(i), ProxyId::new(0))
+            .await
+            .unwrap();
+    }
+    let text = cluster.origin_metrics_text().await.unwrap();
+    adc_metrics::validate_prometheus(&text).unwrap();
+    let served: u64 = text
+        .lines()
+        .find(|l| l.starts_with("adc_origin_requests_total "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("origin exposition missing its request counter");
+    assert_eq!(served, 10);
+}
+
+#[tokio::test]
+async fn scrape_does_not_disturb_request_traffic() {
+    let cluster = Cluster::spawn_adc(2, small_config()).await.unwrap();
+    let client = cluster.client(ClientId::new(11)).await.unwrap();
+    for i in 0..5u64 {
+        client
+            .request(ObjectId::new(i), ProxyId::new(0))
+            .await
+            .unwrap();
+        // Interleave a scrape between requests on a fresh connection.
+        let text = cluster.metrics_text(ProxyId::new(0)).await.unwrap();
+        assert!(text.contains("adc_requests_received_total"));
+    }
+    assert_eq!(client.in_flight(), 0);
+    // Proxy-to-proxy forwards also count, so at least the 5 client entries.
+    let stats = cluster.proxy_stats(ProxyId::new(0));
+    assert!(stats.requests_received >= 5);
+}

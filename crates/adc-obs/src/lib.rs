@@ -18,6 +18,7 @@ pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod log;
+pub mod metrics;
 pub mod probe;
 
 pub use chrome::{to_chrome_trace, write_chrome_trace};
@@ -26,4 +27,5 @@ pub use event::{EventKind, SimEvent, TableLevel};
 pub use json::validate_json;
 pub use jsonl::{to_jsonl_string, write_event_json, write_jsonl};
 pub use log::EventLog;
+pub use metrics::{MetricsProbe, MetricsReport, ProxyMetricsSummary};
 pub use probe::{CountingProbe, NullProbe, Probe};

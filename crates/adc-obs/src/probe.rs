@@ -45,6 +45,34 @@ impl Probe for NullProbe {
     const ENABLED: bool = false;
 }
 
+/// Fan-out composition: a pair of probes is a probe that forwards every
+/// tick and event to both halves. `ENABLED` is the OR of the halves, and
+/// each half keeps its own compile-time guard, so pairing with
+/// [`NullProbe`] costs nothing for the null side.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn tick(&mut self, now_us: u64) {
+        if A::ENABLED {
+            self.0.tick(now_us);
+        }
+        if B::ENABLED {
+            self.1.tick(now_us);
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, event: SimEvent) {
+        if A::ENABLED {
+            self.0.emit(event);
+        }
+        if B::ENABLED {
+            self.1.emit(event);
+        }
+    }
+}
+
 /// A probe that only counts events per [`EventKind`] — the cheapest
 /// enabled probe, used by the stat-reconciliation property tests.
 #[derive(Debug, Default, Clone)]
@@ -91,6 +119,20 @@ mod tests {
             proxy: 0,
             object: 1,
         });
+    }
+
+    #[test]
+    fn probe_pairs_fan_out_and_or_enablement() {
+        const { assert!(!<(NullProbe, NullProbe) as Probe>::ENABLED) };
+        const { assert!(<(NullProbe, CountingProbe) as Probe>::ENABLED) };
+        let mut pair = (CountingProbe::new(), CountingProbe::new());
+        pair.tick(7);
+        pair.emit(SimEvent::LocalHit {
+            proxy: 0,
+            object: 1,
+        });
+        assert_eq!(pair.0.total(), 1);
+        assert_eq!(pair.1.total(), 1);
     }
 
     #[test]

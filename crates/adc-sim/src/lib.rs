@@ -53,6 +53,9 @@ pub use runner::Simulation;
 pub use time::SimTime;
 pub use tracelog::{DeliveryRecord, TraceLog};
 
-// Convergence sampling vocabulary, re-exported so simulator users can
-// configure and read it without a direct `adc-obs` dependency.
-pub use adc_obs::{ConvergenceConfig, ConvergenceReport};
+// Convergence sampling and metrics vocabulary, re-exported so simulator
+// users can configure and read them without a direct `adc-obs`
+// dependency.
+pub use adc_obs::{
+    ConvergenceConfig, ConvergenceReport, MetricsProbe, MetricsReport, ProxyMetricsSummary,
+};

@@ -3,7 +3,7 @@
 use crate::tracelog::TraceLog;
 use adc_core::ProxyStats;
 use adc_metrics::{Series, Summary};
-use adc_obs::ConvergenceReport;
+use adc_obs::{ConvergenceReport, MetricsReport};
 use adc_workload::Phase;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -87,6 +87,11 @@ pub struct SimReport {
     /// when [`SimConfig::convergence`](crate::SimConfig::convergence)
     /// was set.
     pub convergence: Option<ConvergenceReport>,
+    /// Per-proxy metric families and histogram summaries, present when
+    /// the run was driven through a
+    /// [`MetricsProbe`](adc_obs::MetricsProbe) (e.g.
+    /// [`Simulation::run_with_metrics`](crate::Simulation::run_with_metrics)).
+    pub metrics: Option<MetricsReport>,
     /// Wall-clock time the simulation took (Figure 15 style).
     pub wall_time: Duration,
     /// CPU time the simulating thread consumed. Unlike [`wall_time`],
@@ -229,6 +234,7 @@ mod tests {
             bytes_from_caches: 0,
             trace: None,
             convergence: None,
+            metrics: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };
@@ -272,6 +278,7 @@ mod tests {
             bytes_from_caches: 0,
             trace: Some(TraceLog::new(1)),
             convergence: None,
+            metrics: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };

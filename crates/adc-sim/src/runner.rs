@@ -568,6 +568,7 @@ impl<A: CacheAgent> Simulation<A> {
             bytes_from_caches,
             trace,
             convergence: conv.map(|c| c.tracker.into_report()),
+            metrics: None,
             wall_time: wall_start.elapsed(),
             cpu_time: crate::cputime::thread_cpu_now().saturating_sub(cpu_start),
         };
@@ -587,6 +588,18 @@ impl<A: CacheAgent> Simulation<A> {
         probe: &mut P,
     ) -> SimReport {
         self.run_observed_with_agents(workload, probe).0
+    }
+
+    /// Runs the workload with a [`MetricsProbe`](adc_obs::MetricsProbe)
+    /// attached and the resulting per-proxy families embedded in
+    /// [`SimReport::metrics`]. The probe is a pure event consumer — it
+    /// never touches the RNG streams or event order, so results are
+    /// identical to an unobserved run of the same seed.
+    pub fn run_with_metrics(self, workload: impl IntoIterator<Item = RequestRecord>) -> SimReport {
+        let mut probe = adc_obs::MetricsProbe::new();
+        let (mut report, _) = self.run_observed_with_agents(workload, &mut probe);
+        report.metrics = Some(probe.report());
+        report
     }
 }
 
@@ -669,6 +682,43 @@ mod tests {
         let report = sim.run(recs);
         assert_eq!(report.completed, 20);
         assert_eq!(report.hits, 19);
+    }
+
+    #[test]
+    fn run_with_metrics_matches_unobserved_run_and_reconciles() {
+        let build = || {
+            let config = AdcConfig::builder()
+                .single_capacity(64)
+                .multiple_capacity(64)
+                .cache_capacity(32)
+                .max_hops(8)
+                .build();
+            Simulation::new(adc_agents(3, config), SimConfig::fast())
+        };
+        let workload = || StationaryZipf::new(200, 0.9, 8, 11).take(3_000);
+        let plain = build().run(workload());
+        let observed = build().run_with_metrics(workload());
+        // The probe is a pure consumer: same seed, same results.
+        assert_eq!(plain.completed, observed.completed);
+        assert_eq!(plain.hits, observed.hits);
+        assert_eq!(plain.messages_delivered, observed.messages_delivered);
+        let metrics = observed.metrics.as_ref().expect("metrics embedded");
+        let snap = &metrics.snapshot;
+        // Registry counters reconcile with the report totals.
+        let total = |name: &str| -> u64 {
+            snap.counters
+                .iter()
+                .filter(|(m, _, _)| m == name)
+                .map(|&(_, _, v)| v)
+                .sum()
+        };
+        assert_eq!(total(adc_obs::metrics::REQUESTS_COMPLETED), plain.completed);
+        assert_eq!(total(adc_obs::metrics::REQUEST_HITS), plain.hits);
+        assert_eq!(total(adc_obs::metrics::LOCAL_HITS), plain.hits);
+        // Per-proxy summaries cover each agent that served something,
+        // and the exposition text round-trips the format checker.
+        assert!(!metrics.per_proxy.is_empty());
+        adc_metrics::validate_prometheus(&snap.to_prometheus()).expect("valid exposition");
     }
 
     #[test]
