@@ -4,7 +4,12 @@
 //! ADC agents over the shared Polygraph trace) and writes
 //! `BENCH_adc.json` — requests/sec, events/sec, peak flow-table size,
 //! wall and CPU time, a `"lint"` section (adc-lint rule and suppression
-//! counts, so allow-creep is visible in baseline diffs), plus a
+//! counts, so allow-creep is visible in baseline diffs), a `"shard"`
+//! section (the same experiment under open-loop injection on the
+//! barrier-synchronized sharded executor at 1 shard and at `--shards`
+//! shards, default 4 — the counts must be shard-count invariant and are
+//! gated exactly, the sharded throughput feeds the throughput gate, and
+//! the 1-shard/N-shard wall ratio is reported as `speedup`), plus a
 //! per-phase `"profile"` section (workload generation / simulation /
 //! report assembly) — to the current directory. The committed
 //! `BENCH_baseline.json` at the repository root is the baseline a
@@ -21,7 +26,7 @@
 //! accordingly so a smoke file is never mistaken for a baseline.
 
 use adc_bench::{BenchArgs, Experiment, Scale};
-use adc_sim::thread_cpu_now;
+use adc_sim::{thread_cpu_now, InjectionMode, SimTime};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -125,6 +130,59 @@ fn main() {
         "  \"events_per_sec\": {:.1},",
         per_sec(report.events_processed, wall)
     );
+    // Sharded-executor surface: the same experiment under open-loop
+    // injection (flows overlap, so worker shards have concurrent work),
+    // run on the barrier-synchronized executor at 1 shard and at
+    // `shards` shards over the same trace. The executor is shard-count
+    // invariant by construction, so the counts are gated exactly; the
+    // sharded events-per-second feeds the throughput gate.
+    let shards = if args.shards > 1 { args.shards } else { 4 };
+    let mut shard_exp = experiment.clone();
+    shard_exp.sim.injection = InjectionMode::OpenLoop {
+        interval: SimTime::from_micros(50),
+    };
+    eprintln!("bench_report: sharded executor — open-loop run at 1 shard, then {shards}...");
+    let shard_base = shard_exp.run_adc_sharded_on(&trace, 1);
+    let shard_run = shard_exp.run_adc_sharded_on(&trace, shards);
+    assert_eq!(
+        shard_base.to_deterministic_json(),
+        shard_run.to_deterministic_json(),
+        "sharded executor must be shard-count invariant"
+    );
+    let speedup = if shard_run.wall_time.as_secs_f64() > 0.0 {
+        shard_base.wall_time.as_secs_f64() / shard_run.wall_time.as_secs_f64()
+    } else {
+        0.0
+    };
+    let _ = writeln!(json, "  \"shard\": {{");
+    let _ = writeln!(json, "    \"shards\": {shards},");
+    let _ = writeln!(json, "    \"requests\": {},", shard_run.completed);
+    let _ = writeln!(json, "    \"events\": {},", shard_run.events_processed);
+    let _ = writeln!(json, "    \"messages\": {},", shard_run.messages_delivered);
+    let _ = writeln!(json, "    \"peak_flows\": {},", shard_run.peak_flows);
+    let _ = writeln!(json, "    \"hit_rate\": {:.6},", shard_run.hit_rate());
+    let _ = writeln!(
+        json,
+        "    \"baseline_wall_seconds\": {:.6},",
+        shard_base.wall_time.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"wall_seconds\": {:.6},",
+        shard_run.wall_time.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"baseline_events_per_sec\": {:.1},",
+        per_sec(shard_base.events_processed, shard_base.wall_time)
+    );
+    let _ = writeln!(
+        json,
+        "    \"events_per_sec\": {:.1},",
+        per_sec(shard_run.events_processed, shard_run.wall_time)
+    );
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  }},");
     let phase = |name: &str, w: Duration, c: Duration, last: bool| {
         format!(
             "    \"{name}\": {{ \"wall_seconds\": {:.6}, \"cpu_seconds\": {:.6} }}{}",

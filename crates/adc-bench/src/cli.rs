@@ -18,7 +18,10 @@
 //!   remaps, churn) during the main ADC run;
 //! * `--metrics <file>` — fold the main ADC run's events into the
 //!   per-proxy metrics registry and write the Prometheus text
-//!   exposition to this file.
+//!   exposition to this file;
+//! * `--shards <n>` — run the main ADC simulation on `n` worker shards
+//!   (the deterministic barrier-synchronized executor; `1`, the
+//!   default, uses the single-threaded runner).
 
 use crate::parallel::default_jobs;
 use crate::scale::Scale;
@@ -45,6 +48,8 @@ pub struct BenchArgs {
     pub convergence: bool,
     /// Write the main ADC run's Prometheus text exposition to this file.
     pub metrics: Option<PathBuf>,
+    /// Worker shards for the main ADC simulation (1 = single-threaded).
+    pub shards: usize,
 }
 
 impl Default for BenchArgs {
@@ -59,6 +64,7 @@ impl Default for BenchArgs {
             chrome_trace: None,
             convergence: false,
             metrics: None,
+            shards: 1,
         }
     }
 }
@@ -103,6 +109,15 @@ impl BenchArgs {
                 }
                 "--convergence" => out.convergence = true,
                 "--metrics" => out.metrics = Some(PathBuf::from(value_for("--metrics")?)),
+                "--shards" => {
+                    let shards: usize = value_for("--shards")?
+                        .parse()
+                        .map_err(|e| format!("bad --shards: {e}"))?;
+                    if shards == 0 {
+                        return Err("--shards must be at least 1".to_string());
+                    }
+                    out.shards = shards;
+                }
                 "--help" | "-h" => return Err(Self::usage()),
                 other => return Err(format!("unknown argument {other:?}\n{}", Self::usage())),
             }
@@ -126,7 +141,8 @@ impl BenchArgs {
     pub fn usage() -> String {
         "usage: <figure-bin> [--scale ci|full|<factor>] [--out <dir>] [--seed <u64>] \
          [--jobs <n>] [--serial-timing] [--events <file.jsonl>] \
-         [--chrome-trace <file.json>] [--convergence] [--metrics <file.prom>]"
+         [--chrome-trace <file.json>] [--convergence] [--metrics <file.prom>] \
+         [--shards <n>]"
             .to_string()
     }
 }
@@ -206,6 +222,14 @@ mod tests {
     }
 
     #[test]
+    fn shards_flag() {
+        assert_eq!(parse(&[]).unwrap().shards, 1);
+        assert_eq!(parse(&["--shards", "1"]).unwrap().shards, 1);
+        assert_eq!(parse(&["--shards", "4"]).unwrap().shards, 4);
+        assert_eq!(parse(&["--shards", "7"]).unwrap().shards, 7);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--events"]).is_err());
@@ -216,6 +240,9 @@ mod tests {
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--jobs", "two"]).is_err());
+        assert!(parse(&["--shards"]).is_err());
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "four"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

@@ -207,6 +207,13 @@ pub const EXACT_FIELDS: &[&str] = &[
     "replies_orphaned",
     "trace_dropped",
     "lint.rules",
+    // The sharded-executor run is shard-count invariant, so these hold
+    // regardless of the --shards value the report was produced with.
+    "shard.requests",
+    "shard.events",
+    "shard.messages",
+    "shard.peak_flows",
+    "shard.hit_rate",
 ];
 
 /// Fields where an *increase* over the baseline is a regression but a
@@ -215,7 +222,8 @@ pub const NON_INCREASING_FIELDS: &[&str] = &["lint.suppressions"];
 
 /// Throughput fields: higher is better, compared with a relative
 /// threshold because shared runners are noisy.
-pub const THROUGHPUT_FIELDS: &[&str] = &["requests_per_sec", "events_per_sec"];
+pub const THROUGHPUT_FIELDS: &[&str] =
+    &["requests_per_sec", "events_per_sec", "shard.events_per_sec"];
 
 /// Identity fields that must match for the comparison to make sense at
 /// all (comparing a smoke run against a full baseline is meaningless).
@@ -377,11 +385,24 @@ mod tests {
   "mean_hops": 4.857724,
   "replies_orphaned": 0,
   "trace_dropped": 0,
-  "lint": { "rules": 10, "suppressions": 44 },
+  "lint": { "rules": 11, "suppressions": 49 },
   "wall_seconds": 0.529920,
   "cpu_seconds": 0.526393,
   "requests_per_sec": 752943.2,
   "events_per_sec": 4012149.2,
+  "shard": {
+    "shards": 4,
+    "requests": 399000,
+    "events": 2525120,
+    "messages": 2126120,
+    "peak_flows": 212,
+    "hit_rate": 0.525434,
+    "baseline_wall_seconds": 0.810000,
+    "wall_seconds": 0.270000,
+    "baseline_events_per_sec": 3117432.1,
+    "events_per_sec": 9352296.3,
+    "speedup": 3.000
+  },
   "profile": {
     "workload_gen": { "wall_seconds": 0.089630, "cpu_seconds": 0.080885 },
     "simulate": { "wall_seconds": 0.529920, "cpu_seconds": 0.526393 },
@@ -399,7 +420,9 @@ mod tests {
             fields.get("benchmark"),
             Some(&Scalar::Str("adc_end_to_end_5_proxies".to_string()))
         );
-        assert_eq!(fields.get("lint.rules"), Some(&Scalar::Num(10.0)));
+        assert_eq!(fields.get("lint.rules"), Some(&Scalar::Num(11.0)));
+        assert_eq!(fields.get("shard.shards"), Some(&Scalar::Num(4.0)));
+        assert_eq!(fields.get("shard.events"), Some(&Scalar::Num(2525120.0)));
         assert_eq!(
             fields.get("profile.total.wall_seconds"),
             Some(&Scalar::Num(0.619812))
@@ -418,7 +441,7 @@ mod tests {
     #[test]
     fn null_lint_section_is_tolerated() {
         let doctored = BASELINE.replace(
-            r#""lint": { "rules": 10, "suppressions": 44 }"#,
+            r#""lint": { "rules": 11, "suppressions": 49 }"#,
             r#""lint": null"#,
         );
         // A baseline without a lint scan simply gates fewer fields.
@@ -455,10 +478,10 @@ mod tests {
 
     #[test]
     fn suppression_creep_fails_but_reduction_warns() {
-        let crept = BASELINE.replace("\"suppressions\": 44", "\"suppressions\": 45");
+        let crept = BASELINE.replace("\"suppressions\": 49", "\"suppressions\": 50");
         let report = diff_reports(BASELINE, &crept, &DiffConfig::default()).unwrap();
         assert!(!report.passed());
-        let reduced = BASELINE.replace("\"suppressions\": 44", "\"suppressions\": 40");
+        let reduced = BASELINE.replace("\"suppressions\": 49", "\"suppressions\": 40");
         let report = diff_reports(BASELINE, &reduced, &DiffConfig::default()).unwrap();
         assert!(report.passed());
         assert_eq!(report.warnings.len(), 1);
@@ -487,6 +510,37 @@ mod tests {
         );
         let report = diff_reports(BASELINE, &mild, &DiffConfig::default()).unwrap();
         assert!(report.passed());
+    }
+
+    #[test]
+    fn shard_invariance_drift_is_a_hard_failure() {
+        let doctored = BASELINE.replace("\"events\": 2525120", "\"events\": 2525121");
+        let report = diff_reports(BASELINE, &doctored, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("shard.events")));
+        // The shard count itself is deliberately ungated: a report
+        // produced with a different --shards value must still pass when
+        // the (shard-count-invariant) counts match.
+        let other_shards = BASELINE.replace("\"shards\": 4", "\"shards\": 8");
+        let report = diff_reports(BASELINE, &other_shards, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn shard_throughput_drop_trips_the_gate() {
+        let slow = BASELINE.replace(
+            "\"events_per_sec\": 9352296.3",
+            "\"events_per_sec\": 4000000.0",
+        );
+        let report = diff_reports(BASELINE, &slow, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("shard.events_per_sec")));
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! flags the run goes through the plain (probe-free) path, so default
 //! invocations stay bit-for-bit identical to the pre-observability
 //! harness.
+//!
+//! `--shards <n>` (n > 1) routes the main run through the sharded
+//! executor instead; its reports are byte-identical to the
+//! single-threaded runner's, so figure CSVs do not depend on the shard
+//! count. Convergence sampling and the metrics exposition compose with
+//! sharding; the typed event stream (`--events`, `--chrome-trace`) is a
+//! single-threaded capture and is rejected in combination.
 
 use crate::cli::BenchArgs;
 use crate::experiment::Experiment;
@@ -37,6 +44,9 @@ fn log_capacity(total_requests: u64) -> usize {
 /// for it. Exports are written immediately; capture and convergence
 /// summaries go to stderr so figure stdout stays machine-readable.
 pub fn run_adc_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport {
+    if args.shards > 1 {
+        return run_adc_sharded_observed(experiment, args);
+    }
     if !obs_enabled(args) {
         return experiment.run_adc();
     }
@@ -78,6 +88,42 @@ pub fn run_adc_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport 
     if let Some(path) = &args.chrome_trace {
         write_chrome(path, &log);
     }
+    print_convergence_summary(&report);
+    report
+}
+
+/// The main ADC run on the sharded executor: convergence and metrics
+/// compose with sharding, the typed event stream does not.
+fn run_adc_sharded_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport {
+    if args.events.is_some() || args.chrome_trace.is_some() {
+        eprintln!(
+            "--events/--chrome-trace capture the single-threaded runner's \
+             event stream and cannot be combined with --shards > 1"
+        );
+        std::process::exit(2);
+    }
+    let mut sim = experiment.sim.clone();
+    if args.convergence {
+        sim.convergence = Some(ConvergenceConfig {
+            sample_every: sim.sample_every,
+            ..ConvergenceConfig::default()
+        });
+    }
+    eprintln!("sharded executor: {} worker shards", args.shards);
+    let simulation = Simulation::new(experiment.adc_agents(), sim);
+    let report = if let Some(path) = &args.metrics {
+        let report = simulation.run_sharded_with_metrics(experiment.workload.build(), args.shards);
+        let metrics = report.metrics.as_ref().expect("metrics probe was on");
+        write_prom_text(path, &metrics.snapshot.to_prometheus());
+        report
+    } else {
+        simulation.run_sharded(experiment.workload.build(), args.shards)
+    };
+    print_convergence_summary(&report);
+    report
+}
+
+fn print_convergence_summary(report: &SimReport) {
     if let Some(conv) = &report.convergence {
         eprintln!(
             "convergence: {} samples, final agreement {:.4}, {} remaps, {} churn",
@@ -87,7 +133,6 @@ pub fn run_adc_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport 
             conv.total_churn
         );
     }
-    report
 }
 
 /// For the sweep-driven binaries (fig13–15, ablations), which never run
@@ -120,7 +165,10 @@ fn write_events_jsonl(path: &Path, log: &EventLog) {
 }
 
 fn write_metrics_prom(path: &Path, metrics: &MetricsProbe) {
-    let text = metrics.snapshot().to_prometheus();
+    write_prom_text(path, &metrics.snapshot().to_prometheus());
+}
+
+fn write_prom_text(path: &Path, text: &str) {
     let mut out = BufWriter::new(create_export_file(path));
     out.write_all(text.as_bytes())
         .and_then(|()| out.flush())
@@ -188,6 +236,23 @@ mod tests {
         std::fs::remove_file(&path).ok();
         adc_metrics::validate_prometheus(&text).expect("exposition must parse");
         assert_eq!(text, metrics.snapshot.to_prometheus());
+    }
+
+    #[test]
+    fn sharded_observed_run_is_byte_identical_to_the_single_threaded_path() {
+        let experiment = Experiment::at_scale(Scale::Custom(0.002));
+        let single = BenchArgs {
+            convergence: true,
+            ..BenchArgs::default()
+        };
+        let sharded = BenchArgs {
+            convergence: true,
+            shards: 4,
+            ..BenchArgs::default()
+        };
+        let a = run_adc_observed(&experiment, &single);
+        let b = run_adc_observed(&experiment, &sharded);
+        assert_eq!(a.to_deterministic_json(), b.to_deterministic_json());
     }
 
     #[test]

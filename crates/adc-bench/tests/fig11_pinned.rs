@@ -91,3 +91,28 @@ fn fig11_micro_counts_match_golden() {
          is intentional, re-bless with ADC_BLESS_GOLDEN=1"
     );
 }
+
+/// The same scenario on the sharded executor must reproduce the *same*
+/// golden file: sequential injection on N shards is defined to be
+/// byte-identical to the single-threaded runner, so this test is never
+/// re-blessed separately — any divergence is a sharding bug.
+#[test]
+fn fig11_micro_counts_match_golden_on_the_sharded_executor() {
+    if std::env::var_os("ADC_BLESS_GOLDEN").is_some() {
+        return; // blessing is the single-threaded test's job
+    }
+    let experiment = Experiment::at_scale(Scale::Custom(0.002));
+    let trace = experiment.trace();
+    let adc = experiment.run_adc_sharded_on(&trace, 4);
+    let carp = experiment.run_carp_sharded_on(&trace, 4);
+    let rendered = format!("{}\n{}", render("adc", &adc), render("carp", &carp));
+    let golden = std::fs::read_to_string(golden_path()).expect(
+        "golden file missing; bless it with \
+         ADC_BLESS_GOLDEN=1 cargo test -p adc-bench --test fig11_pinned",
+    );
+    assert_eq!(
+        rendered, golden,
+        "sharded fig11 micro counts diverged from the single-threaded \
+         golden file — the sharded executor broke bit-equality"
+    );
+}

@@ -75,6 +75,12 @@ pub const RULES: &[RuleInfo] = &[
         scope: "adc-core, adc-obs (library, non-test)",
     },
     RuleInfo {
+        id: "shard-safety",
+        severity: Severity::Error,
+        summary: "static mut, thread locals, or unsynchronized interior mutability in shard-parallel hot-path code",
+        scope: "adc-core plus adc-sim hot path (code sharded workers may run concurrently)",
+    },
+    RuleInfo {
         id: "no-println",
         severity: Severity::Error,
         summary: "println!/print!/dbg! in library code (use probes or return values)",
@@ -122,6 +128,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/adc-sim/src/queue.rs",
     "crates/adc-sim/src/flows.rs",
     "crates/adc-sim/src/runner.rs",
+    "crates/adc-sim/src/sharded.rs",
 ];
 
 /// Runs every rule against one file.
@@ -134,6 +141,7 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
     lossy_cast(file, out);
     obs_coverage(file, out);
     api_docs(file, out);
+    shard_safety(file, out);
     no_println(file, out);
 }
 
@@ -569,6 +577,49 @@ fn walk_attributes_up(file: &SourceFile, mut j: usize) -> usize {
     }
 }
 
+/// Shared-state constructs the sharded executor's `Send` contract cannot
+/// see: `static mut` and thread locals are process-global state that
+/// aliases across worker shards, and unsynchronized interior mutability
+/// (`Cell`/`RefCell`/`UnsafeCell`) silently defeats the `&mut`-per-shard
+/// ownership discipline the barrier protocol relies on. `Mutex`/atomics
+/// are fine — they synchronize — so they are not listed.
+fn shard_safety(file: &SourceFile, out: &mut Vec<Finding>) {
+    let core_scope = file.is_lib && file.krate == "adc-core";
+    if !(core_scope || is_hot_path(file)) {
+        return;
+    }
+    const TOKENS: &[(&str, &str)] = &[
+        ("static mut", "mutable process-global state"),
+        (
+            "thread_local!",
+            "per-OS-thread state (shard-count dependent)",
+        ),
+        ("RefCell", "unsynchronized interior mutability"),
+        ("Cell", "unsynchronized interior mutability"),
+        ("UnsafeCell", "unsynchronized interior mutability"),
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (tok, what) in TOKENS {
+            if contains_token(&line.code, tok) {
+                push(
+                    out,
+                    "shard-safety",
+                    file,
+                    i,
+                    format!(
+                        "{what} (`{tok}`) in code sharded workers may run concurrently; \
+                         keep state per-shard or synchronize it (Mutex/atomics)"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
 fn no_println(file: &SourceFile, out: &mut Vec<Finding>) {
     if !in_scope(file, PRINTLN_CRATES) {
         return;
@@ -752,6 +803,57 @@ mod tests {
             "#[derive(\n    Debug, Clone,\n)]\npub struct S;",
         );
         assert!(rules_of(&bad).contains(&"api-docs"));
+    }
+
+    #[test]
+    fn shard_safety_catches_unsynchronized_shared_state() {
+        for bad in [
+            "static mut COUNTER: u64 = 0;",
+            "thread_local! { static S: u64 = 0; }",
+            "struct S { c: std::cell::Cell<u64> }",
+            "struct S { c: RefCell<Vec<u64>> }",
+            "struct S { c: UnsafeCell<u64> }",
+        ] {
+            let f = lib("adc-core", bad);
+            assert!(rules_of(&f).contains(&"shard-safety"), "should flag: {bad}");
+        }
+    }
+
+    #[test]
+    fn shard_safety_allows_synchronized_and_owned_state() {
+        for ok in [
+            "struct S { c: std::sync::Mutex<u64> }",
+            "struct S { c: AtomicU64 }",
+            "struct MyCellar { c: u64 }",
+            "struct S { c: OnceCell<u64> }",
+            "fn cellmate() {}",
+        ] {
+            let f = lib("adc-core", ok);
+            assert!(
+                !rules_of(&f).contains(&"shard-safety"),
+                "should not flag: {ok}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_safety_scope_is_core_plus_hot_path() {
+        let hot = findings(
+            "adc-sim",
+            "crates/adc-sim/src/sharded.rs",
+            "static mut COUNTER: u64 = 0;",
+        );
+        assert!(rules_of(&hot).contains(&"shard-safety"));
+        // Coordinator-only and post-processing code may use whatever the
+        // borrow checker allows.
+        let cold = findings(
+            "adc-sim",
+            "crates/adc-sim/src/config.rs",
+            "struct S { c: RefCell<u64> }",
+        );
+        assert!(!rules_of(&cold).contains(&"shard-safety"));
+        let obs = lib("adc-obs", "struct S { c: RefCell<u64> }");
+        assert!(!rules_of(&obs).contains(&"shard-safety"));
     }
 
     #[test]

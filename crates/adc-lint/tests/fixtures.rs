@@ -87,6 +87,13 @@ const CASES: &[(&str, &str, &str, &str, &str)] = &[
         "crates/adc-core/src/fixture.rs",
     ),
     (
+        "shard-safety",
+        "shard_safety_bad.rs",
+        "shard_safety_ok.rs",
+        "adc-sim",
+        "crates/adc-sim/src/sharded.rs",
+    ),
+    (
         "no-println",
         "no_println_bad.rs",
         "no_println_ok.rs",

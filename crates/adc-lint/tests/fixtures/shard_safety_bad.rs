@@ -1,0 +1,16 @@
+//! Negative fixture: every construct the shard-safety rule forbids in
+//! code that sharded workers may run concurrently.
+
+static mut GLOBAL_EVENTS: u64 = 0;
+
+thread_local! {
+    static SCRATCH: Vec<u64> = Vec::new();
+}
+
+pub struct Shard {
+    // Unsynchronized interior mutability defeats &mut-per-shard
+    // ownership even behind a shared reference.
+    hits: std::cell::Cell<u64>,
+    log: std::cell::RefCell<Vec<u64>>,
+    raw: std::cell::UnsafeCell<u64>,
+}

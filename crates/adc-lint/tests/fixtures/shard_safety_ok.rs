@@ -1,0 +1,25 @@
+//! Positive fixture: per-shard owned state and synchronized sharing are
+//! both fine; identifiers merely containing the forbidden names (e.g.
+//! `OnceCell`-style suffixes) must not trip the token matcher.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+pub struct Shard {
+    events: u64,
+    inbox: Vec<u64>,
+}
+
+pub struct SharedRng {
+    inner: Arc<Mutex<u64>>,
+}
+
+pub static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+pub struct MyCellar {
+    cellars: Vec<u64>,
+}
+
+fn cellmate(shard: &mut Shard) {
+    shard.events += 1;
+}

@@ -263,6 +263,23 @@ impl Registry {
         }
     }
 
+    /// Folds an ordered sequence of registries into one, by repeated
+    /// [`Registry::merge`].
+    ///
+    /// Shard-merge entry point: each simulation shard accumulates its own
+    /// registry, and the coordinator folds them after the run. Because
+    /// `merge` is element-wise addition over identically-shaped families,
+    /// the fold is exact and independent of the shard partitioning — the
+    /// merged registry for `shards=N` is byte-identical to the `shards=1`
+    /// registry for the same event stream.
+    pub fn merge_all<'a>(parts: impl IntoIterator<Item = &'a Registry>) -> Registry {
+        let mut merged = Registry::new();
+        for part in parts {
+            merged.merge(part);
+        }
+        merged
+    }
+
     /// An owned, sorted, render-ready copy of every family.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
@@ -577,6 +594,34 @@ mod tests {
         assert_eq!(r.counter("a_total", 0), 6);
         assert_eq!(r.gauge("occ", 0), 6);
         assert_eq!(r.histogram("hops", 2).map(Log2Histogram::count), Some(2));
+    }
+
+    #[test]
+    fn merge_all_is_partition_invariant() {
+        // Record one stream whole, and the same stream split across 3
+        // "shards"; the folded registries must be identical.
+        let mut whole = Registry::new();
+        let mut shards = [Registry::new(), Registry::new(), Registry::new()];
+        for i in 0..300u64 {
+            let proxy = (i % 5) as u32; // 5 proxies round-robin
+            whole.counter_add("adc_local_hits_total", proxy, 1);
+            whole.histogram_record("adc_hops", proxy, i % 9);
+            whole.gauge_add("adc_cached_objects", proxy, 1);
+            let s = &mut shards[(i % 3) as usize]; // shard by index
+            s.counter_add("adc_local_hits_total", proxy, 1);
+            s.histogram_record("adc_hops", proxy, i % 9);
+            s.gauge_add("adc_cached_objects", proxy, 1);
+        }
+        let merged = Registry::merge_all(shards.iter());
+        assert_eq!(merged, whole);
+        assert_eq!(
+            merged.snapshot().to_prometheus(),
+            whole.snapshot().to_prometheus()
+        );
+        // Folding a single registry is the identity.
+        assert_eq!(Registry::merge_all([&whole]), whole);
+        // Folding nothing yields an empty registry.
+        assert_eq!(Registry::merge_all([]), Registry::new());
     }
 
     #[test]

@@ -140,6 +140,56 @@ impl MetricsProbe {
         MetricsReport::from_registry(&self.registry)
     }
 
+    /// Records a completed flow with an exact serving-proxy attribution.
+    ///
+    /// Equivalent to emitting [`SimEvent::RequestCompleted`] except that
+    /// the hit slot is `server` (the proxy named by the reply's
+    /// `served_from`) instead of the most-recent [`SimEvent::LocalHit`]
+    /// heuristic. The sharded executor folds completions on the
+    /// coordinator, where the serving proxy is known exactly; in
+    /// sequential injection the two attributions coincide (flows never
+    /// interleave), so merged sharded registries stay byte-identical to
+    /// a single-threaded run. `server = None` (origin-served) lands in
+    /// the [`CLUSTER`] slot.
+    pub fn record_completion(
+        &mut self,
+        now_us: u64,
+        hit: bool,
+        hops: u32,
+        start_us: u64,
+        server: Option<u32>,
+    ) {
+        self.now_us = now_us;
+        let r = &mut self.registry;
+        r.counter_add(REQUESTS_COMPLETED, CLUSTER, 1);
+        let slot = if hit {
+            r.counter_add(REQUEST_HITS, CLUSTER, 1);
+            server.unwrap_or(CLUSTER)
+        } else {
+            CLUSTER
+        };
+        r.histogram_record(HOPS, slot, u64::from(hops));
+        r.histogram_record(
+            RESOLUTION_LATENCY_US,
+            slot,
+            self.now_us.saturating_sub(start_us),
+        );
+        self.completed += 1;
+        if self.cadence > 0 && self.completed.is_multiple_of(self.cadence) {
+            self.sample_occupancy();
+        }
+    }
+
+    /// Immediately records the current table-occupancy gauges into their
+    /// histogram families, regardless of the cadence.
+    ///
+    /// The sharded executor drives occupancy sampling from the
+    /// coordinator's completion count (the cluster-wide cadence), since
+    /// per-shard probes never observe completions.
+    pub fn sample_occupancy_now(&mut self) {
+        self.sample_occupancy();
+    }
+
     /// Records current table-occupancy gauges into their histogram
     /// families (one observation per known proxy and family).
     fn sample_occupancy(&mut self) {
@@ -492,6 +542,55 @@ mod tests {
         // The snapshot renders as valid Prometheus text.
         adc_metrics::validate_prometheus(&report.snapshot.to_prometheus())
             .expect("snapshot renders valid exposition text");
+    }
+
+    #[test]
+    fn record_completion_matches_event_path_on_exact_attribution() {
+        // Event path: hit attributed via last LocalHit for the object.
+        let mut via_event = MetricsProbe::with_cadence(0);
+        hit_flow(&mut via_event, 4, 11, 3, 250);
+        // Direct path: same flow recorded with the exact server.
+        let mut direct = MetricsProbe::with_cadence(0);
+        direct.emit(SimEvent::RequestInjected {
+            client: 0,
+            seq: 0,
+            object: 11,
+        });
+        direct.emit(SimEvent::LocalHit {
+            proxy: 4,
+            object: 11,
+        });
+        direct.record_completion(1_250, true, 3, 1_000, Some(4));
+        assert_eq!(
+            via_event.snapshot().to_prometheus(),
+            direct.snapshot().to_prometheus(),
+            "exact attribution must reproduce the heuristic when flows do not interleave"
+        );
+        // Origin-served flows land in the cluster slot either way.
+        let mut miss = MetricsProbe::with_cadence(0);
+        miss.record_completion(500, false, 6, 100, None);
+        let r = miss.registry();
+        assert_eq!(r.counter(REQUEST_HITS, CLUSTER), 0);
+        assert_eq!(r.histogram(HOPS, CLUSTER).map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn sample_occupancy_now_records_outside_cadence() {
+        let mut p = MetricsProbe::with_cadence(0);
+        p.emit(SimEvent::TableMigration {
+            proxy: 0,
+            object: 1,
+            from: TableLevel::Out,
+            to: TableLevel::Single,
+        });
+        p.sample_occupancy_now();
+        p.sample_occupancy_now();
+        let h = p
+            .registry()
+            .histogram("adc_table_single_occupancy", 0)
+            .expect("occupancy sampled on demand");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 2);
     }
 
     #[test]

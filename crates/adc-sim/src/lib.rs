@@ -40,6 +40,7 @@ mod network;
 mod queue;
 mod report;
 mod runner;
+mod sharded;
 mod time;
 mod tracelog;
 

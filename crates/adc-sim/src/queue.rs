@@ -122,6 +122,50 @@ impl<T> CalendarQueue<T> {
         }
     }
 
+    /// Returns the key of the minimum `(at, seq)` item without removing
+    /// it.
+    ///
+    /// Takes `&mut self` because locating the minimum advances the
+    /// bucket window exactly as [`pop`](CalendarQueue::pop) would — the
+    /// amortised O(1) cursor walk is shared, so `peek_key` followed by
+    /// `pop` re-scans only the (O(1)-occupancy) current bucket. The
+    /// sharded executor uses this to decide whether the next event falls
+    /// inside the current synchronization window without consuming it.
+    pub fn peek_key(&mut self) -> Option<(u64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Scan windows in time order, mirroring pop()'s walk.
+        for _ in 0..self.buckets.len() {
+            let bucket = &self.buckets[self.cursor];
+            let mut best: Option<(u64, u64)> = None;
+            for item in bucket.iter() {
+                if item.at < self.bucket_top && best.is_none_or(|key| (item.at, item.seq) < key) {
+                    best = Some((item.at, item.seq));
+                }
+            }
+            if best.is_some() {
+                return best;
+            }
+            // mask fits usize: it is derived from buckets.len() - 1.
+            self.cursor = (self.cursor + 1) & self.mask as usize;
+            self.bucket_top += self.width();
+        }
+        // A full lap of empty windows: fall back to a direct scan and
+        // jump the window to the global minimum, as pop() does.
+        let (at, seq) = self
+            .buckets
+            .iter()
+            .flat_map(|bucket| bucket.iter().map(|item| (item.at, item.seq)))
+            .min()
+            // Invariant: len > 0 was checked on entry, so some bucket
+            // holds an item. adc-lint: allow(panic)
+            .expect("len > 0 but no item found");
+        self.cursor = self.bucket_of(at);
+        self.bucket_top = ((at >> self.shift) + 1) << self.shift;
+        Some((at, seq))
+    }
+
     /// Removes and returns the minimum `(at, seq)` item.
     pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         if self.len == 0 {
@@ -289,6 +333,35 @@ mod tests {
             last = Some((at, seq));
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_key_matches_pop_without_consuming() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.peek_key(), None);
+        q.push(5, 0, "a");
+        q.push(3, 1, "b");
+        assert_eq!(q.peek_key(), Some((3, 1)));
+        assert_eq!(q.peek_key(), Some((3, 1)), "peek must not consume");
+        assert_eq!(q.pop(), Some((3, 1, "b")));
+        assert_eq!(q.peek_key(), Some((5, 0)));
+        assert_eq!(q.pop(), Some((5, 0, "a")));
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn peek_key_jumps_year_gaps_and_allows_rewinds() {
+        let mut q = CalendarQueue::new();
+        let year = 256u64 << DEFAULT_SHIFT;
+        q.push(10 * year + 17, 0, ());
+        // Peek across a multi-year gap (exercises the full-lap fallback).
+        assert_eq!(q.peek_key(), Some((10 * year + 17, 0)));
+        // A past push after the window jumped ahead must still peek
+        // first.
+        q.push(5, 1, ());
+        assert_eq!(q.peek_key(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 1, ())));
+        assert_eq!(q.pop(), Some((10 * year + 17, 0, ())));
     }
 
     #[test]

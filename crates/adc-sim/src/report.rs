@@ -57,12 +57,21 @@ pub struct SimReport {
     /// Cache occupancy over time, one series per proxy (sampled on the
     /// same schedule as the hit-rate series).
     pub occupancy_series: Vec<Series>,
-    /// Total message deliveries (including duplicates).
+    /// Total message deliveries (including duplicates). A pure event
+    /// count: the sharded executor merges it by summing per-shard
+    /// counters.
     pub messages_delivered: u64,
     /// Total events the simulator processed (deliveries plus injection
     /// ticks) — the denominator for events/sec throughput numbers.
+    /// Summed across shards; the sharded executor synthesizes the
+    /// injection ticks its workers never pop so the field reconciles
+    /// with the single-queue runner.
     pub events_processed: u64,
-    /// Largest number of flows in flight at once.
+    /// Largest number of flows in flight at once. **Not** a sum: this is
+    /// a maximum over the time-ordered global schedule, so the sharded
+    /// executor replays injections and completions in `(time, flow)`
+    /// order on the coordinator rather than summing per-shard peaks
+    /// (which would overcount flows that never coexisted).
     pub peak_flows: usize,
     /// Fault-injected duplicate deliveries.
     pub duplicates_injected: u64,
@@ -153,6 +162,117 @@ impl SimReport {
         self.trace.as_ref().map_or(0, TraceLog::dropped)
     }
 
+    /// Renders every simulation-determined field as a canonical JSON
+    /// document: fixed key order, floats in shortest-roundtrip form, no
+    /// whitespace. Two runs produce identical strings iff their
+    /// simulation outputs are bit-identical, which makes this the byte
+    /// comparator for the sharded-vs-single-threaded identity tests.
+    ///
+    /// Host-dependent telemetry (`wall_time`, `cpu_time`) is excluded,
+    /// as is the [`metrics`](SimReport::metrics) body — a metrics
+    /// registry has its own canonical form (the Prometheus exposition),
+    /// which identity tests compare separately; only its presence is
+    /// recorded here.
+    pub fn to_deterministic_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        push_u64(&mut out, "completed", self.completed);
+        push_u64(&mut out, "hits", self.hits);
+        out.push_str("\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_u64(&mut out, "requests", p.requests);
+            push_u64(&mut out, "hits", p.hits);
+            trim_comma(&mut out);
+            out.push('}');
+        }
+        out.push_str("],");
+        push_summary(&mut out, "hops", &self.hops);
+        push_summary(&mut out, "latency_us", &self.latency_us);
+        push_f64(&mut out, "latency_p50_us", self.latency_p50_us);
+        push_f64(&mut out, "latency_p99_us", self.latency_p99_us);
+        push_series(&mut out, "hit_series", &self.hit_series);
+        push_series(&mut out, "hops_series", &self.hops_series);
+        out.push_str("\"per_proxy\":[");
+        for (i, p) in self.per_proxy.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_u64(&mut out, "requests_received", p.requests_received);
+            push_u64(&mut out, "local_hits", p.local_hits);
+            push_u64(&mut out, "forwards_learned", p.forwards_learned);
+            push_u64(&mut out, "forwards_random", p.forwards_random);
+            push_u64(&mut out, "origin_loops", p.origin_loops);
+            push_u64(&mut out, "origin_max_hops", p.origin_max_hops);
+            push_u64(&mut out, "origin_this_miss", p.origin_this_miss);
+            push_u64(&mut out, "replies_processed", p.replies_processed);
+            push_u64(&mut out, "replies_orphaned", p.replies_orphaned);
+            push_u64(&mut out, "cache_insertions", p.cache_insertions);
+            push_u64(&mut out, "cache_evictions", p.cache_evictions);
+            trim_comma(&mut out);
+            out.push('}');
+        }
+        out.push_str("],\"final_cache_sizes\":[");
+        for (i, &n) in self.final_cache_sizes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&n.to_string());
+        }
+        out.push_str("],\"occupancy_series\":[");
+        for (i, s) in self.occupancy_series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_series_value(&mut out, s);
+        }
+        out.push_str("],");
+        push_u64(&mut out, "messages_delivered", self.messages_delivered);
+        push_u64(&mut out, "events_processed", self.events_processed);
+        push_u64(&mut out, "peak_flows", self.peak_flows as u64);
+        push_u64(&mut out, "duplicates_injected", self.duplicates_injected);
+        push_u64(&mut out, "client_orphans", self.client_orphans);
+        push_u64(
+            &mut out,
+            "orphan_origin_requests",
+            self.orphan_origin_requests,
+        );
+        push_u64(&mut out, "proxies_reset", self.proxies_reset);
+        push_u64(&mut out, "bytes_from_origin", self.bytes_from_origin);
+        push_u64(&mut out, "bytes_from_caches", self.bytes_from_caches);
+        push_u64(
+            &mut out,
+            "trace_len",
+            self.trace.as_ref().map_or(0, |t| t.records().len() as u64),
+        );
+        push_u64(&mut out, "trace_dropped", self.trace_dropped());
+        match &self.convergence {
+            None => out.push_str("\"convergence\":null,"),
+            Some(c) => {
+                out.push_str("\"convergence\":{");
+                push_series(&mut out, "agreement", &c.agreement);
+                push_series(&mut out, "remaps", &c.remaps);
+                push_series(&mut out, "churn", &c.churn);
+                push_u64(&mut out, "samples", c.samples as u64);
+                push_u64(&mut out, "total_remaps", c.total_remaps);
+                push_u64(&mut out, "total_churn", c.total_churn);
+                trim_comma(&mut out);
+                out.push_str("},");
+            }
+        }
+        out.push_str(if self.metrics.is_some() {
+            "\"has_metrics\":true"
+        } else {
+            "\"has_metrics\":false"
+        });
+        out.push('}');
+        out
+    }
+
     /// A one-line human summary. Orphaned replies and trace-log drops
     /// are appended only when non-zero, so clean runs stay terse.
     pub fn summary_line(&self) -> String {
@@ -172,6 +292,104 @@ impl SimReport {
             line.push_str(&format!(" trace_dropped={trace_dropped}"));
         }
         line
+    }
+}
+
+/// Appends `"key":value,` for an integer field.
+fn push_u64(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+    out.push(',');
+}
+
+/// Appends `"key":value,` for a float field in shortest-roundtrip form
+/// (Rust's `{:?}` for `f64`), which is a bijection on non-NaN bits — the
+/// property the byte-identity tests rely on.
+fn push_f64(out: &mut String, key: &str, value: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    push_f64_value(out, value);
+    out.push(',');
+}
+
+fn push_f64_value(out: &mut String, value: f64) {
+    if value.is_finite() {
+        out.push_str(&format!("{value:?}"));
+    } else {
+        // Infinities/NaN only arise in fields the simulator never
+        // produces; keep the document parseable anyway.
+        out.push_str("null");
+    }
+}
+
+fn push_opt_f64(out: &mut String, key: &str, value: Option<f64>) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    match value {
+        Some(v) => push_f64_value(out, v),
+        None => out.push_str("null"),
+    }
+    out.push(',');
+}
+
+/// Appends `"key":{summary},` from the accessor surface (the raw
+/// Welford state stays private).
+fn push_summary(out: &mut String, key: &str, s: &Summary) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":{");
+    push_u64(out, "count", s.count());
+    push_f64(out, "sum", s.sum());
+    push_opt_f64(out, "mean", s.mean());
+    push_opt_f64(out, "min", s.min());
+    push_opt_f64(out, "max", s.max());
+    push_opt_f64(out, "std_dev", s.std_dev());
+    trim_comma(out);
+    out.push_str("},");
+}
+
+fn push_series(out: &mut String, key: &str, s: &Series) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    push_series_value(out, s);
+    out.push(',');
+}
+
+fn push_series_value(out: &mut String, s: &Series) {
+    out.push_str("{\"name\":\"");
+    // Series names are simulator-chosen identifiers; escape the two
+    // JSON-significant characters anyway so the document stays valid.
+    for c in s.name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push_str("\",\"points\":[");
+    for (i, &(x, y)) in s.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_f64_value(out, x);
+        out.push(',');
+        push_f64_value(out, y);
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+/// Drops a trailing comma left by the `push_*` helpers before a closing
+/// brace.
+fn trim_comma(out: &mut String) {
+    if out.ends_with(',') {
+        out.pop();
     }
 }
 
@@ -247,6 +465,57 @@ mod tests {
         assert!(!report.summary_line().contains("replies_orphaned"));
         assert!(!report.summary_line().contains("trace_dropped"));
         assert_eq!(report.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn deterministic_json_is_valid_stable_and_field_sensitive() {
+        let mut report = SimReport {
+            completed: 4,
+            hits: 2,
+            phases: [PhaseStats::default(); 3],
+            hops: [2.0, 4.0].into_iter().collect(),
+            latency_us: Summary::new(),
+            latency_p50_us: 1.5,
+            latency_p99_us: 0.1 + 0.2, // non-round bits must round-trip
+            hit_series: {
+                let mut s = Series::new("hit_rate");
+                s.push(1.0, 0.25);
+                s
+            },
+            hops_series: Series::new("hops"),
+            per_proxy: vec![ProxyStats {
+                requests_received: 3,
+                ..Default::default()
+            }],
+            final_cache_sizes: vec![7],
+            occupancy_series: vec![Series::new("proxy0")],
+            messages_delivered: 12,
+            events_processed: 16,
+            peak_flows: 1,
+            duplicates_injected: 0,
+            client_orphans: 0,
+            orphan_origin_requests: 0,
+            proxies_reset: 0,
+            bytes_from_origin: 10,
+            bytes_from_caches: 20,
+            trace: None,
+            convergence: None,
+            metrics: None,
+            wall_time: Duration::from_millis(1),
+            cpu_time: Duration::from_millis(1),
+        };
+        let json = report.to_deterministic_json();
+        adc_obs::validate_json(&json).expect("canonical report JSON must parse");
+        // Host telemetry must not leak into the canonical form.
+        report.wall_time = Duration::from_secs(999);
+        report.cpu_time = Duration::from_secs(999);
+        assert_eq!(json, report.to_deterministic_json());
+        // Empty summaries render as nulls, floats round-trip exactly.
+        assert!(json.contains("\"latency_us\":{\"count\":0,\"sum\":0.0,\"mean\":null"));
+        assert!(json.contains(&format!("\"latency_p99_us\":{:?}", 0.1 + 0.2)));
+        // Any simulation-determined field changes the bytes.
+        report.hits = 3;
+        assert_ne!(json, report.to_deterministic_json());
     }
 
     #[test]

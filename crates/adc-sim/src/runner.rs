@@ -58,8 +58,10 @@ enum EventKind {
 /// complete example.
 #[derive(Debug)]
 pub struct Simulation<A> {
-    agents: Vec<A>,
-    config: SimConfig,
+    /// Dense-id proxy agents; the sharded executor re-partitions them.
+    pub(crate) agents: Vec<A>,
+    /// Validated configuration (see [`Simulation::new`]).
+    pub(crate) config: SimConfig,
 }
 
 impl<A: CacheAgent> Simulation<A> {

@@ -1,0 +1,1227 @@
+//! Sharded (multi-core) execution of the simulation.
+//!
+//! Proxies are partitioned round-robin across `N` worker shards (proxy
+//! `p` lives on shard `p % N`). Each shard owns its own calendar queue,
+//! slab flow table and RNG stream, and the run proceeds in fixed time
+//! windows of width `W` — the *lookahead bound*: the minimum configured
+//! network latency over every edge that can carry a cross-shard message
+//! (client→proxy plus the proxy↔proxy minimum; origin round trips and
+//! client deliveries are processed on the sending proxy's shard, so they
+//! never cross shards). Within a window `[T, T + W)` every shard drains
+//! its local queue independently: any message produced inside the window
+//! is either shard-local (arbitrary latency, including zero-latency
+//! self-sends) or crosses shards with latency `≥ W`, hence lands at or
+//! after the barrier `T + W`. Cross-shard messages accumulate in
+//! per-destination outboxes and are routed at the barrier, so the merged
+//! event schedule is a pure function of `(workload, agents, config)` —
+//! independent of the shard count and of thread scheduling.
+//!
+//! # Determinism
+//!
+//! Three mechanisms make `shards=N` byte-identical to `shards=1`:
+//!
+//! 1. **Content-derived event keys.** The single-threaded runner breaks
+//!    `at` ties with a global push counter; a per-shard counter would
+//!    depend on the partitioning. Here every queued event carries the key
+//!    `(flow seq << 16) | step`, where `step` counts the flow's hops so
+//!    far — unique per event and identical under any partitioning, so
+//!    per-shard pop order and the barrier merge order are shard-count
+//!    invariant.
+//! 2. **Canonical completion folding.** Workers only record completions;
+//!    the coordinator folds them at each barrier in `(at, flow seq)`
+//!    order and performs all cross-shard accounting there (series,
+//!    quantiles, convergence snapshots, metrics, sequential
+//!    re-injection), exactly as the single-threaded loop would.
+//! 3. **Mode-appropriate RNG streams.** Sequential injection has at most
+//!    one live event in the whole system, so all shards share the
+//!    single-threaded runner's agent RNG (behind an uncontended mutex)
+//!    and draw in exactly the legacy order — sharded sequential runs are
+//!    *byte-identical to [`Simulation::run`]*. Open-loop injection
+//!    interleaves flows, so each agent gets an independent stream seeded
+//!    from `(seed, proxy id)`; reports are then invariant in the shard
+//!    count (but intentionally not comparable to the single-queue
+//!    runner, whose tie order depends on push order).
+//!
+//! In open-loop mode, occupancy/convergence/metrics sampling reads agent
+//! state at the enclosing barrier rather than at the completion instant
+//! (they coincide in sequential mode); `events_processed` counts the
+//! injection events the single-threaded loop would have popped, so the
+//! field reconciles across executors.
+//!
+//! # Unsupported configurations
+//!
+//! Fault injection, churn and delivery tracing are rejected (see
+//! [`Simulation::run_sharded`]): duplicates and restarts would need
+//! cross-shard coordination mid-window, and the trace log is inherently
+//! a single totally-ordered stream.
+
+use crate::config::{ClientAssignment, InjectionMode, SimConfig};
+use crate::flows::FlowTable;
+use crate::network::LatencyModel;
+use crate::queue::CalendarQueue;
+use crate::report::{PhaseStats, SimReport};
+use crate::runner::Simulation;
+use crate::time::SimTime;
+use adc_core::{
+    Action, ActionSink, CacheAgent, Message, NodeId, ObjectId, ProxyId, Reply, Request, RequestId,
+};
+use adc_metrics::{MovingAverage, P2Quantile, Registry, Sampler, Summary};
+use adc_obs::{ConvergenceConfig, ConvergenceTracker, MetricsProbe, NullProbe, Probe};
+use adc_obs::{MetricsReport, SimEvent};
+use adc_workload::{Phase, RequestRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+// Wall-clock time feeds report telemetry only, never simulation
+// state. adc-lint: allow(determinism)
+use std::time::Instant;
+
+/// Bits of the event key reserved for the per-flow step counter.
+const STEP_BITS: u32 = 16;
+
+/// The default occupancy-sampling cadence, matching
+/// [`Simulation::run_with_metrics`] (which uses `MetricsProbe::new()`).
+const METRICS_CADENCE: u64 = adc_obs::metrics::DEFAULT_CADENCE;
+
+/// The canonical, shard-invariant queue key of a flow's `step`-th event.
+fn event_key(flow_seq: u64, step: u32) -> u64 {
+    debug_assert!(
+        flow_seq < (1 << (64 - STEP_BITS)),
+        "workload seq {flow_seq} overflows the event key"
+    );
+    (flow_seq << STEP_BITS) | u64::from(step)
+}
+
+/// Per-flow bookkeeping, resident in the shard holding the flow's single
+/// in-flight message (clean-fault runs have exactly one).
+#[derive(Debug, Clone, Copy)]
+struct FlowMeta {
+    start: SimTime,
+    hops: u32,
+    /// Events this flow has generated so far; the tie-breaking half of
+    /// the event key. Bounded by hop limits far below `2^16`.
+    step: u32,
+    size: u32,
+    phase: Phase,
+}
+
+/// One in-flight delivery.
+#[derive(Debug, Clone, Copy)]
+struct ShardEvent {
+    from: NodeId,
+    to: NodeId,
+    message: Message,
+}
+
+/// A delivery crossing shards, carried through a barrier outbox.
+#[derive(Debug, Clone, Copy)]
+struct Routed {
+    at: u64,
+    key: u64,
+    ev: ShardEvent,
+    meta: FlowMeta,
+}
+
+/// A completed flow, recorded by a worker and folded on the coordinator.
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    at: u64,
+    /// The flow's workload seq: the canonical fold tiebreaker.
+    flow_seq: u64,
+    hit: bool,
+    /// Serving proxy for hit flows (`None` = origin-served) — exact
+    /// attribution from the reply's `served_from`.
+    server: Option<u32>,
+    hops: u32,
+    start_us: u64,
+    phase: Phase,
+}
+
+/// The latency function shared (immutably) by all workers; mirrors the
+/// single-threaded runner's closure exactly.
+struct Net {
+    base: LatencyModel,
+    matrix: Option<Vec<Vec<SimTime>>>,
+    /// Shard count, for ownership tests during routing.
+    shards: usize,
+}
+
+impl Net {
+    fn latency(&self, from: NodeId, to: NodeId) -> SimTime {
+        if let (Some(m), NodeId::Proxy(a), NodeId::Proxy(b)) = (&self.matrix, from, to) {
+            if a != b {
+                // Matrix is n×n over dense proxy ids (checked in new()).
+                return m[a.raw() as usize][b.raw() as usize];
+            }
+        }
+        self.base.latency(from, to)
+    }
+
+    /// Shard owning proxy `p` (round-robin partitioning).
+    fn shard_of(&self, p: ProxyId) -> usize {
+        // Dense proxy ids fit usize on every supported target.
+        p.raw() as usize % self.shards
+    }
+}
+
+/// The conservative lookahead bound `W` in microseconds: the minimum
+/// latency over the edges that can carry a message whose production and
+/// delivery live on different shards (client→proxy for injections,
+/// proxy↔proxy for forwards). Origin hops are shard-local and do not
+/// constrain `W`.
+fn lookahead_us(config: &SimConfig, proxies: usize) -> u64 {
+    let mut w = config.latency.client_proxy.as_micros();
+    if proxies > 1 {
+        match &config.proxy_latency_matrix {
+            Some(m) => {
+                for (a, row) in m.iter().enumerate() {
+                    for (b, cell) in row.iter().enumerate() {
+                        if a != b {
+                            w = w.min(cell.as_micros());
+                        }
+                    }
+                }
+            }
+            None => w = w.min(config.latency.proxy_proxy.as_micros()),
+        }
+    }
+    w
+}
+
+/// The probe features the sharded executor needs beyond [`Probe`]: shard
+/// construction, barrier-driven occupancy sampling, and registry
+/// extraction for the exact shard merge. Composes over probe pairs like
+/// `Probe` itself does.
+trait ShardProbe: Probe + Send {
+    /// A fresh per-shard probe.
+    fn for_shard() -> Self;
+    /// Samples whatever the probe samples on the cluster-wide cadence
+    /// (driven by the coordinator; shards never observe completions).
+    fn barrier_sample(&mut self);
+    /// The shard's accumulated registry, if it keeps one.
+    fn into_registry(self) -> Option<Registry>;
+}
+
+impl ShardProbe for NullProbe {
+    fn for_shard() -> Self {
+        NullProbe
+    }
+    fn barrier_sample(&mut self) {}
+    fn into_registry(self) -> Option<Registry> {
+        None
+    }
+}
+
+impl ShardProbe for MetricsProbe {
+    fn for_shard() -> Self {
+        // Cadence 0: the coordinator drives occupancy sampling on the
+        // cluster-wide completion count via barrier_sample.
+        MetricsProbe::with_cadence(0)
+    }
+    fn barrier_sample(&mut self) {
+        self.sample_occupancy_now();
+    }
+    fn into_registry(self) -> Option<Registry> {
+        Some(self.into_registry())
+    }
+}
+
+impl<X: ShardProbe, Y: ShardProbe> ShardProbe for (X, Y) {
+    fn for_shard() -> Self {
+        (X::for_shard(), Y::for_shard())
+    }
+    fn barrier_sample(&mut self) {
+        self.0.barrier_sample();
+        self.1.barrier_sample();
+    }
+    fn into_registry(self) -> Option<Registry> {
+        match (self.0.into_registry(), self.1.into_registry()) {
+            (Some(mut a), Some(b)) => {
+                a.merge(&b);
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// A shared view of the single-threaded runner's agent RNG stream, used
+/// in sequential mode where at most one event is live in the whole
+/// system — the lock is never contended, it only satisfies `Sync`.
+#[derive(Debug, Clone)]
+struct SharedRng(Arc<Mutex<StdRng>>);
+
+impl SharedRng {
+    fn lock(&mut self) -> std::sync::MutexGuard<'_, StdRng> {
+        // A worker panic aborts the scope anyway; the state itself is
+        // never left inconsistent mid-draw.
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl RngCore for SharedRng {
+    fn next_u32(&mut self) -> u32 {
+        self.lock().next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.lock().next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.lock().fill_bytes(dest);
+    }
+}
+
+/// SplitMix64: decorrelates per-agent seeds derived from (seed, proxy).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mode-appropriate agent RNG stream(s) for one shard.
+enum AgentRngs {
+    /// Sequential: all shards share the legacy stream (see above).
+    Shared(SharedRng),
+    /// Open-loop: one independent stream per local agent.
+    PerAgent(Vec<StdRng>),
+}
+
+/// Per-delivery counters a worker accumulates; summed at report time
+/// (every field is a pure event count, so addition is the exact merge —
+/// see `SimReport`'s field docs for max-vs-sum semantics).
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardCounters {
+    events_processed: u64,
+    messages_delivered: u64,
+    bytes_from_origin: u64,
+    bytes_from_caches: u64,
+    client_orphans: u64,
+    orphan_origin_requests: u64,
+}
+
+impl ShardCounters {
+    /// Element-wise sum, the merge all pure event counts use.
+    fn merge(&mut self, other: &ShardCounters) {
+        self.events_processed += other.events_processed;
+        self.messages_delivered += other.messages_delivered;
+        self.bytes_from_origin += other.bytes_from_origin;
+        self.bytes_from_caches += other.bytes_from_caches;
+        self.client_orphans += other.client_orphans;
+        self.orphan_origin_requests += other.orphan_origin_requests;
+    }
+}
+
+/// One worker shard: a vertical slice of the simulator owning every
+/// `index + i·N`-th proxy, its events, and its resident flows.
+struct Shard<A, P> {
+    index: usize,
+    /// Local agents; local index `l` holds proxy `index + l·N`.
+    agents: Vec<A>,
+    rngs: AgentRngs,
+    queue: CalendarQueue<ShardEvent>,
+    flows: FlowTable<FlowMeta>,
+    sink: ActionSink,
+    probe: P,
+    /// Completions recorded this window, drained by the coordinator.
+    records: Vec<Completion>,
+    /// Cross-shard deliveries produced this window, per destination
+    /// shard, routed by the coordinator at the barrier.
+    outboxes: Vec<Vec<Routed>>,
+    counters: ShardCounters,
+    /// Timestamp of this shard's earliest pending event (`u64::MAX` when
+    /// idle); maintained by `run_window` and by coordinator routing.
+    next_at: u64,
+}
+
+impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
+    /// Drains every local event with `at < window_end`, in `(at, key)`
+    /// order, then records the next pending timestamp.
+    fn run_window(&mut self, window_end: u64, net: &Net) {
+        loop {
+            match self.queue.peek_key() {
+                None => {
+                    self.next_at = u64::MAX;
+                    return;
+                }
+                Some((at, _)) if at >= window_end => {
+                    self.next_at = at;
+                    return;
+                }
+                Some(_) => {
+                    let Some((at, key, ev)) = self.queue.pop() else {
+                        // peek_key just returned Some.
+                        unreachable!("peeked event vanished");
+                    };
+                    self.process(at, key, ev, window_end, net);
+                }
+            }
+        }
+    }
+
+    /// Processes one delivery, mirroring the single-threaded runner's
+    /// `Deliver` arm field for field (counters, byte accounting, hop
+    /// accounting, dispatch, sink drain).
+    fn process(&mut self, at: u64, _key: u64, ev: ShardEvent, window_end: u64, net: &Net) {
+        let now = SimTime::from_micros(at);
+        if P::ENABLED {
+            self.probe.tick(at);
+        }
+        self.counters.events_processed += 1;
+        self.counters.messages_delivered += 1;
+        let ShardEvent { from, to, message } = ev;
+        let id = message.request_id();
+
+        // Byte accounting: a reply's body travels once per transfer;
+        // attribute it to its producer.
+        if from != to {
+            if let Message::Reply(rep) = &message {
+                if from == NodeId::Origin {
+                    self.counters.bytes_from_origin += u64::from(rep.size);
+                } else if rep.served_from.is_hit() && matches!(to, NodeId::Client(_)) {
+                    self.counters.bytes_from_caches += u64::from(rep.size);
+                }
+            }
+        }
+
+        // The flow's metadata rides with its single in-flight message:
+        // pop it here, reinsert (locally or cross-shard) with whatever
+        // the dispatch produces. A missing flow can only mean an orphan
+        // (impossible under the validated clean-fault configs, but
+        // counted, not crashed on, like the single-threaded runner).
+        let Some(mut meta) = self.flows.remove(&id) else {
+            match (to, &message) {
+                (NodeId::Client(_), Message::Reply(_)) => self.counters.client_orphans += 1,
+                (NodeId::Origin, Message::Request(_)) => {
+                    self.counters.orphan_origin_requests += 1;
+                }
+                _ => {}
+            }
+            return;
+        };
+        // A hop is any message transfer between distinct nodes, counted
+        // for the flow it belongs to.
+        if from != to {
+            meta.hops += 1;
+        }
+
+        debug_assert!(self.sink.is_empty(), "sink drained after every delivery");
+        match to {
+            NodeId::Proxy(pid) => {
+                debug_assert_eq!(
+                    net.shard_of(pid),
+                    self.index,
+                    "event delivered to wrong shard"
+                );
+                // Round-robin partitioning: local index = proxy / shards.
+                let agent = &mut self.agents[pid.raw() as usize / net.shards];
+                match message {
+                    Message::Request(req) => {
+                        let rng: &mut dyn RngCore = match &mut self.rngs {
+                            AgentRngs::Shared(r) => r,
+                            // Same local index as the agent above.
+                            AgentRngs::PerAgent(v) => &mut v[pid.raw() as usize / net.shards],
+                        };
+                        agent.on_request(req, rng, &mut self.probe, &mut self.sink);
+                    }
+                    Message::Reply(rep) => agent.on_reply(rep, &mut self.probe, &mut self.sink),
+                }
+            }
+            NodeId::Origin => match message {
+                Message::Request(req) => {
+                    // The origin always resolves; reply to the proxy that
+                    // sent the request. The origin is stateless, so the
+                    // round trip stays on the sending proxy's shard.
+                    let reply = Reply::from_origin(&req, meta.size);
+                    self.sink.send(req.sender, reply);
+                }
+                Message::Reply(_) => {
+                    debug_assert!(false, "origin never receives replies");
+                }
+            },
+            NodeId::Client(_) => match message {
+                Message::Reply(rep) => {
+                    // Flow complete: record for the coordinator fold; the
+                    // metadata is consumed and nothing is re-queued.
+                    let server = match rep.served_from {
+                        adc_core::ServedFrom::Cache(p) => Some(p.raw()),
+                        adc_core::ServedFrom::Origin => None,
+                    };
+                    self.records.push(Completion {
+                        at,
+                        flow_seq: id.seq,
+                        hit: rep.served_from.is_hit(),
+                        server,
+                        hops: meta.hops,
+                        start_us: meta.start.as_micros(),
+                        phase: meta.phase,
+                    });
+                    return;
+                }
+                Message::Request(_) => {
+                    debug_assert!(false, "clients never receive requests");
+                }
+            },
+        }
+
+        // Route the (at most one) outgoing action. Dispatch consumed the
+        // flow's metadata above, so exactly one reinsertion happens here;
+        // an agent that drops a flow (never under the cooperative
+        // protocols) simply ends it, as in the single-threaded runner.
+        for action in self.sink.drain() {
+            let Action::Send {
+                to: dest,
+                mut message,
+            } = action;
+            // Agents only know a nominal object size; the workload's
+            // size lives in the flow metadata. Normalize replies so byte
+            // accounting and the client-visible size are the workload's.
+            if let Message::Reply(rep) = &mut message {
+                rep.size = meta.size;
+            }
+            let mut out_at = now + net.latency(to, dest);
+            if dest == NodeId::Origin {
+                // Account for the origin's per-request service time up
+                // front, so its reply goes out at arrival + service +
+                // wire time.
+                out_at += net.base.origin_service;
+            }
+            meta.step += 1;
+            debug_assert!(
+                u64::from(meta.step) < (1 << STEP_BITS),
+                "flow step overflows the event key"
+            );
+            let key = event_key(id.seq, meta.step);
+            let ev = ShardEvent {
+                from: to,
+                to: dest,
+                message,
+            };
+            match dest {
+                NodeId::Proxy(p) if net.shard_of(p) != self.index => {
+                    // Conservative synchronization: a cross-shard message
+                    // travels a proxy↔proxy edge with latency ≥ W, so it
+                    // cannot land inside the current window.
+                    debug_assert!(
+                        out_at.as_micros() >= window_end,
+                        "lookahead violated: cross-shard delivery at {} inside window ending {}",
+                        out_at.as_micros(),
+                        window_end
+                    );
+                    // Outboxes are sized to the shard count at startup.
+                    self.outboxes[net.shard_of(p)].push(Routed {
+                        at: out_at.as_micros(),
+                        key,
+                        ev,
+                        meta,
+                    });
+                }
+                _ => {
+                    self.queue.push(out_at.as_micros(), key, ev);
+                    self.flows.insert(id, meta);
+                }
+            }
+        }
+    }
+}
+
+/// Rejects configurations the sharded executor cannot reproduce
+/// deterministically, returning the lookahead `W` in microseconds.
+fn validate_sharded(config: &SimConfig, proxies: usize, shards: usize) -> u64 {
+    assert!(shards >= 1, "shards must be at least 1");
+    assert!(
+        config.faults.is_clean(),
+        "sharded execution does not support fault injection (duplicates would need \
+         cross-shard coordination mid-window)"
+    );
+    assert!(
+        config.churn.is_empty(),
+        "sharded execution does not support churn (restarts fire on the global \
+         completion count, which workers cannot observe mid-window)"
+    );
+    assert_eq!(
+        config.trace_capacity, 0,
+        "sharded execution does not support delivery tracing (the trace log is a \
+         single totally-ordered stream)"
+    );
+    if let InjectionMode::OpenLoop { interval } = config.injection {
+        assert!(
+            interval.as_micros() > 0,
+            "open-loop interval must be positive under sharded execution"
+        );
+    }
+    let w = lookahead_us(config, proxies);
+    assert!(
+        w > 0,
+        "sharded execution needs a positive minimum latency as its lookahead bound \
+         (instant networks serialize everything; use the single-threaded runner)"
+    );
+    w
+}
+
+impl<A: CacheAgent + Send> Simulation<A> {
+    /// Runs the workload on `shards` worker shards and returns the
+    /// report; see the [module docs](self) for the synchronization
+    /// protocol and the determinism guarantees. With
+    /// [`InjectionMode::Sequential`] the report is byte-identical to
+    /// [`Simulation::run`]; with open-loop injection it is invariant in
+    /// `shards` (any `shards ≥ 1`, including counts exceeding the proxy
+    /// count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, if the configuration enables faults,
+    /// churn or tracing, if an open-loop interval is zero, or if every
+    /// configured latency is zero (no positive lookahead bound).
+    pub fn run_sharded(
+        self,
+        workload: impl IntoIterator<Item = RequestRecord>,
+        shards: usize,
+    ) -> SimReport {
+        self.run_sharded_with_agents(workload, shards).0
+    }
+
+    /// [`run_sharded`](Simulation::run_sharded), additionally returning
+    /// the agents in proxy-id order for post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_sharded`](Simulation::run_sharded).
+    pub fn run_sharded_with_agents(
+        self,
+        workload: impl IntoIterator<Item = RequestRecord>,
+        shards: usize,
+    ) -> (SimReport, Vec<A>) {
+        let (report, agents, _) = run_sharded_inner::<A, NullProbe>(self, workload, shards, None);
+        (report, agents)
+    }
+
+    /// [`run_sharded`](Simulation::run_sharded) with per-shard
+    /// [`MetricsProbe`]s attached; their registries and the
+    /// coordinator's completion registry fold through the exact
+    /// [`Registry::merge`] into [`SimReport::metrics`], byte-identical
+    /// to [`Simulation::run_with_metrics`] under sequential injection.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_sharded`](Simulation::run_sharded).
+    pub fn run_sharded_with_metrics(
+        self,
+        workload: impl IntoIterator<Item = RequestRecord>,
+        shards: usize,
+    ) -> SimReport {
+        let coord = MetricsProbe::with_cadence(0);
+        let (mut report, _, registry) =
+            run_sharded_inner::<A, MetricsProbe>(self, workload, shards, Some(coord));
+        report.metrics = registry.as_ref().map(MetricsReport::from_registry);
+        report
+    }
+}
+
+/// Live state for the periodic convergence sampler (the sharded twin of
+/// the runner's `ConvState`; ordered map so hot-set selection never
+/// depends on a randomized hasher).
+struct ConvState {
+    cfg: ConvergenceConfig,
+    counts: BTreeMap<u64, u64>,
+    tracker: ConvergenceTracker,
+}
+
+/// The coordinator loop: builds the shards, advances the window barrier
+/// until every queue drains, folds completions, and assembles the
+/// report. Returns `(report, agents in id order, merged registry)`.
+#[allow(clippy::too_many_lines)] // one loop, mirroring the runner's shape
+fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
+    sim: Simulation<A>,
+    workload: impl IntoIterator<Item = RequestRecord>,
+    shards_n: usize,
+    mut coord_probe: Option<MetricsProbe>,
+) -> (SimReport, Vec<A>, Option<Registry>) {
+    // Wall telemetry only. adc-lint: allow(determinism)
+    let wall_start = Instant::now();
+    // CPU telemetry covers the coordinator thread only; worker CPU would
+    // need cross-thread aggregation for a number no gate consumes.
+    let cpu_start = crate::cputime::thread_cpu_now();
+    let Simulation { agents, config } = sim;
+    let n_proxies = agents.len();
+    let n = n_proxies as u32; // proxy counts stay tiny
+    let window_us = validate_sharded(&config, n_proxies, shards_n);
+    let net = Net {
+        base: config.latency,
+        matrix: config.proxy_latency_matrix.clone(),
+        shards: shards_n,
+    };
+
+    // Partition agents round-robin: proxy p → shard p % N. The shared
+    // sequential RNG is the legacy stream; per-agent open-loop streams
+    // decorrelate via splitmix64 over the proxy id.
+    let sequential = config.injection == InjectionMode::Sequential;
+    let shared_rng = SharedRng(Arc::new(Mutex::new(StdRng::seed_from_u64(
+        config.seed ^ 0xA6E7,
+    ))));
+    let mut shard_agents: Vec<Vec<A>> = (0..shards_n).map(|_| Vec::new()).collect();
+    for (p, agent) in agents.into_iter().enumerate() {
+        // Round-robin: proxy p lives on shard p % N.
+        shard_agents[p % shards_n].push(agent);
+    }
+    let mut shards: Vec<Shard<A, P>> = shard_agents
+        .into_iter()
+        .enumerate()
+        .map(|(index, agents)| {
+            let rngs = if sequential {
+                AgentRngs::Shared(shared_rng.clone())
+            } else {
+                AgentRngs::PerAgent(
+                    (0..agents.len())
+                        // Local l on shard s is proxy s + l·N; seed from
+                        // the global proxy id so partitioning is moot.
+                        .map(|l| {
+                            let proxy = (index + l * shards_n) as u64; // dense ids
+                            StdRng::seed_from_u64(config.seed ^ 0xA6E7 ^ splitmix64(proxy + 1))
+                        })
+                        .collect(),
+                )
+            };
+            Shard {
+                index,
+                agents,
+                rngs,
+                queue: CalendarQueue::new(),
+                flows: FlowTable::new(),
+                sink: ActionSink::new(),
+                probe: P::for_shard(),
+                records: Vec::new(),
+                outboxes: (0..shards_n).map(|_| Vec::new()).collect(),
+                counters: ShardCounters::default(),
+                next_at: u64::MAX,
+            }
+        })
+        .collect();
+
+    let mut workload = workload.into_iter();
+    let mut assign_rng = StdRng::seed_from_u64(config.seed ^ 0xA551);
+    let assignment = config.assignment;
+
+    // Coordinator-side accounting (the runner's locals, verbatim).
+    let mut completed: u64 = 0;
+    let mut hits: u64 = 0;
+    let mut phases = [PhaseStats::default(); 3];
+    let mut hops_summary = Summary::new();
+    let mut latency_summary = Summary::new();
+    let mut latency_p50 = P2Quantile::new(0.5);
+    let mut latency_p99 = P2Quantile::new(0.99);
+    let mut hit_window = MovingAverage::new(config.hit_window);
+    let mut hops_window = MovingAverage::new(config.hit_window);
+    let mut hit_sampler = Sampler::new("hit_rate", config.sample_every);
+    let mut hops_sampler = Sampler::new("hops", config.sample_every);
+    let mut occupancy: Option<Vec<Sampler>> = config.sample_occupancy.then(|| {
+        (0..n_proxies)
+            .map(|_| Sampler::new("", config.sample_every))
+            .collect()
+    });
+    let mut conv: Option<ConvState> = config.convergence.map(|cfg| ConvState {
+        cfg,
+        counts: BTreeMap::new(),
+        tracker: ConvergenceTracker::new(),
+    });
+
+    // Live-flow peak accounting: flows enter at injection and leave at
+    // completion; the coordinator replays both in time order (see
+    // SimReport::peak_flows for the tie rule).
+    let mut inj_times: VecDeque<u64> = VecDeque::new();
+    let mut live_flows: usize = 0;
+    let mut peak_flows: usize = 0;
+    let mut injected: u64 = 0;
+    let mut workload_done = false;
+
+    // Injects the next workload request at `now`, routing its first
+    // delivery into the owner shard. Returns false when exhausted.
+    let mut inject = |now: SimTime,
+                      shards: &mut Vec<Shard<A, P>>,
+                      assign_rng: &mut StdRng,
+                      conv: &mut Option<ConvState>,
+                      coord_probe: &mut Option<MetricsProbe>,
+                      inj_times: &mut VecDeque<u64>,
+                      injected: &mut u64|
+     -> bool {
+        let Some(record) = workload.next() else {
+            return false;
+        };
+        if let Some(c) = conv.as_mut() {
+            *c.counts.entry(record.object.raw()).or_insert(0) += 1;
+        }
+        if let Some(p) = coord_probe.as_mut() {
+            p.emit(SimEvent::RequestInjected {
+                client: record.client.raw(),
+                seq: record.seq,
+                object: record.object.raw(),
+            });
+        }
+        let proxy = match assignment {
+            ClientAssignment::Sticky => ProxyId::new(record.client.raw() % n),
+            ClientAssignment::RandomPerRequest => ProxyId::new(assign_rng.gen_range(0..n)),
+        };
+        let id = RequestId::new(record.client, record.seq);
+        let meta = FlowMeta {
+            start: now,
+            hops: 0,
+            step: 0,
+            size: record.size,
+            phase: record.phase,
+        };
+        let request = Request::new(id, record.object, record.client);
+        let from = NodeId::Client(record.client);
+        let to = NodeId::Proxy(proxy);
+        let at = (now + net.latency(from, to)).as_micros();
+        let owner = net.shard_of(proxy);
+        // shard_of() is always below the shard count.
+        let shard = &mut shards[owner];
+        shard.queue.push(
+            at,
+            event_key(id.seq, 0),
+            ShardEvent {
+                from,
+                to,
+                message: Message::Request(request),
+            },
+        );
+        shard.flows.insert(id, meta);
+        shard.next_at = shard.next_at.min(at);
+        inj_times.push_back(now.as_micros());
+        *injected += 1;
+        true
+    };
+
+    // Prime the pump. Sequential injects the first request at t=0;
+    // open-loop arrivals are generated window by window below.
+    let interval_us = match config.injection {
+        InjectionMode::Sequential => {
+            workload_done = !inject(
+                SimTime::ZERO,
+                &mut shards,
+                &mut assign_rng,
+                &mut conv,
+                &mut coord_probe,
+                &mut inj_times,
+                &mut injected,
+            );
+            0
+        }
+        InjectionMode::OpenLoop { interval } => interval.as_micros(),
+    };
+    let mut next_inject_at: u64 = 0;
+    let client_proxy_us = net.base.client_proxy.as_micros();
+
+    loop {
+        // Earliest pending work across shards and (open-loop) the
+        // arrival process; the next window is the lookahead-aligned
+        // window containing it.
+        let mut min_next = shards.iter().map(|s| s.next_at).min().unwrap_or(u64::MAX);
+        if interval_us > 0 && !workload_done {
+            min_next = min_next.min(next_inject_at + client_proxy_us);
+        }
+        if min_next == u64::MAX {
+            break;
+        }
+        let window_start = (min_next / window_us) * window_us;
+        let window_end = window_start + window_us;
+
+        // Open-loop: generate every arrival whose first delivery lands
+        // before this barrier — a pure function of the time grid, so the
+        // schedule is identical for every shard count.
+        if interval_us > 0 {
+            while !workload_done && next_inject_at + client_proxy_us < window_end {
+                if inject(
+                    SimTime::from_micros(next_inject_at),
+                    &mut shards,
+                    &mut assign_rng,
+                    &mut conv,
+                    &mut coord_probe,
+                    &mut inj_times,
+                    &mut injected,
+                ) {
+                    next_inject_at += interval_us;
+                } else {
+                    workload_done = true;
+                }
+            }
+        }
+
+        // Run the window: every shard with work below the barrier drains
+        // independently. A single active shard runs inline (sequential
+        // mode always lands here — zero spawn overhead); otherwise one
+        // scoped thread per active shard.
+        let active = shards.iter().filter(|s| s.next_at < window_end).count();
+        if active == 1 {
+            for shard in shards.iter_mut().filter(|s| s.next_at < window_end) {
+                shard.run_window(window_end, &net);
+            }
+        } else if active > 1 {
+            let net = &net;
+            std::thread::scope(|scope| {
+                for shard in shards.iter_mut().filter(|s| s.next_at < window_end) {
+                    scope.spawn(move || shard.run_window(window_end, net));
+                }
+            });
+        }
+
+        // Barrier: route cross-shard outboxes in (source, destination)
+        // order — the insertion order is irrelevant because delivery
+        // order is keyed, but keep it fixed anyway.
+        for src in 0..shards_n {
+            for dst in 0..shards_n {
+                // Outboxes are sized to the shard count at startup.
+                let routed = std::mem::take(&mut shards[src].outboxes[dst]);
+                for r in routed {
+                    debug_assert!(r.at >= window_end, "lookahead violated at the barrier");
+                    let id = r.ev.message.request_id();
+                    // dst ranges over the shard count.
+                    let shard = &mut shards[dst];
+                    shard.queue.push(r.at, r.key, r.ev);
+                    shard.flows.insert(id, r.meta);
+                    shard.next_at = shard.next_at.min(r.at);
+                }
+            }
+        }
+
+        // Fold this window's completions in canonical (at, flow_seq)
+        // order — the same global order the single-queue runner
+        // processes them in.
+        let mut records: Vec<Completion> = Vec::new();
+        for shard in shards.iter_mut() {
+            records.append(&mut shard.records);
+        }
+        records.sort_unstable_by_key(|r| (r.at, r.flow_seq));
+        for rec in records {
+            // Flows injected before this completion went live first
+            // (completions settle first on exact timestamp ties, making
+            // the fold independent of the runner's push order).
+            while inj_times.front().is_some_and(|&t| t < rec.at) {
+                inj_times.pop_front();
+                live_flows += 1;
+                peak_flows = peak_flows.max(live_flows);
+            }
+            live_flows = live_flows.saturating_sub(1);
+            completed += 1;
+            if rec.hit {
+                hits += 1;
+            }
+            if let Some(p) = coord_probe.as_mut() {
+                p.record_completion(rec.at, rec.hit, rec.hops, rec.start_us, rec.server);
+            }
+            let phase_idx = match rec.phase {
+                Phase::Fill => 0,
+                Phase::RequestI => 1,
+                Phase::RequestII => 2,
+            };
+            // phase_idx is 0..3 by construction.
+            phases[phase_idx].requests += 1;
+            phases[phase_idx].hits += u64::from(rec.hit);
+            let hops_f = f64::from(rec.hops);
+            let completed_f = completed as f64; // < 2^53: exact
+            let latency_us = (rec.at - rec.start_us) as f64; // < 2^53: exact
+            hops_summary.push(hops_f);
+            latency_summary.push(latency_us);
+            latency_p50.push(latency_us);
+            latency_p99.push(latency_us);
+            hit_window.push_bool(rec.hit);
+            hops_window.push(hops_f);
+            if let Some(v) = hit_window.value() {
+                hit_sampler.observe(completed_f, v);
+            }
+            if let Some(v) = hops_window.value() {
+                hops_sampler.observe(completed_f, v);
+            }
+            if let Some(occupancy) = occupancy.as_mut() {
+                for (p, sampler) in occupancy.iter_mut().enumerate() {
+                    // Proxy p lives on shard p % N at local index p / N.
+                    let agent = &shards[p % shards_n].agents[p / shards_n];
+                    // cache sizes ≪ 2^53: exact
+                    sampler.observe(completed_f, agent.cached_objects() as f64);
+                }
+            }
+            // Convergence: snapshot every agent's owner hint for the hot
+            // set on the sampling schedule.
+            if let Some(c) = conv.as_mut() {
+                if completed.is_multiple_of(c.cfg.sample_every) {
+                    let mut hot: Vec<(u64, u64)> = c.counts.iter().map(|(&o, &n)| (o, n)).collect();
+                    hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    hot.truncate(c.cfg.top_k);
+                    let snapshot: Vec<(u64, Vec<Option<u32>>)> = hot
+                        .iter()
+                        .map(|&(object, _)| {
+                            let hints = (0..n_proxies)
+                                .map(|p| {
+                                    // Proxy p: shard p % N, local p / N.
+                                    shards[p % shards_n].agents[p / shards_n]
+                                        .owner_hint(ObjectId::new(object))
+                                        .map(|o| o.raw())
+                                })
+                                .collect();
+                            (object, hints)
+                        })
+                        .collect();
+                    c.tracker.sample(completed_f, &snapshot);
+                }
+            }
+            // Occupancy-histogram sampling on the cluster-wide cadence
+            // (the coordinator owns the completion count; shard probes
+            // hold the gauges).
+            if coord_probe.is_some() && completed.is_multiple_of(METRICS_CADENCE) {
+                for shard in shards.iter_mut() {
+                    shard.probe.barrier_sample();
+                }
+            }
+            // Sequential: the completed flow hands its slot to the next
+            // workload request, injected at the completion instant.
+            if sequential && !workload_done {
+                workload_done = !inject(
+                    SimTime::from_micros(rec.at),
+                    &mut shards,
+                    &mut assign_rng,
+                    &mut conv,
+                    &mut coord_probe,
+                    &mut inj_times,
+                    &mut injected,
+                );
+            }
+        }
+        // Settle injections up to the barrier so the live-flow counter
+        // tracks time order even across completion-free windows.
+        while inj_times.front().is_some_and(|&t| t < window_end) {
+            inj_times.pop_front();
+            live_flows += 1;
+            peak_flows = peak_flows.max(live_flows);
+        }
+    }
+
+    // Merge per-shard counters (pure event counts: sum is exact).
+    let mut counters = ShardCounters::default();
+    for shard in &shards {
+        counters.merge(&shard.counters);
+    }
+    // The single-queue runner pops one Inject event per open-loop
+    // arrival plus the final exhausted pull; synthesize those so
+    // events_processed reconciles across executors.
+    let events_processed = if interval_us > 0 {
+        counters.events_processed + injected + 1
+    } else {
+        counters.events_processed
+    };
+
+    // Collect per-proxy outputs in id order via the round-robin layout.
+    let per_proxy = (0..n_proxies)
+        // Proxy p lives on shard p % N at local index p / N.
+        .map(|p| *shards[p % shards_n].agents[p / shards_n].stats())
+        .collect();
+    let final_cache_sizes = (0..n_proxies)
+        // Same round-robin addressing as above.
+        .map(|p| shards[p % shards_n].agents[p / shards_n].cached_objects())
+        .collect();
+
+    let report = SimReport {
+        completed,
+        hits,
+        phases,
+        hops: hops_summary,
+        latency_us: latency_summary,
+        latency_p50_us: latency_p50.value().unwrap_or(0.0),
+        latency_p99_us: latency_p99.value().unwrap_or(0.0),
+        hit_series: hit_sampler.into_series(),
+        hops_series: hops_sampler.into_series(),
+        per_proxy,
+        final_cache_sizes,
+        occupancy_series: occupancy
+            .map(|samplers| {
+                samplers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, sampler)| {
+                        let mut series = sampler.into_series();
+                        series.name = format!("proxy{i}");
+                        series
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        messages_delivered: counters.messages_delivered,
+        events_processed,
+        peak_flows,
+        duplicates_injected: 0,
+        client_orphans: counters.client_orphans,
+        orphan_origin_requests: counters.orphan_origin_requests,
+        proxies_reset: 0,
+        bytes_from_origin: counters.bytes_from_origin,
+        bytes_from_caches: counters.bytes_from_caches,
+        trace: None,
+        convergence: conv.map(|c| c.tracker.into_report()),
+        metrics: None,
+        wall_time: wall_start.elapsed(),
+        cpu_time: crate::cputime::thread_cpu_now().saturating_sub(cpu_start),
+    };
+
+    // Tear the shards down: agents back into proxy-id order, registries
+    // folded through the exact merge (coordinator first, then shards in
+    // index order — merge is commutative, the order is cosmetic).
+    let mut agent_iters: Vec<std::vec::IntoIter<A>> = Vec::with_capacity(shards_n);
+    let mut registries: Vec<Registry> = Vec::new();
+    for shard in shards {
+        agent_iters.push(shard.agents.into_iter());
+        if let Some(reg) = shard.probe.into_registry() {
+            registries.push(reg);
+        }
+    }
+    let agents: Vec<A> = (0..n_proxies)
+        .map(|p| {
+            // Shard p % N yields its agents in local (ascending id)
+            // order, so proxy p is the next item of iterator p % N.
+            match agent_iters[p % shards_n].next() {
+                Some(a) => a,
+                // Partitioning placed exactly n agents.
+                None => unreachable!("shard ran out of agents"),
+            }
+        })
+        .collect();
+    let merged_registry = coord_probe.map(|probe| {
+        let mut merged = probe.into_registry();
+        merged.merge(&Registry::merge_all(registries.iter()));
+        merged
+    });
+
+    (report, agents, merged_registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_core::{AdcConfig, AdcProxy};
+    use adc_workload::StationaryZipf;
+
+    fn adc_agents(n: u32) -> Vec<AdcProxy> {
+        let config = AdcConfig::builder()
+            .single_capacity(64)
+            .multiple_capacity(64)
+            .cache_capacity(32)
+            .max_hops(8)
+            .build();
+        (0..n)
+            .map(|i| AdcProxy::new(ProxyId::new(i), n, config.clone()))
+            .collect()
+    }
+
+    /// Default-latency config (the sharded executor needs positive
+    /// latencies for its lookahead bound).
+    fn config() -> SimConfig {
+        SimConfig {
+            hit_window: 500,
+            sample_every: 500,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn lookahead_is_min_latency_over_cross_shard_edges() {
+        let c = config();
+        // Default model: client_proxy 1ms, proxy_proxy 2ms → W = 1ms.
+        assert_eq!(lookahead_us(&c, 5), 1_000);
+        // Single proxy: no proxy↔proxy edges, W = client_proxy.
+        assert_eq!(lookahead_us(&c, 1), 1_000);
+        // A matrix with a faster off-diagonal pair tightens W.
+        let mut m = vec![vec![SimTime::from_micros(700); 3]; 3];
+        m[0][0] = SimTime::ZERO; // diagonal never constrains W
+        let c = SimConfig {
+            proxy_latency_matrix: Some(m),
+            ..config()
+        };
+        assert_eq!(lookahead_us(&c, 3), 700);
+    }
+
+    #[test]
+    fn sequential_sharded_matches_single_threaded_exactly() {
+        let workload = || StationaryZipf::new(120, 0.9, 6, 7).take(2_500);
+        let legacy = Simulation::new(adc_agents(3), config()).run(workload());
+        for shards in [1, 2, 3, 5] {
+            let sharded = Simulation::new(adc_agents(3), config()).run_sharded(workload(), shards);
+            assert_eq!(legacy.completed, sharded.completed, "shards={shards}");
+            assert_eq!(legacy.hits, sharded.hits, "shards={shards}");
+            assert_eq!(
+                legacy.messages_delivered, sharded.messages_delivered,
+                "shards={shards}"
+            );
+            assert_eq!(
+                legacy.events_processed, sharded.events_processed,
+                "shards={shards}"
+            );
+            assert_eq!(legacy.hit_series, sharded.hit_series, "shards={shards}");
+            assert_eq!(legacy.peak_flows, sharded.peak_flows, "shards={shards}");
+            assert_eq!(legacy.per_proxy, sharded.per_proxy, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn open_loop_sharded_is_shard_count_invariant() {
+        let mut c = config();
+        c.injection = InjectionMode::OpenLoop {
+            interval: SimTime::from_micros(100),
+        };
+        let workload = || StationaryZipf::new(100, 0.9, 4, 5).take(1_500);
+        let run =
+            |shards| Simulation::new(adc_agents(4), c.clone()).run_sharded(workload(), shards);
+        let one = run(1);
+        assert_eq!(one.completed, 1_500);
+        for shards in [2, 3, 7] {
+            let k = run(shards);
+            assert_eq!(one.completed, k.completed, "shards={shards}");
+            assert_eq!(one.hits, k.hits, "shards={shards}");
+            assert_eq!(
+                one.messages_delivered, k.messages_delivered,
+                "shards={shards}"
+            );
+            assert_eq!(one.events_processed, k.events_processed, "shards={shards}");
+            assert_eq!(one.peak_flows, k.peak_flows, "shards={shards}");
+            assert_eq!(one.hit_series, k.hit_series, "shards={shards}");
+            assert_eq!(one.per_proxy, k.per_proxy, "shards={shards}");
+        }
+        // Open loop genuinely overlaps flows.
+        assert!(one.peak_flows > 1, "open loop should overlap flows");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection")]
+    fn faulty_configs_rejected() {
+        let mut c = config();
+        c.faults.duplicate_prob = 0.1;
+        let _ = Simulation::new(adc_agents(2), c).run_sharded(std::iter::empty(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead bound")]
+    fn instant_networks_rejected() {
+        let _ =
+            Simulation::new(adc_agents(2), SimConfig::fast()).run_sharded(std::iter::empty(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_shards_rejected() {
+        let _ = Simulation::new(adc_agents(2), config()).run_sharded(std::iter::empty(), 0);
+    }
+
+    #[test]
+    fn empty_workload_is_a_clean_no_op() {
+        let report = Simulation::new(adc_agents(2), config()).run_sharded(std::iter::empty(), 2);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.events_processed, 0);
+        let mut c = config();
+        c.injection = InjectionMode::OpenLoop {
+            interval: SimTime::from_micros(50),
+        };
+        let report = Simulation::new(adc_agents(2), c).run_sharded(std::iter::empty(), 2);
+        assert_eq!(report.completed, 0);
+        // The single-queue runner pops exactly one (exhausted) Inject.
+        assert_eq!(report.events_processed, 1);
+    }
+}
