@@ -3,20 +3,26 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <current.json> \
-//!     [--throughput-tolerance <0..1>] [--warn-throughput]
+//!     [--throughput-tolerance <0..1>] [--warn-throughput] \
+//!     [--min-shard-speedup <ratio>]
 //! ```
 //!
 //! Exit codes: 0 = gate passed, 1 = regression detected, 2 = usage or
 //! I/O error. Deterministic fields (counts, hit rate, hops, lint
-//! surface) must match the baseline exactly; throughput fields get a
+//! surface) must match the baseline exactly; throughput fields —
+//! including the sharded executor's `shard.speedup` ratio — get a
 //! relative tolerance (default 30%) and `--warn-throughput` demotes
 //! their failures to warnings for noisy shared runners.
+//! `--min-shard-speedup` additionally enforces an absolute speedup
+//! floor (use `1.0` on a multi-core runner to require that sharding
+//! actually pays off); the floor is never demoted to a warning.
 
 use adc_bench::{diff_reports, DiffConfig};
 
 fn usage() -> String {
     "usage: bench_diff <baseline.json> <current.json> \
-     [--throughput-tolerance <0..1>] [--warn-throughput]"
+     [--throughput-tolerance <0..1>] [--warn-throughput] \
+     [--min-shard-speedup <ratio>]"
         .to_string()
 }
 
@@ -41,6 +47,18 @@ fn parse_args(
                 config.throughput_tolerance = tol;
             }
             "--warn-throughput" => config.warn_throughput = true,
+            "--min-shard-speedup" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| "--min-shard-speedup requires a value".to_string())?;
+                let floor: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("bad --min-shard-speedup: {e}"))?;
+                if !floor.is_finite() || floor < 0.0 {
+                    return Err("--min-shard-speedup must be a non-negative ratio".to_string());
+                }
+                config.min_shard_speedup = Some(floor);
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown argument {other:?}\n{}", usage()))

@@ -141,19 +141,43 @@ fn main() {
     shard_exp.sim.injection = InjectionMode::OpenLoop {
         interval: SimTime::from_micros(50),
     };
-    eprintln!("bench_report: sharded executor — open-loop run at 1 shard, then {shards}...");
-    let shard_base = shard_exp.run_adc_sharded_on(&trace, 1);
-    let shard_run = shard_exp.run_adc_sharded_on(&trace, shards);
-    assert_eq!(
-        shard_base.to_deterministic_json(),
-        shard_run.to_deterministic_json(),
-        "sharded executor must be shard-count invariant"
-    );
-    let speedup = if shard_run.wall_time.as_secs_f64() > 0.0 {
-        shard_base.wall_time.as_secs_f64() / shard_run.wall_time.as_secs_f64()
+    // Scaling curve: the same trace at 1, 2, 4, `--shards` and one
+    // shard per core. Smoke mode keeps only the two gate-feeding
+    // points so CI stays fast.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut counts: Vec<usize> = if smoke {
+        vec![1, shards]
     } else {
-        0.0
+        vec![1, 2, 4, shards, cores]
     };
+    counts.sort_unstable();
+    counts.dedup();
+    eprintln!("bench_report: sharded executor — open-loop runs at shards {counts:?}...");
+    let scaling: Vec<_> = counts
+        .iter()
+        .map(|&count| (count, shard_exp.run_adc_sharded_on(&trace, count)))
+        .collect();
+    let (_, shard_base) = scaling.first().expect("counts start at 1 shard");
+    for (count, run) in &scaling {
+        assert_eq!(
+            shard_base.to_deterministic_json(),
+            run.to_deterministic_json(),
+            "sharded executor must be shard-count invariant (diverged at {count} shards)"
+        );
+    }
+    let speedup_vs_base = |run: &adc_sim::SimReport| {
+        if run.wall_time.as_secs_f64() > 0.0 {
+            shard_base.wall_time.as_secs_f64() / run.wall_time.as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    let (_, shard_run) = scaling
+        .iter()
+        .find(|(count, _)| *count == shards)
+        .expect("the --shards point is always run");
+    let speedup = speedup_vs_base(shard_run);
+    let exec = shard_run.shard_exec.unwrap_or_default();
     let _ = writeln!(json, "  \"shard\": {{");
     let _ = writeln!(json, "    \"shards\": {shards},");
     let _ = writeln!(json, "    \"requests\": {},", shard_run.completed);
@@ -161,6 +185,12 @@ fn main() {
     let _ = writeln!(json, "    \"messages\": {},", shard_run.messages_delivered);
     let _ = writeln!(json, "    \"peak_flows\": {},", shard_run.peak_flows);
     let _ = writeln!(json, "    \"hit_rate\": {:.6},", shard_run.hit_rate());
+    // Executor telemetry (outside the deterministic report surface:
+    // pool sizing follows the host, widening follows the tuning).
+    let _ = writeln!(json, "    \"pool_spawns\": {},", exec.pool_spawns);
+    let _ = writeln!(json, "    \"windows_advanced\": {},", exec.windows_advanced);
+    let _ = writeln!(json, "    \"windows_widened\": {},", exec.windows_widened);
+    let _ = writeln!(json, "    \"windows_skipped\": {},", exec.windows_skipped);
     let _ = writeln!(
         json,
         "    \"baseline_wall_seconds\": {:.6},",
@@ -181,7 +211,23 @@ fn main() {
         "    \"events_per_sec\": {:.1},",
         per_sec(shard_run.events_processed, shard_run.wall_time)
     );
-    let _ = writeln!(json, "    \"speedup\": {speedup:.3}");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
+    // The full curve, keyed by shard count (nested objects — the gate's
+    // parser takes no arrays). Informational: hosts differ, so nothing
+    // here is gated.
+    let _ = writeln!(json, "    \"scaling\": {{");
+    for (i, (count, run)) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      \"{count}\": {{ \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \
+             \"speedup\": {:.3} }}{}",
+            run.wall_time.as_secs_f64(),
+            per_sec(run.events_processed, run.wall_time),
+            speedup_vs_base(run),
+            if i + 1 == scaling.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let phase = |name: &str, w: Duration, c: Duration, last: bool| {
         format!(

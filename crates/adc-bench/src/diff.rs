@@ -221,9 +221,20 @@ pub const EXACT_FIELDS: &[&str] = &[
 pub const NON_INCREASING_FIELDS: &[&str] = &["lint.suppressions"];
 
 /// Throughput fields: higher is better, compared with a relative
-/// threshold because shared runners are noisy.
-pub const THROUGHPUT_FIELDS: &[&str] =
-    &["requests_per_sec", "events_per_sec", "shard.events_per_sec"];
+/// threshold because shared runners are noisy. `shard.speedup` rides
+/// the same relative gate (a parallel-efficiency collapse is a perf
+/// regression even when absolute throughput survives the tolerance)
+/// and additionally honours [`DiffConfig::min_shard_speedup`].
+pub const THROUGHPUT_FIELDS: &[&str] = &[
+    "requests_per_sec",
+    "events_per_sec",
+    "shard.events_per_sec",
+    "shard.speedup",
+];
+
+/// The scaling field the absolute [`DiffConfig::min_shard_speedup`]
+/// floor applies to.
+pub const SPEEDUP_FIELD: &str = "shard.speedup";
 
 /// Identity fields that must match for the comparison to make sense at
 /// all (comparing a smoke run against a full baseline is meaningless).
@@ -238,6 +249,14 @@ pub struct DiffConfig {
     /// Demote throughput regressions to warnings (for shared CI runners
     /// where only the deterministic fields are trustworthy).
     pub warn_throughput: bool,
+    /// Absolute floor for [`SPEEDUP_FIELD`]: the sharded run must be at
+    /// least this many times faster than its own 1-shard run. `None`
+    /// (the default) skips the check — a single-core runner physically
+    /// cannot beat 1.0, so the floor is opt-in for multi-core
+    /// environments (CI's scaling leg passes `--min-shard-speedup`).
+    /// Unlike the relative gate, the floor is never demoted to a
+    /// warning: passing it is an explicit request.
+    pub min_shard_speedup: Option<f64>,
 }
 
 impl Default for DiffConfig {
@@ -245,6 +264,7 @@ impl Default for DiffConfig {
         DiffConfig {
             throughput_tolerance: 0.30,
             warn_throughput: false,
+            min_shard_speedup: None,
         }
     }
 }
@@ -364,6 +384,19 @@ pub fn diff_reports(
             } else {
                 report.regressions.push(msg);
             }
+        }
+    }
+    if let Some(floor) = config.min_shard_speedup {
+        report.compared += 1;
+        match get_num(&cur, SPEEDUP_FIELD) {
+            None => report.regressions.push(format!(
+                "{SPEEDUP_FIELD}: missing but --min-shard-speedup {floor} was requested"
+            )),
+            Some(c) if c < floor => report.regressions.push(format!(
+                "{SPEEDUP_FIELD}: {c:.3} is below the required floor {floor:.3} — \
+                 sharded execution must actually be faster than 1 shard"
+            )),
+            Some(_) => {}
         }
     }
     Ok(report)
@@ -541,6 +574,53 @@ mod tests {
             .regressions
             .iter()
             .any(|r| r.contains("shard.events_per_sec")));
+    }
+
+    #[test]
+    fn speedup_collapse_trips_the_relative_gate() {
+        // 3.000 → 1.200 is a 60% drop: far outside the 30% tolerance.
+        let collapsed = BASELINE.replace("\"speedup\": 3.000", "\"speedup\": 1.200");
+        let report = diff_reports(BASELINE, &collapsed, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("shard.speedup")));
+        // Warn mode demotes the relative check like any throughput field.
+        let warn = DiffConfig {
+            warn_throughput: true,
+            ..DiffConfig::default()
+        };
+        let report = diff_reports(BASELINE, &collapsed, &warn).unwrap();
+        assert!(report.passed());
+        // A mild dip stays inside the tolerance.
+        let mild = BASELINE.replace("\"speedup\": 3.000", "\"speedup\": 2.500");
+        let report = diff_reports(BASELINE, &mild, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn speedup_floor_is_absolute_and_never_demoted() {
+        let mild = BASELINE.replace("\"speedup\": 3.000", "\"speedup\": 2.500");
+        let floored = DiffConfig {
+            warn_throughput: true, // must NOT demote the floor
+            min_shard_speedup: Some(2.8),
+            ..DiffConfig::default()
+        };
+        let report = diff_reports(BASELINE, &mild, &floored).unwrap();
+        assert!(!report.passed());
+        assert!(report.regressions.iter().any(|r| r.contains("floor")));
+        let passing = DiffConfig {
+            min_shard_speedup: Some(2.0),
+            ..DiffConfig::default()
+        };
+        let report = diff_reports(BASELINE, &mild, &passing).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        // Requesting a floor from a report that lacks the field at all
+        // is a failure, not a silent pass.
+        let gutted = BASELINE.replace("    \"speedup\": 3.000\n", "    \"speedup2\": 3.000\n");
+        let report = diff_reports(BASELINE, &gutted, &passing).unwrap();
+        assert!(!report.passed());
     }
 
     #[test]

@@ -30,6 +30,23 @@ const BASELINE: &str = r#"{
   "cpu_seconds": 0.526393,
   "requests_per_sec": 752943.2,
   "events_per_sec": 4012149.2,
+  "shard": {
+    "shards": 4,
+    "requests": 399000,
+    "events": 2525120,
+    "messages": 2126120,
+    "peak_flows": 212,
+    "hit_rate": 0.525434,
+    "pool_spawns": 3,
+    "windows_advanced": 1200,
+    "windows_widened": 900,
+    "windows_skipped": 64000,
+    "baseline_wall_seconds": 0.810000,
+    "wall_seconds": 0.270000,
+    "baseline_events_per_sec": 3117432.1,
+    "events_per_sec": 9352296.3,
+    "speedup": 3.000
+  },
   "profile": {
     "total": { "wall_seconds": 0.619812, "cpu_seconds": 0.607532 }
   }
@@ -86,6 +103,44 @@ fn bench_diff_throughput_warn_mode_downgrades_to_exit_zero() {
     let soft = run_bench_diff(BASELINE, &slow, &["--warn-throughput"]);
     assert!(soft.status.success());
     assert!(String::from_utf8_lossy(&soft.stdout).contains("warning"));
+}
+
+#[test]
+fn bench_diff_enforces_the_shard_speedup_floor() {
+    // 2.5 is a mild relative dip from 3.0 (inside the 30% tolerance),
+    // so only the explicit floor rejects it.
+    let doctored = BASELINE.replace("\"speedup\": 3.000", "\"speedup\": 2.500");
+    let no_floor = run_bench_diff(BASELINE, &doctored, &[]);
+    assert!(
+        no_floor.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&no_floor.stdout)
+    );
+    let floored = run_bench_diff(BASELINE, &doctored, &["--min-shard-speedup", "2.8"]);
+    assert_eq!(floored.status.code(), Some(1), "floor must exit 1");
+    let stdout = String::from_utf8_lossy(&floored.stdout);
+    assert!(stdout.contains("REGRESSION"), "stdout: {stdout}");
+    assert!(stdout.contains("shard.speedup"), "stdout: {stdout}");
+    // A parallel-efficiency collapse trips the relative gate even
+    // without a floor, and --warn-throughput does not silence a floor.
+    let collapsed = BASELINE.replace("\"speedup\": 3.000", "\"speedup\": 0.900");
+    assert_eq!(
+        run_bench_diff(BASELINE, &collapsed, &[]).status.code(),
+        Some(1)
+    );
+    let warned = run_bench_diff(
+        BASELINE,
+        &collapsed,
+        &["--warn-throughput", "--min-shard-speedup", "1.0"],
+    );
+    assert_eq!(warned.status.code(), Some(1), "floor survives warn mode");
+    // Bad flag values are usage errors.
+    assert_eq!(
+        run_bench_diff(BASELINE, BASELINE, &["--min-shard-speedup", "-1"])
+            .status
+            .code(),
+        Some(2)
+    );
 }
 
 #[test]

@@ -77,7 +77,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "shard-safety",
         severity: Severity::Error,
-        summary: "static mut, thread locals, or unsynchronized interior mutability in shard-parallel hot-path code",
+        summary: "static mut, thread locals, unsynchronized interior mutability, or (hot path only) per-window thread spawns in shard-parallel code",
         scope: "adc-core plus adc-sim hot path (code sharded workers may run concurrently)",
     },
     RuleInfo {
@@ -124,6 +124,10 @@ const PRINTLN_CRATES: &[&str] = &[
 ];
 const DOC_CRATES: &[&str] = &["adc-core", "adc-obs"];
 const OBS_CRATES: &[&str] = &["adc-core", "adc-baselines"];
+// Per-window hot-path files for the shard-safety rule. pool.rs is
+// deliberately absent: it is the one legitimate thread-creation site
+// (its workers persist for the whole run), while code listed here runs
+// once per barrier window and must never create OS threads.
 const HOT_PATH_FILES: &[&str] = &[
     "crates/adc-sim/src/queue.rs",
     "crates/adc-sim/src/flows.rs",
@@ -583,6 +587,13 @@ fn walk_attributes_up(file: &SourceFile, mut j: usize) -> usize {
 /// (`Cell`/`RefCell`/`UnsafeCell`) silently defeats the `&mut`-per-shard
 /// ownership discipline the barrier protocol relies on. `Mutex`/atomics
 /// are fine — they synchronize — so they are not listed.
+///
+/// Hot-path files additionally may not create OS threads: the code there
+/// runs once per barrier window, so a `spawn`/`thread::scope` is a
+/// per-window spawn storm — exactly the overhead the persistent worker
+/// pool removed. `adc-sim/src/pool.rs` is deliberately *not* a hot-path
+/// file: it is the one legitimate spawn site (threads live for the whole
+/// run there, amortized across every window).
 fn shard_safety(file: &SourceFile, out: &mut Vec<Finding>) {
     let core_scope = file.is_lib && file.krate == "adc-core";
     if !(core_scope || is_hot_path(file)) {
@@ -598,20 +609,30 @@ fn shard_safety(file: &SourceFile, out: &mut Vec<Finding>) {
         ("Cell", "unsynchronized interior mutability"),
         ("UnsafeCell", "unsynchronized interior mutability"),
     ];
+    const SPAWN_TOKENS: &[(&str, &str)] = &[
+        ("spawn", "per-window OS-thread creation"),
+        ("thread::scope", "per-window scoped-thread creation"),
+    ];
+    let spawn_tokens: &[(&str, &str)] = if is_hot_path(file) { SPAWN_TOKENS } else { &[] };
     for (i, line) in file.lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
-        for (tok, what) in TOKENS {
+        for (tok, what) in TOKENS.iter().chain(spawn_tokens) {
             if contains_token(&line.code, tok) {
+                let advice = if spawn_tokens.iter().any(|(t, _)| t == tok) {
+                    "dispatch windows through the persistent worker pool \
+                     (adc-sim's pool module) instead of creating threads per window"
+                } else {
+                    "keep state per-shard or synchronize it (Mutex/atomics)"
+                };
                 push(
                     out,
                     "shard-safety",
                     file,
                     i,
                     format!(
-                        "{what} (`{tok}`) in code sharded workers may run concurrently; \
-                         keep state per-shard or synchronize it (Mutex/atomics)"
+                        "{what} (`{tok}`) in code sharded workers may run concurrently; {advice}"
                     ),
                 );
                 break;
@@ -834,6 +855,37 @@ mod tests {
                 "should not flag: {ok}"
             );
         }
+    }
+
+    #[test]
+    fn shard_safety_flags_per_window_spawns_on_the_hot_path_only() {
+        for bad in [
+            "fn run() { std::thread::spawn(|| work()); }",
+            "fn run(s: &Scope) { s.spawn(|| work()); }",
+            "fn run() { thread::scope(|s| drain(s)); }",
+        ] {
+            let f = findings("adc-sim", "crates/adc-sim/src/sharded.rs", bad);
+            assert!(rules_of(&f).contains(&"shard-safety"), "should flag: {bad}");
+        }
+        // pool.rs is the one legitimate spawn site, and identifiers that
+        // merely contain the token (the pool_spawns telemetry counter)
+        // never match.
+        let pool = findings(
+            "adc-sim",
+            "crates/adc-sim/src/pool.rs",
+            "fn run(s: &Scope) { s.spawn(|| worker_loop()); }",
+        );
+        assert!(!rules_of(&pool).contains(&"shard-safety"));
+        let counter = findings(
+            "adc-sim",
+            "crates/adc-sim/src/sharded.rs",
+            "fn f(e: &mut Stats) { e.pool_spawns += 1; }",
+        );
+        assert!(!rules_of(&counter).contains(&"shard-safety"));
+        // Spawn tokens are hot-path-only: adc-core has no executor and
+        // may use threads however it likes (it doesn't).
+        let core = lib("adc-core", "fn run() { std::thread::spawn(|| work()); }");
+        assert!(!rules_of(&core).contains(&"shard-safety"));
     }
 
     #[test]

@@ -14,3 +14,15 @@ pub struct Shard {
     log: std::cell::RefCell<Vec<u64>>,
     raw: std::cell::UnsafeCell<u64>,
 }
+
+// Per-window thread creation: the spawn storm the persistent pool
+// exists to remove.
+pub fn drain_all(shards: &mut [Shard]) {
+    std::thread::scope(|scope| {
+        for shard in shards.iter_mut() {
+            scope.spawn(move || drain(shard));
+        }
+    });
+}
+
+fn drain(_shard: &mut Shard) {}

@@ -37,6 +37,7 @@ mod config;
 mod cputime;
 mod flows;
 mod network;
+mod pool;
 mod queue;
 mod report;
 mod runner;
@@ -44,12 +45,12 @@ mod sharded;
 mod time;
 mod tracelog;
 
-pub use config::{ChurnEvent, ClientAssignment, FaultPlan, InjectionMode, SimConfig};
+pub use config::{ChurnEvent, ClientAssignment, FaultPlan, InjectionMode, ShardTuning, SimConfig};
 pub use cputime::thread_cpu_now;
 pub use flows::FlowTable;
 pub use network::LatencyModel;
 pub use queue::CalendarQueue;
-pub use report::{PhaseStats, SimReport};
+pub use report::{PhaseStats, ShardExecStats, SimReport};
 pub use runner::Simulation;
 pub use time::SimTime;
 pub use tracelog::{DeliveryRecord, TraceLog};

@@ -28,6 +28,28 @@ impl PhaseStats {
     }
 }
 
+/// Synchronization-layer telemetry from the sharded executor: evidence
+/// the persistent worker pool and adaptive window widening actually
+/// engaged on a given run. Host- and tuning-dependent by design, so it
+/// rides next to the wall/CPU clocks rather than in the canonical JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ShardExecStats {
+    /// Worker threads the persistent pool actually spawned — at most
+    /// once each for the whole run. 0 means every window ran inline on
+    /// the coordinator (single-core host, sequential injection, or
+    /// `pool_threads: Some(0)`).
+    pub pool_spawns: u64,
+    /// Barrier rounds the coordinator executed (windows run).
+    pub windows_advanced: u64,
+    /// Barrier rounds at which adaptive widening extended the window
+    /// past one lookahead grid step.
+    pub windows_widened: u64,
+    /// Lookahead grid barriers elided by widening: the synchronization
+    /// rounds a fixed-step coordinator would have paid on the same
+    /// schedule.
+    pub windows_skipped: u64,
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -101,6 +123,15 @@ pub struct SimReport {
     /// [`MetricsProbe`](adc_obs::MetricsProbe) (e.g.
     /// [`Simulation::run_with_metrics`](crate::Simulation::run_with_metrics)).
     pub metrics: Option<MetricsReport>,
+    /// Synchronization-layer telemetry from the sharded executor
+    /// (`None` for single-threaded runs). Like the wall/CPU clocks this
+    /// is *excluded* from [`to_deterministic_json`]: `pool_spawns`
+    /// depends on the host's core count, and the widening schedule is a
+    /// function of the shard count and tuning knobs, while the
+    /// canonical JSON must be invariant across both.
+    ///
+    /// [`to_deterministic_json`]: SimReport::to_deterministic_json
+    pub shard_exec: Option<ShardExecStats>,
     /// Wall-clock time the simulation took (Figure 15 style).
     pub wall_time: Duration,
     /// CPU time the simulating thread consumed. Unlike [`wall_time`],
@@ -453,6 +484,7 @@ mod tests {
             trace: None,
             convergence: None,
             metrics: None,
+            shard_exec: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };
@@ -501,6 +533,7 @@ mod tests {
             trace: None,
             convergence: None,
             metrics: None,
+            shard_exec: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };
@@ -548,6 +581,7 @@ mod tests {
             trace: Some(TraceLog::new(1)),
             convergence: None,
             metrics: None,
+            shard_exec: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };

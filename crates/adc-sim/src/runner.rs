@@ -571,6 +571,7 @@ impl<A: CacheAgent> Simulation<A> {
             trace,
             convergence: conv.map(|c| c.tracker.into_report()),
             metrics: None,
+            shard_exec: None,
             wall_time: wall_start.elapsed(),
             cpu_time: crate::cputime::thread_cpu_now().saturating_sub(cpu_start),
         };

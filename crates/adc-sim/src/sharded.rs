@@ -48,6 +48,42 @@
 //! injection events the single-threaded loop would have popped, so the
 //! field reconciles across executors.
 //!
+//! # Synchronization layer
+//!
+//! Three mechanisms amortize the barrier cost (all tunable through
+//! [`ShardTuning`](crate::ShardTuning); every setting produces identical
+//! report bytes):
+//!
+//! 1. **Persistent worker pool** ([`pool`](crate::pool) module): shard
+//!    threads are spawned at most once per run — lazily, on the first
+//!    window with more than one active shard — and windows are dispatched
+//!    through a sense-reversing barrier with a claim cursor, instead of
+//!    spawning fresh OS threads every window. On a single-core host the
+//!    pool sizes itself to zero workers and every window runs inline on
+//!    the coordinator.
+//! 2. **Adaptive window widening**: each shard maintains counts of its
+//!    pending proxy-bound and origin-bound events, from which the
+//!    coordinator derives a conservative lower bound on the earliest
+//!    possible cross-shard *send* (proxy-bound work can send immediately;
+//!    origin-bound work cannot reach a proxy again before the
+//!    origin→proxy reply latency; client-bound deliveries never spawn
+//!    anything). When the global minimum bound `S_min` lies beyond the
+//!    next grid barrier, the window extends straight to the grid barrier
+//!    after `S_min` — every cross-shard delivery still lands at
+//!    `≥ S_min + W ≥` that barrier, so the lookahead argument is intact
+//!    (full proof in DESIGN.md §6c). Widening changes *barrier
+//!    placement*, which is observable only by barrier-driven state
+//!    sampling (occupancy series, convergence snapshots, metrics
+//!    probes) in open-loop mode — sequential windows hold at most one
+//!    completion, so sequential folds see identical agent state — and is
+//!    therefore automatically disabled in exactly those runs.
+//! 3. **Batched coordinator folds**: completions accumulate in reusable
+//!    per-shard buffers and fold every `fold_batch` barriers. The fold
+//!    replays the same `(at, flow_seq)`-sorted global sequence with the
+//!    same injection-settling tie rule whatever the batching, so it is
+//!    enabled under the same gate as widening (and never in sequential
+//!    mode, whose folds drive re-injection).
+//!
 //! # Unsupported configurations
 //!
 //! Fault injection, churn and delivery tracing are rejected (see
@@ -58,8 +94,9 @@
 use crate::config::{ClientAssignment, InjectionMode, SimConfig};
 use crate::flows::FlowTable;
 use crate::network::LatencyModel;
+use crate::pool::{self, WindowTask};
 use crate::queue::CalendarQueue;
-use crate::report::{PhaseStats, SimReport};
+use crate::report::{PhaseStats, ShardExecStats, SimReport};
 use crate::runner::Simulation;
 use crate::time::SimTime;
 use adc_core::{
@@ -72,7 +109,7 @@ use adc_workload::{Phase, RequestRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 // Wall-clock time feeds report telemetry only, never simulation
 // state. adc-lint: allow(determinism)
 use std::time::Instant;
@@ -333,14 +370,59 @@ struct Shard<A, P> {
     outboxes: Vec<Vec<Routed>>,
     counters: ShardCounters,
     /// Timestamp of this shard's earliest pending event (`u64::MAX` when
-    /// idle); maintained by `run_window` and by coordinator routing.
+    /// idle); maintained by `drain_window` and by coordinator routing.
     next_at: u64,
+    /// Pending events addressed to a proxy — work that could emit a
+    /// cross-shard message the moment it is processed. Fuels the
+    /// widening bound (see [`cross_send_bound`](Shard::cross_send_bound)).
+    pending_proxy: usize,
+    /// Pending events addressed to the origin — work whose earliest
+    /// cross-shard consequence is one origin→proxy reply latency away.
+    pending_origin: usize,
+    /// The latency function, shared immutably with the coordinator and
+    /// every sibling shard.
+    net: Arc<Net>,
 }
 
 impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
+    /// Coordinator-side insertion (injection and barrier routing):
+    /// classifies the destination for the widening bound and keeps
+    /// `next_at` current.
+    fn enqueue(&mut self, at: u64, key: u64, ev: ShardEvent) {
+        match ev.to {
+            NodeId::Proxy(_) => self.pending_proxy += 1,
+            NodeId::Origin => self.pending_origin += 1,
+            NodeId::Client(_) => {}
+        }
+        self.next_at = self.next_at.min(at);
+        self.queue.push(at, key, ev);
+    }
+
+    /// Conservative lower bound on the earliest simulation time at which
+    /// this shard could *send* a cross-shard message, given its current
+    /// queue. `u64::MAX` means "never, until new work arrives": pending
+    /// client deliveries complete flows and spawn nothing.
+    ///
+    /// Proxy-bound work can forward the instant it is processed, so the
+    /// bound is this shard's earliest pending timestamp. Origin-bound
+    /// work is strictly weaker: the origin replies only to its local
+    /// proxy, so the earliest a proxy on this shard can act again — and
+    /// hence send anything cross-shard — is one origin→proxy reply
+    /// latency after the earliest pending event. Using `next_at` (≤ the
+    /// earliest event of either class) keeps both branches conservative.
+    fn cross_send_bound(&self, origin_reply_us: u64) -> u64 {
+        if self.pending_proxy > 0 {
+            self.next_at
+        } else if self.pending_origin > 0 {
+            self.next_at.saturating_add(origin_reply_us)
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Drains every local event with `at < window_end`, in `(at, key)`
     /// order, then records the next pending timestamp.
-    fn run_window(&mut self, window_end: u64, net: &Net) {
+    fn drain_window(&mut self, window_end: u64) {
         loop {
             match self.queue.peek_key() {
                 None => {
@@ -356,7 +438,12 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
                         // peek_key just returned Some.
                         unreachable!("peeked event vanished");
                     };
-                    self.process(at, key, ev, window_end, net);
+                    match ev.to {
+                        NodeId::Proxy(_) => self.pending_proxy -= 1,
+                        NodeId::Origin => self.pending_origin -= 1,
+                        NodeId::Client(_) => {}
+                    }
+                    self.process(at, key, ev, window_end);
                 }
             }
         }
@@ -365,8 +452,9 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
     /// Processes one delivery, mirroring the single-threaded runner's
     /// `Deliver` arm field for field (counters, byte accounting, hop
     /// accounting, dispatch, sink drain).
-    fn process(&mut self, at: u64, _key: u64, ev: ShardEvent, window_end: u64, net: &Net) {
+    fn process(&mut self, at: u64, _key: u64, ev: ShardEvent, window_end: u64) {
         let now = SimTime::from_micros(at);
+        let shards_n = self.net.shards;
         if P::ENABLED {
             self.probe.tick(at);
         }
@@ -412,18 +500,18 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
         match to {
             NodeId::Proxy(pid) => {
                 debug_assert_eq!(
-                    net.shard_of(pid),
+                    self.net.shard_of(pid),
                     self.index,
                     "event delivered to wrong shard"
                 );
                 // Round-robin partitioning: local index = proxy / shards.
-                let agent = &mut self.agents[pid.raw() as usize / net.shards];
+                let agent = &mut self.agents[pid.raw() as usize / shards_n];
                 match message {
                     Message::Request(req) => {
                         let rng: &mut dyn RngCore = match &mut self.rngs {
                             AgentRngs::Shared(r) => r,
                             // Same local index as the agent above.
-                            AgentRngs::PerAgent(v) => &mut v[pid.raw() as usize / net.shards],
+                            AgentRngs::PerAgent(v) => &mut v[pid.raw() as usize / shards_n],
                         };
                         agent.on_request(req, rng, &mut self.probe, &mut self.sink);
                     }
@@ -482,12 +570,12 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
             if let Message::Reply(rep) = &mut message {
                 rep.size = meta.size;
             }
-            let mut out_at = now + net.latency(to, dest);
+            let mut out_at = now + self.net.latency(to, dest);
             if dest == NodeId::Origin {
                 // Account for the origin's per-request service time up
                 // front, so its reply goes out at arrival + service +
                 // wire time.
-                out_at += net.base.origin_service;
+                out_at += self.net.base.origin_service;
             }
             meta.step += 1;
             debug_assert!(
@@ -501,10 +589,13 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
                 message,
             };
             match dest {
-                NodeId::Proxy(p) if net.shard_of(p) != self.index => {
+                NodeId::Proxy(p) if self.net.shard_of(p) != self.index => {
                     // Conservative synchronization: a cross-shard message
                     // travels a proxy↔proxy edge with latency ≥ W, so it
-                    // cannot land inside the current window.
+                    // cannot land inside the current window — widened
+                    // windows included, because `window_end` never
+                    // exceeds the grid barrier after the global earliest
+                    // cross-shard send bound (see `cross_send_bound`).
                     debug_assert!(
                         out_at.as_micros() >= window_end,
                         "lookahead violated: cross-shard delivery at {} inside window ending {}",
@@ -512,7 +603,7 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
                         window_end
                     );
                     // Outboxes are sized to the shard count at startup.
-                    self.outboxes[net.shard_of(p)].push(Routed {
+                    self.outboxes[self.net.shard_of(p)].push(Routed {
                         at: out_at.as_micros(),
                         key,
                         ev,
@@ -520,12 +611,40 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
                     });
                 }
                 _ => {
+                    // Local reinsertion: classify for the widening bound
+                    // (the sink borrow is live, so this mirrors
+                    // `enqueue` on disjoint fields).
+                    match dest {
+                        NodeId::Proxy(_) => self.pending_proxy += 1,
+                        NodeId::Origin => self.pending_origin += 1,
+                        NodeId::Client(_) => {}
+                    }
                     self.queue.push(out_at.as_micros(), key, ev);
                     self.flows.insert(id, meta);
                 }
             }
         }
     }
+}
+
+/// A shard cell is the pool's unit of work: one window drain. Running a
+/// window is a pure function of the cell's own state and `window_end`,
+/// which is what makes the claim-cursor schedule irrelevant to the
+/// result (see the [`pool`] module docs).
+impl<A: CacheAgent + Send, P: ShardProbe> WindowTask for Shard<A, P> {
+    fn run_window(&mut self, window_end: u64) {
+        self.drain_window(window_end);
+    }
+}
+
+/// Locks every shard cell for a coordinator phase. Uncontended by the
+/// barrier protocol: the coordinator only locks while every worker is
+/// parked between windows.
+fn lock_all<W>(cells: &[Mutex<W>]) -> Vec<MutexGuard<'_, W>> {
+    cells
+        .iter()
+        .map(|c| c.lock().unwrap_or_else(PoisonError::into_inner))
+        .collect()
 }
 
 /// Rejects configurations the sharded executor cannot reproduce
@@ -630,6 +749,75 @@ struct ConvState {
     tracker: ConvergenceTracker,
 }
 
+/// Injects the next workload request at `now`, routing its first
+/// delivery into the owner shard. `shards` is the coordinator's locked
+/// view of the shard cells (or any other exclusive view of them).
+/// Returns false when the workload is exhausted.
+#[allow(clippy::too_many_arguments)] // the coordinator's loop state, threaded explicitly
+fn inject_next<A, P, G>(
+    now: SimTime,
+    shards: &mut [G],
+    workload: &mut dyn Iterator<Item = RequestRecord>,
+    net: &Net,
+    n: u32,
+    assignment: ClientAssignment,
+    assign_rng: &mut StdRng,
+    conv: &mut Option<ConvState>,
+    coord_probe: &mut Option<MetricsProbe>,
+    inj_times: &mut VecDeque<u64>,
+    injected: &mut u64,
+) -> bool
+where
+    A: CacheAgent,
+    P: ShardProbe,
+    G: std::ops::DerefMut<Target = Shard<A, P>>,
+{
+    let Some(record) = workload.next() else {
+        return false;
+    };
+    if let Some(c) = conv.as_mut() {
+        *c.counts.entry(record.object.raw()).or_insert(0) += 1;
+    }
+    if let Some(p) = coord_probe.as_mut() {
+        p.emit(SimEvent::RequestInjected {
+            client: record.client.raw(),
+            seq: record.seq,
+            object: record.object.raw(),
+        });
+    }
+    let proxy = match assignment {
+        ClientAssignment::Sticky => ProxyId::new(record.client.raw() % n),
+        ClientAssignment::RandomPerRequest => ProxyId::new(assign_rng.gen_range(0..n)),
+    };
+    let id = RequestId::new(record.client, record.seq);
+    let meta = FlowMeta {
+        start: now,
+        hops: 0,
+        step: 0,
+        size: record.size,
+        phase: record.phase,
+    };
+    let request = Request::new(id, record.object, record.client);
+    let from = NodeId::Client(record.client);
+    let to = NodeId::Proxy(proxy);
+    let at = (now + net.latency(from, to)).as_micros();
+    // shard_of() is always below the shard count.
+    let shard = &mut shards[net.shard_of(proxy)];
+    shard.enqueue(
+        at,
+        event_key(id.seq, 0),
+        ShardEvent {
+            from,
+            to,
+            message: Message::Request(request),
+        },
+    );
+    shard.flows.insert(id, meta);
+    inj_times.push_back(now.as_micros());
+    *injected += 1;
+    true
+}
+
 /// The coordinator loop: builds the shards, advances the window barrier
 /// until every queue drains, folds completions, and assembles the
 /// report. Returns `(report, agents in id order, merged registry)`.
@@ -649,11 +837,11 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
     let n_proxies = agents.len();
     let n = n_proxies as u32; // proxy counts stay tiny
     let window_us = validate_sharded(&config, n_proxies, shards_n);
-    let net = Net {
+    let net = Arc::new(Net {
         base: config.latency,
         matrix: config.proxy_latency_matrix.clone(),
         shards: shards_n,
-    };
+    });
 
     // Partition agents round-robin: proxy p → shard p % N. The shared
     // sequential RNG is the legacy stream; per-agent open-loop streams
@@ -667,7 +855,7 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
         // Round-robin: proxy p lives on shard p % N.
         shard_agents[p % shards_n].push(agent);
     }
-    let mut shards: Vec<Shard<A, P>> = shard_agents
+    let shards: Vec<Shard<A, P>> = shard_agents
         .into_iter()
         .enumerate()
         .map(|(index, agents)| {
@@ -697,6 +885,9 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
                 outboxes: (0..shards_n).map(|_| Vec::new()).collect(),
                 counters: ShardCounters::default(),
                 next_at: u64::MAX,
+                pending_proxy: 0,
+                pending_origin: 0,
+                net: Arc::clone(&net),
             }
         })
         .collect();
@@ -737,266 +928,339 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
     let mut injected: u64 = 0;
     let mut workload_done = false;
 
-    // Injects the next workload request at `now`, routing its first
-    // delivery into the owner shard. Returns false when exhausted.
-    let mut inject = |now: SimTime,
-                      shards: &mut Vec<Shard<A, P>>,
-                      assign_rng: &mut StdRng,
-                      conv: &mut Option<ConvState>,
-                      coord_probe: &mut Option<MetricsProbe>,
-                      inj_times: &mut VecDeque<u64>,
-                      injected: &mut u64|
-     -> bool {
-        let Some(record) = workload.next() else {
-            return false;
-        };
-        if let Some(c) = conv.as_mut() {
-            *c.counts.entry(record.object.raw()).or_insert(0) += 1;
-        }
-        if let Some(p) = coord_probe.as_mut() {
-            p.emit(SimEvent::RequestInjected {
-                client: record.client.raw(),
-                seq: record.seq,
-                object: record.object.raw(),
-            });
-        }
-        let proxy = match assignment {
-            ClientAssignment::Sticky => ProxyId::new(record.client.raw() % n),
-            ClientAssignment::RandomPerRequest => ProxyId::new(assign_rng.gen_range(0..n)),
-        };
-        let id = RequestId::new(record.client, record.seq);
-        let meta = FlowMeta {
-            start: now,
-            hops: 0,
-            step: 0,
-            size: record.size,
-            phase: record.phase,
-        };
-        let request = Request::new(id, record.object, record.client);
-        let from = NodeId::Client(record.client);
-        let to = NodeId::Proxy(proxy);
-        let at = (now + net.latency(from, to)).as_micros();
-        let owner = net.shard_of(proxy);
-        // shard_of() is always below the shard count.
-        let shard = &mut shards[owner];
-        shard.queue.push(
-            at,
-            event_key(id.seq, 0),
-            ShardEvent {
-                from,
-                to,
-                message: Message::Request(request),
-            },
-        );
-        shard.flows.insert(id, meta);
-        shard.next_at = shard.next_at.min(at);
-        inj_times.push_back(now.as_micros());
-        *injected += 1;
-        true
+    // Synchronization tuning (see ShardTuning). Widening and batched
+    // folds move barrier placement, which is observable only by
+    // barrier-driven state sampling (occupancy series, convergence
+    // snapshots, metrics probes) in open-loop runs; sequential mode is
+    // immune — each of its folds sees at most one completion, with all
+    // of that flow's agent mutations already settled. Gate both
+    // features off exactly when an open-loop run samples state at
+    // barriers, so every tuning combination yields identical bytes.
+    let state_samplers = occupancy.is_some() || conv.is_some() || coord_probe.is_some();
+    let widen = config.shard.widen && (sequential || !state_samplers);
+    let fold_every: u32 = if sequential || state_samplers {
+        // Sequential folds drive re-injection and must run every
+        // barrier; sampling runs pin the legacy fold cadence.
+        1
+    } else {
+        config.shard.fold_batch.max(1)
     };
+    // The coordinator always executes shards too, so more workers than
+    // `shards - 1` could never claim a cell.
+    let workers = config
+        .shard
+        .pool_threads
+        .unwrap_or_else(|| pool::default_workers(shards_n))
+        .min(shards_n.saturating_sub(1));
 
-    // Prime the pump. Sequential injects the first request at t=0;
-    // open-loop arrivals are generated window by window below.
     let interval_us = match config.injection {
-        InjectionMode::Sequential => {
-            workload_done = !inject(
+        InjectionMode::Sequential => 0,
+        InjectionMode::OpenLoop { interval } => interval.as_micros(),
+    };
+    let mut next_inject_at: u64 = 0;
+    let client_proxy_us = net.base.client_proxy.as_micros();
+    // The origin→proxy reply latency: the widening slack of
+    // origin-bound work. Latency matrices only override proxy↔proxy
+    // edges, so the class model's value is exact.
+    let origin_reply_us = net.base.proxy_origin.as_micros();
+
+    let mut exec = ShardExecStats::default();
+    // Reusable fold buffer: every shard's completions, sorted globally.
+    let mut records_buf: Vec<Completion> = Vec::new();
+    // Barriers since the last fold, and the latest barrier timestamp
+    // (the settling horizon of a deferred fold).
+    let mut fold_pending: u32 = 0;
+    let mut last_window_end: u64 = 0;
+
+    let cells: Vec<Mutex<Shard<A, P>>> = shards.into_iter().map(Mutex::new).collect();
+    let ((), spawned) = pool::with_pool(&cells, workers, |pool| {
+        let mut guards = lock_all(&cells);
+
+        // Canonical completion fold: replay the `(at, flow_seq)`-sorted
+        // global completion sequence through the legacy bookkeeping,
+        // then settle injections up to the fold horizon. A macro rather
+        // than a closure so each expansion can borrow the coordinator's
+        // whole local state.
+        macro_rules! fold_completions {
+            ($fold_end:expr) => {{
+                let fold_end: u64 = $fold_end;
+                records_buf.clear();
+                for shard in guards.iter_mut() {
+                    records_buf.append(&mut shard.records);
+                }
+                records_buf.sort_unstable_by_key(|r| (r.at, r.flow_seq));
+                for &rec in records_buf.iter() {
+                    // Flows injected before this completion went live
+                    // first (completions settle first on exact
+                    // timestamp ties, making the fold independent of
+                    // the runner's push order).
+                    while inj_times.front().is_some_and(|&t| t < rec.at) {
+                        inj_times.pop_front();
+                        live_flows += 1;
+                        peak_flows = peak_flows.max(live_flows);
+                    }
+                    live_flows = live_flows.saturating_sub(1);
+                    completed += 1;
+                    if rec.hit {
+                        hits += 1;
+                    }
+                    if let Some(p) = coord_probe.as_mut() {
+                        p.record_completion(rec.at, rec.hit, rec.hops, rec.start_us, rec.server);
+                    }
+                    let phase_idx = match rec.phase {
+                        Phase::Fill => 0,
+                        Phase::RequestI => 1,
+                        Phase::RequestII => 2,
+                    };
+                    // phase_idx is 0..3 by construction.
+                    phases[phase_idx].requests += 1;
+                    phases[phase_idx].hits += u64::from(rec.hit);
+                    let hops_f = f64::from(rec.hops);
+                    let completed_f = completed as f64; // < 2^53: exact
+                    let latency_us = (rec.at - rec.start_us) as f64; // < 2^53: exact
+                    hops_summary.push(hops_f);
+                    latency_summary.push(latency_us);
+                    latency_p50.push(latency_us);
+                    latency_p99.push(latency_us);
+                    hit_window.push_bool(rec.hit);
+                    hops_window.push(hops_f);
+                    if let Some(v) = hit_window.value() {
+                        hit_sampler.observe(completed_f, v);
+                    }
+                    if let Some(v) = hops_window.value() {
+                        hops_sampler.observe(completed_f, v);
+                    }
+                    if let Some(occupancy) = occupancy.as_mut() {
+                        for (p, sampler) in occupancy.iter_mut().enumerate() {
+                            // Proxy p lives on shard p % N at local index p / N.
+                            let agent = &guards[p % shards_n].agents[p / shards_n];
+                            // cache sizes ≪ 2^53: exact
+                            sampler.observe(completed_f, agent.cached_objects() as f64);
+                        }
+                    }
+                    // Convergence: snapshot every agent's owner hint for
+                    // the hot set on the sampling schedule.
+                    if let Some(c) = conv.as_mut() {
+                        if completed.is_multiple_of(c.cfg.sample_every) {
+                            let mut hot: Vec<(u64, u64)> =
+                                c.counts.iter().map(|(&o, &n)| (o, n)).collect();
+                            hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                            hot.truncate(c.cfg.top_k);
+                            let snapshot: Vec<(u64, Vec<Option<u32>>)> = hot
+                                .iter()
+                                .map(|&(object, _)| {
+                                    let hints = (0..n_proxies)
+                                        .map(|p| {
+                                            // Proxy p: shard p % N, local p / N.
+                                            guards[p % shards_n].agents[p / shards_n]
+                                                .owner_hint(ObjectId::new(object))
+                                                .map(|o| o.raw())
+                                        })
+                                        .collect();
+                                    (object, hints)
+                                })
+                                .collect();
+                            c.tracker.sample(completed_f, &snapshot);
+                        }
+                    }
+                    // Occupancy-histogram sampling on the cluster-wide
+                    // cadence (the coordinator owns the completion
+                    // count; shard probes hold the gauges).
+                    if coord_probe.is_some() && completed.is_multiple_of(METRICS_CADENCE) {
+                        for shard in guards.iter_mut() {
+                            shard.probe.barrier_sample();
+                        }
+                    }
+                    // Sequential: the completed flow hands its slot to
+                    // the next workload request, injected at the
+                    // completion instant.
+                    if sequential && !workload_done {
+                        workload_done = !inject_next(
+                            SimTime::from_micros(rec.at),
+                            &mut guards,
+                            &mut workload,
+                            &net,
+                            n,
+                            assignment,
+                            &mut assign_rng,
+                            &mut conv,
+                            &mut coord_probe,
+                            &mut inj_times,
+                            &mut injected,
+                        );
+                    }
+                }
+                // Settle injections up to the fold horizon so the
+                // live-flow counter tracks time order even across
+                // completion-free windows.
+                while inj_times.front().is_some_and(|&t| t < fold_end) {
+                    inj_times.pop_front();
+                    live_flows += 1;
+                    peak_flows = peak_flows.max(live_flows);
+                }
+            }};
+        }
+
+        // Prime the pump. Sequential injects the first request at t=0;
+        // open-loop arrivals are generated window by window below.
+        if sequential {
+            workload_done = !inject_next(
                 SimTime::ZERO,
-                &mut shards,
+                &mut guards,
+                &mut workload,
+                &net,
+                n,
+                assignment,
                 &mut assign_rng,
                 &mut conv,
                 &mut coord_probe,
                 &mut inj_times,
                 &mut injected,
             );
-            0
         }
-        InjectionMode::OpenLoop { interval } => interval.as_micros(),
-    };
-    let mut next_inject_at: u64 = 0;
-    let client_proxy_us = net.base.client_proxy.as_micros();
 
-    loop {
-        // Earliest pending work across shards and (open-loop) the
-        // arrival process; the next window is the lookahead-aligned
-        // window containing it.
-        let mut min_next = shards.iter().map(|s| s.next_at).min().unwrap_or(u64::MAX);
-        if interval_us > 0 && !workload_done {
-            min_next = min_next.min(next_inject_at + client_proxy_us);
-        }
-        if min_next == u64::MAX {
-            break;
-        }
-        let window_start = (min_next / window_us) * window_us;
-        let window_end = window_start + window_us;
+        loop {
+            // Earliest pending work across shards and (open-loop) the
+            // arrival process; the plain next window is the
+            // lookahead-aligned window containing it.
+            let mut min_next = guards.iter().map(|s| s.next_at).min().unwrap_or(u64::MAX);
+            if interval_us > 0 && !workload_done {
+                min_next = min_next.min(next_inject_at + client_proxy_us);
+            }
+            if min_next == u64::MAX {
+                // Drained. Fold any deferred completions before leaving.
+                if fold_pending > 0 {
+                    fold_completions!(last_window_end);
+                }
+                break;
+            }
+            let grid_end = (min_next / window_us) * window_us + window_us;
 
-        // Open-loop: generate every arrival whose first delivery lands
-        // before this barrier — a pure function of the time grid, so the
-        // schedule is identical for every shard count.
-        if interval_us > 0 {
-            while !workload_done && next_inject_at + client_proxy_us < window_end {
-                if inject(
-                    SimTime::from_micros(next_inject_at),
-                    &mut shards,
-                    &mut assign_rng,
-                    &mut conv,
-                    &mut coord_probe,
-                    &mut inj_times,
-                    &mut injected,
-                ) {
-                    next_inject_at += interval_us;
+            // Adaptive widening: when no shard can emit a cross-shard
+            // message before `grid_end`, jump the barrier to the
+            // lookahead-aligned window containing the earliest possible
+            // cross-shard send. Every such send is delivered a full
+            // lookahead later, i.e. at or after the widened barrier, so
+            // the jump never admits a delivery into the widened range
+            // (conservatism argument in DESIGN.md §6c).
+            let mut window_end = grid_end;
+            if widen {
+                let mut earliest_send = guards
+                    .iter()
+                    .map(|s| s.cross_send_bound(origin_reply_us))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if interval_us > 0 && !workload_done {
+                    // A future arrival is a fresh proxy-bound delivery.
+                    earliest_send = earliest_send.min(next_inject_at + client_proxy_us);
+                }
+                if earliest_send == u64::MAX {
+                    // Nothing left can ever cross shards: drain fully.
+                    window_end = u64::MAX;
                 } else {
-                    workload_done = true;
+                    window_end = ((earliest_send / window_us) * window_us)
+                        .saturating_add(window_us)
+                        .max(grid_end);
                 }
             }
-        }
+            exec.windows_advanced += 1;
+            if window_end > grid_end {
+                exec.windows_widened += 1;
+                if window_end != u64::MAX {
+                    exec.windows_skipped += (window_end - grid_end) / window_us;
+                }
+            }
 
-        // Run the window: every shard with work below the barrier drains
-        // independently. A single active shard runs inline (sequential
-        // mode always lands here — zero spawn overhead); otherwise one
-        // scoped thread per active shard.
-        let active = shards.iter().filter(|s| s.next_at < window_end).count();
-        if active == 1 {
-            for shard in shards.iter_mut().filter(|s| s.next_at < window_end) {
-                shard.run_window(window_end, &net);
-            }
-        } else if active > 1 {
-            let net = &net;
-            std::thread::scope(|scope| {
-                for shard in shards.iter_mut().filter(|s| s.next_at < window_end) {
-                    scope.spawn(move || shard.run_window(window_end, net));
+            // Open-loop: generate every arrival whose *arrival time*
+            // precedes this barrier. Arrivals whose first delivery
+            // falls beyond the barrier merely sit in the owner queue,
+            // so the event schedule is a pure function of the arrival
+            // grid — but pushing them now puts their timestamps in
+            // `inj_times` before any fold that could observe a
+            // completion after them, which makes the live-flow
+            // interleave pure global time order, independent of
+            // barrier placement (fold batching, widening, shard
+            // count).
+            if interval_us > 0 {
+                while !workload_done && next_inject_at < window_end {
+                    if inject_next(
+                        SimTime::from_micros(next_inject_at),
+                        &mut guards,
+                        &mut workload,
+                        &net,
+                        n,
+                        assignment,
+                        &mut assign_rng,
+                        &mut conv,
+                        &mut coord_probe,
+                        &mut inj_times,
+                        &mut injected,
+                    ) {
+                        next_inject_at += interval_us;
+                    } else {
+                        workload_done = true;
+                    }
                 }
-            });
-        }
+            }
 
-        // Barrier: route cross-shard outboxes in (source, destination)
-        // order — the insertion order is irrelevant because delivery
-        // order is keyed, but keep it fixed anyway.
-        for src in 0..shards_n {
-            for dst in 0..shards_n {
-                // Outboxes are sized to the shard count at startup.
-                let routed = std::mem::take(&mut shards[src].outboxes[dst]);
-                for r in routed {
-                    debug_assert!(r.at >= window_end, "lookahead violated at the barrier");
-                    let id = r.ev.message.request_id();
-                    // dst ranges over the shard count.
-                    let shard = &mut shards[dst];
-                    shard.queue.push(r.at, r.key, r.ev);
-                    shard.flows.insert(id, r.meta);
-                    shard.next_at = shard.next_at.min(r.at);
+            // Run the window: every shard with work below the barrier
+            // drains independently. A single active shard (sequential
+            // mode always lands here) or an empty pool drains inline —
+            // zero synchronization; otherwise release the cells to the
+            // persistent pool and re-lock after the barrier.
+            let active = guards.iter().filter(|s| s.next_at < window_end).count();
+            if active > 1 && workers > 0 {
+                guards.clear();
+                pool.run_window(window_end, active);
+                guards = lock_all(&cells);
+            } else {
+                for shard in guards.iter_mut().filter(|s| s.next_at < window_end) {
+                    shard.drain_window(window_end);
                 }
             }
-        }
 
-        // Fold this window's completions in canonical (at, flow_seq)
-        // order — the same global order the single-queue runner
-        // processes them in.
-        let mut records: Vec<Completion> = Vec::new();
-        for shard in shards.iter_mut() {
-            records.append(&mut shard.records);
-        }
-        records.sort_unstable_by_key(|r| (r.at, r.flow_seq));
-        for rec in records {
-            // Flows injected before this completion went live first
-            // (completions settle first on exact timestamp ties, making
-            // the fold independent of the runner's push order).
-            while inj_times.front().is_some_and(|&t| t < rec.at) {
-                inj_times.pop_front();
-                live_flows += 1;
-                peak_flows = peak_flows.max(live_flows);
-            }
-            live_flows = live_flows.saturating_sub(1);
-            completed += 1;
-            if rec.hit {
-                hits += 1;
-            }
-            if let Some(p) = coord_probe.as_mut() {
-                p.record_completion(rec.at, rec.hit, rec.hops, rec.start_us, rec.server);
-            }
-            let phase_idx = match rec.phase {
-                Phase::Fill => 0,
-                Phase::RequestI => 1,
-                Phase::RequestII => 2,
-            };
-            // phase_idx is 0..3 by construction.
-            phases[phase_idx].requests += 1;
-            phases[phase_idx].hits += u64::from(rec.hit);
-            let hops_f = f64::from(rec.hops);
-            let completed_f = completed as f64; // < 2^53: exact
-            let latency_us = (rec.at - rec.start_us) as f64; // < 2^53: exact
-            hops_summary.push(hops_f);
-            latency_summary.push(latency_us);
-            latency_p50.push(latency_us);
-            latency_p99.push(latency_us);
-            hit_window.push_bool(rec.hit);
-            hops_window.push(hops_f);
-            if let Some(v) = hit_window.value() {
-                hit_sampler.observe(completed_f, v);
-            }
-            if let Some(v) = hops_window.value() {
-                hops_sampler.observe(completed_f, v);
-            }
-            if let Some(occupancy) = occupancy.as_mut() {
-                for (p, sampler) in occupancy.iter_mut().enumerate() {
-                    // Proxy p lives on shard p % N at local index p / N.
-                    let agent = &shards[p % shards_n].agents[p / shards_n];
-                    // cache sizes ≪ 2^53: exact
-                    sampler.observe(completed_f, agent.cached_objects() as f64);
+            // Barrier: route cross-shard outboxes in (source,
+            // destination) order — the insertion order is irrelevant
+            // because delivery order is keyed, but keep it fixed anyway.
+            // The emptied outbox Vec is recycled to its owner.
+            for src in 0..shards_n {
+                for dst in 0..shards_n {
+                    if src == dst {
+                        // process() never routes shard-local work
+                        // through an outbox.
+                        continue;
+                    }
+                    // Outboxes are sized to the shard count at startup.
+                    let mut routed = std::mem::take(&mut guards[src].outboxes[dst]);
+                    for r in routed.drain(..) {
+                        debug_assert!(r.at >= window_end, "lookahead violated at the barrier");
+                        let id = r.ev.message.request_id();
+                        // dst ranges over the shard count.
+                        let shard = &mut *guards[dst];
+                        shard.enqueue(r.at, r.key, r.ev);
+                        shard.flows.insert(id, r.meta);
+                    }
+                    // src/dst range over the shard count, as above.
+                    guards[src].outboxes[dst] = routed;
                 }
             }
-            // Convergence: snapshot every agent's owner hint for the hot
-            // set on the sampling schedule.
-            if let Some(c) = conv.as_mut() {
-                if completed.is_multiple_of(c.cfg.sample_every) {
-                    let mut hot: Vec<(u64, u64)> = c.counts.iter().map(|(&o, &n)| (o, n)).collect();
-                    hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                    hot.truncate(c.cfg.top_k);
-                    let snapshot: Vec<(u64, Vec<Option<u32>>)> = hot
-                        .iter()
-                        .map(|&(object, _)| {
-                            let hints = (0..n_proxies)
-                                .map(|p| {
-                                    // Proxy p: shard p % N, local p / N.
-                                    shards[p % shards_n].agents[p / shards_n]
-                                        .owner_hint(ObjectId::new(object))
-                                        .map(|o| o.raw())
-                                })
-                                .collect();
-                            (object, hints)
-                        })
-                        .collect();
-                    c.tracker.sample(completed_f, &snapshot);
-                }
-            }
-            // Occupancy-histogram sampling on the cluster-wide cadence
-            // (the coordinator owns the completion count; shard probes
-            // hold the gauges).
-            if coord_probe.is_some() && completed.is_multiple_of(METRICS_CADENCE) {
-                for shard in shards.iter_mut() {
-                    shard.probe.barrier_sample();
-                }
-            }
-            // Sequential: the completed flow hands its slot to the next
-            // workload request, injected at the completion instant.
-            if sequential && !workload_done {
-                workload_done = !inject(
-                    SimTime::from_micros(rec.at),
-                    &mut shards,
-                    &mut assign_rng,
-                    &mut conv,
-                    &mut coord_probe,
-                    &mut inj_times,
-                    &mut injected,
-                );
+
+            last_window_end = window_end;
+            fold_pending += 1;
+            if fold_pending >= fold_every {
+                fold_completions!(window_end);
+                fold_pending = 0;
             }
         }
-        // Settle injections up to the barrier so the live-flow counter
-        // tracks time order even across completion-free windows.
-        while inj_times.front().is_some_and(|&t| t < window_end) {
-            inj_times.pop_front();
-            live_flows += 1;
-            peak_flows = peak_flows.max(live_flows);
-        }
-    }
+        drop(guards);
+    });
+    exec.pool_spawns = spawned as u64;
+
+    // Recover the shards from their pool cells for final accounting.
+    let shards: Vec<Shard<A, P>> = cells
+        .into_iter()
+        .map(|c| c.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
 
     // Merge per-shard counters (pure event counts: sum is exact).
     let mut counters = ShardCounters::default();
@@ -1059,6 +1323,7 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
         trace: None,
         convergence: conv.map(|c| c.tracker.into_report()),
         metrics: None,
+        shard_exec: Some(exec),
         wall_time: wall_start.elapsed(),
         cpu_time: crate::cputime::thread_cpu_now().saturating_sub(cpu_start),
     };
@@ -1187,6 +1452,127 @@ mod tests {
         }
         // Open loop genuinely overlaps flows.
         assert!(one.peak_flows > 1, "open loop should overlap flows");
+    }
+
+    #[test]
+    fn tuning_matrix_is_byte_identical() {
+        // Every synchronization knob is pure execution strategy: the
+        // deterministic report bytes must not move across any pool /
+        // widening / fold-batch combination, in either injection mode,
+        // with barrier-driven state sampling on and off.
+        use crate::config::ShardTuning;
+        let workload = || StationaryZipf::new(100, 0.9, 4, 5).take(1_000);
+        for open_loop in [false, true] {
+            for occupancy in [false, true] {
+                let mut base = config();
+                base.sample_occupancy = occupancy;
+                if open_loop {
+                    base.injection = InjectionMode::OpenLoop {
+                        interval: SimTime::from_micros(60),
+                    };
+                }
+                let reference = Simulation::new(adc_agents(3), base.clone())
+                    .run_sharded(workload(), 3)
+                    .to_deterministic_json();
+                for pool_threads in [Some(0), Some(2)] {
+                    for widen in [false, true] {
+                        for fold_batch in [1, 7] {
+                            let mut c = base.clone();
+                            c.shard = ShardTuning {
+                                pool_threads,
+                                widen,
+                                fold_batch,
+                            };
+                            let r = Simulation::new(adc_agents(3), c).run_sharded(workload(), 3);
+                            assert_eq!(
+                                reference,
+                                r.to_deterministic_json(),
+                                "bytes moved at open_loop={open_loop} occupancy={occupancy} \
+                                 pool={pool_threads:?} widen={widen} fold={fold_batch}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widening_engages_and_reports_stats() {
+        // Sequential mode is always widening-eligible: a flow's origin
+        // round trip leaves only origin-/client-bound work pending, so
+        // the barrier regularly jumps several windows at once.
+        let workload = || StationaryZipf::new(80, 0.9, 4, 5).take(600);
+        let on = Simulation::new(adc_agents(3), config()).run_sharded(workload(), 3);
+        let exec_on = on.shard_exec.expect("sharded runs report exec stats");
+        assert!(exec_on.windows_widened > 0, "{exec_on:?}");
+        assert!(exec_on.windows_skipped > 0, "{exec_on:?}");
+        let mut off_cfg = config();
+        off_cfg.shard.widen = false;
+        let off = Simulation::new(adc_agents(3), off_cfg).run_sharded(workload(), 3);
+        let exec_off = off.shard_exec.expect("sharded runs report exec stats");
+        assert_eq!(exec_off.windows_widened, 0, "{exec_off:?}");
+        assert_eq!(exec_off.windows_skipped, 0, "{exec_off:?}");
+        // Widening exists to cut barrier count; the report bytes stay.
+        assert!(
+            exec_on.windows_advanced < exec_off.windows_advanced,
+            "{exec_on:?} vs {exec_off:?}"
+        );
+        assert_eq!(on.to_deterministic_json(), off.to_deterministic_json());
+        // Open loop with state sampling active must hold the legacy
+        // barrier grid (widening auto-disabled), even when requested.
+        let mut sampled = config();
+        sampled.sample_occupancy = true;
+        sampled.injection = InjectionMode::OpenLoop {
+            interval: SimTime::from_micros(100),
+        };
+        let s = Simulation::new(adc_agents(3), sampled).run_sharded(workload(), 3);
+        let exec_s = s.shard_exec.expect("sharded runs report exec stats");
+        assert_eq!(exec_s.windows_widened, 0, "{exec_s:?}");
+        // ...and without samplers, a sparse open-loop arrival schedule
+        // widens across the idle stretches between arrivals.
+        let mut sparse = config();
+        sparse.sample_occupancy = false;
+        sparse.injection = InjectionMode::OpenLoop {
+            interval: SimTime::from_micros(5_000),
+        };
+        let sp = Simulation::new(adc_agents(3), sparse).run_sharded(workload(), 3);
+        let exec_sp = sp.shard_exec.expect("sharded runs report exec stats");
+        assert!(exec_sp.windows_widened > 0, "{exec_sp:?}");
+    }
+
+    #[test]
+    fn forced_pool_threads_keep_identity_and_report_spawns() {
+        // Forcing workers on a single-core host still yields identical
+        // bytes (the pool protocol is order-free by construction), and
+        // the spawn telemetry reflects the forced pool.
+        let workload = || StationaryZipf::new(100, 0.9, 4, 5).take(1_000);
+        let mut c = config();
+        c.sample_occupancy = false;
+        c.injection = InjectionMode::OpenLoop {
+            interval: SimTime::from_micros(60),
+        };
+        let mut inline_cfg = c.clone();
+        inline_cfg.shard.pool_threads = Some(0);
+        let inline = Simulation::new(adc_agents(4), inline_cfg).run_sharded(workload(), 4);
+        assert_eq!(
+            inline
+                .shard_exec
+                .expect("sharded runs report exec stats")
+                .pool_spawns,
+            0,
+            "pool_threads=0 must never spawn"
+        );
+        let mut forced_cfg = c.clone();
+        forced_cfg.shard.pool_threads = Some(3);
+        let forced = Simulation::new(adc_agents(4), forced_cfg).run_sharded(workload(), 4);
+        let exec = forced.shard_exec.expect("sharded runs report exec stats");
+        assert!(exec.pool_spawns > 0, "{exec:?}");
+        assert!(exec.pool_spawns <= 3, "{exec:?}");
+        assert_eq!(
+            inline.to_deterministic_json(),
+            forced.to_deterministic_json()
+        );
     }
 
     #[test]
