@@ -4,25 +4,31 @@
 //! ```text
 //! bench_diff <baseline.json> <current.json> \
 //!     [--throughput-tolerance <0..1>] [--warn-throughput] \
-//!     [--min-shard-speedup <ratio>]
+//!     [--min-shard-speedup <ratio>] \
+//!     [--imbalance-tolerance <0..1>] [--warn-imbalance]
 //! ```
 //!
 //! Exit codes: 0 = gate passed, 1 = regression detected, 2 = usage or
 //! I/O error. Deterministic fields (counts, hit rate, hops, lint
-//! surface) must match the baseline exactly; throughput fields —
-//! including the sharded executor's `shard.speedup` ratio — get a
-//! relative tolerance (default 30%) and `--warn-throughput` demotes
-//! their failures to warnings for noisy shared runners.
-//! `--min-shard-speedup` additionally enforces an absolute speedup
-//! floor (use `1.0` on a multi-core runner to require that sharding
-//! actually pays off); the floor is never demoted to a warning.
+//! surface, span attribution) must match the baseline exactly;
+//! throughput fields — including the sharded executor's `shard.speedup`
+//! ratio — get a relative tolerance (default 30%) and
+//! `--warn-throughput` demotes their failures to warnings for noisy
+//! shared runners. `--min-shard-speedup` additionally enforces an
+//! absolute speedup floor (use `1.0` on a multi-core runner to require
+//! that sharding actually pays off); the floor is never demoted to a
+//! warning. The execution profiler's load-imbalance coefficient
+//! (`shard_profile.imbalance_coefficient`, lower is better) may rise at
+//! most `--imbalance-tolerance` (default 50%) over the baseline;
+//! `--warn-imbalance` demotes that failure to a warning.
 
 use adc_bench::{diff_reports, DiffConfig};
 
 fn usage() -> String {
     "usage: bench_diff <baseline.json> <current.json> \
      [--throughput-tolerance <0..1>] [--warn-throughput] \
-     [--min-shard-speedup <ratio>]"
+     [--min-shard-speedup <ratio>] \
+     [--imbalance-tolerance <0..1>] [--warn-imbalance]"
         .to_string()
 }
 
@@ -59,6 +65,19 @@ fn parse_args(
                 }
                 config.min_shard_speedup = Some(floor);
             }
+            "--imbalance-tolerance" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| "--imbalance-tolerance requires a value".to_string())?;
+                let tol: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("bad --imbalance-tolerance: {e}"))?;
+                if !tol.is_finite() || tol < 0.0 {
+                    return Err("--imbalance-tolerance must be a non-negative ratio".to_string());
+                }
+                config.imbalance_tolerance = tol;
+            }
+            "--warn-imbalance" => config.warn_imbalance = true,
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown argument {other:?}\n{}", usage()))

@@ -9,9 +9,15 @@
 //! barrier-synchronized sharded executor at 1 shard and at `--shards`
 //! shards, default 4 — the counts must be shard-count invariant and are
 //! gated exactly, the sharded throughput feeds the throughput gate, and
-//! the 1-shard/N-shard wall ratio is reported as `speedup`), plus a
-//! per-phase `"profile"` section (workload generation / simulation /
-//! report assembly) — to the current directory. The committed
+//! the 1-shard/N-shard wall ratio is reported as `speedup`), a
+//! `"shard_profile"` section (one extra profiled sharded run: per-shard
+//! drain times, the coordinator's barrier-wait split, and the
+//! load-imbalance coefficient gated relatively by `bench_diff`), a
+//! `"spans"` section (one span-recorded sequential run: per-segment
+//! latency attribution whose reconciliation fields are deterministic
+//! and gated exactly), plus a per-phase `"profile"` section (workload
+//! generation / simulation / report assembly) — to the current
+//! directory. The committed
 //! `BENCH_baseline.json` at the repository root is the baseline a
 //! perf-sensitive change is compared against (see the `bench_diff`
 //! gate); refresh it with:
@@ -228,6 +234,128 @@ fn main() {
         );
     }
     let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    // Execution-profiler surface: one extra profiled run at the gate's
+    // shard count, separate from the timed scaling legs so the profile's
+    // clock reads never depress the gated throughput numbers. The
+    // imbalance coefficient (max/mean per-shard drain time) is gated
+    // relatively by bench_diff; the rest is informational wall-clock
+    // telemetry.
+    eprintln!("bench_report: profiled sharded run at {shards} shards...");
+    let profiled = shard_exp.run_adc_sharded_profiled_on(&trace, shards);
+    assert_eq!(
+        shard_base.to_deterministic_json(),
+        profiled.to_deterministic_json(),
+        "the execution profiler must not move the deterministic bytes"
+    );
+    let prof = profiled
+        .shard_profile
+        .expect("profiled run reports the execution profile");
+    let _ = writeln!(json, "  \"shard_profile\": {{");
+    let _ = writeln!(json, "    \"shards\": {},", prof.shards);
+    let _ = writeln!(json, "    \"windows\": {},", prof.windows);
+    let _ = writeln!(
+        json,
+        "    \"imbalance_coefficient\": {:.4},",
+        prof.imbalance_coefficient()
+    );
+    let _ = writeln!(
+        json,
+        "    \"barrier_wait_fraction\": {:.4},",
+        prof.barrier_wait_fraction()
+    );
+    let _ = writeln!(
+        json,
+        "    \"drain_seconds_total\": {:.6},",
+        prof.total_drain_ns() as f64 / 1e9
+    );
+    let _ = writeln!(
+        json,
+        "    \"coordinator_busy_seconds\": {:.6},",
+        prof.coordinator_busy_ns as f64 / 1e9
+    );
+    let _ = writeln!(
+        json,
+        "    \"coordinator_wait_seconds\": {:.6},",
+        prof.coordinator_wait_ns as f64 / 1e9
+    );
+    let quantile = |h: &adc_metrics::Log2Histogram, q: f64| h.quantile(q).unwrap_or(0);
+    let _ = writeln!(
+        json,
+        "    \"window_occupancy_p50\": {},",
+        quantile(&prof.window_occupancy, 0.50)
+    );
+    let _ = writeln!(
+        json,
+        "    \"window_occupancy_p99\": {},",
+        quantile(&prof.window_occupancy, 0.99)
+    );
+    let _ = writeln!(
+        json,
+        "    \"outbox_depth_p50\": {},",
+        quantile(&prof.outbox_depth, 0.50)
+    );
+    let _ = writeln!(
+        json,
+        "    \"outbox_depth_p99\": {},",
+        quantile(&prof.outbox_depth, 0.99)
+    );
+    let _ = writeln!(json, "    \"slices\": {},", prof.slices.len());
+    let _ = writeln!(json, "    \"per_shard\": {{");
+    for lane in 0..prof.shards {
+        let _ = writeln!(
+            json,
+            "      \"{lane}\": {{ \"drain_seconds\": {:.6}, \"windows\": {}, \"events\": {} }}{}",
+            prof.shard_drain_ns[lane] as f64 / 1e9,
+            prof.shard_windows[lane],
+            prof.shard_events[lane],
+            if lane + 1 == prof.shards { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    // Flow-span surface: the sequential experiment re-run with the span
+    // recorder attached (again outside the timed legs). Everything here
+    // is simulated time — a pure function of the seeded workload — so
+    // the reconciliation fields are gated exactly.
+    eprintln!("bench_report: span-recorded run...");
+    let span_run = experiment.run_adc_spans_on(&trace, 5);
+    assert_eq!(
+        report.to_deterministic_json(),
+        span_run.to_deterministic_json(),
+        "the span recorder must not move the deterministic bytes"
+    );
+    let spans = span_run.spans.expect("span run reports the breakdown");
+    let _ = writeln!(json, "  \"spans\": {{");
+    let _ = writeln!(json, "    \"flows\": {},", spans.flows);
+    let _ = writeln!(json, "    \"total_us\": {},", spans.total_us);
+    let _ = writeln!(json, "    \"attributed_us\": {},", spans.attributed_us);
+    let _ = writeln!(
+        json,
+        "    \"sum_check_failures\": {},",
+        spans.sum_check_failures
+    );
+    let _ = writeln!(json, "    \"segments\": {{");
+    for (i, seg) in spans.segments.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      \"{}\": {{ \"total_us\": {}, \"count\": {} }}{}",
+            seg.kind.name(),
+            seg.total_us,
+            seg.count,
+            if i + 1 == spans.segments.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(
+        json,
+        "    \"slowest_us\": {}",
+        spans.slowest.first().map_or(0, |f| f.total_us)
+    );
     let _ = writeln!(json, "  }},");
     let phase = |name: &str, w: Duration, c: Duration, last: bool| {
         format!(

@@ -21,7 +21,14 @@
 //!   exposition to this file;
 //! * `--shards <n>` — run the main ADC simulation on `n` worker shards
 //!   (the deterministic barrier-synchronized executor; `1`, the
-//!   default, uses the single-threaded runner).
+//!   default, uses the single-threaded runner);
+//! * `--spans <file.json>` — attach the causal flow-span recorder to the
+//!   main ADC run and write the per-segment / per-proxy latency
+//!   attribution report (single-threaded runs only);
+//! * `--profile-shards` — collect the sharded executor's wall-clock
+//!   profile (per-shard drain time, barrier-wait split, imbalance) on
+//!   the main run; with `--chrome-trace` the shard lanes are rendered
+//!   instead of the single-threaded event timeline.
 
 use crate::parallel::default_jobs;
 use crate::scale::Scale;
@@ -50,6 +57,12 @@ pub struct BenchArgs {
     pub metrics: Option<PathBuf>,
     /// Worker shards for the main ADC simulation (1 = single-threaded).
     pub shards: usize,
+    /// Write the main ADC run's flow-span attribution report (JSON) to
+    /// this file. Single-threaded runs only.
+    pub spans: Option<PathBuf>,
+    /// Collect the sharded executor's wall-clock execution profile on
+    /// the main run.
+    pub profile_shards: bool,
 }
 
 impl Default for BenchArgs {
@@ -65,6 +78,8 @@ impl Default for BenchArgs {
             convergence: false,
             metrics: None,
             shards: 1,
+            spans: None,
+            profile_shards: false,
         }
     }
 }
@@ -118,6 +133,8 @@ impl BenchArgs {
                     }
                     out.shards = shards;
                 }
+                "--spans" => out.spans = Some(PathBuf::from(value_for("--spans")?)),
+                "--profile-shards" => out.profile_shards = true,
                 "--help" | "-h" => return Err(Self::usage()),
                 other => return Err(format!("unknown argument {other:?}\n{}", Self::usage())),
             }
@@ -142,7 +159,7 @@ impl BenchArgs {
         "usage: <figure-bin> [--scale ci|full|<factor>] [--out <dir>] [--seed <u64>] \
          [--jobs <n>] [--serial-timing] [--events <file.jsonl>] \
          [--chrome-trace <file.json>] [--convergence] [--metrics <file.prom>] \
-         [--shards <n>]"
+         [--shards <n>] [--spans <file.json>] [--profile-shards]"
             .to_string()
     }
 }
@@ -230,6 +247,25 @@ mod tests {
     }
 
     #[test]
+    fn span_and_profile_flags() {
+        let a = parse(&[
+            "--spans",
+            "/tmp/spans.json",
+            "--profile-shards",
+            "--shards",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(a.spans, Some(PathBuf::from("/tmp/spans.json")));
+        assert!(a.profile_shards);
+        assert_eq!(a.shards, 4);
+        // Off by default — the unobserved hot path must stay the default.
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.spans, None);
+        assert!(!d.profile_shards);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--events"]).is_err());
@@ -243,6 +279,7 @@ mod tests {
         assert!(parse(&["--shards"]).is_err());
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "four"]).is_err());
+        assert!(parse(&["--spans"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

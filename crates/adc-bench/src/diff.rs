@@ -214,6 +214,14 @@ pub const EXACT_FIELDS: &[&str] = &[
     "shard.messages",
     "shard.peak_flows",
     "shard.hit_rate",
+    // Span attribution is simulated time — a pure function of the
+    // seeded workload — and the recorder's reconciliation invariants
+    // (every microsecond attributed, zero self-check failures) are part
+    // of the deterministic surface.
+    "spans.flows",
+    "spans.total_us",
+    "spans.attributed_us",
+    "spans.sum_check_failures",
 ];
 
 /// Fields where an *increase* over the baseline is a regression but a
@@ -236,6 +244,14 @@ pub const THROUGHPUT_FIELDS: &[&str] = &[
 /// floor applies to.
 pub const SPEEDUP_FIELD: &str = "shard.speedup";
 
+/// The execution profiler's load-imbalance coefficient (max/mean
+/// per-shard drain time, ≥ 1.0). Lower is better; an *increase* beyond
+/// the relative [`DiffConfig::imbalance_tolerance`] means the shard
+/// partition degraded (one shard is soaking up the work while the rest
+/// idle at the barrier). Wall-clock derived, so noisy like throughput —
+/// [`DiffConfig::warn_imbalance`] demotes failures to warnings.
+pub const IMBALANCE_FIELD: &str = "shard_profile.imbalance_coefficient";
+
 /// Identity fields that must match for the comparison to make sense at
 /// all (comparing a smoke run against a full baseline is meaningless).
 pub const IDENTITY_FIELDS: &[&str] = &["benchmark", "smoke", "scale"];
@@ -257,6 +273,12 @@ pub struct DiffConfig {
     /// Unlike the relative gate, the floor is never demoted to a
     /// warning: passing it is an explicit request.
     pub min_shard_speedup: Option<f64>,
+    /// Allowed relative rise of [`IMBALANCE_FIELD`] before the gate
+    /// fails (0.50 = the coefficient may grow up to 50% over the
+    /// baseline). Generous by default: scheduling noise moves it.
+    pub imbalance_tolerance: f64,
+    /// Demote imbalance regressions to warnings.
+    pub warn_imbalance: bool,
 }
 
 impl Default for DiffConfig {
@@ -265,6 +287,8 @@ impl Default for DiffConfig {
             throughput_tolerance: 0.30,
             warn_throughput: false,
             min_shard_speedup: None,
+            imbalance_tolerance: 0.50,
+            warn_imbalance: false,
         }
     }
 }
@@ -386,6 +410,30 @@ pub fn diff_reports(
             }
         }
     }
+    // The imbalance coefficient: lower is better, gated relatively like
+    // throughput but in the other direction (a rise is the regression).
+    if let Some(b) = get_num(&base, IMBALANCE_FIELD) {
+        report.compared += 1;
+        match get_num(&cur, IMBALANCE_FIELD) {
+            None => report.regressions.push(format!(
+                "{IMBALANCE_FIELD}: present in baseline ({b}) but missing now"
+            )),
+            Some(c) if b > 0.0 && c > b * (1.0 + config.imbalance_tolerance) => {
+                let rise = 100.0 * (c / b - 1.0);
+                let msg = format!(
+                    "{IMBALANCE_FIELD}: baseline {b:.3}, now {c:.3} ({rise:.1}% rise exceeds \
+                     the {:.0}% tolerance — one shard is soaking up the drain time)",
+                    100.0 * config.imbalance_tolerance
+                );
+                if config.warn_imbalance {
+                    report.warnings.push(msg);
+                } else {
+                    report.regressions.push(msg);
+                }
+            }
+            Some(_) => {}
+        }
+    }
     if let Some(floor) = config.min_shard_speedup {
         report.compared += 1;
         match get_num(&cur, SPEEDUP_FIELD) {
@@ -435,6 +483,40 @@ mod tests {
     "baseline_events_per_sec": 3117432.1,
     "events_per_sec": 9352296.3,
     "speedup": 3.000
+  },
+  "shard_profile": {
+    "shards": 4,
+    "windows": 5120,
+    "imbalance_coefficient": 1.3200,
+    "barrier_wait_fraction": 0.4100,
+    "drain_seconds_total": 0.210000,
+    "coordinator_busy_seconds": 0.140000,
+    "coordinator_wait_seconds": 0.098000,
+    "window_occupancy_p50": 64,
+    "window_occupancy_p99": 512,
+    "outbox_depth_p50": 2,
+    "outbox_depth_p99": 16,
+    "slices": 9000,
+    "per_shard": {
+      "0": { "drain_seconds": 0.060000, "windows": 5120, "events": 660000 },
+      "1": { "drain_seconds": 0.050000, "windows": 5120, "events": 630000 },
+      "2": { "drain_seconds": 0.052000, "windows": 5120, "events": 620000 },
+      "3": { "drain_seconds": 0.048000, "windows": 5120, "events": 615120 }
+    }
+  },
+  "spans": {
+    "flows": 399000,
+    "total_us": 83120000,
+    "attributed_us": 83120000,
+    "sum_check_failures": 0,
+    "segments": {
+      "client_wait": { "total_us": 399000, "count": 399000 },
+      "forward_hop": { "total_us": 31000000, "count": 1100000 },
+      "loop_penalty": { "total_us": 1200000, "count": 41000 },
+      "origin_fetch": { "total_us": 42000000, "count": 190000 },
+      "reply_return": { "total_us": 8521000, "count": 209000 }
+    },
+    "slowest_us": 2150
   },
   "profile": {
     "workload_gen": { "wall_seconds": 0.089630, "cpu_seconds": 0.080885 },
@@ -487,9 +569,10 @@ mod tests {
         let report = diff_reports(BASELINE, BASELINE, &DiffConfig::default()).unwrap();
         assert!(report.passed());
         assert!(report.warnings.is_empty());
+        // +1: the imbalance coefficient, present in this baseline.
         assert_eq!(
             report.compared,
-            EXACT_FIELDS.len() + NON_INCREASING_FIELDS.len() + THROUGHPUT_FIELDS.len()
+            EXACT_FIELDS.len() + NON_INCREASING_FIELDS.len() + THROUGHPUT_FIELDS.len() + 1
         );
     }
 
@@ -621,6 +704,67 @@ mod tests {
         let gutted = BASELINE.replace("    \"speedup\": 3.000\n", "    \"speedup2\": 3.000\n");
         let report = diff_reports(BASELINE, &gutted, &passing).unwrap();
         assert!(!report.passed());
+    }
+
+    #[test]
+    fn span_attribution_drift_is_a_hard_failure() {
+        // A single unattributed microsecond means the recorder lost a
+        // segment: exact-gated.
+        let doctored =
+            BASELINE.replace("\"attributed_us\": 83120000", "\"attributed_us\": 83119999");
+        let report = diff_reports(BASELINE, &doctored, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("spans.attributed_us")));
+        let failed = BASELINE.replace("\"sum_check_failures\": 0", "\"sum_check_failures\": 1");
+        let report = diff_reports(BASELINE, &failed, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn imbalance_rise_trips_the_gate_and_warn_demotes() {
+        // 1.32 → 2.30 is a 74% rise: outside the default 50% tolerance.
+        let skewed = BASELINE.replace(
+            "\"imbalance_coefficient\": 1.3200",
+            "\"imbalance_coefficient\": 2.3000",
+        );
+        let report = diff_reports(BASELINE, &skewed, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("imbalance_coefficient")));
+        let warn = DiffConfig {
+            warn_imbalance: true,
+            ..DiffConfig::default()
+        };
+        let report = diff_reports(BASELINE, &skewed, &warn).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.warnings.len(), 1);
+        // A mild wobble stays inside the tolerance; an improvement is
+        // always fine.
+        let mild = BASELINE.replace(
+            "\"imbalance_coefficient\": 1.3200",
+            "\"imbalance_coefficient\": 1.6000",
+        );
+        let report = diff_reports(BASELINE, &mild, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        let better = BASELINE.replace(
+            "\"imbalance_coefficient\": 1.3200",
+            "\"imbalance_coefficient\": 1.0100",
+        );
+        let report = diff_reports(BASELINE, &better, &DiffConfig::default()).unwrap();
+        assert!(report.passed());
+        // Dropping the field from the current run is a failure, not a
+        // silent pass.
+        let gutted = BASELINE.replace("    \"imbalance_coefficient\": 1.3200,\n", "");
+        let report = diff_reports(BASELINE, &gutted, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        // A baseline that predates the profiler gates nothing.
+        let report = diff_reports(&gutted, BASELINE, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
     }
 
     #[test]

@@ -10,12 +10,15 @@
 //! executor instead; its reports are byte-identical to the
 //! single-threaded runner's, so figure CSVs do not depend on the shard
 //! count. Convergence sampling and the metrics exposition compose with
-//! sharding; the typed event stream (`--events`, `--chrome-trace`) is a
-//! single-threaded capture and is rejected in combination.
+//! sharding; the typed event stream (`--events`) and the flow-span
+//! recorder (`--spans`) are single-threaded captures and are rejected
+//! in combination. `--chrome-trace` on a sharded run requires
+//! `--profile-shards` and renders the executor's wall-clock shard lanes
+//! (drain/wait slices, barrier instants) instead of the event timeline.
 
 use crate::cli::BenchArgs;
 use crate::experiment::Experiment;
-use adc_obs::{self, ConvergenceConfig, EventLog, MetricsProbe};
+use adc_obs::{self, ConvergenceConfig, EventLog, MetricsProbe, SpanProbe};
 use adc_sim::SimReport;
 use adc_sim::Simulation;
 use std::io::BufWriter;
@@ -28,6 +31,7 @@ pub fn obs_enabled(args: &BenchArgs) -> bool {
         || args.chrome_trace.is_some()
         || args.convergence
         || args.metrics.is_some()
+        || args.spans.is_some()
 }
 
 /// Event-log bound for one observed run: generous enough that a CI-scale
@@ -44,7 +48,7 @@ fn log_capacity(total_requests: u64) -> usize {
 /// for it. Exports are written immediately; capture and convergence
 /// summaries go to stderr so figure stdout stays machine-readable.
 pub fn run_adc_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport {
-    if args.shards > 1 {
+    if args.shards > 1 || args.profile_shards {
         return run_adc_sharded_observed(experiment, args);
     }
     if !obs_enabled(args) {
@@ -58,23 +62,28 @@ pub fn run_adc_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport 
             ..ConvergenceConfig::default()
         });
     }
+    // One observed run feeds every export: the bounded event log, the
+    // metrics registry and the span recorder all ride the same probe
+    // stack (each is a pure consumer, so the composition is free of
+    // interference); files are only written for the flags given.
     let capacity = log_capacity(experiment.workload.total_requests());
-    let (report, log) = if let Some(path) = &args.metrics {
-        // Fan the event stream out to both the bounded log and the
-        // metrics registry via the pair probe.
-        let mut probe = (EventLog::with_capacity(capacity), MetricsProbe::new());
-        let mut report = Simulation::new(experiment.adc_agents(), sim.clone())
-            .run_observed(experiment.workload.build(), &mut probe);
-        let (log, metrics) = probe;
+    let mut probe = (
+        (EventLog::with_capacity(capacity), MetricsProbe::new()),
+        SpanProbe::new(),
+    );
+    let mut report = Simulation::new(experiment.adc_agents(), sim)
+        .run_observed(experiment.workload.build(), &mut probe);
+    let ((log, metrics), span_probe) = probe;
+    if let Some(path) = &args.metrics {
         write_metrics_prom(path, &metrics);
         report.metrics = Some(metrics.report());
-        (report, log)
-    } else {
-        let mut log = EventLog::with_capacity(capacity);
-        let report = Simulation::new(experiment.adc_agents(), sim)
-            .run_observed(experiment.workload.build(), &mut log);
-        (report, log)
-    };
+    }
+    if let Some(path) = &args.spans {
+        let spans = span_probe.into_report();
+        eprintln!("{}", spans.summary());
+        write_spans_json(path, &spans);
+        report.spans = Some(spans);
+    }
 
     eprintln!(
         "observability: captured {} events ({} dropped at the {}-event bound)",
@@ -92,13 +101,23 @@ pub fn run_adc_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport 
     report
 }
 
-/// The main ADC run on the sharded executor: convergence and metrics
-/// compose with sharding, the typed event stream does not.
+/// The main ADC run on the sharded executor: convergence, metrics and
+/// the execution profiler compose with sharding; the typed event stream
+/// and the span recorder do not.
 fn run_adc_sharded_observed(experiment: &Experiment, args: &BenchArgs) -> SimReport {
-    if args.events.is_some() || args.chrome_trace.is_some() {
+    if args.events.is_some() || args.spans.is_some() {
         eprintln!(
-            "--events/--chrome-trace capture the single-threaded runner's \
-             event stream and cannot be combined with --shards > 1"
+            "--events/--spans capture the single-threaded runner's \
+             event stream and cannot be combined with --shards > 1 \
+             or --profile-shards"
+        );
+        std::process::exit(2);
+    }
+    if args.chrome_trace.is_some() && !args.profile_shards {
+        eprintln!(
+            "--chrome-trace on a sharded run renders the executor's \
+             wall-clock shard lanes and requires --profile-shards \
+             (single-threaded runs render the event timeline instead)"
         );
         std::process::exit(2);
     }
@@ -109,6 +128,7 @@ fn run_adc_sharded_observed(experiment: &Experiment, args: &BenchArgs) -> SimRep
             ..ConvergenceConfig::default()
         });
     }
+    sim.shard.profile = args.profile_shards;
     eprintln!("sharded executor: {} worker shards", args.shards);
     let simulation = Simulation::new(experiment.adc_agents(), sim);
     let report = if let Some(path) = &args.metrics {
@@ -119,6 +139,12 @@ fn run_adc_sharded_observed(experiment: &Experiment, args: &BenchArgs) -> SimRep
     } else {
         simulation.run_sharded(experiment.workload.build(), args.shards)
     };
+    if let Some(profile) = &report.shard_profile {
+        eprintln!("shard profile: {}", profile.summary());
+        if let Some(path) = &args.chrome_trace {
+            write_shard_lanes_trace(path, profile);
+        }
+    }
     print_convergence_summary(&report);
     report
 }
@@ -189,6 +215,37 @@ fn write_chrome(path: &Path, log: &EventLog) {
     );
 }
 
+fn write_spans_json(path: &Path, spans: &adc_obs::SpanReport) {
+    let text = spans.to_json();
+    let mut out = BufWriter::new(create_export_file(path));
+    out.write_all(text.as_bytes())
+        .and_then(|()| out.flush())
+        .expect("write span report");
+    eprintln!(
+        "wrote {} ({} flows, {} slowest-flow entries)",
+        path.display(),
+        spans.flows,
+        spans.slowest.len()
+    );
+}
+
+fn write_shard_lanes_trace(path: &Path, profile: &adc_sim::ShardProfile) {
+    let mut out = BufWriter::new(create_export_file(path));
+    adc_obs::write_shard_lanes(
+        &mut out,
+        profile.shards,
+        &profile.slices,
+        &profile.barriers_us,
+    )
+    .expect("write shard-lane trace");
+    eprintln!(
+        "wrote {} ({} slices across {} shard lanes; open via chrome://tracing)",
+        path.display(),
+        profile.slices.len(),
+        profile.shards
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +310,75 @@ mod tests {
         let a = run_adc_observed(&experiment, &single);
         let b = run_adc_observed(&experiment, &sharded);
         assert_eq!(a.to_deterministic_json(), b.to_deterministic_json());
+    }
+
+    #[test]
+    fn spans_flag_writes_report_and_fills_it() {
+        let path =
+            std::env::temp_dir().join(format!("adc_bench_spans_test_{}.json", std::process::id()));
+        let args = BenchArgs {
+            spans: Some(path.clone()),
+            ..BenchArgs::default()
+        };
+        assert!(obs_enabled(&args));
+        let experiment = Experiment::at_scale(Scale::Custom(0.002));
+        let plain = experiment.run_adc();
+        let observed = run_adc_observed(&experiment, &args);
+        // The span recorder must not perturb the simulation.
+        assert_eq!(
+            plain.to_deterministic_json(),
+            observed.to_deterministic_json()
+        );
+        let spans = observed.spans.expect("span recorder was on");
+        assert_eq!(spans.flows, observed.completed);
+        assert_eq!(spans.sum_check_failures, 0);
+        let text = std::fs::read_to_string(&path).expect("span file written");
+        std::fs::remove_file(&path).ok();
+        adc_obs::validate_json(&text).expect("span report must be valid JSON");
+        assert_eq!(text, spans.to_json());
+    }
+
+    #[test]
+    fn profiled_sharded_run_writes_shard_lane_trace() {
+        let path = std::env::temp_dir().join(format!(
+            "adc_bench_shard_trace_test_{}.json",
+            std::process::id()
+        ));
+        let args = BenchArgs {
+            shards: 4,
+            profile_shards: true,
+            chrome_trace: Some(path.clone()),
+            ..BenchArgs::default()
+        };
+        let experiment = Experiment::at_scale(Scale::Custom(0.002));
+        let plain = experiment.run_adc();
+        let observed = run_adc_observed(&experiment, &args);
+        assert_eq!(
+            plain.to_deterministic_json(),
+            observed.to_deterministic_json()
+        );
+        let profile = observed.shard_profile.expect("profiler was on");
+        assert_eq!(profile.shards, 4);
+        assert!(profile.total_drain_ns() > 0);
+        let text = std::fs::read_to_string(&path).expect("trace file written");
+        std::fs::remove_file(&path).ok();
+        adc_obs::validate_json(&text).expect("shard-lane trace must be valid JSON");
+        for shard in 0..4 {
+            assert!(text.contains(&format!("\"shard {shard}\"")), "lane {shard}");
+        }
+        assert!(text.contains("\"coordinator\""));
+    }
+
+    #[test]
+    fn profile_flag_alone_routes_through_the_sharded_executor() {
+        let args = BenchArgs {
+            profile_shards: true,
+            ..BenchArgs::default()
+        };
+        let experiment = Experiment::at_scale(Scale::Custom(0.002));
+        let observed = run_adc_observed(&experiment, &args);
+        let profile = observed.shard_profile.expect("profiler was on");
+        assert_eq!(profile.shards, 1);
     }
 
     #[test]

@@ -79,6 +79,15 @@ const CASES: &[(&str, &str, &str, &str, &str)] = &[
         "adc-core",
         "crates/adc-core/src/fixture.rs",
     ),
+    // The same rule also guards the profiler/span counter surface in
+    // adc-sim and adc-obs, with its own fixtures.
+    (
+        "obs-coverage",
+        "obs_coverage_profile_bad.rs",
+        "obs_coverage_profile_ok.rs",
+        "adc-sim",
+        "crates/adc-sim/src/fixture.rs",
+    ),
     (
         "api-docs",
         "api_docs_bad.rs",

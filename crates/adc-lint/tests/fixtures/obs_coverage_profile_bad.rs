@@ -1,0 +1,12 @@
+impl Shard {
+    fn drain_window(&mut self, dur_ns: u64, drained: u64) {
+        self.prof.drain_ns += dur_ns;
+        self.prof.events += drained;
+    }
+}
+
+impl Recorder {
+    fn close_delta(&mut self, delta: u64) {
+        self.attributed_us += delta;
+    }
+}

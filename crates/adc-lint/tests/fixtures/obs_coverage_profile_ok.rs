@@ -1,0 +1,15 @@
+impl Recorder {
+    fn on_complete(&mut self, probe: &mut impl Probe, total: u64) {
+        self.total_us += total;
+        probe.emit(SimEvent::RequestCompleted);
+    }
+}
+
+impl Shard {
+    fn drain_window(&mut self, dur_ns: u64) {
+        // Wall-clock accounting: reconciled by the occupancy-sum
+        // identity test, not the SimEvent stream.
+        // adc-lint: allow(obs-coverage)
+        self.prof.drain_ns += dur_ns;
+    }
+}

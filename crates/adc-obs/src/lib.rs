@@ -20,8 +20,11 @@ pub mod jsonl;
 pub mod log;
 pub mod metrics;
 pub mod probe;
+pub mod span;
 
-pub use chrome::{to_chrome_trace, write_chrome_trace};
+pub use chrome::{
+    shard_lanes_to_chrome_trace, to_chrome_trace, write_chrome_trace, write_shard_lanes, ShardSlice,
+};
 pub use convergence::{ConvergenceConfig, ConvergenceReport, ConvergenceTracker};
 pub use event::{EventKind, SimEvent, TableLevel};
 pub use json::validate_json;
@@ -29,3 +32,4 @@ pub use jsonl::{to_jsonl_string, write_event_json, write_jsonl};
 pub use log::EventLog;
 pub use metrics::{MetricsProbe, MetricsReport, ProxyMetricsSummary};
 pub use probe::{CountingProbe, NullProbe, Probe};
+pub use span::{ProxySpans, SegmentKind, SegmentStat, SlowFlow, SpanProbe, SpanReport};

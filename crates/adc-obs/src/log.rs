@@ -3,15 +3,41 @@
 use crate::event::SimEvent;
 use crate::probe::Probe;
 
+/// What the log does when it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FullPolicy {
+    /// Count further events as dropped (the historical default: the
+    /// retained prefix is the *first* `capacity` events).
+    DropNewest,
+    /// Overwrite the oldest retained event (ring buffer: the retained
+    /// window is the *last* `capacity` events).
+    Ring,
+}
+
 /// A [`Probe`] that stores every event with the timestamp of the latest
-/// [`Probe::tick`], up to a fixed capacity; further events are counted
-/// as dropped rather than grown without bound. The captured stream feeds
-/// the JSONL and chrome-trace exporters.
+/// [`Probe::tick`], up to a fixed capacity. Two bounding policies:
+///
+/// - [`EventLog::with_capacity`] (and [`EventLog::new`]) keep the first
+///   `capacity` events and count the rest as dropped;
+/// - [`EventLog::ring`] keeps the **last** `capacity` events, evicting
+///   the oldest — the mode to use when the interesting events are at the
+///   end of a long run.
+///
+/// Either way the captured stream feeds the JSONL and chrome-trace
+/// exporters, and [`EventLog::drain_ordered`] recovers the stream in
+/// emission order with global sequence numbers even after the ring has
+/// wrapped.
 #[derive(Debug, Clone)]
 pub struct EventLog {
     now_us: u64,
     events: Vec<(u64, SimEvent)>,
+    /// Ring mode: index of the oldest retained event (next overwrite
+    /// target once full). Always 0 in drop-newest mode.
+    head: usize,
+    /// Total events ever emitted into this log.
+    emitted: u64,
     capacity: usize,
+    policy: FullPolicy,
     dropped: u64,
 }
 
@@ -25,20 +51,77 @@ impl EventLog {
         EventLog::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Creates a log bounded at `capacity` events. The backing storage
-    /// is grown on demand, not pre-reserved.
+    /// Creates a log bounded at `capacity` events (drop-newest policy).
+    /// The backing storage is grown on demand, not pre-reserved.
     pub fn with_capacity(capacity: usize) -> Self {
         EventLog {
             now_us: 0,
             events: Vec::new(),
+            head: 0,
+            emitted: 0,
             capacity,
+            policy: FullPolicy::DropNewest,
             dropped: 0,
         }
     }
 
-    /// The recorded `(timestamp_us, event)` pairs, in emission order.
+    /// Creates a ring log bounded at `capacity` events: once full, each
+    /// new event overwrites the oldest retained one (which is counted in
+    /// [`EventLog::dropped`]).
+    pub fn ring(capacity: usize) -> Self {
+        EventLog {
+            policy: FullPolicy::Ring,
+            ..EventLog::with_capacity(capacity)
+        }
+    }
+
+    /// The recorded `(timestamp_us, event)` pairs in **storage** order.
+    ///
+    /// In drop-newest mode storage order is emission order. In ring mode
+    /// the slice is rotated once the ring has wrapped (the oldest
+    /// retained event sits at an interior index); use
+    /// [`EventLog::drain_ordered`] or [`EventLog::iter_ordered`] for
+    /// emission order.
     pub fn events(&self) -> &[(u64, SimEvent)] {
         &self.events
+    }
+
+    /// Iterates the retained events in emission order, yielding each
+    /// event's global sequence number (0-based index in the full emitted
+    /// stream) — correct even after a ring wraparound.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (u64, SimEvent)> + '_ {
+        let first_seq = self.first_retained_seq();
+        let (tail, hd) = self.events.split_at(self.head);
+        hd.iter()
+            .chain(tail.iter())
+            .enumerate()
+            .map(move |(i, &(_t, ev))| (first_seq + i as u64, ev))
+    }
+
+    /// Drains the log, yielding `(seq, event)` in emission order with
+    /// global sequence numbers (see [`EventLog::iter_ordered`]). The log
+    /// is empty afterwards; sequence numbers keep counting from where
+    /// the stream left off if recording continues.
+    pub fn drain_ordered(&mut self) -> impl Iterator<Item = (u64, SimEvent)> + '_ {
+        let first_seq = self.first_retained_seq();
+        // Rotate the ring so storage order becomes emission order, then
+        // drain front to back.
+        self.events.rotate_left(self.head);
+        self.head = 0;
+        self.events
+            .drain(..)
+            .enumerate()
+            .map(move |(i, (_t, ev))| (first_seq + i as u64, ev))
+    }
+
+    /// Global sequence number of the oldest retained event.
+    fn first_retained_seq(&self) -> u64 {
+        match self.policy {
+            // Drop-newest keeps the emitted prefix: seqs start at 0.
+            FullPolicy::DropNewest => 0,
+            // The ring keeps the emitted suffix.
+            FullPolicy::Ring => self.emitted - self.events.len() as u64,
+        }
     }
 
     /// Number of recorded events.
@@ -56,9 +139,15 @@ impl EventLog {
         self.capacity
     }
 
-    /// Events discarded because the log was full.
+    /// Events discarded because the log was full (newest in drop-newest
+    /// mode, oldest in ring mode).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Total events ever emitted into this log (retained + discarded).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
     }
 
     /// The timestamp of the latest [`Probe::tick`], microseconds.
@@ -83,10 +172,23 @@ impl Probe for EventLog {
 
     #[inline]
     fn emit(&mut self, event: SimEvent) {
+        self.emitted += 1;
         if self.events.len() < self.capacity {
             self.events.push((self.now_us, event));
         } else {
-            self.dropped += 1;
+            match self.policy {
+                FullPolicy::DropNewest => self.dropped += 1,
+                FullPolicy::Ring => {
+                    if self.capacity == 0 {
+                        self.dropped += 1;
+                        return;
+                    }
+                    // head < capacity == events.len() by the branch above.
+                    self.events[self.head] = (self.now_us, event);
+                    self.head = (self.head + 1) % self.capacity;
+                    self.dropped += 1;
+                }
+            }
         }
     }
 }
@@ -130,5 +232,71 @@ mod tests {
         log.emit(hit(7));
         assert!(log.is_empty());
         assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_the_suffix() {
+        let mut log = EventLog::ring(3);
+        for o in 0..5 {
+            log.tick(o * 10);
+            log.emit(hit(o));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.emitted(), 5);
+        // Emission order across the wraparound boundary: events 2, 3, 4
+        // with their global sequence numbers.
+        let ordered: Vec<(u64, SimEvent)> = log.iter_ordered().collect();
+        assert_eq!(ordered, vec![(2, hit(2)), (3, hit(3)), (4, hit(4))]);
+        // Storage order is rotated — exactly the undocumented shape the
+        // ordered iterators exist to hide.
+        assert_eq!(log.events()[0].1, hit(3));
+    }
+
+    #[test]
+    fn drain_ordered_crosses_the_wraparound_boundary() {
+        let mut log = EventLog::ring(4);
+        for o in 0..10 {
+            log.emit(hit(o));
+        }
+        let drained: Vec<(u64, SimEvent)> = log.drain_ordered().collect();
+        assert_eq!(
+            drained,
+            vec![(6, hit(6)), (7, hit(7)), (8, hit(8)), (9, hit(9))]
+        );
+        assert!(log.is_empty());
+        // Recording continues; sequence numbers keep counting.
+        log.emit(hit(10));
+        let next: Vec<(u64, SimEvent)> = log.drain_ordered().collect();
+        assert_eq!(next, vec![(10, hit(10))]);
+    }
+
+    #[test]
+    fn drain_ordered_before_wrap_matches_emission_order() {
+        let mut log = EventLog::ring(8);
+        for o in 0..3 {
+            log.emit(hit(o));
+        }
+        let drained: Vec<(u64, SimEvent)> = log.drain_ordered().collect();
+        assert_eq!(drained, vec![(0, hit(0)), (1, hit(1)), (2, hit(2))]);
+    }
+
+    #[test]
+    fn drop_newest_drain_keeps_prefix_seqs() {
+        let mut log = EventLog::with_capacity(2);
+        for o in 0..4 {
+            log.emit(hit(o));
+        }
+        let drained: Vec<(u64, SimEvent)> = log.drain_ordered().collect();
+        assert_eq!(drained, vec![(0, hit(0)), (1, hit(1))]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut log = EventLog::ring(0);
+        log.emit(hit(1));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.drain_ordered().count(), 0);
     }
 }

@@ -140,6 +140,14 @@ pub struct ShardTuning {
     /// observes per-window state (see DESIGN.md §6c for the exact
     /// gating). `0` and `1` both mean "fold every barrier".
     pub fold_batch: u32,
+    /// Collect the wall-clock execution profile
+    /// ([`SimReport::shard_profile`](crate::SimReport::shard_profile)):
+    /// per-shard drain times, coordinator barrier-wait time,
+    /// window-occupancy and outbox-depth histograms, and chrome-trace
+    /// lane slices. Pure measurement — the deterministic report bytes
+    /// never move — but each window pays a few clock reads, so it is
+    /// off by default.
+    pub profile: bool,
 }
 
 impl Default for ShardTuning {
@@ -148,6 +156,7 @@ impl Default for ShardTuning {
             pool_threads: None,
             widen: true,
             fold_batch: 16,
+            profile: false,
         }
     }
 }

@@ -50,7 +50,7 @@ pub use cputime::thread_cpu_now;
 pub use flows::FlowTable;
 pub use network::LatencyModel;
 pub use queue::CalendarQueue;
-pub use report::{PhaseStats, ShardExecStats, SimReport};
+pub use report::{PhaseStats, ShardExecStats, ShardProfile, SimReport};
 pub use runner::Simulation;
 pub use time::SimTime;
 pub use tracelog::{DeliveryRecord, TraceLog};
@@ -60,4 +60,5 @@ pub use tracelog::{DeliveryRecord, TraceLog};
 // dependency.
 pub use adc_obs::{
     ConvergenceConfig, ConvergenceReport, MetricsProbe, MetricsReport, ProxyMetricsSummary,
+    SegmentKind, ShardSlice, SpanProbe, SpanReport,
 };

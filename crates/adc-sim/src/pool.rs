@@ -47,11 +47,26 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::thread::{self, Thread};
+// Wall-clock time feeds the execution profiler only, never window
+// content. adc-lint: allow(determinism)
+use std::time::Instant;
 
 /// One cell's slice of a window: drain every pending event scheduled
 /// strictly before `window_end`.
 pub(crate) trait WindowTask: Send {
     fn run_window(&mut self, window_end: u64);
+}
+
+/// Wall-clock split of one coordinator window, measured by
+/// [`Pool::run_window_timed`]: the coordinator's own claim-and-drain
+/// participation vs the time it spent parked at the barrier waiting for
+/// worker shards to finish their cells.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WindowTiming {
+    /// Nanoseconds the coordinator spent draining cells it claimed.
+    pub busy_ns: u64,
+    /// Nanoseconds the coordinator spent parked at the barrier.
+    pub wait_ns: u64,
 }
 
 /// The barrier word shared by the coordinator and every worker.
@@ -138,6 +153,37 @@ impl<W: WindowTask> Pool<'_, '_, W> {
     /// participates), and missing workers are spawned on demand —
     /// so a run that never needs parallelism never creates a thread.
     pub(crate) fn run_window(&mut self, window_end: u64, parallelism_hint: usize) {
+        self.dispatch(window_end, parallelism_hint);
+        claim_and_run(self.ctl, self.cells);
+        self.wait_barrier();
+    }
+
+    /// [`run_window`](Pool::run_window) with the coordinator's own
+    /// wall-clock split measured for the execution profiler. Kept
+    /// separate so unprofiled runs never touch a clock.
+    pub(crate) fn run_window_timed(
+        &mut self,
+        window_end: u64,
+        parallelism_hint: usize,
+    ) -> WindowTiming {
+        self.dispatch(window_end, parallelism_hint);
+        // Profiler telemetry only. adc-lint: allow(determinism)
+        let t0 = Instant::now();
+        claim_and_run(self.ctl, self.cells);
+        // Cell work is done; everything past here is barrier stall.
+        // adc-lint: allow(determinism)
+        let t1 = Instant::now();
+        self.wait_barrier();
+        WindowTiming {
+            // Durations ≪ 2^64 ns (584 years): the cast is lossless.
+            busy_ns: (t1 - t0).as_nanos() as u64,
+            wait_ns: t1.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Publishes a window to the pool: spawns any still-missing workers,
+    /// resets the barrier words, bumps the epoch and wakes the workers.
+    fn dispatch(&mut self, window_end: u64, parallelism_hint: usize) {
         let want = parallelism_hint.saturating_sub(1).min(self.target_workers);
         while self.workers.len() < want {
             let ctl = self.ctl;
@@ -145,7 +191,6 @@ impl<W: WindowTask> Pool<'_, '_, W> {
             let handle = self.scope.spawn(move || worker_loop(ctl, cells));
             self.workers.push(handle.thread().clone());
         }
-        let n = self.cells.len();
         self.ctl.done.store(0, Ordering::Relaxed);
         self.ctl.window_end.store(window_end, Ordering::Relaxed);
         self.ctl.cursor.store(0, Ordering::Release);
@@ -155,10 +200,13 @@ impl<W: WindowTask> Pool<'_, '_, W> {
         for worker in self.workers.iter().take(want) {
             worker.unpark();
         }
-        claim_and_run(self.ctl, self.cells);
-        // All cells claimed; wait for the stragglers. The last finisher
-        // unparks us, and leftover unpark tokens from earlier windows
-        // merely make one park return early — the loop re-checks.
+    }
+
+    /// Parks until every cell of the published window is done. The last
+    /// finisher unparks us, and leftover unpark tokens from earlier
+    /// windows merely make one park return early — the loop re-checks.
+    fn wait_barrier(&self) {
+        let n = self.cells.len();
         while self.ctl.done.load(Ordering::Acquire) < n {
             thread::park();
         }
@@ -271,6 +319,46 @@ mod tests {
         assert_eq!(spawned, 0);
         for cell in &cells {
             assert_eq!(cell.lock().unwrap().runs, 50);
+        }
+    }
+
+    /// The timed window variant runs every cell exactly like the plain
+    /// one and reports a busy/wait split that covers real work.
+    #[test]
+    fn timed_windows_measure_the_coordinator_split() {
+        struct Sleeper(u64);
+        impl WindowTask for Sleeper {
+            fn run_window(&mut self, _window_end: u64) {
+                self.0 += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        // Inline (zero workers): the coordinator drains every cell
+        // itself, so its busy time covers all three sleeps and the
+        // barrier wait is (near) zero.
+        let cells: Vec<Mutex<Sleeper>> = (0..3).map(|_| Mutex::new(Sleeper(0))).collect();
+        let ((), spawned) = with_pool(&cells, 0, |pool| {
+            let t = pool.run_window_timed(10, 3);
+            assert!(
+                t.busy_ns >= 3 * 2_000_000,
+                "inline busy {} < 3 sleeps",
+                t.busy_ns
+            );
+        });
+        assert_eq!(spawned, 0);
+        for cell in &cells {
+            assert_eq!(cell.lock().unwrap().0, 1);
+        }
+        // With workers, the split still accounts every cell exactly once
+        // (who ran what is scheduling; the counts must not move).
+        let cells: Vec<Mutex<Sleeper>> = (0..4).map(|_| Mutex::new(Sleeper(0))).collect();
+        let ((), _) = with_pool(&cells, 3, |pool| {
+            for window in 1..=5u64 {
+                let _ = pool.run_window_timed(window, 4);
+            }
+        });
+        for cell in &cells {
+            assert_eq!(cell.lock().unwrap().0, 5);
         }
     }
 

@@ -2,8 +2,8 @@
 
 use crate::tracelog::TraceLog;
 use adc_core::ProxyStats;
-use adc_metrics::{Series, Summary};
-use adc_obs::{ConvergenceReport, MetricsReport};
+use adc_metrics::{Log2Histogram, Series, Summary};
+use adc_obs::{ConvergenceReport, MetricsReport, ShardSlice, SpanReport};
 use adc_workload::Phase;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -48,6 +48,105 @@ pub struct ShardExecStats {
     /// rounds a fixed-step coordinator would have paid on the same
     /// schedule.
     pub windows_skipped: u64,
+}
+
+/// Wall-clock execution profile of one sharded run, collected when
+/// [`ShardTuning::profile`](crate::ShardTuning::profile) is set. Every
+/// field measures *how the host executed the run*, never what the run
+/// computed, so the whole struct is excluded from
+/// [`to_deterministic_json`](SimReport::to_deterministic_json) — the
+/// canonical bytes must not move when the same simulation runs on a
+/// slower machine or a different pool schedule.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShardProfile {
+    /// Shard count of the profiled run.
+    pub shards: usize,
+    /// Barrier rounds the coordinator executed (same quantity as
+    /// [`ShardExecStats::windows_advanced`], duplicated here so the
+    /// profile is self-contained).
+    pub windows: u64,
+    /// Cumulative wall-clock time each shard spent draining its windows,
+    /// nanoseconds, indexed by shard. Inline windows (run on the
+    /// coordinator) are attributed to the shard they drained.
+    pub shard_drain_ns: Vec<u64>,
+    /// Window drains each shard executed (including empty drains the
+    /// claim cursor handed it).
+    pub shard_windows: Vec<u64>,
+    /// Events each shard processed, indexed by shard.
+    pub shard_events: Vec<u64>,
+    /// Wall-clock time the coordinator spent in its own claim-and-drain
+    /// participation plus inline window execution, nanoseconds.
+    pub coordinator_busy_ns: u64,
+    /// Wall-clock time the coordinator spent parked at the barrier
+    /// waiting for worker shards, nanoseconds. The headline stall
+    /// metric: see [`barrier_wait_fraction`](ShardProfile::barrier_wait_fraction).
+    pub coordinator_wait_ns: u64,
+    /// Events drained per (shard, window): the window-occupancy
+    /// distribution. Bucket 0 counts empty drains.
+    pub window_occupancy: Log2Histogram,
+    /// Cross-shard messages pending per (source, destination) outbox at
+    /// each barrier, over all ordered shard pairs. Bucket 0 counts empty
+    /// outboxes.
+    pub outbox_depth: Log2Histogram,
+    /// Chrome-trace lane slices (per-shard drains plus coordinator
+    /// barrier waits), bounded; see [`slices_dropped`](ShardProfile::slices_dropped).
+    pub slices: Vec<ShardSlice>,
+    /// Slices not recorded because the bound was reached.
+    pub slices_dropped: u64,
+    /// Wall-clock offsets of each barrier completion, microseconds since
+    /// run start (bounded like `slices`).
+    pub barriers_us: Vec<u64>,
+}
+
+impl ShardProfile {
+    /// Bound on recorded `slices` and `barriers_us` entries: enough for
+    /// every window of a CI-scale run, small enough that a full-scale
+    /// profiled run cannot balloon the report.
+    pub const MAX_SLICES: usize = 1 << 16;
+
+    /// Load-imbalance coefficient: max over mean of per-shard drain
+    /// time. 1.0 means perfectly balanced; `k` means the slowest shard
+    /// did `k`× the mean work, i.e. the pool idles `(k-1)/k` of its
+    /// capacity at the barrier. 1.0 when nothing was drained.
+    pub fn imbalance_coefficient(&self) -> f64 {
+        let max = self.shard_drain_ns.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.shard_drain_ns.iter().sum();
+        if max == 0 || self.shard_drain_ns.is_empty() {
+            return 1.0;
+        }
+        // Counts are ≪ 2^53: exact in f64.
+        let mean = total as f64 / self.shard_drain_ns.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Fraction of the coordinator's window-execution time spent parked
+    /// at the barrier (0.0 when nothing was measured). High values mean
+    /// the coordinator finishes its claim share early and stalls on a
+    /// straggler shard.
+    pub fn barrier_wait_fraction(&self) -> f64 {
+        let total = self.coordinator_busy_ns + self.coordinator_wait_ns;
+        if total == 0 {
+            return 0.0;
+        }
+        self.coordinator_wait_ns as f64 / total as f64
+    }
+
+    /// Total wall-clock drain time across all shards, nanoseconds.
+    pub fn total_drain_ns(&self) -> u64 {
+        self.shard_drain_ns.iter().sum()
+    }
+
+    /// One-line human summary of the profile.
+    pub fn summary(&self) -> String {
+        format!(
+            "shards={} windows={} drain_ms={:.1} wait_frac={:.3} imbalance={:.2}",
+            self.shards,
+            self.windows,
+            self.total_drain_ns() as f64 / 1e6,
+            self.barrier_wait_fraction(),
+            self.imbalance_coefficient()
+        )
+    }
 }
 
 /// Everything a simulation run produces.
@@ -132,6 +231,22 @@ pub struct SimReport {
     ///
     /// [`to_deterministic_json`]: SimReport::to_deterministic_json
     pub shard_exec: Option<ShardExecStats>,
+    /// Per-flow latency attribution (per-segment and per-proxy
+    /// breakdowns plus the slowest-flows digest), present when the run
+    /// was driven through a [`SpanProbe`](adc_obs::SpanProbe) (e.g.
+    /// [`Simulation::run_with_spans`](crate::Simulation::run_with_spans)).
+    /// Derived entirely from the probe's event stream — attaching it
+    /// never perturbs the simulation — but *excluded* from
+    /// [`to_deterministic_json`](SimReport::to_deterministic_json) like
+    /// the metrics body: the canonical bytes must not depend on which
+    /// probes were attached.
+    pub spans: Option<SpanReport>,
+    /// Wall-clock execution profile of the sharded run, present when
+    /// [`ShardTuning::profile`](crate::ShardTuning::profile) was set
+    /// (`None` for single-threaded runs). Excluded from
+    /// [`to_deterministic_json`](SimReport::to_deterministic_json) for
+    /// the same reason as `wall_time`: every field is host telemetry.
+    pub shard_profile: Option<ShardProfile>,
     /// Wall-clock time the simulation took (Figure 15 style).
     pub wall_time: Duration,
     /// CPU time the simulating thread consumed. Unlike [`wall_time`],
@@ -485,6 +600,8 @@ mod tests {
             convergence: None,
             metrics: None,
             shard_exec: None,
+            spans: None,
+            shard_profile: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };
@@ -534,6 +651,8 @@ mod tests {
             convergence: None,
             metrics: None,
             shard_exec: None,
+            spans: None,
+            shard_profile: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };
@@ -543,12 +662,44 @@ mod tests {
         report.wall_time = Duration::from_secs(999);
         report.cpu_time = Duration::from_secs(999);
         assert_eq!(json, report.to_deterministic_json());
+        // Neither may span attribution or the shard profile: both are
+        // probe/host products, not simulation outputs.
+        report.spans = Some(adc_obs::SpanProbe::new().into_report());
+        report.shard_profile = Some(ShardProfile {
+            shards: 4,
+            coordinator_wait_ns: 123,
+            ..ShardProfile::default()
+        });
+        assert_eq!(json, report.to_deterministic_json());
         // Empty summaries render as nulls, floats round-trip exactly.
         assert!(json.contains("\"latency_us\":{\"count\":0,\"sum\":0.0,\"mean\":null"));
         assert!(json.contains(&format!("\"latency_p99_us\":{:?}", 0.1 + 0.2)));
         // Any simulation-determined field changes the bytes.
         report.hits = 3;
         assert_ne!(json, report.to_deterministic_json());
+    }
+
+    #[test]
+    fn shard_profile_imbalance_and_wait_fraction() {
+        let mut prof = ShardProfile {
+            shards: 2,
+            ..ShardProfile::default()
+        };
+        // Empty profile: trivially balanced, nothing waited.
+        assert_eq!(prof.imbalance_coefficient(), 1.0);
+        assert_eq!(prof.barrier_wait_fraction(), 0.0);
+        // Max 300 over mean 200 → 1.5.
+        prof.shard_drain_ns = vec![300, 100];
+        assert!((prof.imbalance_coefficient() - 1.5).abs() < 1e-12);
+        assert_eq!(prof.total_drain_ns(), 400);
+        prof.coordinator_busy_ns = 75;
+        prof.coordinator_wait_ns = 25;
+        assert!((prof.barrier_wait_fraction() - 0.25).abs() < 1e-12);
+        prof.windows = 7;
+        let line = prof.summary();
+        assert!(line.contains("windows=7"), "{line}");
+        assert!(line.contains("imbalance=1.50"), "{line}");
+        assert!(line.contains("wait_frac=0.250"), "{line}");
     }
 
     #[test]
@@ -582,6 +733,8 @@ mod tests {
             convergence: None,
             metrics: None,
             shard_exec: None,
+            spans: None,
+            shard_profile: None,
             wall_time: Duration::from_millis(1),
             cpu_time: Duration::from_millis(1),
         };

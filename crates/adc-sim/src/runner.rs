@@ -572,6 +572,8 @@ impl<A: CacheAgent> Simulation<A> {
             convergence: conv.map(|c| c.tracker.into_report()),
             metrics: None,
             shard_exec: None,
+            spans: None,
+            shard_profile: None,
             wall_time: wall_start.elapsed(),
             cpu_time: crate::cputime::thread_cpu_now().saturating_sub(cpu_start),
         };
@@ -602,6 +604,22 @@ impl<A: CacheAgent> Simulation<A> {
         let mut probe = adc_obs::MetricsProbe::new();
         let (mut report, _) = self.run_observed_with_agents(workload, &mut probe);
         report.metrics = Some(probe.report());
+        report
+    }
+
+    /// Runs the workload with a [`SpanProbe`](adc_obs::SpanProbe)
+    /// attached and the resulting causal latency breakdown embedded in
+    /// [`SimReport::spans`], keeping the `top_k` slowest flows in the
+    /// digest. Like every probe, the recorder is a pure event consumer:
+    /// the deterministic report is identical to an unobserved run.
+    pub fn run_with_spans(
+        self,
+        workload: impl IntoIterator<Item = RequestRecord>,
+        top_k: usize,
+    ) -> SimReport {
+        let mut probe = adc_obs::SpanProbe::with_top_k(top_k);
+        let (mut report, _) = self.run_observed_with_agents(workload, &mut probe);
+        report.spans = Some(probe.into_report());
         report
     }
 }
@@ -1196,5 +1214,33 @@ mod matrix_tests {
         let mut config = SimConfig::fast();
         config.proxy_latency_matrix = Some(vec![vec![SimTime::ZERO; 3], vec![SimTime::ZERO; 2]]);
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn run_with_spans_reconciles_and_preserves_results() {
+        let workload = || StationaryZipf::new(80, 0.9, 4, 11).take(2_000);
+        let config = || SimConfig {
+            injection: InjectionMode::OpenLoop {
+                interval: SimTime::from_micros(80),
+            },
+            ..SimConfig::fast()
+        };
+        let plain = Simulation::new(agents(4), config()).run(workload());
+        let observed = Simulation::new(agents(4), config()).run_with_spans(workload(), 5);
+        // The span recorder is a pure consumer: deterministic bytes match.
+        assert_eq!(
+            plain.to_deterministic_json(),
+            observed.to_deterministic_json()
+        );
+        let spans = observed.spans.expect("run_with_spans populates spans");
+        assert_eq!(spans.flows, observed.completed);
+        assert_eq!(spans.sum_check_failures, 0, "{spans:?}");
+        assert_eq!(spans.attributed_us, spans.total_us, "{spans:?}");
+        assert_eq!(spans.slowest.len(), 5);
+        // Digest is sorted slowest-first and bounded by the total.
+        assert!(spans
+            .slowest
+            .windows(2)
+            .all(|w| w[0].total_us >= w[1].total_us));
     }
 }

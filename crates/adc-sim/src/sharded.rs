@@ -96,15 +96,15 @@ use crate::flows::FlowTable;
 use crate::network::LatencyModel;
 use crate::pool::{self, WindowTask};
 use crate::queue::CalendarQueue;
-use crate::report::{PhaseStats, ShardExecStats, SimReport};
+use crate::report::{PhaseStats, ShardExecStats, ShardProfile, SimReport};
 use crate::runner::Simulation;
 use crate::time::SimTime;
 use adc_core::{
     Action, ActionSink, CacheAgent, Message, NodeId, ObjectId, ProxyId, Reply, Request, RequestId,
 };
-use adc_metrics::{MovingAverage, P2Quantile, Registry, Sampler, Summary};
+use adc_metrics::{Log2Histogram, MovingAverage, P2Quantile, Registry, Sampler, Summary};
 use adc_obs::{ConvergenceConfig, ConvergenceTracker, MetricsProbe, NullProbe, Probe};
-use adc_obs::{MetricsReport, SimEvent};
+use adc_obs::{MetricsReport, ShardSlice, SimEvent};
 use adc_workload::{Phase, RequestRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -352,6 +352,75 @@ impl ShardCounters {
     }
 }
 
+/// Per-shard half of the execution profiler
+/// ([`ShardTuning::profile`](crate::ShardTuning::profile)): wall-clock
+/// drain accounting, the window-occupancy histogram, and chrome-trace
+/// drain slices. Boxed behind an `Option` so the unprofiled hot path
+/// pays one null test per window and nothing per event.
+struct ShardProfState {
+    /// Shared zero point for chrome-trace lane offsets (the run's
+    /// `wall_start`).
+    run_start: Instant,
+    /// Cumulative wall-clock drain time, nanoseconds.
+    drain_ns: u64,
+    /// Window drains executed (including empty drains).
+    windows: u64,
+    /// Events processed by this shard.
+    events: u64,
+    /// Events drained per window.
+    occupancy: Log2Histogram,
+    /// Drain slices for the chrome-trace shard lane (empty drains are
+    /// skipped; they would render as zero-width noise).
+    slices: Vec<ShardSlice>,
+    /// Drain slices not recorded because the bound was reached.
+    slices_dropped: u64,
+}
+
+impl ShardProfState {
+    fn new(run_start: Instant) -> Self {
+        ShardProfState {
+            run_start,
+            drain_ns: 0,
+            windows: 0,
+            events: 0,
+            occupancy: Log2Histogram::new(),
+            slices: Vec::new(),
+            slices_dropped: 0,
+        }
+    }
+}
+
+/// Coordinator-side half of the execution profiler: the busy/wait split
+/// of every pooled window, outbox depths at each barrier, and the
+/// barrier timeline.
+struct CoordProf {
+    /// Coordinator claim-and-drain plus inline-window time, nanoseconds.
+    busy_ns: u64,
+    /// Time parked at the barrier waiting for workers, nanoseconds.
+    wait_ns: u64,
+    /// Cross-shard messages pending per (src, dst) outbox per barrier.
+    outbox_depth: Log2Histogram,
+    /// Barrier-wait slices for the coordinator chrome-trace lane.
+    wait_slices: Vec<ShardSlice>,
+    /// Wait slices not recorded because the bound was reached.
+    slices_dropped: u64,
+    /// Barrier completion offsets, microseconds since run start.
+    barriers_us: Vec<u64>,
+}
+
+impl CoordProf {
+    fn new() -> Self {
+        CoordProf {
+            busy_ns: 0,
+            wait_ns: 0,
+            outbox_depth: Log2Histogram::new(),
+            wait_slices: Vec::new(),
+            slices_dropped: 0,
+            barriers_us: Vec::new(),
+        }
+    }
+}
+
 /// One worker shard: a vertical slice of the simulator owning every
 /// `index + i·N`-th proxy, its events, and its resident flows.
 struct Shard<A, P> {
@@ -382,6 +451,9 @@ struct Shard<A, P> {
     /// The latency function, shared immutably with the coordinator and
     /// every sibling shard.
     net: Arc<Net>,
+    /// Wall-clock drain profiler, present when
+    /// [`ShardTuning::profile`](crate::ShardTuning::profile) is set.
+    prof: Option<Box<ShardProfState>>,
 }
 
 impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
@@ -420,9 +492,52 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
         }
     }
 
+    /// Drains the window, measuring the drain on the wall clock when
+    /// profiling is on. Called for both execution paths (pool workers
+    /// via [`WindowTask`], the coordinator inline), so the profile
+    /// attributes every drain to the shard that did it regardless of
+    /// which thread ran it.
+    fn drain_window(&mut self, window_end: u64) {
+        if self.prof.is_none() {
+            self.drain_events(window_end);
+            return;
+        }
+        let before = self.counters.events_processed;
+        // Profiler telemetry only. adc-lint: allow(determinism)
+        let t0 = Instant::now();
+        self.drain_events(window_end);
+        let dur = t0.elapsed();
+        let drained = self.counters.events_processed - before;
+        let lane = self.index as u32; // shard counts stay tiny
+        if let Some(prof) = self.prof.as_mut() {
+            // Durations ≪ 2^64 ns (584 years): the casts are lossless.
+            // Wall-clock profiler accounting sits deliberately outside
+            // the SimEvent stream; the occupancy-sum identity test
+            // reconciles it. adc-lint: allow(obs-coverage)
+            prof.drain_ns += dur.as_nanos() as u64;
+            prof.windows += 1;
+            prof.events += drained;
+            prof.occupancy.record(drained);
+            if drained > 0 {
+                if prof.slices.len() < ShardProfile::MAX_SLICES {
+                    prof.slices.push(ShardSlice {
+                        lane,
+                        start_us: t0.duration_since(prof.run_start).as_micros() as u64,
+                        dur_us: dur.as_micros() as u64,
+                        wait: false,
+                    });
+                } else {
+                    // Trace cap hit; counted so the report says so.
+                    // adc-lint: allow(obs-coverage)
+                    prof.slices_dropped += 1;
+                }
+            }
+        }
+    }
+
     /// Drains every local event with `at < window_end`, in `(at, key)`
     /// order, then records the next pending timestamp.
-    fn drain_window(&mut self, window_end: u64) {
+    fn drain_events(&mut self, window_end: u64) {
         loop {
             match self.queue.peek_key() {
                 None => {
@@ -888,6 +1003,10 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
                 pending_proxy: 0,
                 pending_origin: 0,
                 net: Arc::clone(&net),
+                prof: config
+                    .shard
+                    .profile
+                    .then(|| Box::new(ShardProfState::new(wall_start))),
             }
         })
         .collect();
@@ -965,6 +1084,8 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
     let origin_reply_us = net.base.proxy_origin.as_micros();
 
     let mut exec = ShardExecStats::default();
+    // Coordinator half of the execution profiler (None = profiling off).
+    let mut coord_prof: Option<CoordProf> = config.shard.profile.then(CoordProf::new);
     // Reusable fold buffer: every shard's completions, sorted globally.
     let mut records_buf: Vec<Completion> = Vec::new();
     // Barriers since the last fold, and the latest barrier timestamp
@@ -1211,11 +1332,67 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
             let active = guards.iter().filter(|s| s.next_at < window_end).count();
             if active > 1 && workers > 0 {
                 guards.clear();
-                pool.run_window(window_end, active);
+                match coord_prof.as_mut() {
+                    None => pool.run_window(window_end, active),
+                    Some(cp) => {
+                        // Profiler telemetry only.
+                        // adc-lint: allow(determinism)
+                        let t0 = Instant::now();
+                        let t = pool.run_window_timed(window_end, active);
+                        // Wall-clock split from the pool, outside the
+                        // SimEvent stream. adc-lint: allow(obs-coverage)
+                        cp.busy_ns += t.busy_ns;
+                        cp.wait_ns += t.wait_ns; // adc-lint: allow(obs-coverage)
+                                                 // The wait slice starts where the coordinator's
+                                                 // own claim share ended.
+                        let wait_us = t.wait_ns / 1_000;
+                        if wait_us > 0 {
+                            if cp.wait_slices.len() < ShardProfile::MAX_SLICES {
+                                cp.wait_slices.push(ShardSlice {
+                                    // Coordinator lane sits after the
+                                    // shard lanes.
+                                    lane: shards_n as u32,
+                                    start_us: t0.duration_since(wall_start).as_micros() as u64
+                                        + t.busy_ns / 1_000,
+                                    dur_us: wait_us,
+                                    wait: true,
+                                });
+                            } else {
+                                // Trace cap hit; counted so the report
+                                // says so. adc-lint: allow(obs-coverage)
+                                cp.slices_dropped += 1;
+                            }
+                        }
+                    }
+                }
                 guards = lock_all(&cells);
             } else {
+                // Inline windows count toward coordinator busy time; the
+                // per-shard drain profiling happens inside drain_window.
+                // adc-lint: allow(determinism)
+                let t0 = coord_prof.as_ref().map(|_| Instant::now());
                 for shard in guards.iter_mut().filter(|s| s.next_at < window_end) {
                     shard.drain_window(window_end);
+                }
+                if let (Some(cp), Some(t0)) = (coord_prof.as_mut(), t0) {
+                    // Wall clock only. adc-lint: allow(obs-coverage)
+                    cp.busy_ns += t0.elapsed().as_nanos() as u64;
+                }
+            }
+
+            // Profiler barrier bookkeeping: outbox depths before routing
+            // drains them, and the barrier's place on the wall-clock
+            // timeline.
+            if let Some(cp) = coord_prof.as_mut() {
+                for (src, guard) in guards.iter().enumerate() {
+                    for (dst, outbox) in guard.outboxes.iter().enumerate() {
+                        if src != dst {
+                            cp.outbox_depth.record(outbox.len() as u64);
+                        }
+                    }
+                }
+                if cp.barriers_us.len() < ShardProfile::MAX_SLICES {
+                    cp.barriers_us.push(wall_start.elapsed().as_micros() as u64);
                 }
             }
 
@@ -1257,7 +1434,7 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
     exec.pool_spawns = spawned as u64;
 
     // Recover the shards from their pool cells for final accounting.
-    let shards: Vec<Shard<A, P>> = cells
+    let mut shards: Vec<Shard<A, P>> = cells
         .into_iter()
         .map(|c| c.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
@@ -1267,6 +1444,48 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
     for shard in &shards {
         counters.merge(&shard.counters);
     }
+
+    // Assemble the execution profile: per-shard drain accounting merged
+    // with the coordinator's barrier-wait half, slices interleaved on
+    // the shared wall-clock timeline.
+    let shard_profile = coord_prof.map(|cp| {
+        let mut profile = ShardProfile {
+            shards: shards_n,
+            windows: exec.windows_advanced,
+            shard_drain_ns: Vec::with_capacity(shards_n),
+            shard_windows: Vec::with_capacity(shards_n),
+            shard_events: Vec::with_capacity(shards_n),
+            coordinator_busy_ns: cp.busy_ns,
+            coordinator_wait_ns: cp.wait_ns,
+            window_occupancy: Log2Histogram::new(),
+            outbox_depth: cp.outbox_depth,
+            slices: cp.wait_slices,
+            slices_dropped: cp.slices_dropped,
+            barriers_us: cp.barriers_us,
+        };
+        for shard in &mut shards {
+            // Profiling is a run-wide switch: every shard carries state.
+            // Invariant: this branch only runs when coord_prof was
+            // built, and every shard then got a profiler at construction.
+            let sp = shard
+                .prof
+                .as_mut()
+                // adc-lint: allow(panic)
+                .expect("profiled run built shard profilers");
+            profile.shard_drain_ns.push(sp.drain_ns);
+            profile.shard_windows.push(sp.windows);
+            profile.shard_events.push(sp.events);
+            profile.window_occupancy.merge(&sp.occupancy);
+            profile.slices.append(&mut sp.slices);
+            // Fold of per-shard caps into the report total.
+            // adc-lint: allow(obs-coverage)
+            profile.slices_dropped += sp.slices_dropped;
+        }
+        profile
+            .slices
+            .sort_unstable_by_key(|s| (s.start_us, s.lane));
+        profile
+    });
     // The single-queue runner pops one Inject event per open-loop
     // arrival plus the final exhausted pull; synthesize those so
     // events_processed reconciles across executors.
@@ -1324,6 +1543,8 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
         convergence: conv.map(|c| c.tracker.into_report()),
         metrics: None,
         shard_exec: Some(exec),
+        spans: None,
+        shard_profile,
         wall_time: wall_start.elapsed(),
         cpu_time: crate::cputime::thread_cpu_now().saturating_sub(cpu_start),
     };
@@ -1477,24 +1698,74 @@ mod tests {
                 for pool_threads in [Some(0), Some(2)] {
                     for widen in [false, true] {
                         for fold_batch in [1, 7] {
-                            let mut c = base.clone();
-                            c.shard = ShardTuning {
-                                pool_threads,
-                                widen,
-                                fold_batch,
-                            };
-                            let r = Simulation::new(adc_agents(3), c).run_sharded(workload(), 3);
-                            assert_eq!(
-                                reference,
-                                r.to_deterministic_json(),
-                                "bytes moved at open_loop={open_loop} occupancy={occupancy} \
-                                 pool={pool_threads:?} widen={widen} fold={fold_batch}"
-                            );
+                            for profile in [false, true] {
+                                let mut c = base.clone();
+                                c.shard = ShardTuning {
+                                    pool_threads,
+                                    widen,
+                                    fold_batch,
+                                    profile,
+                                };
+                                let r =
+                                    Simulation::new(adc_agents(3), c).run_sharded(workload(), 3);
+                                assert_eq!(
+                                    reference,
+                                    r.to_deterministic_json(),
+                                    "bytes moved at open_loop={open_loop} \
+                                     occupancy={occupancy} pool={pool_threads:?} \
+                                     widen={widen} fold={fold_batch} profile={profile}"
+                                );
+                            }
                         }
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn profiling_collects_drain_wait_and_histograms() {
+        // Open loop keeps several shards busy per window so the profile
+        // has real drain slices and outbox traffic to account for.
+        let workload = || StationaryZipf::new(100, 0.9, 8, 5).take(2_000);
+        let mut cfg = config();
+        cfg.injection = InjectionMode::OpenLoop {
+            interval: SimTime::from_micros(60),
+        };
+        cfg.shard.pool_threads = Some(3);
+        cfg.shard.profile = true;
+        let report = Simulation::new(adc_agents(8), cfg).run_sharded(workload(), 4);
+        let p = report.shard_profile.expect("profile=true populates it");
+        assert_eq!(p.shards, 4);
+        assert_eq!(p.shard_drain_ns.len(), 4);
+        assert_eq!(p.shard_windows.len(), 4);
+        assert_eq!(p.shard_events.len(), 4);
+        assert!(p.windows > 0, "{p:?}");
+        assert!(p.total_drain_ns() > 0, "{p:?}");
+        // Occupancy records every invoked drain; its sum is exactly the
+        // events the shards processed.
+        assert!(p.window_occupancy.count() > 0);
+        assert_eq!(p.window_occupancy.sum(), p.shard_events.iter().sum::<u64>());
+        assert!(p.outbox_depth.count() > 0, "barriers inspect outboxes");
+        assert!(p.imbalance_coefficient() >= 1.0, "{p:?}");
+        let frac = p.barrier_wait_fraction();
+        assert!((0.0..=1.0).contains(&frac), "{frac}");
+        assert!(!p.slices.is_empty(), "non-empty drains leave slices");
+        assert!(
+            p.slices.windows(2).all(|w| w[0].start_us <= w[1].start_us),
+            "slices sorted by start time"
+        );
+        assert!(!p.barriers_us.is_empty());
+        // The slices render into a parseable chrome trace with shard
+        // lanes plus the coordinator wait lane.
+        let trace = adc_obs::shard_lanes_to_chrome_trace(p.shards, &p.slices, &p.barriers_us);
+        assert!(trace.starts_with('{') && trace.ends_with('}'), "{trace}");
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"shard 0\""));
+        assert!(trace.contains("\"coordinator\""));
+        // Default config leaves profiling off and the report clean.
+        let plain = Simulation::new(adc_agents(8), config()).run_sharded(workload(), 4);
+        assert!(plain.shard_profile.is_none());
     }
 
     #[test]

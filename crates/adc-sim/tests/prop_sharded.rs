@@ -446,6 +446,7 @@ proptest! {
             pool_threads: Some(0),
             widen: false,
             fold_batch: 1,
+            profile: false,
         };
         let conservative = Simulation::new(sim_agents(proxies), config.clone())
             .run_sharded(workload(), 1);
@@ -453,6 +454,9 @@ proptest! {
             pool_threads: Some(pool),
             widen,
             fold_batch,
+            // Profiling on the tuned side: wall-clock measurement must
+            // never perturb the deterministic bytes.
+            profile: true,
         };
         let tuned = Simulation::new(sim_agents(proxies), config)
             .run_sharded(workload(), shards);

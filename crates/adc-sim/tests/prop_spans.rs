@@ -1,0 +1,138 @@
+//! Property tests for the flow-span recorder's exactness contract.
+//!
+//! The recorder's attribution telescopes: a flow's labelled segment
+//! deltas are the gaps between consecutive recorder touches, from
+//! injection to completion, so their sum must equal the flow's
+//! end-to-end resolution latency *exactly* — for every flow, in every
+//! injection mode, with fault injection duplicating deliveries (orphan
+//! replies, stray post-completion proxy events) and random forwarding
+//! producing loops and hop-limit give-ups. The recorder self-checks the
+//! per-flow equality and counts violations in
+//! [`SpanReport::sum_check_failures`]; these tests pin that counter to
+//! zero and reconcile the aggregate tables against it.
+//!
+//! [`SpanReport::sum_check_failures`]: adc_sim::SpanReport
+
+use adc_core::{AdcConfig, AdcProxy, ProxyId};
+use adc_sim::{FaultPlan, InjectionMode, SimConfig, SimTime, Simulation};
+use adc_workload::StationaryZipf;
+use proptest::prelude::*;
+
+fn sim_agents(proxies: u32) -> Vec<AdcProxy> {
+    // Tight hop limit and small caches keep loops, hop-limit give-ups
+    // and evictions frequent at test scale.
+    let config = AdcConfig::builder()
+        .single_capacity(48)
+        .multiple_capacity(48)
+        .cache_capacity(16)
+        .max_hops(4)
+        .build();
+    (0..proxies)
+        .map(|i| AdcProxy::new(ProxyId::new(i), proxies, config.clone()))
+        .collect()
+}
+
+/// Runs the workload with the span recorder attached and checks every
+/// reconciliation invariant the report promises.
+fn check_spans(
+    config: SimConfig,
+    proxies: u32,
+    requests: usize,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let workload = StationaryZipf::new(60, 0.8, 4, seed).take(requests);
+    let report = Simulation::new(sim_agents(proxies), config).run_with_spans(workload, 8);
+    let spans = report
+        .spans
+        .as_ref()
+        .expect("run_with_spans populates spans");
+
+    // The heart of the contract: no flow's segment sum ever disagreed
+    // with its end-to-end latency.
+    prop_assert_eq!(spans.sum_check_failures, 0, "{:?}", spans);
+
+    // Every injected flow resolves (duplicates never kill a flow), so
+    // the recorder closes exactly the completions the report counts and
+    // attributes every microsecond of them.
+    prop_assert_eq!(spans.flows, report.completed);
+    prop_assert_eq!(spans.flows_unclosed, 0);
+    prop_assert_eq!(spans.attributed_us, spans.total_us);
+
+    // The per-segment table is a partition of the attributed time.
+    let seg_total: u64 = spans.segments.iter().map(|s| s.total_us).sum();
+    prop_assert_eq!(seg_total, spans.attributed_us);
+    // The per-proxy table is a *sub*-partition: a flow whose proxy
+    // events all attached to an older same-object flow completes with
+    // no attribution target, so its time stays proxy-less (the segment
+    // table still carries it).
+    let proxy_total: u64 = spans.per_proxy.iter().map(|p| p.total_us()).sum();
+    prop_assert!(proxy_total <= spans.attributed_us);
+
+    // The digest is sorted slowest-first and each entry's own split
+    // telescopes to its total.
+    prop_assert!(spans
+        .slowest
+        .windows(2)
+        .all(|w| w[0].total_us >= w[1].total_us));
+    for slow in &spans.slowest {
+        let sum: u64 = slow.seg_us.iter().sum();
+        prop_assert_eq!(
+            sum,
+            slow.total_us,
+            "digest entry split diverged: {:?}",
+            slow
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential injection, faults on: one flow in flight at a time,
+    /// but duplicated deliveries still produce orphan replies and stray
+    /// events after completion.
+    #[test]
+    fn sequential_spans_sum_exactly_under_faults(
+        proxies in 1u32..6,
+        requests in 50usize..250,
+        seed in any::<u64>(),
+        dup_milli in 0u32..300,
+        jitter_us in 0u64..50,
+    ) {
+        let config = SimConfig {
+            faults: FaultPlan {
+                duplicate_prob: f64::from(dup_milli) / 1000.0,
+                duplicate_jitter: SimTime::from_micros(jitter_us),
+            },
+            ..SimConfig::default()
+        };
+        check_spans(config, proxies, requests, seed)?;
+    }
+
+    /// Open-loop injection, faults on: flows overlap, so object-keyed
+    /// attribution must pick the right (oldest) flow and duplicated
+    /// completions must land in `unmatched_completions`, never corrupt
+    /// an open flow's telescoping sum.
+    #[test]
+    fn open_loop_spans_sum_exactly_under_faults(
+        proxies in 1u32..6,
+        requests in 50usize..250,
+        seed in any::<u64>(),
+        interval_us in 1u64..400,
+        dup_milli in 0u32..300,
+        jitter_us in 0u64..50,
+    ) {
+        let config = SimConfig {
+            injection: InjectionMode::OpenLoop {
+                interval: SimTime::from_micros(interval_us),
+            },
+            faults: FaultPlan {
+                duplicate_prob: f64::from(dup_milli) / 1000.0,
+                duplicate_jitter: SimTime::from_micros(jitter_us),
+            },
+            ..SimConfig::default()
+        };
+        check_spans(config, proxies, requests, seed)?;
+    }
+}

@@ -152,6 +152,9 @@ fn forced_pool_and_tuning_stay_byte_identical_at_figure_scale() {
         pool_threads: Some(3),
         widen: true,
         fold_batch: 4,
+        // Profiling rides along to prove the clock reads never leak
+        // into the deterministic bytes at figure scale.
+        profile: true,
     };
     let reference = Simulation::new(agents(), config()).run(workload());
     let mut seq = config();
