@@ -112,12 +112,32 @@ fn main() {
     let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     match adc_lint::run(&repo_root) {
         Ok(lint) => {
+            let _ = writeln!(json, "  \"lint\": {{");
+            let _ = writeln!(json, "    \"rules\": {},", lint.rules);
+            let _ = writeln!(json, "    \"suppressions\": {},", lint.suppressions_total());
+            // Wall time is telemetry, not a gated field: the CI lint
+            // runtime budget reads it, the diff gate ignores it.
             let _ = writeln!(
                 json,
-                "  \"lint\": {{ \"rules\": {}, \"suppressions\": {} }},",
-                lint.rules,
-                lint.suppressions_total()
+                "    \"elapsed_ms\": {:.3},",
+                lint.total_nanos as f64 / 1e6
             );
+            let _ = writeln!(json, "    \"by_rule\": {{");
+            let last = lint.rule_stats.len().saturating_sub(1);
+            for (i, rs) in lint.rule_stats.iter().enumerate() {
+                let comma = if i == last { "" } else { "," };
+                let _ = writeln!(
+                    json,
+                    "      \"{}\": {{ \"findings\": {}, \"suppressions\": {}, \
+                     \"wall_ms\": {:.3} }}{comma}",
+                    rs.id,
+                    rs.findings,
+                    rs.suppressions,
+                    rs.nanos as f64 / 1e6
+                );
+            }
+            let _ = writeln!(json, "    }}");
+            let _ = writeln!(json, "  }},");
         }
         Err(e) => {
             eprintln!("bench_report: lint scan skipped ({e})");

@@ -381,6 +381,40 @@ pub fn diff_reports(
         }
         report.compared += 1;
     }
+    // Per-rule allow-creep gate over every `lint.by_rule.<rule>.suppressions`
+    // key: the workspace total may hide a rise in one rule offset by a fall
+    // in another, so each rule gates independently. A rule missing from the
+    // baseline gates against zero — a new rule lands with its day-one
+    // allows recorded in the baseline, not smuggled past the total. Only
+    // active once the baseline carries any per-rule data (older baselines
+    // predate the breakdown).
+    const BY_RULE_PREFIX: &str = "lint.by_rule.";
+    const SUPPRESSIONS_SUFFIX: &str = ".suppressions";
+    if base.keys().any(|k| k.starts_with(BY_RULE_PREFIX)) {
+        let per_rule_keys: std::collections::BTreeSet<&str> = base
+            .keys()
+            .chain(cur.keys())
+            .filter(|k| k.starts_with(BY_RULE_PREFIX) && k.ends_with(SUPPRESSIONS_SUFFIX))
+            .map(|k| k.as_str())
+            .collect();
+        for key in per_rule_keys {
+            let b = get_num(&base, key).unwrap_or(0.0);
+            match get_num(&cur, key) {
+                None if b > 0.0 => report
+                    .regressions
+                    .push(format!("{key}: present in baseline ({b}) but missing now")),
+                None => {}
+                Some(c) if c > b => report.regressions.push(format!(
+                    "{key}: rose from {b} to {c} (per-rule allows may not increase)"
+                )),
+                Some(c) if c < b => report.warnings.push(format!(
+                    "{key}: fell from {b} to {c} — refresh the baseline"
+                )),
+                Some(_) => {}
+            }
+            report.compared += 1;
+        }
+    }
     for &key in THROUGHPUT_FIELDS {
         let Some(b) = get_num(&base, key) else {
             continue;
@@ -601,6 +635,70 @@ mod tests {
         let report = diff_reports(BASELINE, &reduced, &DiffConfig::default()).unwrap();
         assert!(report.passed());
         assert_eq!(report.warnings.len(), 1);
+    }
+
+    #[test]
+    fn per_rule_suppression_gate_catches_hidden_creep() {
+        // A baseline carrying the per-rule breakdown activates the gate.
+        let with_rules = BASELINE.replace(
+            r#""lint": { "rules": 11, "suppressions": 49 }"#,
+            r#""lint": { "rules": 11, "suppressions": 49, "by_rule": {
+    "panic": { "findings": 0, "suppressions": 3, "wall_ms": 1.2 },
+    "determinism": { "findings": 0, "suppressions": 5, "wall_ms": 2.4 }
+  } }"#,
+        );
+        // The nested section flattens to three-level dotted keys.
+        let fields = parse_flat_json(&with_rules).unwrap();
+        assert_eq!(
+            fields.get("lint.by_rule.panic.suppressions"),
+            Some(&Scalar::Num(3.0))
+        );
+        // Identical reports pass, with one extra comparison per rule.
+        let report = diff_reports(&with_rules, &with_rules, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(
+            report.compared,
+            EXACT_FIELDS.len() + NON_INCREASING_FIELDS.len() + THROUGHPUT_FIELDS.len() + 1 + 2
+        );
+        // One rule rising fails even though the workspace total did not
+        // move (the creep is hidden by a fall elsewhere).
+        let crept = with_rules.replace(
+            r#""panic": { "findings": 0, "suppressions": 3"#,
+            r#""panic": { "findings": 0, "suppressions": 4"#,
+        );
+        let report = diff_reports(&with_rules, &crept, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("lint.by_rule.panic.suppressions")));
+        // A per-rule fall is a refresh warning, not a failure.
+        let reduced = with_rules.replace(
+            r#""determinism": { "findings": 0, "suppressions": 5"#,
+            r#""determinism": { "findings": 0, "suppressions": 2"#,
+        );
+        let report = diff_reports(&with_rules, &reduced, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("lint.by_rule.determinism.suppressions")));
+        // A rule absent from the baseline gates against zero: a new rule
+        // may not land with unrecorded allows.
+        let new_rule = with_rules.replace(
+            r#""determinism": { "findings": 0, "suppressions": 5, "wall_ms": 2.4 }"#,
+            r#""determinism": { "findings": 0, "suppressions": 5, "wall_ms": 2.4 },
+    "float-eq": { "findings": 0, "suppressions": 1, "wall_ms": 0.3 }"#,
+        );
+        let report = diff_reports(&with_rules, &new_rule, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("lint.by_rule.float-eq.suppressions")));
+        // A pre-breakdown baseline leaves the gate dormant entirely.
+        let report = diff_reports(BASELINE, &with_rules, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
     }
 
     #[test]

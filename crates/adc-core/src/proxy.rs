@@ -113,7 +113,8 @@ impl AdcProxy {
             config,
             tables,
             lru_store,
-            pending: HashMap::new(), // adc-lint: allow(default-hasher)
+            // Keyed access only, never iterated: hasher can't leak order.
+            pending: HashMap::new(), // adc-lint: allow(default-hasher, determinism-purity)
             local_time: 0,
             stats: ProxyStats::default(),
             cache_events: Vec::new(),

@@ -57,7 +57,8 @@ impl OrderedTable {
         assert!(capacity > 0, "ordered table capacity must be positive");
         OrderedTable {
             capacity,
-            by_object: HashMap::with_capacity(capacity.min(1 << 20)), // adc-lint: allow(default-hasher)
+            // Keyed access only; iteration goes through `by_order`.
+            by_object: HashMap::with_capacity(capacity.min(1 << 20)), // adc-lint: allow(default-hasher, determinism-purity)
             by_order: BTreeMap::new(),
             next_seq: 0,
         }

@@ -72,9 +72,10 @@ impl UnlimitedAdcProxy {
             id,
             peers: (0..num_proxies).map(ProxyId::new).collect(),
             max_hops,
-            mapping: HashMap::new(), // adc-lint: allow(default-hasher)
+            // Keyed access only, never iterated: hasher can't leak order.
+            mapping: HashMap::new(), // adc-lint: allow(default-hasher, determinism-purity)
             cached: OrderedTable::new(cache_capacity),
-            pending: HashMap::new(), // adc-lint: allow(default-hasher)
+            pending: HashMap::new(), // adc-lint: allow(default-hasher, determinism-purity)
             local_time: 0,
             stats: ProxyStats::default(),
             cache_events: Vec::new(),

@@ -1,0 +1,176 @@
+//! `--fix`: mechanically removes stale `adc-lint: allow(...)` comments.
+//!
+//! Scope is deliberately the mechanical case only: a *well-formed*
+//! directive naming a *known* rule that matched no finding. The fix
+//! removes the named rule from the directive's rule list; when the
+//! list empties, the whole directive goes, and when the directive was
+//! the only content of a comment-only line, the line goes too.
+//! Malformed directives (missing `)`) and unknown-rule directives are
+//! left for a human — deleting text the parser could not understand is
+//! not mechanical. Running `--fix` twice is the same as running it
+//! once: after the first pass the stale directives are gone, so the
+//! second pass sees nothing to do.
+
+use crate::{Report, StaleAllow};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Applies every stale-allow removal the report found. Returns the
+/// number of directives removed. Files are rewritten in place under
+/// `root`.
+pub fn apply_fixes(root: &Path, report: &Report) -> std::io::Result<usize> {
+    // Group by file, then by line, so each file is rewritten once.
+    let mut by_file: BTreeMap<&str, BTreeMap<usize, Vec<&str>>> = BTreeMap::new();
+    for StaleAllow { file, line, rule } in &report.stale_allows {
+        by_file
+            .entry(file.as_str())
+            .or_default()
+            .entry(*line)
+            .or_default()
+            .push(rule.as_str());
+    }
+    let mut removed = 0;
+    for (rel, lines) in by_file {
+        let path = root.join(rel);
+        let text = fs::read_to_string(&path)?;
+        let had_trailing_newline = text.ends_with('\n');
+        let mut out: Vec<String> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            match lines.get(&(i + 1)) {
+                None => out.push(raw.to_string()),
+                Some(stale) => match fix_line(raw, stale) {
+                    Some(fixed) => {
+                        removed += stale.len();
+                        out.push(fixed);
+                    }
+                    None => {
+                        removed += stale.len();
+                    }
+                },
+            }
+        }
+        let mut text = out.join("\n");
+        if had_trailing_newline {
+            text.push('\n');
+        }
+        fs::write(&path, text)?;
+    }
+    Ok(removed)
+}
+
+/// Rewrites one line, dropping `stale` rules from its allow directives.
+/// Returns `None` when the whole line should be deleted (it carried
+/// nothing but the stale directive).
+fn fix_line(raw: &str, stale: &[&str]) -> Option<String> {
+    let mut line = raw.to_string();
+    for marker in ["adc-lint: allow-file(", "adc-lint: allow("] {
+        while let Some(p) = line.find(marker) {
+            let list_from = p + marker.len();
+            let Some(close_off) = line[list_from..].find(')') else {
+                // Malformed: not ours to touch.
+                break;
+            };
+            let close = list_from + close_off;
+            let kept: Vec<&str> = line[list_from..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|r| !r.is_empty() && !stale.contains(r))
+                .collect();
+            if kept.is_empty() {
+                // Remove the whole directive, plus a preceding
+                // separator (`; ` or `, `) when the directive shared a
+                // comment with justification text.
+                let mut cut_from = p;
+                let before = line[..p].trim_end();
+                if before.ends_with(';') || before.ends_with(',') {
+                    cut_from = before.len() - 1;
+                }
+                line.replace_range(cut_from..=close, "");
+            } else {
+                let rebuilt = format!("{}{}{}", marker, kept.join(", "), ")");
+                line.replace_range(p..=close, &rebuilt);
+                break; // nothing left to drop in this directive
+            }
+        }
+    }
+    // Clean up a comment that the removal emptied.
+    let trimmed_end = line.trim_end().to_string();
+    let tail = trimmed_end.trim_start();
+    if matches!(tail, "//" | "///" | "//!") {
+        // Comment-only line whose content was exactly the directive.
+        return None;
+    }
+    if let Some(idx) = trimmed_end.rfind("//") {
+        let comment_body = trimmed_end[idx..].trim_start_matches('/').trim();
+        if comment_body.is_empty() && has_code_before_comment(&trimmed_end) {
+            // Trailing empty comment after code: drop it.
+            return Some(trimmed_end[..idx].trim_end().to_string());
+        }
+    }
+    if trimmed_end.trim().is_empty() && !raw.trim().is_empty() {
+        return None;
+    }
+    Some(trimmed_end)
+}
+
+/// Whether anything other than whitespace precedes the line's `//`.
+fn has_code_before_comment(line: &str) -> bool {
+    match line.find("//") {
+        Some(idx) => !line[..idx].trim().is_empty(),
+        None => !line.trim().is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_one_rule_from_a_list() {
+        let fixed = fix_line(
+            "x.unwrap(); // adc-lint: allow(panic, determinism)",
+            &["determinism"],
+        );
+        assert_eq!(
+            fixed.as_deref(),
+            Some("x.unwrap(); // adc-lint: allow(panic)")
+        );
+    }
+
+    #[test]
+    fn drops_whole_directive_and_empty_comment() {
+        let fixed = fix_line("x.compute(); // adc-lint: allow(panic)", &["panic"]);
+        assert_eq!(fixed.as_deref(), Some("x.compute();"));
+    }
+
+    #[test]
+    fn keeps_justification_text_in_shared_comment() {
+        let fixed = fix_line(
+            "x.compute(); // invariant: y is set; adc-lint: allow(panic)",
+            &["panic"],
+        );
+        assert_eq!(
+            fixed.as_deref(),
+            Some("x.compute(); // invariant: y is set")
+        );
+    }
+
+    #[test]
+    fn deletes_comment_only_directive_line() {
+        let fixed = fix_line("    // adc-lint: allow(panic)", &["panic"]);
+        assert_eq!(fixed, None);
+    }
+
+    #[test]
+    fn leaves_malformed_directives_alone() {
+        let line = "x(); // adc-lint: allow(panic";
+        assert_eq!(fix_line(line, &["panic"]).as_deref(), Some(line));
+    }
+
+    #[test]
+    fn file_scope_directives_are_fixed_too() {
+        let fixed = fix_line("// adc-lint: allow-file(float-eq)", &["float-eq"]);
+        assert_eq!(fixed, None);
+    }
+}

@@ -19,11 +19,16 @@
 //! known rule — otherwise the engine reports `unused-allow`. That keeps
 //! stale escapes from accumulating as the code under them changes.
 
+pub mod callgraph;
+pub mod fix;
+pub mod index;
+pub mod lex;
 pub mod rules;
 pub mod scan;
 
 use scan::SourceFile;
 use std::path::Path;
+use std::time::Instant;
 
 /// Finding severity. Both levels fail `--check`; the distinction tells
 /// a reader whether the rule guards correctness (error) or hygiene
@@ -58,6 +63,30 @@ pub struct Finding {
     pub message: String,
 }
 
+/// Per-rule execution statistics for one run.
+#[derive(Debug)]
+pub struct RuleStat {
+    pub id: &'static str,
+    /// Findings that survived suppression.
+    pub findings: usize,
+    /// Suppression directives naming this rule (used or not).
+    pub suppressions: usize,
+    /// Wall time spent running the rule.
+    pub nanos: u128,
+}
+
+/// A stale (unused, well-formed, known-rule) suppression directive —
+/// the mechanical input `--fix` consumes.
+#[derive(Debug, Clone)]
+pub struct StaleAllow {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line the directive appears on.
+    pub line: usize,
+    /// The rule the stale directive names.
+    pub rule: String,
+}
+
 /// The result of a full lint run.
 #[derive(Debug)]
 pub struct Report {
@@ -70,6 +99,14 @@ pub struct Report {
     pub suppressions_line: usize,
     /// File-scoped suppressions seen across the tree.
     pub suppressions_file: usize,
+    /// One entry per catalog rule, in catalog order.
+    pub rule_stats: Vec<RuleStat>,
+    /// Unused well-formed suppressions, for `--fix`.
+    pub stale_allows: Vec<StaleAllow>,
+    /// Wall time spent lexing and indexing (shared by semantic rules).
+    pub engine_nanos: u128,
+    /// Wall time for the whole run (scan excluded, rules included).
+    pub total_nanos: u128,
 }
 
 impl Report {
@@ -119,14 +156,40 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
 /// Runs every rule over an already-scanned file set. Public so the
 /// fixture tests can lint in-memory and on-disk snippets directly.
 pub fn run_files(files: &[SourceFile]) -> Report {
-    let mut raw = Vec::new();
+    let t_total = Instant::now();
     let mut suppressions = Vec::new();
     let mut parse_errors = Vec::new();
     for file in files {
-        rules::check_file(file, &mut raw);
         collect_suppressions(file, &mut suppressions, &mut parse_errors);
     }
 
+    // Token/symbol layer, built once and shared by the semantic rules.
+    let t_engine = Instant::now();
+    let lexed = rules::SemanticCtx::lex_files(files);
+    let index = rules::SemanticCtx::build_index(files, &lexed);
+    let engine_nanos = t_engine.elapsed().as_nanos();
+    let ctx = rules::SemanticCtx {
+        files,
+        lexed: &lexed,
+        index: &index,
+    };
+
+    let mut raw = Vec::new();
+    let mut rule_nanos: Vec<(&'static str, u128)> = Vec::new();
+    for (id, rule) in rules::LINE_RULES {
+        let t = Instant::now();
+        for file in files {
+            rule(file, &mut raw);
+        }
+        rule_nanos.push((id, t.elapsed().as_nanos()));
+    }
+    for (id, rule) in rules::SEMANTIC_RULES {
+        let t = Instant::now();
+        rule(&ctx, &mut raw);
+        rule_nanos.push((id, t.elapsed().as_nanos()));
+    }
+
+    let t_resolve = Instant::now();
     let mut findings = Vec::new();
     'finding: for f in raw {
         // Line-scoped matches take priority, then file-scoped.
@@ -148,6 +211,7 @@ pub fn run_files(files: &[SourceFile]) -> Report {
         .count();
     let suppressions_file = suppressions.len() - suppressions_line;
 
+    let mut stale_allows = Vec::new();
     for s in &suppressions {
         if !s.used {
             findings.push(Finding {
@@ -158,9 +222,15 @@ pub fn run_files(files: &[SourceFile]) -> Report {
                 snippet: format!("adc-lint: allow({})", s.rule),
                 message: format!("suppression for `{}` matched no finding; remove it", s.rule),
             });
+            stale_allows.push(StaleAllow {
+                file: s.file.clone(),
+                line: s.decl_line,
+                rule: s.rule.clone(),
+            });
         }
     }
     findings.extend(parse_errors);
+    rule_nanos.push(("unused-allow", t_resolve.elapsed().as_nanos()));
 
     findings.sort_by(|a, b| {
         a.file
@@ -168,12 +238,31 @@ pub fn run_files(files: &[SourceFile]) -> Report {
             .then(a.line.cmp(&b.line))
             .then(a.rule.cmp(b.rule))
     });
+
+    let rule_stats = rules::RULES
+        .iter()
+        .map(|info| RuleStat {
+            id: info.id,
+            findings: findings.iter().filter(|f| f.rule == info.id).count(),
+            suppressions: suppressions.iter().filter(|s| s.rule == info.id).count(),
+            nanos: rule_nanos
+                .iter()
+                .find(|(id, _)| *id == info.id)
+                .map(|(_, n)| *n)
+                .unwrap_or(0),
+        })
+        .collect();
+
     Report {
         findings,
         files_scanned: files.len(),
         rules: rules::RULES.len(),
         suppressions_line,
         suppressions_file,
+        rule_stats,
+        stale_allows,
+        engine_nanos,
+        total_nanos: t_total.elapsed().as_nanos(),
     }
 }
 
@@ -280,6 +369,11 @@ pub fn render_human(report: &Report) -> String {
             report.suppressions_total()
         ));
     }
+    out.push_str(&format!(
+        "{} rules in {:.1} ms\n",
+        report.rules,
+        report.total_nanos as f64 / 1e6
+    ));
     out
 }
 
@@ -296,6 +390,25 @@ pub fn render_json(report: &Report) -> String {
         report.suppressions_line,
         report.suppressions_file
     ));
+    out.push_str(&format!(
+        "  \"elapsed_ms\": {:.3},\n  \"engine_ms\": {:.3},\n",
+        report.total_nanos as f64 / 1e6,
+        report.engine_nanos as f64 / 1e6
+    ));
+    out.push_str("  \"by_rule\": {");
+    for (i, s) in report.rule_stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {}: {{ \"findings\": {}, \"suppressions\": {}, \"wall_ms\": {:.3} }}",
+            json_str(s.id),
+            s.findings,
+            s.suppressions,
+            s.nanos as f64 / 1e6
+        ));
+    }
+    out.push_str("\n  },\n");
     let (errors, warnings) = report.counts();
     out.push_str(&format!("  \"errors\": {errors},\n"));
     out.push_str(&format!("  \"warnings\": {warnings},\n"));

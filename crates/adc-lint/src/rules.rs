@@ -11,8 +11,12 @@
 //! but still must not `println!` from library code. `adc-bench` and
 //! binaries are CLI glue and are out of scope entirely.
 
+use crate::callgraph::CallGraph;
+use crate::index::WorkspaceIndex;
+use crate::lex::{lex, Tok, TokKind};
 use crate::scan::{SourceFile, SourceLine};
 use crate::{Finding, Severity};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Static metadata for one rule.
 pub struct RuleInfo {
@@ -87,6 +91,30 @@ pub const RULES: &[RuleInfo] = &[
         scope: "all adc library crates (library, non-test)",
     },
     RuleInfo {
+        id: "determinism-purity",
+        severity: Severity::Error,
+        summary: "fn transitively reachable from the simulation hot path reads wall clocks, OS entropy, env, or builds default-hasher maps",
+        scope: "call chains from CacheAgent::on_*, Simulation::run*, and sharded.rs drains, across the deterministic crates plus adc-obs/adc-metrics",
+    },
+    RuleInfo {
+        id: "atomic-ordering",
+        severity: Severity::Error,
+        summary: "atomic op without an explicit Ordering, Relaxed without an `// ordering:` justification, or a Release publication with no matching Acquire load",
+        scope: "adc-sim/src/pool.rs and adc-sim/src/sharded.rs (the barrier protocol)",
+    },
+    RuleInfo {
+        id: "probe-exhaustiveness",
+        severity: Severity::Error,
+        summary: "SimEvent/EventKind match that hides variants behind a catch-all, or a SimEvent variant never constructed outside tests",
+        scope: "library code in all scanned crates (matches); the event taxonomy declaration (constructions)",
+    },
+    RuleInfo {
+        id: "metric-name-drift",
+        severity: Severity::Error,
+        summary: "adc_* metric family literal that matches no const-defined family name",
+        scope: "adc-obs, adc-net, adc-metrics — library, bin, and test code (tests must agree too)",
+    },
+    RuleInfo {
         id: "unused-allow",
         severity: Severity::Error,
         summary: "adc-lint suppression that matched no finding, or names an unknown rule",
@@ -155,18 +183,89 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/adc-sim/src/sharded.rs",
 ];
 
-/// Runs every rule against one file.
+/// A line-oriented rule: a predicate over one file's line model.
+pub type LineRule = fn(&SourceFile, &mut Vec<Finding>);
+
+/// A token/symbol-level rule: runs once over the whole scanned set.
+pub type SemanticRule = fn(&SemanticCtx, &mut Vec<Finding>);
+
+/// The line-oriented rules, in catalog order, keyed by id so the
+/// engine can time and count them individually.
+pub const LINE_RULES: &[(&str, LineRule)] = &[
+    ("determinism", determinism),
+    ("default-hasher", default_hasher),
+    ("panic", panic_hygiene),
+    ("index-comment", index_comment),
+    ("float-eq", float_eq),
+    ("lossy-cast", lossy_cast),
+    ("obs-coverage", obs_coverage),
+    ("api-docs", api_docs),
+    ("shard-safety", shard_safety),
+    ("no-println", no_println),
+];
+
+/// The token/symbol-level rules: each runs once over the whole scanned
+/// set (they need cross-file context — a call graph, an enum universe,
+/// a canonical name set).
+pub const SEMANTIC_RULES: &[(&str, SemanticRule)] = &[
+    ("determinism-purity", determinism_purity),
+    ("atomic-ordering", atomic_ordering),
+    ("probe-exhaustiveness", probe_exhaustiveness),
+    ("metric-name-drift", metric_name_drift),
+];
+
+/// Runs every line rule against one file (the semantic rules need a
+/// [`SemanticCtx`] and run once per file *set*, not per file).
 pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
-    determinism(file, out);
-    default_hasher(file, out);
-    panic_hygiene(file, out);
-    index_comment(file, out);
-    float_eq(file, out);
-    lossy_cast(file, out);
-    obs_coverage(file, out);
-    api_docs(file, out);
-    shard_safety(file, out);
-    no_println(file, out);
+    for (_, rule) in LINE_RULES {
+        rule(file, out);
+    }
+}
+
+/// Cross-file context the semantic rules share: the scanned files, the
+/// token stream of each, and the symbol index over them.
+pub struct SemanticCtx<'a> {
+    pub files: &'a [SourceFile],
+    pub lexed: &'a [Vec<Tok>],
+    pub index: &'a WorkspaceIndex,
+}
+
+impl<'a> SemanticCtx<'a> {
+    /// Lexes every scanned file (from the per-line raw text the scanner
+    /// kept, so in-memory fixtures work identically to disk files).
+    pub fn lex_files(files: &[SourceFile]) -> Vec<Vec<Tok>> {
+        files
+            .iter()
+            .map(|f| {
+                let text: Vec<&str> = f.lines.iter().map(|l| l.raw.as_str()).collect();
+                lex(&text.join("\n"))
+            })
+            .collect()
+    }
+
+    /// Builds the symbol index for the lexed set.
+    pub fn build_index(files: &[SourceFile], lexed: &[Vec<Tok>]) -> WorkspaceIndex {
+        WorkspaceIndex::build(lexed, &|fi, line| is_test_line(&files[fi], line))
+    }
+
+    fn in_test(&self, fi: usize, line: usize) -> bool {
+        is_test_line(&self.files[fi], line)
+    }
+}
+
+/// Whether a 1-based line of `file` is test-only: inside a
+/// `#[cfg(test)]` region, or anywhere in an integration-test file.
+fn is_test_line(file: &SourceFile, line: usize) -> bool {
+    file.rel.contains("/tests/")
+        || file
+            .lines
+            .get(line.saturating_sub(1))
+            .is_some_and(|l| l.in_test)
+}
+
+/// Comment-stripped view of a token slice.
+fn code_view(toks: &[Tok]) -> Vec<&Tok> {
+    toks.iter().filter(|t| t.kind != TokKind::Comment).collect()
 }
 
 fn in_scope(file: &SourceFile, crates: &[&str]) -> bool {
@@ -707,6 +806,621 @@ fn no_println(file: &SourceFile, out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Semantic rules (token/symbol level, cross-file).
+// ---------------------------------------------------------------------
+
+/// Crates whose code the simulation hot path can actually reach (the
+/// dependency direction makes adc-bench/adc-net/bins unreachable from
+/// sim code, so resolving into them would only add false chains).
+const PURITY_CRATES: &[&str] = &[
+    "adc-core",
+    "adc-sim",
+    "adc-workload",
+    "adc-baselines",
+    "adc-obs",
+    "adc-metrics",
+];
+
+/// A sink pattern: consecutive non-comment tokens, where `::` matches
+/// the path separator and everything else an exact identifier.
+const PURITY_SINKS: &[(&[&str], &str)] = &[
+    (
+        &["Instant", "::", "now"],
+        "wall-clock read (`Instant::now`)",
+    ),
+    (&["SystemTime"], "wall-clock read (`SystemTime`)"),
+    (&["clock_gettime"], "OS clock read (`clock_gettime`)"),
+    (&["thread_rng"], "OS-seeded RNG (`thread_rng`)"),
+    (&["from_entropy"], "OS-seeded RNG (`from_entropy`)"),
+    (&["RandomState"], "randomized hasher state (`RandomState`)"),
+    (&["env", "::", "var"], "environment read (`env::var`)"),
+    (&["env", "::", "var_os"], "environment read (`env::var_os`)"),
+    (&["env", "::", "args"], "environment read (`env::args`)"),
+    (
+        &["HashMap", "::", "new"],
+        "default-hasher map (`HashMap::new`)",
+    ),
+    (
+        &["HashMap", "::", "with_capacity"],
+        "default-hasher map (`HashMap::with_capacity`)",
+    ),
+    (
+        &["HashMap", "::", "default"],
+        "default-hasher map (`HashMap::default`)",
+    ),
+    (
+        &["HashSet", "::", "new"],
+        "default-hasher set (`HashSet::new`)",
+    ),
+    (
+        &["HashSet", "::", "with_capacity"],
+        "default-hasher set (`HashSet::with_capacity`)",
+    ),
+    (
+        &["HashSet", "::", "default"],
+        "default-hasher set (`HashSet::default`)",
+    ),
+];
+
+/// Matches one sink pattern at position `k` of a code view.
+fn sink_at<'v>(view: &[&'v Tok], k: usize) -> Option<(&'v Tok, &'static str)> {
+    'pattern: for (pat, what) in PURITY_SINKS {
+        for (off, want) in pat.iter().enumerate() {
+            let Some(t) = view.get(k + off) else {
+                continue 'pattern;
+            };
+            let ok = if *want == "::" {
+                t.kind == TokKind::Punct && t.text == "::"
+            } else {
+                t.kind == TokKind::Ident && t.text == *want
+            };
+            if !ok {
+                continue 'pattern;
+            }
+        }
+        return Some((view[k], what));
+    }
+    None
+}
+
+/// Display label for a fn: `Type::name` when it sits in an impl.
+fn fn_label(f: &crate::index::FnItem) -> String {
+    match &f.qual {
+        Some(q) => format!("{q}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+/// determinism-purity: BFS over the call graph from the hot-path roots;
+/// any reachable fn containing a purity sink is flagged at the sink
+/// line, with one concrete call chain in the message.
+fn determinism_purity(ctx: &SemanticCtx, out: &mut Vec<Finding>) {
+    let files = ctx.files;
+    let crate_of = |fi: usize| files[fi].krate.clone();
+    let graph = CallGraph::build(ctx.index, ctx.lexed, &crate_of, PURITY_CRATES);
+
+    let mut roots = Vec::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || !PURITY_CRATES.contains(&files[f.file].krate.as_str()) {
+            continue;
+        }
+        let sharded_drain = files[f.file].rel == "crates/adc-sim/src/sharded.rs"
+            && (f.name.starts_with("drain")
+                || f.name == "run_window"
+                || f.name.starts_with("run_sharded"));
+        let agent_hook = f.trait_name.as_deref() == Some("CacheAgent") && f.name.starts_with("on_");
+        let sim_run = f.qual.as_deref() == Some("Simulation") && f.name.starts_with("run");
+        if sharded_drain || agent_hook || sim_run {
+            roots.push(i);
+        }
+    }
+    let reached = graph.reach(&roots);
+
+    // One finding per sink line; the first discovered chain wins.
+    let mut flagged: BTreeMap<(usize, usize), (String, &'static str)> = BTreeMap::new();
+    for &i in reached.keys() {
+        let f = graph.fns[i];
+        if f.is_test {
+            continue;
+        }
+        let Some((from, to)) = f.body else {
+            continue;
+        };
+        let toks = &ctx.lexed[f.file];
+        let view = code_view(&toks[from.min(toks.len())..to.min(toks.len())]);
+        for k in 0..view.len() {
+            let Some((tok, what)) = sink_at(&view, k) else {
+                continue;
+            };
+            if ctx.in_test(f.file, tok.line) {
+                continue;
+            }
+            flagged.entry((f.file, tok.line)).or_insert_with(|| {
+                // Walk parent pointers back to a root.
+                let mut chain = vec![fn_label(f)];
+                let mut at = i;
+                while let Some(Some((p, _))) = reached.get(&at) {
+                    chain.push(fn_label(graph.fns[*p]));
+                    at = *p;
+                }
+                chain.reverse();
+                (chain.join(" -> "), what)
+            });
+        }
+    }
+    for ((fi, line), (chain, what)) in flagged {
+        push(
+            out,
+            "determinism-purity",
+            &files[fi],
+            line - 1,
+            format!(
+                "{what} is reachable from the simulation hot path (chain: {chain}); \
+                 keep the chain pure or justify with an allow"
+            ),
+        );
+    }
+}
+
+const ATOMIC_FILES: &[&str] = &[
+    "crates/adc-sim/src/pool.rs",
+    "crates/adc-sim/src/sharded.rs",
+];
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One atomic operation site.
+struct AtomicSite {
+    file: usize,
+    line: usize,
+    field: Option<String>,
+    method: String,
+    orderings: Vec<String>,
+}
+
+/// atomic-ordering: every atomic op in the barrier-protocol files must
+/// spell its Ordering; Relaxed needs an `// ordering:` justification
+/// comment; every Release-or-stronger publication must have an
+/// Acquire-or-stronger observer on the same field somewhere in the
+/// audited files.
+fn atomic_ordering(ctx: &SemanticCtx, out: &mut Vec<Finding>) {
+    let mut sites: Vec<AtomicSite> = Vec::new();
+    for (fi, file) in ctx.files.iter().enumerate() {
+        if !ATOMIC_FILES.contains(&file.rel.as_str()) {
+            continue;
+        }
+        let view = code_view(&ctx.lexed[fi]);
+        for k in 0..view.len() {
+            let t = view[k];
+            if t.kind != TokKind::Ident || !ATOMIC_METHODS.contains(&t.text.as_str()) {
+                continue;
+            }
+            let dotted = k > 0 && view[k - 1].kind == TokKind::Punct && view[k - 1].text == ".";
+            let called =
+                matches!(view.get(k + 1), Some(n) if n.kind == TokKind::Punct && n.text == "(");
+            if !dotted || !called || ctx.in_test(fi, t.line) {
+                continue;
+            }
+            let field = k
+                .checked_sub(2)
+                .map(|p| view[p])
+                .filter(|p| p.kind == TokKind::Ident)
+                .map(|p| p.text.clone());
+            // Collect Ordering idents inside the balanced argument list.
+            let mut nest = 0i32;
+            let mut orderings = Vec::new();
+            let mut j = k + 1;
+            while let Some(a) = view.get(j) {
+                if a.kind == TokKind::Punct {
+                    match a.text.as_str() {
+                        "(" | "[" | "{" => nest += 1,
+                        ")" | "]" | "}" => {
+                            nest -= 1;
+                            if nest == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                } else if a.kind == TokKind::Ident && ORDERINGS.contains(&a.text.as_str()) {
+                    orderings.push(a.text.clone());
+                }
+                j += 1;
+            }
+            sites.push(AtomicSite {
+                file: fi,
+                line: t.line,
+                field,
+                method: t.text.clone(),
+                orderings,
+            });
+        }
+    }
+
+    // Field-level pairing, across both audited files together.
+    let release_like = |o: &str| o == "Release" || o == "AcqRel" || o == "SeqCst";
+    let acquire_like = |o: &str| o == "Acquire" || o == "AcqRel" || o == "SeqCst";
+    let mut acquire_fields: BTreeSet<&str> = BTreeSet::new();
+    for s in &sites {
+        let observes = s.method != "store";
+        if observes && s.orderings.iter().any(|o| acquire_like(o)) {
+            if let Some(f) = &s.field {
+                acquire_fields.insert(f);
+            }
+        }
+    }
+
+    for s in &sites {
+        let file = &ctx.files[s.file];
+        let name = s
+            .field
+            .as_deref()
+            .map(|f| format!("{f}.{}", s.method))
+            .unwrap_or_else(|| format!("<expr>.{}", s.method));
+        if s.orderings.is_empty() {
+            push(
+                out,
+                "atomic-ordering",
+                file,
+                s.line - 1,
+                format!("atomic `{name}` without an explicit Ordering argument"),
+            );
+            continue;
+        }
+        if s.orderings.iter().any(|o| o == "Relaxed") && !has_ordering_comment(file, s.line) {
+            push(
+                out,
+                "atomic-ordering",
+                file,
+                s.line - 1,
+                format!(
+                    "`{name}` uses Relaxed without an `// ordering:` justification comment \
+                     on the line or within two lines above"
+                ),
+            );
+        }
+        let publishes = s.method != "load";
+        if publishes && s.orderings.iter().any(|o| release_like(o)) {
+            if let Some(f) = &s.field {
+                if !acquire_fields.contains(f.as_str()) {
+                    push(
+                        out,
+                        "atomic-ordering",
+                        file,
+                        s.line - 1,
+                        format!(
+                            "Release publication on `{f}` has no Acquire-or-stronger load \
+                             of the same field in the audited files"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An `// ordering: ...` comment on the same line or within two lines
+/// above justifies a Relaxed operation.
+fn has_ordering_comment(file: &SourceFile, line: usize) -> bool {
+    let i = line - 1;
+    let lo = i.saturating_sub(2);
+    file.lines[lo..=i.min(file.lines.len() - 1)]
+        .iter()
+        .any(|l| l.comment.contains("ordering:"))
+}
+
+/// probe-exhaustiveness: (a) a `match` that names two or more
+/// `SimEvent::`/`EventKind::` variants is an event dispatch and must
+/// cover the whole taxonomy — anything hidden behind `_` or a binding
+/// arm is how new events get silently dropped; (b) every `SimEvent`
+/// variant must be constructed at least once outside test code, so the
+/// taxonomy can't drift ahead of the simulator that feeds it.
+fn probe_exhaustiveness(ctx: &SemanticCtx, out: &mut Vec<Finding>) {
+    for enum_name in ["SimEvent", "EventKind"] {
+        let Some((decl_fi, decl)) = find_enum(ctx, enum_name) else {
+            continue;
+        };
+        let universe: BTreeSet<&str> = decl.variants.iter().map(|(v, _)| v.as_str()).collect();
+        if universe.len() < 2 {
+            continue;
+        }
+        let mut constructed: BTreeSet<&str> = BTreeSet::new();
+        for (fi, file) in ctx.files.iter().enumerate() {
+            if !file.is_lib {
+                continue;
+            }
+            let view = code_view(&ctx.lexed[fi]);
+            check_event_matches(ctx, fi, &view, enum_name, &universe, out);
+            if enum_name == "SimEvent" {
+                collect_constructions(ctx, fi, &view, enum_name, &mut constructed);
+            }
+        }
+        if enum_name == "SimEvent" {
+            for (v, line) in &decl.variants {
+                if !constructed.contains(v.as_str()) {
+                    push(
+                        out,
+                        "probe-exhaustiveness",
+                        &ctx.files[decl_fi],
+                        line - 1,
+                        format!(
+                            "`{enum_name}::{v}` is never constructed outside #[cfg(test)]; \
+                             emit it from the simulator or retire the variant"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// First `enum <name>` declared in library code.
+fn find_enum<'a>(ctx: &'a SemanticCtx, name: &str) -> Option<(usize, &'a crate::index::EnumItem)> {
+    for (fi, file) in ctx.index.files.iter().enumerate() {
+        if !ctx.files[fi].is_lib {
+            continue;
+        }
+        if let Some(e) = file.enums.iter().find(|e| e.name == name) {
+            return Some((fi, e));
+        }
+    }
+    None
+}
+
+/// Flags non-exhaustive `match`es over `enum_name` in one file.
+fn check_event_matches(
+    ctx: &SemanticCtx,
+    fi: usize,
+    view: &[&Tok],
+    enum_name: &str,
+    universe: &BTreeSet<&str>,
+    out: &mut Vec<Finding>,
+) {
+    let mut k = 0;
+    while k < view.len() {
+        let t = view[k];
+        if t.kind != TokKind::Ident || t.text != "match" || ctx.in_test(fi, t.line) {
+            k += 1;
+            continue;
+        }
+        // Find the match-body `{`: first brace outside any bracket nest
+        // in the scrutinee.
+        let mut nest = 0i32;
+        let mut open = None;
+        let mut j = k + 1;
+        while let Some(a) = view.get(j) {
+            if a.kind == TokKind::Punct {
+                match a.text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest -= 1,
+                    "{" if nest == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if nest == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            k += 1;
+            continue;
+        };
+        // Walk the balanced body, collecting variant mentions that sit
+        // in *pattern position*: between an arm boundary and that arm's
+        // `=>` at arm depth. Constructions inside arm bodies must not
+        // count — a `match self.parent { .. }` whose arms *emit* events
+        // is not a dispatch on the event enum.
+        let mut depth = 1i32;
+        let mut in_pattern = true;
+        let mut mentioned: BTreeSet<String> = BTreeSet::new();
+        let mut j = open + 1;
+        while let Some(a) = view.get(j) {
+            if a.kind == TokKind::Punct {
+                match a.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        // A block-bodied arm just closed: back to patterns.
+                        if depth == 1 && !in_pattern && a.text == "}" {
+                            in_pattern = true;
+                        }
+                    }
+                    "=>" if depth == 1 => in_pattern = false,
+                    "," if depth == 1 && !in_pattern => in_pattern = true,
+                    _ => {}
+                }
+            }
+            if in_pattern
+                && a.kind == TokKind::Ident
+                && a.text == enum_name
+                && matches!(view.get(j + 1), Some(p) if p.kind == TokKind::Punct && p.text == "::")
+            {
+                if let Some(v) = view.get(j + 2) {
+                    if v.kind == TokKind::Ident && universe.contains(v.text.as_str()) {
+                        mentioned.insert(v.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if mentioned.len() >= 2 && mentioned.len() < universe.len() {
+            let missing: Vec<&str> = universe
+                .iter()
+                .copied()
+                .filter(|v| !mentioned.contains(*v))
+                .collect();
+            push(
+                out,
+                "probe-exhaustiveness",
+                &ctx.files[fi],
+                t.line - 1,
+                format!(
+                    "match dispatches on {enum_name} but covers only {} of {} variants \
+                     (missing: {}); handle every variant so new events cannot be \
+                     silently dropped",
+                    mentioned.len(),
+                    universe.len(),
+                    missing.join(", ")
+                ),
+            );
+        }
+        k = j + 1;
+    }
+}
+
+/// Records which variants of `enum_name` are *constructed* (expression
+/// position) in one file, outside test code. `Enum::V { ... }` followed
+/// by `=>` or `=` is a pattern, and a brace group containing `..` is a
+/// pattern; everything else counts as a construction.
+fn collect_constructions<'a>(
+    ctx: &SemanticCtx<'a>,
+    fi: usize,
+    view: &[&'a Tok],
+    enum_name: &str,
+    constructed: &mut BTreeSet<&'a str>,
+) {
+    for k in 0..view.len() {
+        let t = view[k];
+        if t.kind != TokKind::Ident || t.text != enum_name || ctx.in_test(fi, t.line) {
+            continue;
+        }
+        if !matches!(view.get(k + 1), Some(p) if p.kind == TokKind::Punct && p.text == "::") {
+            continue;
+        }
+        let Some(v) = view.get(k + 2) else { continue };
+        if v.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(b) = view.get(k + 3) else { continue };
+        if b.kind != TokKind::Punct || b.text != "{" {
+            continue;
+        }
+        // Walk the brace group; `..` inside makes it a rest pattern.
+        let mut nest = 0i32;
+        let mut j = k + 3;
+        let mut has_rest = false;
+        while let Some(a) = view.get(j) {
+            if a.kind == TokKind::Punct {
+                match a.text.as_str() {
+                    "{" | "(" | "[" => nest += 1,
+                    "}" | ")" | "]" => {
+                        nest -= 1;
+                        if nest == 0 {
+                            break;
+                        }
+                    }
+                    "." if nest == 1
+                        && matches!(view.get(j + 1), Some(n) if n.kind == TokKind::Punct && n.text == ".") =>
+                    {
+                        has_rest = true;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let after = view.get(j + 1);
+        let is_pattern = has_rest
+            || matches!(after, Some(a) if a.kind == TokKind::Punct && (a.text == "=>" || a.text == "=" || a.text == "|"));
+        if !is_pattern {
+            constructed.insert(v.text.as_str());
+        }
+    }
+}
+
+/// Crates whose metric family names must agree (the simulator-side
+/// registry, the network node renderer, and the tests that pin both).
+const METRIC_CRATES: &[&str] = &["adc-obs", "adc-net", "adc-metrics"];
+
+/// metric-name-drift: every `adc_*` string literal in the metric crates
+/// must (after stripping Prometheus histogram suffixes and label text)
+/// match a family name defined in a `const`/`static` initializer.
+/// Test code is deliberately *in* scope: the tests pinning rendered
+/// output are exactly where drift hides.
+fn metric_name_drift(ctx: &SemanticCtx, out: &mut Vec<Finding>) {
+    let mut canonical: BTreeSet<String> = BTreeSet::new();
+    for (fi, file) in ctx.files.iter().enumerate() {
+        if !METRIC_CRATES.contains(&file.krate.as_str()) {
+            continue;
+        }
+        for c in &ctx.index.files[fi].consts {
+            let (from, to) = c.value;
+            for t in &ctx.lexed[fi][from.min(ctx.lexed[fi].len())..to.min(ctx.lexed[fi].len())] {
+                if t.kind == TokKind::Str && t.text.starts_with("adc_") {
+                    canonical.insert(t.text.clone());
+                }
+            }
+        }
+    }
+    for (fi, file) in ctx.files.iter().enumerate() {
+        if !METRIC_CRATES.contains(&file.krate.as_str()) {
+            continue;
+        }
+        let const_ranges = &ctx.index.files[fi].consts;
+        for (ti, t) in ctx.lexed[fi].iter().enumerate() {
+            if t.kind != TokKind::Str || !t.text.starts_with("adc_") {
+                continue;
+            }
+            if const_ranges
+                .iter()
+                .any(|c| ti >= c.value.0 && ti < c.value.1)
+            {
+                continue;
+            }
+            let family = normalize_family(&t.text);
+            if family.len() < "adc_x".len() || canonical.contains(family) {
+                continue;
+            }
+            push(
+                out,
+                "metric-name-drift",
+                file,
+                t.line - 1,
+                format!(
+                    "metric family `{family}` matches no const-defined family name; \
+                     define it as a const next to the other families (or fix the typo)"
+                ),
+            );
+        }
+    }
+}
+
+/// Truncates a literal to its family name: cut at the first label
+/// brace, space, or escape, then strip Prometheus histogram suffixes.
+fn normalize_family(lit: &str) -> &str {
+    let cut = lit.find(['{', ' ', '\\', '\n', '"']).unwrap_or(lit.len());
+    let head = &lit[..cut];
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = head.strip_suffix(suffix) {
+            if stripped.starts_with("adc_") {
+                return stripped;
+            }
+        }
+    }
+    head
 }
 
 #[cfg(test)]

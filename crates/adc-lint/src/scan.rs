@@ -53,8 +53,11 @@ pub struct SourceFile {
     pub lines: Vec<SourceLine>,
 }
 
-/// Walks `root/crates/*/src` and returns every `.rs` file, sorted by
-/// relative path so output and JSON are stable across platforms.
+/// Walks `root/crates/*/src` and `root/crates/*/tests` and returns
+/// every `.rs` file, sorted by relative path so output and JSON are
+/// stable across platforms. Integration-test files scan as non-library
+/// (`is_lib == false`), so only the rules that opt into test code (the
+/// metric-name agreement check, suppression handling) see them.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let crates_dir = root.join("crates");
     let mut files = Vec::new();
@@ -69,12 +72,13 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
             Some(name) => name.to_string(),
             None => continue,
         };
-        let src = crate_dir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
         let mut rs_files = Vec::new();
-        collect_rs_files(&src, &mut rs_files)?;
+        for sub in ["src", "tests"] {
+            let dir = crate_dir.join(sub);
+            if dir.is_dir() {
+                collect_rs_files(&dir, &mut rs_files)?;
+            }
+        }
         rs_files.sort();
         for path in rs_files {
             let text = fs::read_to_string(&path)?;
@@ -85,7 +89,8 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
                 .map(|c| c.as_os_str().to_string_lossy())
                 .collect::<Vec<_>>()
                 .join("/");
-            let is_lib = !rel.contains("/src/bin/") && !rel.ends_with("/main.rs");
+            let is_lib =
+                rel.contains("/src/") && !rel.contains("/src/bin/") && !rel.ends_with("/main.rs");
             files.push(parse_source(&rel, &krate, is_lib, &text));
         }
     }

@@ -110,6 +110,34 @@ const CASES: &[(&str, &str, &str, &str, &str)] = &[
         "crates/adc-core/src/fixture.rs",
     ),
     (
+        "determinism-purity",
+        "determinism_purity_bad.rs",
+        "determinism_purity_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+    (
+        "atomic-ordering",
+        "atomic_ordering_bad.rs",
+        "atomic_ordering_ok.rs",
+        "adc-sim",
+        "crates/adc-sim/src/pool.rs",
+    ),
+    (
+        "probe-exhaustiveness",
+        "probe_exhaustiveness_bad.rs",
+        "probe_exhaustiveness_ok.rs",
+        "adc-core",
+        "crates/adc-core/src/fixture.rs",
+    ),
+    (
+        "metric-name-drift",
+        "metric_drift_bad.rs",
+        "metric_drift_ok.rs",
+        "adc-obs",
+        "crates/adc-obs/src/fixture.rs",
+    ),
+    (
         "unused-allow",
         "unused_allow_bad.rs",
         "suppression_ok.rs",
@@ -251,4 +279,78 @@ fn check_mode_fails_on_violating_tree() {
     assert_eq!(out.status.code(), Some(1), "expected check failure");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"rule\": \"panic\""), "json: {stdout}");
+}
+
+/// The atomic fixture exercises all three failure modes of the rule:
+/// missing Ordering, unjustified Relaxed, unpaired Release.
+#[test]
+fn atomic_fixture_hits_all_three_failure_modes() {
+    let report = lint_fixture(
+        "atomic_ordering_bad.rs",
+        "adc-sim",
+        "crates/adc-sim/src/pool.rs",
+    );
+    let msgs: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "atomic-ordering")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(msgs.len(), 3, "findings: {msgs:?}");
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("without an explicit Ordering")));
+    assert!(msgs.iter().any(|m| m.contains("Relaxed without")));
+    assert!(msgs.iter().any(|m| m.contains("no Acquire-or-stronger")));
+}
+
+/// `--fix` removes stale allows, and a second run is the identity: the
+/// doctored tree converges after one pass.
+#[test]
+fn fix_is_idempotent_on_a_doctored_tree() {
+    let dir = std::env::temp_dir().join(format!("adc-lint-fix-{}", std::process::id()));
+    let src = dir.join("crates/adc-core/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write");
+    let lib = src.join("lib.rs");
+    std::fs::write(
+        &lib,
+        "//! Doctored crate for the --fix test.\n\
+         // adc-lint: allow-file(float-eq)\n\
+         \n\
+         /// Keeps its used allow, loses the stale one.\n\
+         pub fn f(xs: &[u32]) -> u32 {\n\
+         \x20   *xs.first().unwrap() // adc-lint: allow(panic, determinism)\n\
+         }\n\
+         \n\
+         /// A comment-only stale directive above a clean line.\n\
+         // adc-lint: allow(no-println)\n\
+         pub fn g() -> u32 { 7 }\n",
+    )
+    .expect("write");
+    let run_fix = || {
+        Command::new(env!("CARGO_BIN_EXE_adc-lint"))
+            .args(["--fix", "--root"])
+            .arg(&dir)
+            .output()
+            .expect("run adc-lint --fix")
+    };
+    run_fix();
+    let once = std::fs::read_to_string(&lib).expect("read after first fix");
+    // Stale `determinism` is gone from the list, `panic` survives; the
+    // stale file-scope and comment-only directives are gone entirely.
+    assert!(once.contains("// adc-lint: allow(panic)"), "{once}");
+    assert!(!once.contains("determinism"), "{once}");
+    assert!(!once.contains("allow-file"), "{once}");
+    assert!(!once.contains("no-println"), "{once}");
+    let out = run_fix();
+    let twice = std::fs::read_to_string(&lib).expect("read after second fix");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(once, twice, "--fix twice must equal --fix once");
+    // The second run had nothing to remove.
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("removed"),
+        "second --fix should be a no-op: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

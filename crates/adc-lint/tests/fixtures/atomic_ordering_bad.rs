@@ -1,0 +1,30 @@
+//! Negative fixture for `atomic-ordering`: one op with no Ordering at
+//! all, one unjustified Relaxed, and one Release publication nothing
+//! ever observes with Acquire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Barrier words for the fixture.
+pub struct Ctl {
+    flag: AtomicU64,
+    seq: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Ctl {
+    /// No explicit Ordering argument on the counter bump.
+    pub fn count(&self) {
+        self.hits.fetch_add(1);
+    }
+
+    /// Relaxed with no justification comment anywhere near it.
+    pub fn reset(&self) {
+        self.flag.store(0, Ordering::Relaxed);
+    }
+
+    /// Release store on `seq`, but no Acquire-or-stronger load of
+    /// `seq` exists anywhere in the audited files.
+    pub fn publish(&self) {
+        self.seq.store(1, Ordering::Release);
+    }
+}

@@ -1,0 +1,26 @@
+//! Positive fixture for `atomic-ordering`: every op spells its
+//! Ordering, Relaxed is justified, and the Release publication has a
+//! matching Acquire observer on the same field.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Barrier words for the fixture.
+pub struct Ctl {
+    flag: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Ctl {
+    /// Justified Relaxed plus a Release/Acquire pair on `seq`.
+    pub fn publish(&self) {
+        // ordering: Relaxed — the Release store on `seq` below is the
+        // publication point; readers acquire `seq` before reading `flag`.
+        self.flag.store(1, Ordering::Relaxed);
+        self.seq.store(1, Ordering::Release);
+    }
+
+    /// The matching observer side.
+    pub fn observe(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,25 @@
+//! Negative fixture for `determinism-purity`: a `CacheAgent` hook
+//! reaches a wall clock through a helper two calls deep, so the
+//! reachability rule must flag the sink even though the hook itself
+//! never names a clock.
+
+use std::time::Instant;
+
+/// Innermost helper holding the sink.
+fn read_clock() -> Instant {
+    Instant::now()
+}
+
+/// Middle hop: the hook never calls the sink directly.
+fn record_latency() {
+    let _ = read_clock();
+}
+
+/// The fixture agent.
+pub struct FixtureAgent;
+
+impl CacheAgent for FixtureAgent {
+    fn on_request(&mut self) {
+        record_latency();
+    }
+}

@@ -1,0 +1,11 @@
+//! Negative fixture for `metric-name-drift`: a renderer literal that
+//! drifts (by one character) from the const-defined family name.
+
+/// Canonical family name.
+pub const LOCAL_HITS: &str = "adc_local_hits_total";
+
+/// Renders with a typo'd family — `hit` instead of `hits` — which must
+/// be flagged against the const above.
+pub fn render(v: u64) -> String {
+    format!("adc_local_hit_total{{proxy=\"0\"}} {v}\n")
+}

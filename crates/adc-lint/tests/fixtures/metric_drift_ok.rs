@@ -1,0 +1,19 @@
+//! Positive fixture for `metric-name-drift`: every rendered literal
+//! agrees with a const-defined family, including a histogram series
+//! whose `_bucket` suffix must be stripped before matching.
+
+/// Canonical counter family.
+pub const LOCAL_HITS: &str = "adc_local_hits_total";
+/// Canonical histogram family.
+pub const HOPS: &str = "adc_hops";
+
+/// Renders the counter with the exact canonical spelling.
+pub fn render(v: u64) -> String {
+    format!("adc_local_hits_total{{proxy=\"0\"}} {v}\n")
+}
+
+/// Renders a histogram bucket series: `adc_hops_bucket` normalizes to
+/// the `adc_hops` family.
+pub fn render_hist(c: u64) -> String {
+    format!("adc_hops_bucket{{le=\"+Inf\"}} {c}\n")
+}

@@ -1,0 +1,31 @@
+//! Negative fixture for `probe-exhaustiveness`: a match that dispatches
+//! on the event enum but hides one variant behind `_`.
+
+/// Fixture event taxonomy.
+pub enum SimEvent {
+    /// A local cache hit.
+    LocalHit { object: u64 },
+    /// An eviction.
+    CacheEvict { object: u64 },
+    /// A routing loop.
+    LoopDetected { proxy: u32 },
+}
+
+/// Constructs every variant so the construction sub-check stays quiet
+/// and the match coverage failure is the only finding.
+pub fn emit(n: u64) -> Vec<SimEvent> {
+    vec![
+        SimEvent::LocalHit { object: n },
+        SimEvent::CacheEvict { object: n },
+        SimEvent::LoopDetected { proxy: 0 },
+    ]
+}
+
+/// Dispatches on the enum but silently drops `LoopDetected`.
+pub fn classify(e: &SimEvent) -> &'static str {
+    match e {
+        SimEvent::LocalHit { .. } => "hit",
+        SimEvent::CacheEvict { .. } => "evict",
+        _ => "other",
+    }
+}

@@ -1,0 +1,36 @@
+//! Positive fixture for `probe-exhaustiveness`: the dispatch covers the
+//! whole taxonomy, every variant is constructed, and a match that only
+//! *constructs* events in its arm bodies is not mistaken for a dispatch.
+
+/// Fixture event taxonomy.
+pub enum SimEvent {
+    /// A local cache hit.
+    LocalHit { object: u64 },
+    /// An eviction.
+    CacheEvict { object: u64 },
+    /// A routing loop.
+    LoopDetected { proxy: u32 },
+}
+
+/// Constructs the remaining variant outside any match.
+pub fn emit_loop(proxy: u32) -> SimEvent {
+    SimEvent::LoopDetected { proxy }
+}
+
+/// A match over a *different* scrutinee whose arms construct events:
+/// this is production, not dispatch, and must not be flagged.
+pub fn from_flag(hit: bool, n: u64) -> SimEvent {
+    match hit {
+        true => SimEvent::LocalHit { object: n },
+        false => SimEvent::CacheEvict { object: n },
+    }
+}
+
+/// Full dispatch: every variant named, no wildcard.
+pub fn classify(e: &SimEvent) -> &'static str {
+    match e {
+        SimEvent::LocalHit { .. } => "hit",
+        SimEvent::CacheEvict { .. } => "evict",
+        SimEvent::LoopDetected { .. } => "loop",
+    }
+}

@@ -629,7 +629,7 @@ mod tests {
         let mut r = Registry::new();
         r.counter_add("adc_local_hits_total", 0, 3);
         r.counter_add("adc_local_hits_total", 1, 4);
-        r.counter_add("adc_requests_total", CLUSTER, 7);
+        r.counter_add("adc_requests_injected_total", CLUSTER, 7);
         r.gauge_set("adc_cached_objects", 0, 12);
         r.histogram_record("adc_hops", 0, 2);
         r.histogram_record("adc_hops", 0, 5);
@@ -637,7 +637,7 @@ mod tests {
         validate_prometheus(&text).expect("renderer output must validate");
         assert!(text.contains("# TYPE adc_local_hits_total counter"));
         assert!(text.contains("adc_local_hits_total{proxy=\"1\"} 4"));
-        assert!(text.contains("adc_requests_total{proxy=\"all\"} 7"));
+        assert!(text.contains("adc_requests_injected_total{proxy=\"all\"} 7"));
         assert!(text.contains("adc_hops_bucket{proxy=\"0\",le=\"+Inf\"} 2"));
         assert!(text.contains("adc_hops_sum{proxy=\"0\"} 7"));
         assert!(text.contains("adc_hops_count{proxy=\"0\"} 2"));

@@ -21,6 +21,19 @@ use std::time::Instant;
 use tokio::net::TcpListener;
 use tokio::task::JoinHandle;
 
+/// Metric families only the network layer emits — counters with no
+/// simulator-side equivalent in [`adc_obs::metrics`]. Kept as consts so
+/// `adc-lint`'s metric-name agreement check can hold every exposition
+/// site and test to one spelling.
+pub mod net_families {
+    /// Requests a proxy accepted off the wire (client or peer).
+    pub const REQUESTS_RECEIVED: &str = "adc_requests_received_total";
+    /// Replies a proxy matched to a pending request and processed.
+    pub const REPLIES_PROCESSED: &str = "adc_replies_processed_total";
+    /// Requests the origin server answered over its lifetime.
+    pub const ORIGIN_REQUESTS: &str = "adc_origin_requests_total";
+}
+
 /// A running proxy node: the sans-IO agent plus its socket plumbing.
 #[derive(Debug)]
 pub struct ProxyNode<A> {
@@ -195,14 +208,14 @@ fn handle_frame<A: CacheAgent, P: Probe>(
 pub fn render_node_metrics(proxy: ProxyId, stats: &ProxyStats, stored_objects: usize) -> String {
     let p = proxy.raw();
     let mut reg = Registry::new();
-    reg.counter_add("adc_requests_received_total", p, stats.requests_received);
+    reg.counter_add(net_families::REQUESTS_RECEIVED, p, stats.requests_received);
     reg.counter_add(families::LOCAL_HITS, p, stats.local_hits);
     reg.counter_add(families::FORWARDS_LEARNED, p, stats.forwards_learned);
     reg.counter_add(families::FORWARDS_RANDOM, p, stats.forwards_random);
     reg.counter_add(families::LOOPS_DETECTED, p, stats.origin_loops);
     reg.counter_add(families::HOP_LIMIT, p, stats.origin_max_hops);
     reg.counter_add(families::ORIGIN_THIS_MISS, p, stats.origin_this_miss);
-    reg.counter_add("adc_replies_processed_total", p, stats.replies_processed);
+    reg.counter_add(net_families::REPLIES_PROCESSED, p, stats.replies_processed);
     reg.counter_add(families::REPLIES_ORPHANED, p, stats.replies_orphaned);
     reg.counter_add(families::CACHE_INSERTS, p, stats.cache_insertions);
     reg.counter_add(families::CACHE_EVICTS, p, stats.cache_evictions);
@@ -277,10 +290,8 @@ impl OriginNode {
                         // address never hangs on the origin.
                         if frame == Frame::MetricsRequest {
                             let total = served.load(Ordering::Relaxed);
-                            let text = format!(
-                                "# TYPE adc_origin_requests_total counter\n\
-                                 adc_origin_requests_total {total}\n"
-                            );
+                            let family = net_families::ORIGIN_REQUESTS;
+                            let text = format!("# TYPE {family} counter\n{family} {total}\n");
                             let response = Frame::MetricsResponse(Bytes::from(text.into_bytes()));
                             if write_frame(&mut stream, &response).await.is_err() {
                                 break;

@@ -349,7 +349,8 @@ mod tests {
     fn metrics_frames_round_trip() {
         let f = Frame::MetricsRequest;
         assert_eq!(decode(encode(&f)).unwrap(), f);
-        let f = Frame::MetricsResponse(Bytes::from_static(b"adc_up{proxy=\"0\"} 1\n"));
+        let f =
+            Frame::MetricsResponse(Bytes::from_static(b"adc_local_hits_total{proxy=\"0\"} 1\n"));
         assert_eq!(decode(encode(&f)).unwrap(), f);
         let f = Frame::MetricsResponse(Bytes::new());
         assert_eq!(decode(encode(&f)).unwrap(), f);

@@ -57,6 +57,10 @@ pub fn to_chrome_trace(events: &[(u64, SimEvent)]) -> String {
     let mut clients: Vec<u32> = Vec::new();
     let mut proxies: Vec<u32> = Vec::new();
     for (_, event) in events {
+        // Deliberately binary: the two request-flow variants get client
+        // lanes, every other variant classifies by its proxy — a new
+        // variant lands in the proxy lane, which is where agent-side
+        // events belong. adc-lint: allow(probe-exhaustiveness)
         match *event {
             SimEvent::RequestInjected { client, .. }
             | SimEvent::RequestCompleted { client, .. } => clients.push(client),
@@ -84,6 +88,10 @@ pub fn to_chrome_trace(events: &[(u64, SimEvent)]) -> String {
     }
     for &(t, ref event) in events {
         out.push(',');
+        // Only completions render as spans; the fallback arm emits an
+        // instant named via `kind().name()` with the full JSONL payload
+        // as args, so a new variant shows up in traces automatically.
+        // adc-lint: allow(probe-exhaustiveness)
         match *event {
             // Injections are represented by the span start of the matching
             // completion; emit nothing separate to keep traces compact.

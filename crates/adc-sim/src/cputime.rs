@@ -34,7 +34,7 @@ mod linux {
             tv_nsec: 0,
         };
         // SAFETY: `ts` is a valid, writable Timespec matching the C layout.
-        // Telemetry only. adc-lint: allow(determinism)
+        // Telemetry only. adc-lint: allow(determinism, determinism-purity)
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         if rc != 0 {
             return Duration::ZERO;

@@ -167,11 +167,12 @@ impl<W: WindowTask> Pool<'_, '_, W> {
         parallelism_hint: usize,
     ) -> WindowTiming {
         self.dispatch(window_end, parallelism_hint);
-        // Profiler telemetry only. adc-lint: allow(determinism)
+        // Profiler telemetry only; never feeds simulated state.
+        // adc-lint: allow(determinism, determinism-purity)
         let t0 = Instant::now();
         claim_and_run(self.ctl, self.cells);
         // Cell work is done; everything past here is barrier stall.
-        // adc-lint: allow(determinism)
+        // adc-lint: allow(determinism, determinism-purity)
         let t1 = Instant::now();
         self.wait_barrier();
         WindowTiming {
@@ -191,7 +192,10 @@ impl<W: WindowTask> Pool<'_, '_, W> {
             let handle = self.scope.spawn(move || worker_loop(ctl, cells));
             self.workers.push(handle.thread().clone());
         }
+        // ordering: Relaxed — the AcqRel epoch bump below is the sole
+        // publication point; workers read this only after acquire-epoch.
         self.ctl.done.store(0, Ordering::Relaxed);
+        // ordering: Relaxed — published by the same epoch bump as above.
         self.ctl.window_end.store(window_end, Ordering::Relaxed);
         self.ctl.cursor.store(0, Ordering::Release);
         // The release bump publishes done/window_end/cursor to any

@@ -121,7 +121,7 @@ impl<A: CacheAgent> Simulation<A> {
         workload: impl IntoIterator<Item = RequestRecord>,
         probe: &mut P,
     ) -> (SimReport, Vec<A>) {
-        // Wall telemetry only. adc-lint: allow(determinism)
+        // Wall telemetry only. adc-lint: allow(determinism, determinism-purity)
         let wall_start = Instant::now();
         let cpu_start = crate::cputime::thread_cpu_now();
         let n = self.agents.len() as u32; // proxy counts stay tiny

@@ -503,7 +503,7 @@ impl<A: CacheAgent, P: ShardProbe> Shard<A, P> {
             return;
         }
         let before = self.counters.events_processed;
-        // Profiler telemetry only. adc-lint: allow(determinism)
+        // Profiler telemetry only. adc-lint: allow(determinism, determinism-purity)
         let t0 = Instant::now();
         self.drain_events(window_end);
         let dur = t0.elapsed();
@@ -943,7 +943,7 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
     shards_n: usize,
     mut coord_probe: Option<MetricsProbe>,
 ) -> (SimReport, Vec<A>, Option<Registry>) {
-    // Wall telemetry only. adc-lint: allow(determinism)
+    // Wall telemetry only. adc-lint: allow(determinism, determinism-purity)
     let wall_start = Instant::now();
     // CPU telemetry covers the coordinator thread only; worker CPU would
     // need cross-thread aggregation for a number no gate consumes.
@@ -1336,7 +1336,7 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
                     None => pool.run_window(window_end, active),
                     Some(cp) => {
                         // Profiler telemetry only.
-                        // adc-lint: allow(determinism)
+                        // adc-lint: allow(determinism, determinism-purity)
                         let t0 = Instant::now();
                         let t = pool.run_window_timed(window_end, active);
                         // Wall-clock split from the pool, outside the
@@ -1369,7 +1369,7 @@ fn run_sharded_inner<A: CacheAgent + Send, P: ShardProbe>(
             } else {
                 // Inline windows count toward coordinator busy time; the
                 // per-shard drain profiling happens inside drain_window.
-                // adc-lint: allow(determinism)
+                // adc-lint: allow(determinism, determinism-purity)
                 let t0 = coord_prof.as_ref().map(|_| Instant::now());
                 for shard in guards.iter_mut().filter(|s| s.next_at < window_end) {
                     shard.drain_window(window_end);
