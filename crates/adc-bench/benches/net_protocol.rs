@@ -6,13 +6,16 @@ use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn request_frame() -> Frame {
-    Frame::Request(Request {
-        id: RequestId::new(ClientId::new(7), 123_456),
-        object: ObjectId::new(0xfeed_beef),
-        client: ClientId::new(7),
-        sender: NodeId::Proxy(ProxyId::new(3)),
-        hops: 4,
-    })
+    Frame::Request(
+        Request {
+            id: RequestId::new(ClientId::new(7), 123_456),
+            object: ObjectId::new(0xfeed_beef),
+            client: ClientId::new(7),
+            sender: NodeId::Proxy(ProxyId::new(3)),
+            hops: 4,
+        },
+        None,
+    )
 }
 
 fn reply_frame(body_len: usize) -> Frame {
@@ -27,6 +30,7 @@ fn reply_frame(body_len: usize) -> Frame {
             size: body_len as u32,
         },
         Bytes::from(vec![0xAB; body_len]),
+        None,
     )
 }
 

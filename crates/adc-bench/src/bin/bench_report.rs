@@ -15,7 +15,12 @@
 //! load-imbalance coefficient gated relatively by `bench_diff`), a
 //! `"spans"` section (one span-recorded sequential run: per-segment
 //! latency attribution whose reconciliation fields are deterministic
-//! and gated exactly), plus a per-phase `"profile"` section (workload
+//! and gated exactly), a `"net_trace"` section (a fixed request stream
+//! replayed through a real loopback TCP cluster with tracing off and
+//! then on — lane count and stream length gated exactly, both
+//! throughput legs gated relatively, so distributed-tracing overhead
+//! regressions surface in baseline diffs), plus a per-phase
+//! `"profile"` section (workload
 //! generation / simulation / report assembly) — to the current
 //! directory. The committed
 //! `BENCH_baseline.json` at the repository root is the baseline a
@@ -31,7 +36,7 @@
 //! "does it run and emit well-formed JSON" matters, and stamps the output
 //! accordingly so a smoke file is never mistaken for a baseline.
 
-use adc_bench::{BenchArgs, Experiment, Scale};
+use adc_bench::{live_workload, replay_live, BenchArgs, Experiment, Scale};
 use adc_sim::{thread_cpu_now, InjectionMode, SimTime};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -375,6 +380,38 @@ fn main() {
         json,
         "    \"slowest_us\": {}",
         spans.slowest.first().map_or(0, |f| f.total_us)
+    );
+    let _ = writeln!(json, "  }},");
+    // Live-network tracing surface: the same request stream replayed
+    // through a real loopback cluster twice — tracing off, then on — so
+    // the wire-level cost of span recording is part of the gated report.
+    // Stream length and lane count are structural (exact-gated); the
+    // two throughput legs ride the relative gate.
+    let live_requests: u64 = if smoke { 120 } else { 600 };
+    eprintln!("bench_report: live cluster replay, tracing off ({live_requests} requests)...");
+    let off = replay_live(live_workload(live_requests), None).expect("live replay (untraced)");
+    eprintln!("bench_report: live cluster replay, tracing on...");
+    let on = replay_live(live_workload(live_requests), Some(8192)).expect("live replay (traced)");
+    let merged = on.merged.as_ref().expect("traced replay merges");
+    let _ = writeln!(json, "  \"net_trace\": {{");
+    let _ = writeln!(json, "    \"requests\": {},", on.requests);
+    let _ = writeln!(json, "    \"lanes\": {},", merged.lanes.len());
+    let _ = writeln!(
+        json,
+        "    \"cross_node_traces\": {},",
+        merged.cross_node_traces
+    );
+    let _ = writeln!(json, "    \"spans_dropped\": {},", on.spans_dropped);
+    let _ = writeln!(json, "    \"clamped\": {},", merged.clamped);
+    let _ = writeln!(
+        json,
+        "    \"requests_per_sec\": {:.3},",
+        off.requests_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"requests_per_sec_traced\": {:.3}",
+        on.requests_per_sec()
     );
     let _ = writeln!(json, "  }},");
     let phase = |name: &str, w: Duration, c: Duration, last: bool| {

@@ -222,6 +222,13 @@ pub const EXACT_FIELDS: &[&str] = &[
     "spans.total_us",
     "spans.attributed_us",
     "spans.sum_check_failures",
+    // The live-network tracing surface replays a fixed request stream
+    // through a real loopback cluster: the stream length and lane count
+    // are structural (a missing lane means a node died mid-replay), and
+    // the ring capacity is sized so a healthy run never drops a span.
+    "net_trace.requests",
+    "net_trace.lanes",
+    "net_trace.spans_dropped",
 ];
 
 /// Fields where an *increase* over the baseline is a regression but a
@@ -238,6 +245,10 @@ pub const THROUGHPUT_FIELDS: &[&str] = &[
     "events_per_sec",
     "shard.events_per_sec",
     "shard.speedup",
+    // Live cluster replay, tracing off and on: the traced leg gates the
+    // wire + recording overhead of distributed tracing.
+    "net_trace.requests_per_sec",
+    "net_trace.requests_per_sec_traced",
 ];
 
 /// The scaling field the absolute [`DiffConfig::min_shard_speedup`]
@@ -552,6 +563,15 @@ mod tests {
     },
     "slowest_us": 2150
   },
+  "net_trace": {
+    "requests": 600,
+    "lanes": 6,
+    "cross_node_traces": 580,
+    "spans_dropped": 0,
+    "clamped": 12,
+    "requests_per_sec": 2900.0,
+    "requests_per_sec_traced": 2750.0
+  },
   "profile": {
     "workload_gen": { "wall_seconds": 0.089630, "cpu_seconds": 0.080885 },
     "simulate": { "wall_seconds": 0.529920, "cpu_seconds": 0.526393 },
@@ -819,6 +839,57 @@ mod tests {
         let failed = BASELINE.replace("\"sum_check_failures\": 0", "\"sum_check_failures\": 1");
         let report = diff_reports(BASELINE, &failed, &DiffConfig::default()).unwrap();
         assert!(!report.passed());
+    }
+
+    #[test]
+    fn net_trace_structure_is_exact_gated() {
+        // A lost lane means a node died mid-replay: hard failure.
+        let doctored = BASELINE.replace("\"lanes\": 6", "\"lanes\": 5");
+        let report = diff_reports(BASELINE, &doctored, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("net_trace.lanes")));
+        // A dropped span means the ring is undersized for the replay.
+        let dropped = BASELINE.replace("\"spans_dropped\": 0", "\"spans_dropped\": 3");
+        let report = diff_reports(BASELINE, &dropped, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("net_trace.spans_dropped")));
+        // The clamp count and cross-node trace count wobble with clock
+        // noise and routing randomness: deliberately ungated.
+        let noisy = BASELINE
+            .replace("\"clamped\": 12", "\"clamped\": 40")
+            .replace("\"cross_node_traces\": 580", "\"cross_node_traces\": 565");
+        let report = diff_reports(BASELINE, &noisy, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn traced_replay_slowdown_trips_the_throughput_gate() {
+        // Traced throughput collapsing (say span recording grew a lock
+        // convoy) fails even while the untraced leg holds.
+        let slow = BASELINE.replace(
+            "\"requests_per_sec_traced\": 2750.0",
+            "\"requests_per_sec_traced\": 1200.0",
+        );
+        let report = diff_reports(BASELINE, &slow, &DiffConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("net_trace.requests_per_sec_traced")));
+        // A dip inside the 30% tolerance passes: live TCP replay on a
+        // shared runner is noisy by nature.
+        let mild = BASELINE.replace(
+            "\"requests_per_sec_traced\": 2750.0",
+            "\"requests_per_sec_traced\": 2200.0",
+        );
+        let report = diff_reports(BASELINE, &mild, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.regressions);
     }
 
     #[test]

@@ -27,6 +27,8 @@
 pub mod cli;
 pub mod diff;
 pub mod experiment;
+pub mod netlive;
+pub mod netmerge;
 pub mod observe;
 pub mod output;
 pub mod parallel;
@@ -36,6 +38,8 @@ pub mod sweep;
 pub use cli::BenchArgs;
 pub use diff::{diff_reports, parse_flat_json, DiffConfig, DiffReport, Scalar};
 pub use experiment::Experiment;
+pub use netlive::{live_workload, replay_live, LiveReplay, LIVE_PROXIES};
+pub use netmerge::{clock_offset_us, merge_node_traces, MergedTrace, NodeTrace, SegmentTotal};
 pub use observe::{obs_enabled, observe_default_run, run_adc_observed};
 pub use parallel::{default_jobs, run_jobs, ExperimentJob};
 pub use scale::Scale;

@@ -111,7 +111,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "metric-name-drift",
         severity: Severity::Error,
-        summary: "adc_* metric family literal that matches no const-defined family name",
+        summary: "adc_* metric family literal that matches no const-defined family name, or a near-miss of a SEG_*-defined span segment name",
         scope: "adc-obs, adc-net, adc-metrics — library, bin, and test code (tests must agree too)",
     },
     RuleInfo {
@@ -1406,6 +1406,105 @@ fn metric_name_drift(ctx: &SemanticCtx, out: &mut Vec<Finding>) {
             );
         }
     }
+
+    // Span segment names ride the same contract: the `SEG_*` consts
+    // (adc-obs `segment_names`) are the canonical vocabulary shared by
+    // the span recorder, the network tracer, and every test pinning a
+    // latency table. Unlike metric families they carry no `adc_`
+    // prefix, so exact-match scanning would drown in ordinary strings;
+    // instead only *near-misses* are flagged — a snake_case literal
+    // within edit distance 2 of a canonical segment name that isn't
+    // one. That is precisely the typo shape ("forward_hops",
+    // "orign_fetch") that silently empties a report column.
+    let mut segments: BTreeSet<String> = BTreeSet::new();
+    for (fi, file) in ctx.files.iter().enumerate() {
+        if !SEGMENT_CRATES.contains(&file.krate.as_str()) {
+            continue;
+        }
+        for c in &ctx.index.files[fi].consts {
+            if !c.name.starts_with("SEG_") {
+                continue;
+            }
+            let (from, to) = c.value;
+            for t in &ctx.lexed[fi][from.min(ctx.lexed[fi].len())..to.min(ctx.lexed[fi].len())] {
+                if t.kind == TokKind::Str && !t.text.is_empty() {
+                    segments.insert(t.text.clone());
+                }
+            }
+        }
+    }
+    if segments.is_empty() {
+        return;
+    }
+    for (fi, file) in ctx.files.iter().enumerate() {
+        if !SEGMENT_CRATES.contains(&file.krate.as_str()) {
+            continue;
+        }
+        let const_ranges = &ctx.index.files[fi].consts;
+        for (ti, t) in ctx.lexed[fi].iter().enumerate() {
+            if t.kind != TokKind::Str {
+                continue;
+            }
+            if const_ranges
+                .iter()
+                .any(|c| ti >= c.value.0 && ti < c.value.1)
+            {
+                continue;
+            }
+            let head = snake_head(&t.text);
+            if head.len() < 5 || segments.contains(head) {
+                continue;
+            }
+            if let Some(canon) = segments.iter().find(|c| edit_distance_within(head, c, 2)) {
+                push(
+                    out,
+                    "metric-name-drift",
+                    file,
+                    t.line - 1,
+                    format!(
+                        "segment name `{head}` is a near-miss of the canonical `{canon}`; \
+                         use the `SEG_*` const (or fix the typo)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Crates that render or pin span segment names (the `SEG_*` consts
+/// live in adc-obs; adc-net stamps them onto wire spans).
+const SEGMENT_CRATES: &[&str] = &["adc-obs", "adc-net"];
+
+/// The leading `[a-z_]` run of a literal: segment names embedded in
+/// format strings ("forward_hop {v}") normalize to the bare name, and
+/// literals that don't *start* snake_case (JSON fragments, label text)
+/// normalize to something short enough to be skipped.
+fn snake_head(lit: &str) -> &str {
+    let cut = lit
+        .find(|c: char| !(c.is_ascii_lowercase() || c == '_'))
+        .unwrap_or(lit.len());
+    &lit[..cut]
+}
+
+/// Whether the Levenshtein distance between `a` and `b` is at most
+/// `max`. Plain DP — the inputs are segment-name sized.
+fn edit_distance_within(a: &str, b: &str, max: usize) -> bool {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > max {
+        return false;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = Vec::with_capacity(b.len() + 1);
+        cur.push(i + 1);
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()] <= max
 }
 
 /// Truncates a literal to its family name: cut at the first label
@@ -1441,6 +1540,23 @@ mod tests {
 
     fn rules_of(f: &[Finding]) -> Vec<&'static str> {
         f.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn edit_distance_bound_is_exact() {
+        assert!(edit_distance_within("forward_hops", "forward_hop", 2));
+        assert!(edit_distance_within("orign_fetch", "origin_fetch", 2));
+        assert!(edit_distance_within("same", "same", 0));
+        assert!(!edit_distance_within("attributed_us", "origin_fetch", 2));
+        assert!(!edit_distance_within("client_wait", "forward_hop", 2));
+    }
+
+    #[test]
+    fn snake_head_strips_format_tails() {
+        assert_eq!(snake_head("forward_hop {v}\n"), "forward_hop");
+        assert_eq!(snake_head("client_wait"), "client_wait");
+        assert_eq!(snake_head("{\"trace_id\":1}"), "");
+        assert_eq!(snake_head("Total"), "");
     }
 
     #[test]

@@ -137,6 +137,15 @@ const CASES: &[(&str, &str, &str, &str, &str)] = &[
         "adc-obs",
         "crates/adc-obs/src/fixture.rs",
     ),
+    // The same rule also guards the span segment-name vocabulary
+    // (`SEG_*` consts), flagging near-miss literals.
+    (
+        "metric-name-drift",
+        "seg_drift_bad.rs",
+        "seg_drift_ok.rs",
+        "adc-obs",
+        "crates/adc-obs/src/fixture.rs",
+    ),
     (
         "unused-allow",
         "unused_allow_bad.rs",

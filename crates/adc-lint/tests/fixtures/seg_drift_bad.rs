@@ -1,0 +1,22 @@
+//! Negative fixture for `metric-name-drift`'s segment-name half: a
+//! latency-table literal one edit away from a `SEG_*`-defined canonical
+//! segment name.
+
+/// Canonical segment vocabulary, as `adc-obs::segment_names` defines it.
+pub mod segment_names {
+    /// A proxy-to-proxy forwarding hop.
+    pub const SEG_FORWARD_HOP: &str = "forward_hop";
+    /// An origin fetch.
+    pub const SEG_ORIGIN_FETCH: &str = "origin_fetch";
+}
+
+/// Renders a table row with a typo'd segment — `forward_hops` — which
+/// must be flagged as a near-miss of the const above.
+pub fn render(v: u64) -> String {
+    format!("forward_hops {v}\n")
+}
+
+/// A second drift shape: a dropped letter (`orign_fetch`).
+pub fn render_origin(v: u64) -> String {
+    format!("orign_fetch {v}\n")
+}

@@ -1,0 +1,23 @@
+//! Positive fixture for `metric-name-drift`'s segment-name half: exact
+//! canonical spellings pass, as do snake_case literals that are nowhere
+//! near the segment vocabulary.
+
+/// Canonical segment vocabulary, as `adc-obs::segment_names` defines it.
+pub mod segment_names {
+    /// A proxy-to-proxy forwarding hop.
+    pub const SEG_FORWARD_HOP: &str = "forward_hop";
+    /// An origin fetch.
+    pub const SEG_ORIGIN_FETCH: &str = "origin_fetch";
+}
+
+/// Renders with the exact canonical spelling, embedded in a format
+/// string the way real tables are built.
+pub fn render(v: u64) -> String {
+    format!("forward_hop {v}\n")
+}
+
+/// Snake_case strings far from any segment name stay untouched — the
+/// rule only fires on near-misses.
+pub fn field_name() -> &'static str {
+    "attributed_us"
+}

@@ -36,6 +36,7 @@ mod quantile;
 pub mod registry;
 mod series;
 mod summary;
+mod text;
 
 pub use histogram::Histogram;
 pub use moving::MovingAverage;
@@ -43,3 +44,4 @@ pub use quantile::P2Quantile;
 pub use registry::{validate_prometheus, Log2Histogram, Registry, RegistrySnapshot};
 pub use series::{Sampler, Series};
 pub use summary::Summary;
+pub use text::{sample, sample_value};

@@ -1,0 +1,73 @@
+//! Reading samples back out of a Prometheus text exposition.
+//!
+//! The cluster runtime scrapes nodes in-band and tests reconcile the
+//! scraped counters against in-process state; these helpers are the one
+//! shared parser for that, so every test and tool extracts samples the
+//! same way instead of re-rolling line splitting.
+
+/// Extracts the value of `family{proxy="<p>"}` from a Prometheus text
+/// exposition, if present.
+///
+/// # Examples
+///
+/// ```
+/// let text = "# TYPE adc_local_hits_total counter\nadc_local_hits_total{proxy=\"2\"} 17\n";
+/// assert_eq!(adc_metrics::sample_value(text, "adc_local_hits_total", 2), Some(17));
+/// assert_eq!(adc_metrics::sample_value(text, "adc_local_hits_total", 3), None);
+/// ```
+pub fn sample_value(text: &str, family: &str, proxy: u32) -> Option<u64> {
+    let needle = format!("{family}{{proxy=\"{proxy}\"}} ");
+    text.lines()
+        .find(|l| l.starts_with(&needle))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Extracts the value of an unlabelled `family` sample, if present.
+///
+/// # Examples
+///
+/// ```
+/// let text = "# TYPE adc_origin_requests_total counter\nadc_origin_requests_total 9\n";
+/// assert_eq!(adc_metrics::sample(text, "adc_origin_requests_total"), Some(9));
+/// ```
+pub fn sample(text: &str, family: &str) -> Option<u64> {
+    let needle = format!("{family} ");
+    text.lines()
+        .find(|l| l.starts_with(&needle))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXT: &str = "\
+# TYPE adc_requests_received_total counter
+adc_requests_received_total{proxy=\"0\"} 12
+adc_requests_received_total{proxy=\"1\"} 7
+# TYPE adc_origin_requests_total counter
+adc_origin_requests_total 3
+";
+
+    #[test]
+    fn labelled_samples_resolve_per_proxy() {
+        assert_eq!(
+            sample_value(TEXT, "adc_requests_received_total", 0),
+            Some(12)
+        );
+        assert_eq!(
+            sample_value(TEXT, "adc_requests_received_total", 1),
+            Some(7)
+        );
+        assert_eq!(sample_value(TEXT, "adc_requests_received_total", 2), None);
+        assert_eq!(sample_value(TEXT, "no_such_family", 0), None);
+    }
+
+    #[test]
+    fn unlabelled_sample_skips_comments_and_labelled_lines() {
+        assert_eq!(sample(TEXT, "adc_origin_requests_total"), Some(3));
+        assert_eq!(sample(TEXT, "adc_requests_received_total"), None);
+    }
+}

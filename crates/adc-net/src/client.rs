@@ -2,9 +2,12 @@
 //! matching replies.
 
 use crate::book::AddressBook;
-use crate::protocol::Frame;
+use crate::protocol::{Frame, TraceContext};
+use crate::trace::NodeTracer;
 use crate::transport::{read_frame, write_frame, Pool};
 use adc_core::{ClientId, ObjectId, ProxyId, Reply, Request, RequestId};
+use adc_obs::netspan::{derive_trace_id, CLIENT_LANE};
+use adc_obs::SegmentKind;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -12,7 +15,7 @@ use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tokio::net::TcpListener;
 use tokio::net::TcpStream;
 use tokio::sync::oneshot;
@@ -43,11 +46,69 @@ pub async fn scrape_metrics(addr: SocketAddr) -> io::Result<String> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad UTF-8: {e}")))
 }
 
+/// One node's trace scrape, annotated with the collector-side clock
+/// samples the merger estimates the node's clock offset from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceScrapeResult {
+    /// The node's clock (microseconds since its spawn) read while it
+    /// answered.
+    pub node_now_us: u64,
+    /// Spans the node lost over its lifetime.
+    pub dropped: u64,
+    /// The drained spans as JSON Lines.
+    pub jsonl: String,
+    /// Collector clock (microseconds since `epoch`) just before the
+    /// scrape request was written.
+    pub sent_us: u64,
+    /// Collector clock just after the response was read.
+    pub recv_us: u64,
+}
+
+/// Drains the span ring of the node listening at `addr` by sending a
+/// [`Frame::TraceRequest`] and reading the in-band response, sampling
+/// the collector clock (`epoch`-relative) on both sides of the exchange
+/// so the caller can estimate the node's clock offset.
+///
+/// # Errors
+///
+/// Returns `UnexpectedEof` if the node closes the connection without
+/// answering, `InvalidData` when the response is not a trace frame or
+/// its spans are not valid UTF-8, or any underlying socket error.
+pub async fn scrape_trace(addr: SocketAddr, epoch: Instant) -> io::Result<TraceScrapeResult> {
+    let mut stream = TcpStream::connect(addr).await?;
+    let sent_us = epoch.elapsed().as_micros() as u64;
+    write_frame(&mut stream, &Frame::TraceRequest).await?;
+    let frame = read_frame(&mut stream)
+        .await?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "node closed during scrape"))?;
+    let recv_us = epoch.elapsed().as_micros() as u64;
+    let Frame::TraceResponse(scrape) = frame else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected a trace response frame",
+        ));
+    };
+    let jsonl = String::from_utf8(scrape.spans.to_vec())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad UTF-8: {e}")))?;
+    Ok(TraceScrapeResult {
+        node_now_us: scrape.node_now_us,
+        dropped: scrape.dropped,
+        jsonl,
+        sent_us,
+        recv_us,
+    })
+}
+
 /// Outstanding requests awaiting replies.
 type PendingReplies = Arc<Mutex<HashMap<RequestId, oneshot::Sender<(Reply, Bytes)>>>>;
 
 /// A client endpoint: registers itself in the address book, sends
 /// requests, and matches replies by request ID.
+///
+/// With tracing enabled ([`NetClient::start_traced`]) every request
+/// carries a [`TraceContext`] minted here, and its end-to-end wait is
+/// recorded as a root `client_wait` span in the client's own ring
+/// (lane [`CLIENT_LANE`]) — timed-out requests included.
 #[derive(Debug)]
 pub struct NetClient {
     id: ClientId,
@@ -55,6 +116,8 @@ pub struct NetClient {
     pool: Pool,
     seq: AtomicU64,
     pending: PendingReplies,
+    tracer: Option<Arc<Mutex<NodeTracer>>>,
+    epoch: Instant,
     handle: JoinHandle<()>,
 }
 
@@ -66,12 +129,35 @@ impl Drop for NetClient {
 
 impl NetClient {
     /// Binds a listener, registers this client in `book`, and starts the
-    /// reply dispatcher.
+    /// reply dispatcher. Requests are untraced.
     ///
     /// # Errors
     ///
     /// Propagates socket bind errors.
     pub async fn start(id: ClientId, book: Arc<AddressBook>) -> io::Result<NetClient> {
+        Self::start_inner(id, book, None).await
+    }
+
+    /// Like [`NetClient::start`] but with tracing on: requests carry a
+    /// trace context and root spans land in a ring of `span_capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub async fn start_traced(
+        id: ClientId,
+        book: Arc<AddressBook>,
+        span_capacity: usize,
+    ) -> io::Result<NetClient> {
+        let tracer = Arc::new(Mutex::new(NodeTracer::new(CLIENT_LANE, span_capacity)));
+        Self::start_inner(id, book, Some(tracer)).await
+    }
+
+    async fn start_inner(
+        id: ClientId,
+        book: Arc<AddressBook>,
+        tracer: Option<Arc<Mutex<NodeTracer>>>,
+    ) -> io::Result<NetClient> {
         let listener = TcpListener::bind("127.0.0.1:0").await?;
         book.register_client(id, listener.local_addr()?);
         let pending: PendingReplies = Arc::new(Mutex::new(HashMap::new()));
@@ -84,7 +170,7 @@ impl NetClient {
                 let pending = Arc::clone(&pending_for_task);
                 tokio::spawn(async move {
                     while let Ok(Some(frame)) = read_frame(&mut stream).await {
-                        if let Frame::Reply(reply, body) = frame {
+                        if let Frame::Reply(reply, body, _) = frame {
                             if let Some(tx) = pending.lock().remove(&reply.id) {
                                 tx.send((reply, body)).ok();
                             }
@@ -99,6 +185,8 @@ impl NetClient {
             pool: Pool::new(),
             seq: AtomicU64::new(0),
             pending,
+            tracer,
+            epoch: Instant::now(),
             handle,
         })
     }
@@ -106,6 +194,44 @@ impl NetClient {
     /// This client's identity.
     pub fn id(&self) -> ClientId {
         self.id
+    }
+
+    /// The client's span ring, when tracing is enabled. Spans are on
+    /// the clock of [`NetClient::epoch`].
+    pub fn tracer(&self) -> Option<&Arc<Mutex<NodeTracer>>> {
+        self.tracer.as_ref()
+    }
+
+    /// The instant the client's span clock counts from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Mints the root trace context for request `seq`, when tracing.
+    fn root_ctx(&self, seq: u64) -> Option<TraceContext> {
+        self.tracer.as_ref().map(|_| TraceContext {
+            trace_id: derive_trace_id(self.id.raw(), seq),
+            parent_span: 0,
+            hop: 0,
+        })
+    }
+
+    /// Records the root `client_wait` span for a finished (or timed
+    /// out) traced request.
+    fn record_root_span(&self, ctx: Option<TraceContext>, object: ObjectId, start_us: u64) {
+        if let (Some(tracer), Some(ctx)) = (&self.tracer, ctx) {
+            tracer.lock().record_leaf(
+                ctx,
+                object.raw(),
+                SegmentKind::ClientWait,
+                start_us,
+                self.now_us(),
+            );
+        }
     }
 
     /// Requests `object` via proxy `via` and awaits the reply with the
@@ -121,12 +247,19 @@ impl NetClient {
         })?;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let id = RequestId::new(self.id, seq);
+        let ctx = self.root_ctx(seq);
+        let start_us = self.now_us();
         let (tx, rx) = oneshot::channel();
         self.pending.lock().insert(id, tx);
         let request = Request::new(id, object, self.id);
-        self.pool.send(addr, Frame::Request(request)).await?;
-        rx.await
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "reply channel dropped"))
+        self.pool.send(addr, Frame::Request(request, ctx)).await?;
+        let result = rx
+            .await
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "reply channel dropped"));
+        if result.is_ok() {
+            self.record_root_span(ctx, object, start_us);
+        }
+        result
     }
 
     /// Like [`NetClient::request`] but gives up after `timeout`,
@@ -147,21 +280,29 @@ impl NetClient {
         })?;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let id = RequestId::new(self.id, seq);
+        let ctx = self.root_ctx(seq);
+        let start_us = self.now_us();
         let (tx, rx) = oneshot::channel();
         self.pending.lock().insert(id, tx);
         let request = Request::new(id, object, self.id);
-        if let Err(e) = self.pool.send(addr, Frame::Request(request)).await {
+        if let Err(e) = self.pool.send(addr, Frame::Request(request, ctx)).await {
             self.pending.lock().remove(&id);
             return Err(e);
         }
         match tokio::time::timeout(timeout, rx).await {
-            Ok(Ok(result)) => Ok(result),
+            Ok(Ok(result)) => {
+                self.record_root_span(ctx, object, start_us);
+                Ok(result)
+            }
             Ok(Err(_)) => Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
                 "reply channel dropped",
             )),
             Err(_) => {
                 self.pending.lock().remove(&id);
+                // The wait was real even though no reply came; record
+                // it so merged traces show the abandoned flow.
+                self.record_root_span(ctx, object, start_us);
                 Err(io::Error::new(
                     io::ErrorKind::TimedOut,
                     format!("no reply for {object} within {timeout:?}"),

@@ -34,12 +34,16 @@ mod book;
 mod client;
 mod cluster;
 mod driver;
+mod flight;
 mod node;
 pub mod protocol;
+mod trace;
 pub mod transport;
 
 pub use book::AddressBook;
-pub use client::{scrape_metrics, NetClient};
-pub use cluster::Cluster;
-pub use driver::{drive_workload, DriveReport};
+pub use client::{scrape_metrics, scrape_trace, NetClient, TraceScrapeResult};
+pub use cluster::{Cluster, ClusterOptions};
+pub use driver::{drive_workload, drive_workload_traced, DriveReport, TracedDriveReport};
+pub use flight::FlightRecorder;
 pub use node::{origin_body, render_node_metrics, OriginNode, ProxyNode};
+pub use trace::{NodeTracer, TraceCounters};

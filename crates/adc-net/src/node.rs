@@ -1,21 +1,25 @@
 //! The proxy and origin server nodes.
 
 use crate::book::AddressBook;
-use crate::protocol::Frame;
+use crate::flight::FlightRecorder;
+use crate::protocol::{Frame, TraceContext, TraceScrape};
+use crate::trace::{NodeTracer, TraceCounters};
 use crate::transport::{read_frame, write_frame, Pool};
 use adc_core::{
-    Action, ActionSink, CacheAgent, CacheEvent, Message, NullProbe, ObjectId, Probe, ProxyId,
-    ProxyStats, Reply,
+    Action, ActionSink, CacheAgent, CacheEvent, Message, NodeId, NullProbe, ObjectId, Probe,
+    ProxyId, ProxyStats, Reply,
 };
 use adc_metrics::Registry;
 use adc_obs::metrics as families;
+use adc_obs::SegmentKind;
 use adc_workload::SizeModel;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tokio::net::TcpListener;
@@ -32,7 +36,18 @@ pub mod net_families {
     pub const REPLIES_PROCESSED: &str = "adc_replies_processed_total";
     /// Requests the origin server answered over its lifetime.
     pub const ORIGIN_REQUESTS: &str = "adc_origin_requests_total";
+    /// Spans the node's tracer recorded over its lifetime (kept or
+    /// dropped).
+    pub const TRACE_SPANS: &str = "adc_net_trace_spans_total";
+    /// Spans the node's tracer lost: ring overwrites plus
+    /// pending-table overflow.
+    pub const TRACE_DROPPED: &str = "adc_net_trace_dropped_total";
 }
+
+/// One outgoing transmission produced by a frame: the action, the body
+/// bytes to attach to replies, and the trace context for the wire
+/// frame (`None` keeps the frame on the untraced tags).
+type Outgoing = (Action, Bytes, Option<TraceContext>);
 
 /// A running proxy node: the sans-IO agent plus its socket plumbing.
 #[derive(Debug)]
@@ -41,6 +56,11 @@ pub struct ProxyNode<A> {
     pub agent: Arc<Mutex<A>>,
     /// The byte store backing the agent's cache decisions.
     pub store: Arc<Mutex<HashMap<ObjectId, Bytes>>>,
+    /// The live span recorder, present when the node was spawned with
+    /// tracing enabled. Shared so flight-recorder dumps and tests can
+    /// read the ring without a wire scrape.
+    pub tracer: Option<Arc<Mutex<NodeTracer>>>,
+    alive: Arc<AtomicBool>,
     handle: JoinHandle<()>,
 }
 
@@ -69,37 +89,72 @@ impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
         seed: u64,
         probe: Arc<Mutex<P>>,
     ) -> Self {
+        Self::spawn_full(agent, listener, book, seed, probe, None, None)
+    }
+
+    /// Spawns a proxy node with the full option set: an event probe, an
+    /// optional live tracer (recording spans for traced frames and
+    /// answering in-band [`Frame::TraceRequest`] scrapes) and an
+    /// optional flight recorder (post-mortem dump if the frame handler
+    /// panics).
+    pub fn spawn_full<P: Probe + Send + 'static>(
+        agent: A,
+        listener: TcpListener,
+        book: Arc<AddressBook>,
+        seed: u64,
+        probe: Arc<Mutex<P>>,
+        tracer: Option<Arc<Mutex<NodeTracer>>>,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Self {
         let agent = Arc::new(Mutex::new(agent));
         let store: Arc<Mutex<HashMap<ObjectId, Bytes>>> = Arc::new(Mutex::new(HashMap::new()));
         let pool = Arc::new(Pool::new());
         let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
+        let alive = Arc::new(AtomicBool::new(true));
         let epoch = Instant::now();
 
         let agent_for_task = Arc::clone(&agent);
         let store_for_task = Arc::clone(&store);
+        let tracer_for_task = tracer.clone();
+        let alive_for_task = Arc::clone(&alive);
         let handle = tokio::spawn(async move {
             loop {
                 let Ok((mut stream, _)) = listener.accept().await else {
                     break;
                 };
+                if !alive_for_task.load(Ordering::Relaxed) {
+                    break;
+                }
                 let agent = Arc::clone(&agent_for_task);
                 let store = Arc::clone(&store_for_task);
                 let book = Arc::clone(&book);
                 let pool = Arc::clone(&pool);
                 let rng = Arc::clone(&rng);
                 let probe = Arc::clone(&probe);
+                let tracer = tracer_for_task.clone();
+                let alive = Arc::clone(&alive_for_task);
+                let flight = flight.clone();
                 tokio::spawn(async move {
                     while let Ok(Some(frame)) = read_frame(&mut stream).await {
-                        // Metrics scrapes are answered in-band on the
-                        // same connection — they belong to no flow and
-                        // never touch the address book or the pool.
+                        // A killed node stops serving: in-flight
+                        // connections fall silent, which is what the
+                        // driver's peer-death detection watches for.
+                        if !alive.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Scrapes (metrics and trace) are answered
+                        // in-band on the same connection — they belong
+                        // to no flow and never touch the address book
+                        // or the pool.
                         if frame == Frame::MetricsRequest {
                             let text = {
                                 let agent = agent.lock();
+                                let trace = tracer.as_ref().map(|t| t.lock().counters());
                                 render_node_metrics(
                                     agent.proxy_id(),
                                     agent.stats(),
                                     store.lock().len(),
+                                    trace,
                                 )
                             };
                             let response = Frame::MetricsResponse(Bytes::from(text.into_bytes()));
@@ -108,16 +163,52 @@ impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
                             }
                             continue;
                         }
-                        let now_us = epoch.elapsed().as_micros() as u64;
-                        let outgoing = handle_frame(&agent, &store, &rng, &probe, now_us, frame);
-                        for (action, body) in outgoing {
+                        if frame == Frame::TraceRequest {
+                            let response = answer_trace_scrape(tracer.as_deref(), &epoch);
+                            if write_frame(&mut stream, &response).await.is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            handle_frame(
+                                &agent,
+                                &store,
+                                &rng,
+                                &probe,
+                                tracer.as_deref(),
+                                &epoch,
+                                frame,
+                            )
+                        }));
+                        let outgoing = match result {
+                            Ok(outgoing) => outgoing,
+                            Err(_) => {
+                                // The agent panicked mid-frame: dump
+                                // the evidence and take the whole node
+                                // down — a half-mutated agent must not
+                                // keep serving.
+                                alive.store(false, Ordering::Relaxed);
+                                if let Some(flight) = &flight {
+                                    dump_after_panic(
+                                        flight,
+                                        &agent,
+                                        &store,
+                                        tracer.as_deref(),
+                                        &epoch,
+                                    );
+                                }
+                                break;
+                            }
+                        };
+                        for (action, body, ctx) in outgoing {
                             let Action::Send { to, message } = action;
                             let Some(addr) = book.addr_of(to) else {
                                 continue;
                             };
                             let frame = match message {
-                                Message::Request(r) => Frame::Request(r),
-                                Message::Reply(r) => Frame::Reply(r, body),
+                                Message::Request(r) => Frame::Request(r, ctx),
+                                Message::Reply(r) => Frame::Reply(r, body, ctx),
                             };
                             if pool.send(addr, frame).await.is_err() {
                                 break;
@@ -130,6 +221,8 @@ impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
         ProxyNode {
             agent,
             store,
+            tracer,
+            alive,
             handle,
         }
     }
@@ -138,23 +231,86 @@ impl<A: CacheAgent + Send + 'static> ProxyNode<A> {
     pub fn stored_objects(&self) -> usize {
         self.store.lock().len()
     }
+
+    /// Marks the node dead: every connection loop stops serving at its
+    /// next frame and new connections are refused. Existing blocked
+    /// accepts need one wake-up connection — [`Cluster::kill_proxy`]
+    /// [crate::Cluster::kill_proxy] handles that.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the node is still serving frames.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+}
+
+/// Renders a node's trace scrape response: the ring drained as JSONL
+/// plus the node-clock sample the merger aligns timelines with. A node
+/// without a tracer answers with an empty scrape, so sweeps never hang.
+fn answer_trace_scrape(tracer: Option<&Mutex<NodeTracer>>, epoch: &Instant) -> Frame {
+    let (dropped, jsonl) = match tracer {
+        Some(t) => t.lock().scrape(),
+        None => (0, String::new()),
+    };
+    Frame::TraceResponse(TraceScrape {
+        node_now_us: epoch.elapsed().as_micros() as u64,
+        dropped,
+        spans: Bytes::from(jsonl.into_bytes()),
+    })
+}
+
+/// Best-effort post-mortem dump from inside a dying connection loop.
+fn dump_after_panic<A: CacheAgent>(
+    flight: &FlightRecorder,
+    agent: &Mutex<A>,
+    store: &Mutex<HashMap<ObjectId, Bytes>>,
+    tracer: Option<&Mutex<NodeTracer>>,
+    epoch: &Instant,
+) {
+    let (proxy, metrics) = {
+        let agent = agent.lock();
+        let trace = tracer.map(|t| t.lock().counters());
+        (
+            agent.proxy_id().raw(),
+            render_node_metrics(agent.proxy_id(), agent.stats(), store.lock().len(), trace),
+        )
+    };
+    let now_us = epoch.elapsed().as_micros() as u64;
+    // The node is already going down; a failed dump must not panic the
+    // loop again.
+    let _ = flight.dump_parts(proxy, &metrics, tracer, now_us, "panic in frame handler");
 }
 
 /// Feeds one frame through the agent and returns the transmissions plus
-/// the object body to attach to outgoing replies.
+/// the object body to attach to outgoing replies and the trace context
+/// for the wire frames.
+///
+/// Tracing piggybacks on the agent's decision: a request the agent
+/// forwarded opens a pending [`SegmentKind::ForwardHop`] (to a peer) or
+/// [`SegmentKind::OriginFetch`] (to the origin) span, a request it
+/// answered locally records a closed [`SegmentKind::ReplyReturn`] leaf,
+/// and a returning reply closes the pending span. Frames without a
+/// context never touch the tracer, and without a tracer the incoming
+/// context is propagated unchanged so downstream traced nodes keep
+/// their trace-id continuity.
 fn handle_frame<A: CacheAgent, P: Probe>(
     agent: &Mutex<A>,
     store: &Mutex<HashMap<ObjectId, Bytes>>,
     rng: &Mutex<StdRng>,
     probe: &Mutex<P>,
-    now_us: u64,
+    tracer: Option<&Mutex<NodeTracer>>,
+    epoch: &Instant,
     frame: Frame,
-) -> Vec<(Action, Bytes)> {
+) -> Vec<Outgoing> {
+    let now_us = epoch.elapsed().as_micros() as u64;
     let mut agent = agent.lock();
     let mut sink = ActionSink::new();
     match frame {
-        Frame::Request(request) => {
+        Frame::Request(request, ctx) => {
             let object = request.object;
+            let id = request.id;
             {
                 let mut rng = rng.lock();
                 let mut probe = probe.lock();
@@ -178,12 +334,26 @@ fn handle_frame<A: CacheAgent, P: Probe>(
                         }
                         _ => Bytes::new(),
                     };
-                    (action, body)
+                    let out_ctx = match (ctx, tracer) {
+                        (None, _) => None,
+                        (Some(ctx), None) => Some(propagate(ctx, &action)),
+                        (Some(ctx), Some(tracer)) => Some(trace_request_action(
+                            tracer,
+                            id,
+                            ctx,
+                            object.raw(),
+                            &action,
+                            now_us,
+                            epoch,
+                        )),
+                    };
+                    (action, body, out_ctx)
                 })
                 .collect()
         }
-        Frame::Reply(reply, body) => {
+        Frame::Reply(reply, body, ctx) => {
             let object = reply.object;
+            let id = reply.id;
             {
                 let mut probe = probe.lock();
                 probe.tick(now_us);
@@ -192,11 +362,85 @@ fn handle_frame<A: CacheAgent, P: Probe>(
             // The passing body is the bytes the store keeps if the agent
             // decided to cache.
             apply_cache_events(&mut *agent, store, Some((object, body.clone())));
-            sink.drain().map(|a| (a, body.clone())).collect()
+            // Closing the pending span uses a fresh clock read so the
+            // span covers the agent's reply processing too.
+            let out_ctx = match tracer {
+                Some(tracer) => {
+                    let end_us = epoch.elapsed().as_micros() as u64;
+                    tracer.lock().finish(id, end_us).or(ctx)
+                }
+                None => ctx,
+            };
+            sink.drain().map(|a| (a, body.clone(), out_ctx)).collect()
         }
         // Scrape frames are handled in-band by the connection loop and
         // never reach the agent.
-        Frame::MetricsRequest | Frame::MetricsResponse(_) => Vec::new(),
+        Frame::MetricsRequest
+        | Frame::MetricsResponse(_)
+        | Frame::TraceRequest
+        | Frame::TraceResponse(_) => Vec::new(),
+    }
+}
+
+/// Context for an outgoing frame at a node with no tracer: unchanged,
+/// except a forwarded request syncs its hop count.
+fn propagate(ctx: TraceContext, action: &Action) -> TraceContext {
+    match action {
+        Action::Send {
+            message: Message::Request(out),
+            ..
+        } => TraceContext {
+            hop: out.hops,
+            ..ctx
+        },
+        _ => ctx,
+    }
+}
+
+/// Records the span a traced request's outcome implies and returns the
+/// outgoing frame's context, nesting the next node under this one.
+fn trace_request_action(
+    tracer: &Mutex<NodeTracer>,
+    id: adc_core::RequestId,
+    ctx: TraceContext,
+    object: u64,
+    action: &Action,
+    arrived_us: u64,
+    epoch: &Instant,
+) -> TraceContext {
+    let mut tracer = tracer.lock();
+    match action {
+        Action::Send {
+            to,
+            message: Message::Request(out),
+        } => {
+            let kind = if *to == NodeId::Origin {
+                SegmentKind::OriginFetch
+            } else {
+                SegmentKind::ForwardHop
+            };
+            let span_id = tracer.begin(id, ctx, object, kind, arrived_us);
+            TraceContext {
+                trace_id: ctx.trace_id,
+                // On pending-table overflow the span is dropped; the
+                // downstream node then nests under our parent instead.
+                parent_span: span_id.unwrap_or(ctx.parent_span),
+                hop: out.hops,
+            }
+        }
+        Action::Send {
+            message: Message::Reply(_),
+            ..
+        } => {
+            let end_us = epoch.elapsed().as_micros() as u64;
+            let span_id =
+                tracer.record_leaf(ctx, object, SegmentKind::ReplyReturn, arrived_us, end_us);
+            TraceContext {
+                trace_id: ctx.trace_id,
+                parent_span: span_id,
+                hop: ctx.hop,
+            }
+        }
     }
 }
 
@@ -204,8 +448,15 @@ fn handle_frame<A: CacheAgent, P: Probe>(
 /// exposition format: the full [`ProxyStats`] block plus a
 /// stored-objects gauge, using the same family names as
 /// [`adc_obs::MetricsProbe`] where the semantics coincide, so simulator
-/// metrics and scraped cluster metrics line up.
-pub fn render_node_metrics(proxy: ProxyId, stats: &ProxyStats, stored_objects: usize) -> String {
+/// metrics and scraped cluster metrics line up. A tracing-enabled node
+/// passes its span counters in `trace` to expose the recorded/dropped
+/// totals alongside.
+pub fn render_node_metrics(
+    proxy: ProxyId,
+    stats: &ProxyStats,
+    stored_objects: usize,
+    trace: Option<TraceCounters>,
+) -> String {
     let p = proxy.raw();
     let mut reg = Registry::new();
     reg.counter_add(net_families::REQUESTS_RECEIVED, p, stats.requests_received);
@@ -224,6 +475,10 @@ pub fn render_node_metrics(proxy: ProxyId, stats: &ProxyStats, stored_objects: u
         p,
         i64::try_from(stored_objects).unwrap_or(i64::MAX),
     );
+    if let Some(trace) = trace {
+        reg.counter_add(net_families::TRACE_SPANS, p, trace.recorded);
+        reg.counter_add(net_families::TRACE_DROPPED, p, trace.dropped);
+    }
     reg.snapshot().to_prometheus()
 }
 
@@ -261,6 +516,10 @@ fn apply_cache_events<A: CacheAgent>(
 /// pseudo-content sized by the workload's [`SizeModel`].
 #[derive(Debug)]
 pub struct OriginNode {
+    /// The origin's span recorder, present when tracing is enabled. It
+    /// records one [`SegmentKind::OriginFetch`] leaf per traced request
+    /// served, so merged traces get an origin lane.
+    pub tracer: Option<Arc<Mutex<NodeTracer>>>,
     handle: JoinHandle<()>,
 }
 
@@ -273,9 +532,21 @@ impl Drop for OriginNode {
 impl OriginNode {
     /// Spawns the origin server on `listener`.
     pub fn spawn(listener: TcpListener, book: Arc<AddressBook>) -> Self {
+        Self::spawn_full(listener, book, None)
+    }
+
+    /// Spawns the origin server with an optional span recorder (lane
+    /// [`ORIGIN_LANE`][adc_obs::netspan::ORIGIN_LANE]).
+    pub fn spawn_full(
+        listener: TcpListener,
+        book: Arc<AddressBook>,
+        tracer: Option<Arc<Mutex<NodeTracer>>>,
+    ) -> Self {
         let pool = Arc::new(Pool::new());
         let size_model = SizeModel::default();
         let served = Arc::new(AtomicU64::new(0));
+        let epoch = Instant::now();
+        let tracer_for_task = tracer.clone();
         let handle = tokio::spawn(async move {
             loop {
                 let Ok((mut stream, _)) = listener.accept().await else {
@@ -284,10 +555,11 @@ impl OriginNode {
                 let book = Arc::clone(&book);
                 let pool = Arc::clone(&pool);
                 let served = Arc::clone(&served);
+                let tracer = tracer_for_task.clone();
                 tokio::spawn(async move {
                     while let Ok(Some(frame)) = read_frame(&mut stream).await {
-                        // Answer scrapes so a metrics sweep over every
-                        // address never hangs on the origin.
+                        // Answer scrapes so a metrics or trace sweep
+                        // over every address never hangs on the origin.
                         if frame == Frame::MetricsRequest {
                             let total = served.load(Ordering::Relaxed);
                             let family = net_families::ORIGIN_REQUESTS;
@@ -298,23 +570,51 @@ impl OriginNode {
                             }
                             continue;
                         }
-                        let Frame::Request(request) = frame else {
+                        if frame == Frame::TraceRequest {
+                            let response = answer_trace_scrape(tracer.as_deref(), &epoch);
+                            if write_frame(&mut stream, &response).await.is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        let Frame::Request(request, ctx) = frame else {
                             continue;
                         };
+                        let arrived_us = epoch.elapsed().as_micros() as u64;
                         served.fetch_add(1, Ordering::Relaxed);
                         let body = origin_body(request.object, &size_model);
                         let reply = Reply::from_origin(&request, body.len() as u32);
+                        let out_ctx = match (&tracer, ctx) {
+                            (Some(tracer), Some(ctx)) => {
+                                let end_us = epoch.elapsed().as_micros() as u64;
+                                let span_id = tracer.lock().record_leaf(
+                                    ctx,
+                                    request.object.raw(),
+                                    SegmentKind::OriginFetch,
+                                    arrived_us,
+                                    end_us,
+                                );
+                                Some(TraceContext {
+                                    trace_id: ctx.trace_id,
+                                    parent_span: span_id,
+                                    hop: ctx.hop,
+                                })
+                            }
+                            (None, ctx) => ctx,
+                            (_, None) => None,
+                        };
                         let Some(addr) = book.addr_of(request.sender) else {
                             continue;
                         };
-                        if pool.send(addr, Frame::Reply(reply, body)).await.is_err() {
+                        let frame = Frame::Reply(reply, body, out_ctx);
+                        if pool.send(addr, frame).await.is_err() {
                             break;
                         }
                     }
                 });
             }
         });
-        OriginNode { handle }
+        OriginNode { tracer, handle }
     }
 }
 
@@ -347,18 +647,85 @@ mod tests {
         let store: Mutex<HashMap<ObjectId, Bytes>> = Mutex::new(HashMap::new());
         let rng = Mutex::new(StdRng::seed_from_u64(7));
         let probe = Mutex::new(EventLog::new());
+        let epoch = Instant::now();
 
         let client = ClientId::new(0);
         let request = Request::new(RequestId::new(client, 0), ObjectId::new(5), client);
-        let out = handle_frame(&agent, &store, &rng, &probe, 1234, Frame::Request(request));
-        // A miss forwards exactly one message onward.
+        let out = handle_frame(
+            &agent,
+            &store,
+            &rng,
+            &probe,
+            None,
+            &epoch,
+            Frame::Request(request, None),
+        );
+        // A miss forwards exactly one message onward, context-free.
         assert_eq!(out.len(), 1);
+        assert_eq!(out[0].2, None, "untraced request stays untraced");
         let log = probe.lock();
         // The forward decision (learned/random/this-miss) was recorded
-        // with the tick's timestamp.
+        // with one tick's timestamp.
         assert!(!log.is_empty(), "request handling must emit events");
-        assert!(log.events().iter().all(|&(t, _)| t == 1234));
+        let first = log.events()[0].0;
+        assert!(log.events().iter().all(|&(t, _)| t == first));
         assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn traced_request_opens_a_span_and_reply_closes_it() {
+        let agent = Mutex::new(AdcProxy::new(ProxyId::new(0), 2, AdcConfig::default()));
+        let store: Mutex<HashMap<ObjectId, Bytes>> = Mutex::new(HashMap::new());
+        let rng = Mutex::new(StdRng::seed_from_u64(7));
+        let probe = Mutex::new(EventLog::new());
+        let tracer = Mutex::new(NodeTracer::new(0, 64));
+        let epoch = Instant::now();
+
+        let client = ClientId::new(0);
+        let id = RequestId::new(client, 0);
+        let ctx = TraceContext {
+            trace_id: 42,
+            parent_span: 7,
+            hop: 0,
+        };
+        let request = Request::new(id, ObjectId::new(5), client);
+        let out = handle_frame(
+            &agent,
+            &store,
+            &rng,
+            &probe,
+            Some(&tracer),
+            &epoch,
+            Frame::Request(request, Some(ctx)),
+        );
+        assert_eq!(out.len(), 1, "a miss forwards one message");
+        let fwd_ctx = out[0].2.expect("forwarded frame carries a context");
+        assert_eq!(fwd_ctx.trace_id, 42);
+        assert_ne!(fwd_ctx.parent_span, 7, "nests under this node's span");
+        assert_eq!(tracer.lock().pending_len(), 1);
+
+        // The reply comes back along the chain and closes the span.
+        let reply = Reply::from_origin(&Request::new(id, ObjectId::new(5), client), 3);
+        let out = handle_frame(
+            &agent,
+            &store,
+            &rng,
+            &probe,
+            Some(&tracer),
+            &epoch,
+            Frame::Reply(reply, Bytes::from_static(b"abc"), Some(fwd_ctx)),
+        );
+        assert!(!out.is_empty(), "reply backwards to the waiter");
+        let back_ctx = out[0].2.expect("backwarded reply keeps the trace");
+        assert_eq!(back_ctx.trace_id, 42);
+        assert_eq!(back_ctx.parent_span, fwd_ctx.parent_span);
+        let tracer = tracer.lock();
+        assert_eq!(tracer.pending_len(), 0);
+        let spans: Vec<_> = tracer.ring().iter_ordered().copied().collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace_id, 42);
+        assert_eq!(spans[0].parent_span, 7, "nests under the sender's span");
+        assert_eq!(spans[0].object, 5);
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Per-node live tracing: opens and closes wall-clock spans as traced
+//! frames pass through a node.
+//!
+//! A [`NodeTracer`] wraps the bounded [`SpanRing`] from `adc-obs` with
+//! the request-flow bookkeeping a proxy needs: a forwarded request
+//! opens a *pending* span keyed by its [`RequestId`], and the matching
+//! reply — which travels back hop-by-hop along the forwarding chain —
+//! closes it. Local hits and origin serves are leaf spans recorded
+//! closed in one step. Everything is node-local: timestamps are on the
+//! owning node's monotonic clock, and the cross-node merge happens at
+//! the collector after an in-band trace scrape.
+
+use crate::protocol::TraceContext;
+use adc_core::RequestId;
+use adc_obs::netspan::{derive_span_id, NetSpan, SpanRing};
+use adc_obs::SegmentKind;
+
+/// Pending spans are bounded separately from the ring: a flow whose
+/// reply never returns (timeout, peer death) would otherwise leak its
+/// entry forever. At the cap, new spans are counted as dropped instead
+/// of opened.
+const MAX_PENDING: usize = 8192;
+
+/// Snapshot of a tracer's lifetime counters, for metric rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Spans recorded over the node's lifetime (kept or dropped).
+    pub recorded: u64,
+    /// Spans lost: ring overwrites plus pending-table overflow.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSpan {
+    ctx: TraceContext,
+    span_id: u64,
+    start_us: u64,
+    object: u64,
+    kind: SegmentKind,
+}
+
+/// The live span recorder owned by one cluster node.
+#[derive(Debug)]
+pub struct NodeTracer {
+    node: u32,
+    ring: SpanRing,
+    // A flow id maps to at most one open span per node. A looping
+    // request that revisits a node overwrites its earlier entry —
+    // mirroring the agent's single-waiter bookkeeping — so the wasted
+    // hop folds into the span the revisit opens.
+    pending: Vec<(RequestId, PendingSpan)>,
+    next_span: u64,
+    overflow_dropped: u64,
+}
+
+impl NodeTracer {
+    /// Creates a tracer recording into a ring of `capacity` spans,
+    /// labelling them with lane `node` (proxy raw id, or the
+    /// [`CLIENT_LANE`][adc_obs::netspan::CLIENT_LANE]/
+    /// [`ORIGIN_LANE`][adc_obs::netspan::ORIGIN_LANE] sentinels).
+    pub fn new(node: u32, capacity: usize) -> NodeTracer {
+        NodeTracer {
+            node,
+            ring: SpanRing::with_capacity(capacity),
+            pending: Vec::new(),
+            next_span: 0,
+            overflow_dropped: 0,
+        }
+    }
+
+    /// The lane this tracer records under.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    fn alloc_span(&mut self) -> u64 {
+        let id = derive_span_id(self.node, self.next_span);
+        self.next_span += 1;
+        id
+    }
+
+    fn find_pending(&self, id: RequestId) -> Option<usize> {
+        self.pending.iter().position(|(k, _)| *k == id)
+    }
+
+    /// Opens a pending span for a request this node forwarded onward.
+    /// Returns the span id to use as the outgoing frame's
+    /// `parent_span`, or `None` when the pending table is full (the
+    /// span is counted as dropped).
+    pub fn begin(
+        &mut self,
+        id: RequestId,
+        ctx: TraceContext,
+        object: u64,
+        kind: SegmentKind,
+        now_us: u64,
+    ) -> Option<u64> {
+        let span_id = self.alloc_span();
+        let entry = PendingSpan {
+            ctx,
+            span_id,
+            start_us: now_us,
+            object,
+            kind,
+        };
+        if let Some(i) = self.find_pending(id) {
+            // A loop revisit: the earlier hop's span is folded into the
+            // revisit rather than recorded half-open.
+            self.pending[i].1 = entry;
+        } else if self.pending.len() >= MAX_PENDING {
+            self.overflow_dropped += 1;
+            return None;
+        } else {
+            self.pending.push((id, entry));
+        }
+        Some(span_id)
+    }
+
+    /// Closes the pending span a returning reply matches, records it,
+    /// and returns the context for the backwarded reply frame: this
+    /// node's span as the parent, the original hop count preserved.
+    /// `None` when no span was pending (untraced or evicted flow).
+    pub fn finish(&mut self, id: RequestId, now_us: u64) -> Option<TraceContext> {
+        let i = self.find_pending(id)?;
+        let (_, p) = self.pending.swap_remove(i);
+        self.ring.record(NetSpan {
+            trace_id: p.ctx.trace_id,
+            span_id: p.span_id,
+            parent_span: p.ctx.parent_span,
+            node: self.node,
+            kind: p.kind,
+            start_us: p.start_us,
+            dur_us: now_us.saturating_sub(p.start_us),
+            object: p.object,
+            hop: p.ctx.hop,
+        });
+        Some(TraceContext {
+            trace_id: p.ctx.trace_id,
+            parent_span: p.span_id,
+            hop: p.ctx.hop,
+        })
+    }
+
+    /// Records a closed leaf span (a local hit, an origin serve, a
+    /// client's end-to-end wait) and returns its span id.
+    pub fn record_leaf(
+        &mut self,
+        ctx: TraceContext,
+        object: u64,
+        kind: SegmentKind,
+        start_us: u64,
+        end_us: u64,
+    ) -> u64 {
+        let span_id = self.alloc_span();
+        self.ring.record(NetSpan {
+            trace_id: ctx.trace_id,
+            span_id,
+            parent_span: ctx.parent_span,
+            node: self.node,
+            kind,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            object,
+            hop: ctx.hop,
+        });
+        span_id
+    }
+
+    /// Spans lost over the node's lifetime: ring overwrites plus
+    /// pending-table overflow. Monotone — this is what
+    /// `adc_net_trace_dropped_total` exposes.
+    pub fn dropped_total(&self) -> u64 {
+        self.ring.dropped() + self.overflow_dropped
+    }
+
+    /// Lifetime counters for metric rendering.
+    pub fn counters(&self) -> TraceCounters {
+        TraceCounters {
+            recorded: self.ring.recorded() + self.overflow_dropped,
+            dropped: self.dropped_total(),
+        }
+    }
+
+    /// Flows currently awaiting their reply.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Read access to the ring, for flight-recorder dumps.
+    pub fn ring(&self) -> &SpanRing {
+        &self.ring
+    }
+
+    /// Drains the ring for an in-band trace scrape: the held spans as
+    /// JSONL plus the cumulative drop counter.
+    pub fn scrape(&mut self) -> (u64, String) {
+        let spans = self.ring.drain_ordered();
+        (
+            self.dropped_total(),
+            adc_obs::netspan::net_spans_to_jsonl(&spans),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_core::ClientId;
+
+    fn ctx(trace: u64) -> TraceContext {
+        TraceContext {
+            trace_id: trace,
+            parent_span: 11,
+            hop: 2,
+        }
+    }
+
+    fn id(seq: u64) -> RequestId {
+        RequestId::new(ClientId::new(1), seq)
+    }
+
+    #[test]
+    fn begin_finish_records_one_span_with_parent_linkage() {
+        let mut t = NodeTracer::new(4, 16);
+        let span_id = t
+            .begin(id(0), ctx(77), 42, SegmentKind::ForwardHop, 100)
+            .unwrap();
+        assert_eq!(t.pending_len(), 1);
+        let reply_ctx = t.finish(id(0), 350).expect("pending span closes");
+        assert_eq!(t.pending_len(), 0);
+        assert_eq!(reply_ctx.trace_id, 77);
+        assert_eq!(reply_ctx.parent_span, span_id);
+        assert_eq!(reply_ctx.hop, 2);
+        let spans: Vec<_> = t.ring().iter_ordered().copied().collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].span_id, span_id);
+        assert_eq!(spans[0].parent_span, 11, "nests under the sender's span");
+        assert_eq!(spans[0].start_us, 100);
+        assert_eq!(spans[0].dur_us, 250);
+        assert_eq!(spans[0].node, 4);
+        assert_eq!(spans[0].kind, SegmentKind::ForwardHop);
+    }
+
+    #[test]
+    fn finish_without_begin_is_none() {
+        let mut t = NodeTracer::new(0, 16);
+        assert!(t.finish(id(9), 10).is_none());
+        assert!(t.ring().is_empty());
+    }
+
+    #[test]
+    fn loop_revisit_overwrites_the_pending_entry() {
+        let mut t = NodeTracer::new(0, 16);
+        t.begin(id(0), ctx(1), 42, SegmentKind::ForwardHop, 100);
+        let second = t
+            .begin(id(0), ctx(1), 42, SegmentKind::OriginFetch, 300)
+            .unwrap();
+        assert_eq!(t.pending_len(), 1, "one open span per flow");
+        let reply_ctx = t.finish(id(0), 400).unwrap();
+        assert_eq!(reply_ctx.parent_span, second);
+        let spans: Vec<_> = t.ring().iter_ordered().copied().collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SegmentKind::OriginFetch);
+        assert_eq!(spans[0].start_us, 300);
+    }
+
+    #[test]
+    fn pending_overflow_counts_as_dropped() {
+        let mut t = NodeTracer::new(0, 4);
+        for seq in 0..(MAX_PENDING as u64 + 5) {
+            t.begin(id(seq), ctx(1), 0, SegmentKind::ForwardHop, 0);
+        }
+        assert_eq!(t.pending_len(), MAX_PENDING);
+        assert_eq!(t.dropped_total(), 5);
+        assert_eq!(t.counters().dropped, 5);
+    }
+
+    #[test]
+    fn scrape_drains_but_keeps_cumulative_drops() {
+        let mut t = NodeTracer::new(0, 2);
+        for i in 0..5u64 {
+            t.record_leaf(ctx(1), i, SegmentKind::ReplyReturn, i * 10, i * 10 + 3);
+        }
+        let (dropped, jsonl) = t.scrape();
+        assert_eq!(dropped, 3, "ring of 2 dropped three of five");
+        assert_eq!(jsonl.lines().count(), 2);
+        let (dropped_again, empty) = t.scrape();
+        assert_eq!(dropped_again, 3, "cumulative across scrapes");
+        assert!(empty.is_empty());
+    }
+}

@@ -118,11 +118,14 @@ mod tests {
     use tokio::net::TcpListener;
 
     fn frame(seq: u64) -> Frame {
-        Frame::Request(Request::new(
-            RequestId::new(ClientId::new(1), seq),
-            ObjectId::new(42),
-            ClientId::new(1),
-        ))
+        Frame::Request(
+            Request::new(
+                RequestId::new(ClientId::new(1), seq),
+                ObjectId::new(42),
+                ClientId::new(1),
+            ),
+            None,
+        )
     }
 
     #[tokio::test]

@@ -2,9 +2,19 @@
 //! round-trip, arbitrary junk never panics the decoder.
 
 use adc_core::{ClientId, NodeId, ObjectId, ProxyId, Reply, Request, RequestId, ServedFrom};
-use adc_net::protocol::{decode, encode, Frame};
+use adc_net::protocol::{decode, encode, Frame, TraceContext};
 use bytes::Bytes;
 use proptest::prelude::*;
+
+fn arb_ctx() -> impl Strategy<Value = Option<TraceContext>> {
+    prop::option::of((any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+        |(trace_id, parent_span, hop)| TraceContext {
+            trace_id,
+            parent_span,
+            hop,
+        },
+    ))
+}
 
 fn arb_node() -> impl Strategy<Value = NodeId> {
     prop_oneof![
@@ -63,14 +73,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn requests_round_trip(request in arb_request()) {
-        let frame = Frame::Request(request);
+    fn requests_round_trip(request in arb_request(), ctx in arb_ctx()) {
+        let frame = Frame::Request(request, ctx);
         prop_assert_eq!(decode(encode(&frame)).unwrap(), frame);
     }
 
     #[test]
-    fn replies_round_trip(reply in arb_reply(), body in prop::collection::vec(any::<u8>(), 0..2048)) {
-        let frame = Frame::Reply(reply, Bytes::from(body));
+    fn replies_round_trip(reply in arb_reply(), body in prop::collection::vec(any::<u8>(), 0..2048), ctx in arb_ctx()) {
+        let frame = Frame::Reply(reply, Bytes::from(body), ctx);
         prop_assert_eq!(decode(encode(&frame)).unwrap(), frame);
     }
 
@@ -84,8 +94,8 @@ proptest! {
     /// Truncating a valid encoding anywhere yields an error, never a
     /// silently wrong frame.
     #[test]
-    fn truncation_always_errors(reply in arb_reply(), cut_fraction in 0.0f64..1.0) {
-        let full = encode(&Frame::Reply(reply, Bytes::from_static(b"abcdef")));
+    fn truncation_always_errors(reply in arb_reply(), ctx in arb_ctx(), cut_fraction in 0.0f64..1.0) {
+        let full = encode(&Frame::Reply(reply, Bytes::from_static(b"abcdef"), ctx));
         let cut = ((full.len() as f64) * cut_fraction) as usize;
         if cut < full.len() {
             prop_assert!(decode(full.slice(..cut)).is_err());

@@ -19,6 +19,7 @@ pub mod json;
 pub mod jsonl;
 pub mod log;
 pub mod metrics;
+pub mod netspan;
 pub mod probe;
 pub mod span;
 
@@ -31,5 +32,10 @@ pub use json::validate_json;
 pub use jsonl::{to_jsonl_string, write_event_json, write_jsonl};
 pub use log::EventLog;
 pub use metrics::{MetricsProbe, MetricsReport, ProxyMetricsSummary};
+pub use netspan::{
+    derive_span_id, derive_trace_id, net_lanes_to_chrome_trace, net_spans_to_jsonl, parse_net_span,
+    parse_net_spans_jsonl, write_net_lanes, write_net_span_json, NetLane, NetSpan, SpanRing,
+    CLIENT_LANE, NET_LANES_PID, ORIGIN_LANE,
+};
 pub use probe::{CountingProbe, NullProbe, Probe};
 pub use span::{ProxySpans, SegmentKind, SegmentStat, SlowFlow, SpanProbe, SpanReport};
